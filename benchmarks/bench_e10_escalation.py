@@ -1,0 +1,108 @@
+"""E10 (Section V): bounded escalation in the cross-layer coordinator.
+
+Regenerates the "no forwarding ad infinitum" property quantitatively: a
+randomized stream of anomalies across all layers and severities is decided by
+the coordinator; the series reports the escalation-depth distribution,
+resolution rate and the share of cross-layer resolutions per policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.core.arbitration import ArbitrationPolicy, CrossLayerCoordinator
+from repro.core.countermeasures import Countermeasure, CountermeasureCatalog
+from repro.core.layers import LAYER_ORDER, Layer
+from repro.core.self_model import SelfModel
+from repro.monitoring.anomaly import Anomaly, AnomalySeverity, AnomalyType
+from repro.sim.random import SeededRNG
+
+
+def _catalog() -> CountermeasureCatalog:
+    catalog = CountermeasureCatalog()
+    catalog.register(Countermeasure("dvfs", Layer.PLATFORM, "throttle", 0.6, 0.2))
+    catalog.register(Countermeasure("contain", Layer.COMMUNICATION, "quarantine", 0.7, 0.3))
+    catalog.register(Countermeasure("redundancy", Layer.SAFETY, "switch to backup", 0.8, 0.4))
+    catalog.register(Countermeasure("degrade", Layer.ABILITY, "restrict operation", 0.85, 0.5))
+    catalog.register(Countermeasure("safe-stop", Layer.OBJECTIVE, "stop the vehicle", 1.0, 1.0))
+    return catalog
+
+
+def _anomaly_stream(count: int, seed: int):
+    rng = SeededRNG(seed)
+    layers = [layer.label for layer in LAYER_ORDER]
+    types = list(AnomalyType)
+    severities = list(AnomalySeverity)
+    stream = []
+    for index in range(count):
+        stream.append(Anomaly(
+            anomaly_type=rng.choice(types),
+            subject=f"element{index % 17}",
+            layer=rng.choice(layers),
+            severity=rng.choice(severities),
+            time=float(index)))
+    return stream
+
+
+@pytest.mark.benchmark(group="e10-escalation")
+def test_e10_escalation_depth_distribution(benchmark):
+    anomalies = _anomaly_stream(500, seed=21)
+    snapshot = SelfModel().snapshot(0.0)
+
+    def decide_all():
+        coordinator = CrossLayerCoordinator(catalog=_catalog())
+        for anomaly in anomalies:
+            coordinator.decide(anomaly, snapshot)
+        return coordinator
+
+    coordinator = benchmark(decide_all)
+    depths = coordinator.escalation_depths()
+    histogram = {depth: depths.count(depth) for depth in sorted(set(depths))}
+    rows = [{"escalation_depth": depth, "anomalies": count,
+             "share": count / len(depths)} for depth, count in histogram.items()]
+    print_table("E10: escalation-depth distribution (500 random anomalies)", rows)
+    print(f"\nresolution rate: {coordinator.resolution_rate():.2%}, "
+          f"cross-layer share: {coordinator.cross_layer_rate():.2%}, "
+          f"max depth: {coordinator.max_escalation_depth()}")
+    # Shape: escalation is bounded by the number of layers, most anomalies are
+    # resolved, and the bulk is handled within one or two hops.
+    assert coordinator.max_escalation_depth() <= len(LAYER_ORDER) - 1
+    assert coordinator.resolution_rate() >= 0.9
+    assert histogram.get(0, 0) > 0
+
+
+@pytest.mark.benchmark(group="e10-escalation")
+def test_e10_policy_comparison(benchmark):
+    anomalies = _anomaly_stream(300, seed=5)
+    snapshot = SelfModel().snapshot(0.0)
+
+    def run_all():
+        results = {}
+        for policy in ArbitrationPolicy:
+            coordinator = CrossLayerCoordinator(catalog=_catalog(), policy=policy)
+            for anomaly in anomalies:
+                coordinator.decide(anomaly, snapshot)
+            costs = [r.countermeasure.cost for r in coordinator.resolutions
+                     if r.countermeasure is not None]
+            results[policy.value] = {
+                "resolution_rate": coordinator.resolution_rate(),
+                "cross_layer_share": coordinator.cross_layer_rate(),
+                "mean_cost": sum(costs) / len(costs) if costs else 0.0,
+                "objective_layer_share": (
+                    coordinator.resolutions_by_layer().get(Layer.OBJECTIVE, 0)
+                    / len(coordinator.resolutions)),
+            }
+        return results
+
+    results = benchmark(run_all)
+    rows = [{"policy": name, **values} for name, values in results.items()]
+    print_table("E10: arbitration-policy comparison (300 random anomalies)", rows)
+    lowest = results[ArbitrationPolicy.LOWEST_ADEQUATE.value]
+    escalate = results[ArbitrationPolicy.ALWAYS_ESCALATE.value]
+    local = results[ArbitrationPolicy.LOCAL_ONLY.value]
+    # The cross-layer policy resolves at least as much as local-only while
+    # paying far less service cost than escalating everything to a safe stop.
+    assert lowest["resolution_rate"] >= local["resolution_rate"]
+    assert lowest["mean_cost"] < escalate["mean_cost"]
+    assert escalate["objective_layer_share"] == 1.0

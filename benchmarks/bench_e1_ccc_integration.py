@@ -1,0 +1,81 @@
+"""E1 (Fig. 1): automated in-field integration through the MCC.
+
+Regenerates the acceptance behaviour of the CCC integration process: a batch
+of change requests (a configurable fraction of them risky) is integrated
+against a shared mixed-criticality platform; the table reports acceptance
+rate, rejection reasons and deployed configuration growth, plus a mapping-
+strategy ablation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.mcc.mapping import MappingStrategy
+from repro.scenarios.infield_update import run_infield_update_scenario
+
+
+@pytest.mark.benchmark(group="e1-ccc-integration")
+def test_e1_update_campaign_acceptance(benchmark):
+    """Acceptance behaviour over a 30-request campaign with 30% risky updates."""
+
+    def campaign():
+        return run_infield_update_scenario(num_requests=30, seed=7, risky_fraction=0.3)
+
+    result = benchmark(campaign)
+    rows = [{
+        "requests": result.total_requests,
+        "accepted": result.accepted,
+        "rejected": result.rejected,
+        "acceptance_rate": result.acceptance_rate,
+        "unsafe_accepted": result.unsafe_update_accepted,
+        "final_version": result.final_version,
+        "deployed_components": result.deployed_components,
+    }]
+    print_table("E1: MCC in-field update campaign (30 requests, 30% risky)", rows)
+    print_table("E1: rejections by viewpoint",
+                [{"viewpoint": vp, "rejections": count}
+                 for vp, count in sorted(result.rejected_by_viewpoint.items())])
+    # The MCC must block every unsafe update while accepting a useful share.
+    assert not result.unsafe_update_accepted
+    assert result.rejected > 0
+    assert result.accepted > 0
+
+
+@pytest.mark.benchmark(group="e1-ccc-integration")
+def test_e1_risky_fraction_sweep(benchmark):
+    """Acceptance rate as a function of the risky-update fraction."""
+
+    fractions = [0.0, 0.2, 0.4, 0.6]
+
+    def sweep():
+        return [run_infield_update_scenario(num_requests=20, seed=11, risky_fraction=f)
+                for f in fractions]
+
+    results = benchmark(sweep)
+    rows = [{"risky_fraction": f, "accepted": r.accepted, "rejected": r.rejected,
+             "acceptance_rate": r.acceptance_rate}
+            for f, r in zip(fractions, results)]
+    print_table("E1: acceptance rate vs risky-update fraction", rows)
+    rates = [r.acceptance_rate for r in results]
+    assert rates[0] >= rates[-1]
+
+
+@pytest.mark.benchmark(group="e1-ccc-integration")
+def test_e1_mapping_strategy_ablation(benchmark):
+    """Ablation: first-fit vs worst-fit vs best-fit placement heuristics."""
+
+    strategies = [MappingStrategy.FIRST_FIT, MappingStrategy.WORST_FIT, MappingStrategy.BEST_FIT]
+
+    def sweep():
+        return [run_infield_update_scenario(num_requests=25, seed=13, risky_fraction=0.2,
+                                            mapping_strategy=s, deploy=False)
+                for s in strategies]
+
+    results = benchmark(sweep)
+    rows = [{"strategy": s.value, "accepted": r.accepted,
+             "acceptance_rate": r.acceptance_rate}
+            for s, r in zip(strategies, results)]
+    print_table("E1 ablation: mapping strategy", rows)
+    assert all(r.accepted > 0 for r in results)

@@ -1,0 +1,53 @@
+"""E3 (Section III): FPGA resource break-even of the virtualized CAN controller.
+
+Regenerates the claim that the virtualized controller "breaks even with
+multiple stand-alone controllers at [a small number of] VMs": an analytical
+LUT/FF cost model is swept over the number of VMs and compared against
+replicating stand-alone controllers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.can.resources import FpgaResourceModel, break_even_vms
+
+
+@pytest.mark.benchmark(group="e3-can-resources")
+def test_e3_resource_break_even(benchmark):
+    model = FpgaResourceModel()
+
+    def sweep():
+        return model.sweep(10), break_even_vms(model)
+
+    rows, break_even = benchmark(sweep)
+    print_table("E3: FPGA resources, virtualized vs stand-alone replication", rows)
+    print(f"\nbreak-even at {break_even} VMs (paper: small number of VMs)")
+    # Shape: more expensive for a single VM, break-even at a small VM count,
+    # clearly cheaper at 8+ VMs.
+    assert rows[0]["ratio"] > 1.0
+    assert 2 <= break_even <= 5
+    assert rows[7]["ratio"] < 0.8
+
+
+@pytest.mark.benchmark(group="e3-can-resources")
+def test_e3_per_vf_cost_sensitivity(benchmark):
+    """Sensitivity: the break-even point moves with the per-VF logic cost but
+    stays finite as long as a VF is cheaper than a full controller."""
+    from repro.can.resources import ResourceEstimate
+
+    scales = [0.5, 1.0, 1.5, 2.0]
+
+    def sweep():
+        results = []
+        for scale in scales:
+            model = FpgaResourceModel(per_vf=ResourceEstimate(int(420 * scale), int(330 * scale)))
+            results.append(break_even_vms(model))
+        return results
+
+    break_evens = benchmark(sweep)
+    rows = [{"per_vf_cost_scale": s, "break_even_vms": b} for s, b in zip(scales, break_evens)]
+    print_table("E3 sensitivity: break-even vs per-VF logic cost", rows)
+    assert break_evens == sorted(break_evens)
+    assert all(b <= 10 for b in break_evens)

@@ -1,0 +1,117 @@
+"""E4 (Section IV): ability-graph monitoring of the ACC function.
+
+Regenerates the functional self-awareness behaviour: injected sensor-quality
+degradations propagate through the ACC ability graph to the main skill, the
+degradation manager reacts, and the monitoring overhead stays negligible.
+Includes the propagation-policy ablation (min vs weighted).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.skills.ability import PropagationPolicy
+from repro.skills.acc_example import build_acc_ability_graph
+from repro.skills.degradation import DegradationManager, OperationalRestriction
+from repro.vehicle.environment import Weather
+from repro.vehicle.sensors import CameraSensor, RadarSensor
+
+
+@pytest.mark.benchmark(group="e4-skill-graph")
+def test_e4_degradation_detection_and_propagation(benchmark):
+    """Camera quality sweep: propagated root ability level and chosen tactic."""
+    qualities = [1.0, 0.8, 0.6, 0.4, 0.2, 0.0]
+
+    def sweep():
+        results = []
+        for quality in qualities:
+            graph = build_acc_ability_graph()
+            manager = DegradationManager(graph)
+            manager.register_restriction(OperationalRestriction(
+                "camera_sensor", "rely on radar, increase headway", compensated_score=0.65))
+            graph.observe("camera_sensor", quality, time=1.0)
+            plan = manager.plan()
+            results.append((quality, graph.root_score(), graph.root_level().name,
+                            len(plan.actions), plan.requires_safe_stop))
+        return results
+
+    results = benchmark(sweep)
+    rows = [{"camera_quality": q, "root_score": score, "root_level": level,
+             "plan_actions": actions, "safe_stop": stop}
+            for q, score, level, actions, stop in results]
+    print_table("E4: camera degradation -> ACC ability level and degradation plan", rows)
+    scores = [score for _, score, _, _, _ in results]
+    assert scores == sorted(scores, reverse=True)
+    assert results[0][3] == 0            # healthy: no plan
+    assert results[-1][3] >= 1           # failed sensor: tactic selected
+
+
+@pytest.mark.benchmark(group="e4-skill-graph")
+def test_e4_weather_driven_sensor_quality(benchmark):
+    """Fog visibility sweep through the actual sensor models feeding the graph."""
+    from repro.sim.random import SeededRNG
+    from repro.vehicle.environment import Environment, LeadVehicle
+
+    visibilities = [2000.0, 500.0, 150.0, 60.0, 30.0]
+
+    def sweep():
+        results = []
+        for visibility in visibilities:
+            env = Environment(Weather.dense_fog(visibility_m=visibility), SeededRNG(1))
+            env.add_lead_vehicle(LeadVehicle("lead", 50.0, 20.0))
+            radar = RadarSensor("radar", SeededRNG(2))
+            camera = CameraSensor("camera", SeededRNG(3))
+            radar.measure(0.0, 0.0, 20.0, env)
+            camera.measure(0.0, 0.0, 20.0, env)
+            graph = build_acc_ability_graph()
+            graph.observe("radar_sensor", radar.last_quality)
+            graph.observe("camera_sensor", camera.last_quality)
+            results.append((visibility, radar.last_quality, camera.last_quality,
+                            graph.root_score()))
+        return results
+
+    results = benchmark(sweep)
+    rows = [{"visibility_m": v, "radar_quality": r, "camera_quality": c, "root_score": s}
+            for v, r, c, s in results]
+    print_table("E4: fog visibility -> sensor quality -> root ability", rows)
+    root_scores = [s for _, _, _, s in results]
+    assert root_scores == sorted(root_scores, reverse=True)
+    # Radar stays usable in fog while the camera collapses (sensor diversity).
+    assert results[-1][1] > results[-1][2]
+
+
+@pytest.mark.benchmark(group="e4-skill-graph")
+def test_e4_propagation_policy_ablation(benchmark):
+    """Ablation: min (weakest link) vs weighted propagation."""
+    degradations = {"camera_sensor": 0.6, "radar_sensor": 0.8, "hmi": 0.9}
+
+    def run():
+        results = {}
+        for policy in PropagationPolicy:
+            graph = build_acc_ability_graph(policy=policy)
+            for node, score in degradations.items():
+                graph.observe(node, score)
+            results[policy.value] = graph.root_score()
+        return results
+
+    results = benchmark(run)
+    rows = [{"policy": name, "root_score": score} for name, score in results.items()]
+    print_table("E4 ablation: propagation policy under multiple mild degradations", rows)
+    assert results["min"] <= results["weighted"]
+
+
+@pytest.mark.benchmark(group="e4-skill-graph")
+def test_e4_monitoring_update_cost(benchmark):
+    """Cost of one full observe-and-propagate cycle (the per-cycle monitoring
+    overhead the paper claims is small)."""
+    graph = build_acc_ability_graph()
+
+    def one_cycle():
+        graph.observe("radar_sensor", 0.9)
+        graph.observe("camera_sensor", 0.7)
+        graph.observe("braking_system", 0.95)
+        return graph.root_score()
+
+    score = benchmark(one_cycle)
+    assert 0.0 <= score <= 1.0

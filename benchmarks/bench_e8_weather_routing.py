@@ -1,0 +1,77 @@
+"""E8 (Section V): weather-aware route planning under uncertainty.
+
+Regenerates the alpine-pass-vs-detour decision: the self-aware planner,
+knowing its own degraded capability in snow/fog, abandons the shorter pass
+beyond a crossover forecast severity, while the weather-agnostic baseline
+keeps choosing it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.scenarios.weather_routing import (
+    crossover_severity,
+    run_weather_routing_scenario,
+    sweep_severity,
+)
+
+
+@pytest.mark.benchmark(group="e8-weather-routing")
+def test_e8_severity_sweep(benchmark):
+    severities = [0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9]
+
+    def sweep():
+        return sweep_severity(severities)
+
+    results = benchmark(sweep)
+    rows = [{"severity": r.severity,
+             "aware_route_km": r.aware_route.length_km,
+             "aware_detour": r.aware_takes_detour,
+             "baseline_route_km": r.baseline_route.length_km,
+             "baseline_detour": r.baseline_takes_detour,
+             "aware_exposure": r.aware_exposure,
+             "baseline_exposure": r.baseline_exposure}
+            for r in results]
+    print_table("E8: route choice vs forecast severity (self-aware vs baseline)", rows)
+    # Shape: a crossover exists; beyond it the aware planner detours while the
+    # baseline never does, and the aware planner's adverse-weather exposure is
+    # never higher than the baseline's.
+    assert not results[0].aware_takes_detour
+    assert results[-1].aware_takes_detour
+    assert not any(r.baseline_takes_detour for r in results)
+    assert all(r.aware_exposure <= r.baseline_exposure + 1e-9 for r in results)
+
+
+@pytest.mark.benchmark(group="e8-weather-routing")
+def test_e8_crossover_depends_on_risk_aversion(benchmark):
+    """Ablation: higher risk aversion moves the crossover to milder forecasts."""
+    aversions = [0.25, 1.0, 3.0]
+
+    def sweep():
+        crossovers = []
+        for aversion in aversions:
+            severity = None
+            for step in range(0, 21):
+                candidate = step / 20
+                if run_weather_routing_scenario(candidate,
+                                                risk_aversion=aversion).aware_takes_detour:
+                    severity = candidate
+                    break
+            crossovers.append(severity)
+        return crossovers
+
+    crossovers = benchmark(sweep)
+    rows = [{"risk_aversion": a, "crossover_severity": c}
+            for a, c in zip(aversions, crossovers)]
+    print_table("E8 ablation: detour crossover vs risk aversion", rows)
+    observed = [c for c in crossovers if c is not None]
+    assert observed == sorted(observed, reverse=True)
+
+
+@pytest.mark.benchmark(group="e8-weather-routing")
+def test_e8_crossover_search(benchmark):
+    crossover = benchmark(crossover_severity, 0.05)
+    print(f"\nE8: the self-aware planner abandons the alpine pass from severity {crossover}")
+    assert crossover is not None and 0.05 <= crossover <= 0.8

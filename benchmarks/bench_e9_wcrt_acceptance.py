@@ -1,0 +1,87 @@
+"""E9 (Section II.A): worst-case response-time analysis as the MCC's timing
+acceptance test.
+
+Regenerates the behaviour of the timing viewpoint over synthetic task sets
+(UUniFast workloads): acceptance rate versus utilization, the soundness gap
+between the analytical bound and simulated response times, and the analysis
+runtime that determines how quickly the MCC can evaluate an update.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.analysis.cpa import ResponseTimeAnalysis
+from repro.platform.scheduler import FixedPriorityScheduler
+from repro.platform.tasks import Task, TaskSet
+from repro.sim.random import SeededRNG
+
+
+def _taskset(seed: int, n: int, utilization: float) -> TaskSet:
+    rng = SeededRNG(seed)
+    utilizations = rng.uunifast(n, utilization)
+    periods = rng.log_uniform_periods(n, 0.005, 0.5)
+    taskset = TaskSet()
+    for index, (u, period) in enumerate(zip(utilizations, periods)):
+        taskset.add(Task(f"t{index}", period=period, wcet=max(1e-6, u * period)))
+    taskset.assign_deadline_monotonic_priorities()
+    return taskset
+
+
+@pytest.mark.benchmark(group="e9-wcrt")
+def test_e9_acceptance_rate_vs_utilization(benchmark):
+    utilizations = [0.5, 0.7, 0.8, 0.9, 0.95]
+    samples = 40
+
+    def sweep():
+        rates = []
+        for utilization in utilizations:
+            accepted = sum(
+                1 for seed in range(samples)
+                if ResponseTimeAnalysis(_taskset(seed, 8, utilization)).schedulable())
+            rates.append(accepted / samples)
+        return rates
+
+    rates = benchmark(sweep)
+    rows = [{"utilization": u, "acceptance_rate": r} for u, r in zip(utilizations, rates)]
+    print_table("E9: timing acceptance rate vs task-set utilization (8 tasks, 40 sets)", rows)
+    assert rates == sorted(rates, reverse=True)
+    assert rates[0] == 1.0
+    assert rates[-1] < 1.0
+
+
+@pytest.mark.benchmark(group="e9-wcrt")
+def test_e9_bound_vs_simulation_gap(benchmark):
+    """The analytical WCRT dominates the simulated worst case; report the gap."""
+
+    def evaluate():
+        gaps = []
+        for seed in range(10):
+            taskset = _taskset(seed, 6, 0.7)
+            analysis = ResponseTimeAnalysis(taskset).analyse()
+            horizon = min(2.0, 30 * max(t.period for t in taskset))
+            stats = FixedPriorityScheduler(taskset).run(horizon)
+            for name, result in analysis.items():
+                observed = stats.worst_response_times.get(name)
+                if observed is not None and result.wcrt is not None:
+                    gaps.append(result.wcrt / observed)
+        return gaps
+
+    ratios = benchmark(evaluate)
+    rows = [{"metric": "bound / simulated worst case",
+             "min": min(ratios), "mean": sum(ratios) / len(ratios), "max": max(ratios)}]
+    print_table("E9: soundness gap of the WCRT bound", rows)
+    assert min(ratios) >= 1.0 - 1e-9
+
+
+@pytest.mark.benchmark(group="e9-wcrt")
+def test_e9_analysis_runtime_scaling(benchmark):
+    """Runtime of the analysis itself for a 40-task set (the MCC-side cost)."""
+    taskset = _taskset(123, 40, 0.75)
+
+    def analyse():
+        return ResponseTimeAnalysis(taskset).schedulable()
+
+    verdict = benchmark(analyse)
+    assert verdict in (True, False)

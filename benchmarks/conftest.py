@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates the rows/series of one experiment from
+DESIGN.md/EXPERIMENTS.md and prints them (run pytest with ``-s`` to see the
+tables).  ``pytest-benchmark`` provides the timing statistics; the printed
+tables carry the reproduced quantities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+
+def print_table(title: str, rows: List[Dict[str, object]]) -> None:
+    """Render a list of row dictionaries as an aligned text table."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {c: max(len(str(c)), *(len(_fmt(r[c])) for r in rows)) for c in columns}
+    header = "  ".join(str(c).rjust(widths[c]) for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(_fmt(row[c]).rjust(widths[c]) for c in columns))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Functional self-awareness with the ACC skill/ability graph (Section IV).
+
+Builds the paper's ACC skill graph, instantiates it as an ability graph,
+injects a camera degradation (dense fog) and a radar dropout, and shows how
+performance levels propagate to the main skill and which graceful-degradation
+tactics the degradation manager selects.
+
+Run with::
+
+    python examples/acc_skill_graph.py
+"""
+
+from repro import build_acc_ability_graph, build_acc_skill_graph
+from repro.skills import (
+    DegradationManager,
+    OperationalRestriction,
+    RedundancySwitch,
+)
+
+
+def show(graph, title: str) -> None:
+    print(f"\n== {title} ==")
+    print(f"root ({graph.main_skill}): score {graph.root_score():.2f} "
+          f"level {graph.root_level().name}")
+    degraded = graph.degraded_abilities()
+    if degraded:
+        print("degraded abilities:")
+        for ability in degraded:
+            print(f"  {ability.name:28s} {ability.score:.2f} ({ability.level.name})")
+    else:
+        print("all abilities nominal")
+
+
+def main() -> None:
+    skill_graph = build_acc_skill_graph()
+    print("ACC skill graph:")
+    print(f"  nodes: {len(skill_graph)} "
+          f"(skills {len(skill_graph.skills())}, "
+          f"sources {len(skill_graph.data_sources())}, "
+          f"sinks {len(skill_graph.data_sinks())})")
+    print(f"  dependency chains from the main skill: {len(skill_graph.paths_from_main())}")
+    for path in skill_graph.paths_from_main()[:5]:
+        print("    " + " -> ".join(path))
+
+    ability_graph = build_acc_ability_graph()
+    manager = DegradationManager(ability_graph)
+    manager.register_redundancy(RedundancySwitch(
+        ability="perceive_track_objects",
+        primary_implementation="object_tracker",
+        backup_implementation="object_tracker_radar_only",
+        performance_penalty=0.25))
+    manager.register_restriction(OperationalRestriction(
+        ability="camera_sensor",
+        description="increase following distance; rely on radar",
+        compensated_score=0.6))
+
+    show(ability_graph, "nominal")
+
+    # Dense fog: the camera quality collapses, the radar degrades mildly.
+    ability_graph.observe("camera_sensor", 0.25, time=10.0)
+    ability_graph.observe("radar_sensor", 0.8, time=10.0)
+    show(ability_graph, "dense fog (camera 0.25, radar 0.80)")
+
+    plan = manager.plan()
+    print("\ndegradation plan:")
+    for action in plan.actions:
+        print(f"  {action}")
+    print(f"predicted root score after plan: {plan.predicted_root_score:.2f} "
+          f"(safe stop required: {plan.requires_safe_stop})")
+    manager.apply(plan, time=11.0)
+    show(ability_graph, "after graceful degradation")
+
+    # Radar dropout on top: perception collapses and the plan escalates.
+    ability_graph.fail("radar_sensor", time=20.0)
+    show(ability_graph, "radar dropout on top of fog")
+    plan = manager.plan()
+    print("\nescalated plan:")
+    for action in plan.actions:
+        print(f"  {action}")
+    print(f"predicted root score: {plan.predicted_root_score:.2f} "
+          f"(safe stop required: {plan.requires_safe_stop})")
+
+
+if __name__ == "__main__":
+    main()

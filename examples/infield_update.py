@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""In-field integration with the Multi-Change Controller (Section II, Fig. 1).
+
+Deploys a baseline vehicle configuration, then feeds the MCC a stream of
+update requests — some benign, some that would overload the platform, expose
+an unprotected external interface, or reference services that do not exist —
+and shows which updates the automated integration process accepts.
+
+Run with::
+
+    python examples/infield_update.py
+"""
+
+from repro.contracts import ContractParser
+from repro.scenarios.infield_update import (
+    baseline_contracts,
+    build_baseline_platform,
+    run_infield_update_scenario,
+)
+from repro.mcc import MultiChangeController
+from repro.platform import RuntimeEnvironment
+
+
+def manual_walkthrough() -> None:
+    """Hand-written updates that exercise each rejection reason."""
+    platform = build_baseline_platform()
+    rte = RuntimeEnvironment(platform)
+    mcc = MultiChangeController(platform, rte=rte)
+    for contract in baseline_contracts():
+        mcc.add_component(contract)
+    parser = ContractParser()
+
+    updates = [
+        ("benign comfort function",
+         {"component": "seat_heating", "timing": {"period": 0.5, "wcet": 0.005},
+          "safety": {"asil": "QM"}, "security": {"level": "LOW"},
+          "provides": ["seat_heating_ctrl"]}),
+        ("overloading video pipeline",
+         {"component": "video_pipeline", "timing": {"period": 0.02, "wcet": 0.019},
+          "safety": {"asil": "QM"}, "security": {"level": "LOW"},
+          "provides": ["video_stream"]}),
+        ("unprotected external interface",
+         {"component": "app_store_client", "timing": {"period": 0.2, "wcet": 0.01},
+          "safety": {"asil": "C"},
+          "security": {"level": "NONE", "external_interface": True},
+          "provides": ["app_install"]}),
+        ("dangling service requirement",
+         {"component": "parking_assist", "timing": {"period": 0.05, "wcet": 0.005},
+          "safety": {"asil": "B"}, "security": {"level": "MEDIUM"},
+          "requires": [{"service": "ultrasonic_array"}], "provides": ["parking_path"]}),
+    ]
+
+    print("== manual update walkthrough ==")
+    for label, document in updates:
+        report = mcc.add_component(parser.parse(document))
+        verdict = "ACCEPTED" if report.accepted else "rejected"
+        print(f"\n{label}: {verdict}")
+        for finding in report.findings[:3]:
+            print(f"    {finding}")
+    print(f"\ndeployed configuration version: {mcc.version}, "
+          f"components in the RTE: {len(rte.components())}")
+
+
+def campaign() -> None:
+    """A randomized update campaign (the E1 workload)."""
+    print("\n== randomized update campaign (40 requests, 30% risky) ==")
+    result = run_infield_update_scenario(num_requests=40, seed=7, risky_fraction=0.3)
+    print(f"accepted: {result.accepted}/{result.total_requests} "
+          f"({result.acceptance_rate:.0%})")
+    print(f"rejections by viewpoint: {result.rejected_by_viewpoint}")
+    print(f"final configuration version: {result.final_version}, "
+          f"deployed components: {result.deployed_components}")
+    print(f"unsafe update slipped through: {result.unsafe_update_accepted}")
+
+
+def main() -> None:
+    manual_walkthrough()
+    campaign()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: a self-aware vehicle reacting to a rear-brake intrusion.
+
+Reproduces the running cross-layer example of Section V of the paper:
+a security flaw is detected in the rear-brake software component, the
+communication layer contains it, the safety layer activates the drive-train
+braking redundancy, and the ability layer restricts the maximum speed so the
+vehicle stays fail-operational instead of performing an emergency stop.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import SelfAwareVehicle, VehicleSystemConfig
+
+
+def main() -> None:
+    vehicle = SelfAwareVehicle(VehicleSystemConfig(seed=42))
+
+    print("== nominal driving (5 s) ==")
+    vehicle.run(5.0)
+    print(f"speed: {vehicle.speed_mps:5.1f} m/s   "
+          f"root ability: {vehicle.root_ability_score():.2f}   "
+          f"objective: {vehicle.self_model.objective}")
+
+    print("\n== rear-brake component compromised ==")
+    vehicle.inject_rear_brake_compromise()
+    vehicle.run(30.0)
+
+    print(f"speed: {vehicle.speed_mps:5.1f} m/s   "
+          f"root ability: {vehicle.root_ability_score():.2f}   "
+          f"objective: {vehicle.self_model.objective}")
+    print(f"braking capability: {vehicle.dynamics.braking_capability_ratio():.0%}   "
+          f"imposed speed limit: {vehicle.acc.speed_limit_mps:.1f} m/s   "
+          f"safe stop requested: {vehicle.safe_stop_requested}")
+
+    print("\n== cross-layer event log ==")
+    for event in vehicle.event_log():
+        print("  " + event)
+
+    print("\n== resolutions per layer ==")
+    by_layer = vehicle.coordinator.resolutions_by_layer()
+    for layer, count in sorted(by_layer.items()):
+        print(f"  {layer.name.lower():14s} {count}")
+    print(f"\nlayers involved in handling the incident: {len(by_layer)} "
+          "(communication containment, safety redundancy, ability restriction)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Model-domain formal analyses (Section II.A and V of the paper).
+
+These are the viewpoint-specific analyses the Multi-Change Controller runs
+as acceptance tests during the in-field integration process:
+
+* :mod:`repro.analysis.cpa` — compositional performance analysis: busy-window
+  worst-case response times, end-to-end latencies, schedulability verdicts.
+* :mod:`repro.analysis.dependency` — automated cross-layer dependency
+  analysis (the FMEA-like analysis of [23]/[24] cited in Section V).
+* :mod:`repro.analysis.threat` — security threat modelling for vehicular
+  systems (exposure/reachability of components from external interfaces).
+* :mod:`repro.analysis.safety` — safety viewpoint: ASIL consistency,
+  redundancy and fail-operational coverage.
+"""
+
+from repro.analysis.cpa import (
+    EventModel,
+    ResponseTimeResult,
+    ResponseTimeAnalysis,
+    EndToEndPath,
+    end_to_end_latency,
+)
+from repro.analysis.dependency import (
+    DependencyKind,
+    Dependency,
+    DependencyGraph,
+    DependencyAnalysis,
+    FailureEffect,
+)
+from repro.analysis.threat import ThreatModel, ThreatAssessment, AttackPath
+from repro.analysis.safety import SafetyAnalysis, SafetyFinding
+
+__all__ = [
+    "EventModel",
+    "ResponseTimeResult",
+    "ResponseTimeAnalysis",
+    "EndToEndPath",
+    "end_to_end_latency",
+    "DependencyKind",
+    "Dependency",
+    "DependencyGraph",
+    "DependencyAnalysis",
+    "FailureEffect",
+    "ThreatModel",
+    "ThreatAssessment",
+    "AttackPath",
+    "SafetyAnalysis",
+    "SafetyFinding",
+]

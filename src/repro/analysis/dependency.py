@@ -1,0 +1,243 @@
+"""Automated cross-layer dependency analysis.
+
+Section V: "In traditional design, such dependencies are identified with
+semiformal methods, such as a Failure Mode and Effects Analysis (FMEA).  In
+CCC, such dependency analysis is automated to derive cross-layer dependency
+models describing the effect of change and actions on the overall system."
+
+This module builds a typed dependency graph whose nodes live on named layers
+(platform, communication, safety, ability, objective, ...) and provides the
+two queries the rest of the system needs:
+
+* **effect propagation** — given a failed/changed element, which other
+  elements on which layers are affected (the automated FMEA);
+* **change impact** — given a proposed change set, which contracts and
+  viewpoints must be re-analysed by the MCC.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+
+class DependencyKind(enum.Enum):
+    """Why one element depends on another."""
+
+    SERVICE = "service"          # client uses a service of the provider
+    MAPPING = "mapping"          # software element mapped onto a platform element
+    RESOURCE = "resource"        # shares a physical resource (interference)
+    DATA = "data"                # consumes data produced by the other element
+    REDUNDANCY = "redundancy"    # backs up / is backed up by the other element
+    ENVIRONMENT = "environment"  # exposed to the same environmental effect
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """A directed dependency: ``source`` depends on ``target``.
+
+    If ``target`` fails or changes, ``source`` is (potentially) affected.
+    ``strength`` in (0, 1] expresses how strongly the effect propagates and is
+    multiplied along paths when estimating impact likelihoods.
+    """
+
+    source: str
+    target: str
+    kind: DependencyKind
+    strength: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.strength <= 1.0:
+            raise ValueError("dependency strength must be in (0, 1]")
+
+
+@dataclass
+class FailureEffect:
+    """One row of the automated FMEA: the effect of a failing element."""
+
+    failed_element: str
+    affected_element: str
+    layer: str
+    path: List[str]
+    severity: float
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+class DependencyGraph:
+    """Typed, layered dependency graph.
+
+    Nodes are system elements (components, tasks, resources, skills,
+    objectives); each node belongs to exactly one layer.  Edges are
+    :class:`Dependency` relations pointing from the dependent element to the
+    element it depends on.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+
+    # -- construction ------------------------------------------------------------
+
+    def add_element(self, name: str, layer: str, **attributes: object) -> None:
+        if not name:
+            raise ValueError("element name must be non-empty")
+        if name in self._graph and self._graph.nodes[name]["layer"] != layer:
+            raise ValueError(
+                f"element {name!r} already exists on layer "
+                f"{self._graph.nodes[name]['layer']!r}")
+        self._graph.add_node(name, layer=layer, **attributes)
+
+    def add_dependency(self, dependency: Dependency) -> None:
+        for endpoint in (dependency.source, dependency.target):
+            if endpoint not in self._graph:
+                raise KeyError(f"unknown element {endpoint!r}; add it first")
+        self._graph.add_edge(dependency.source, dependency.target,
+                             kind=dependency.kind, strength=dependency.strength)
+
+    def depends_on(self, source: str, target: str, kind: DependencyKind,
+                   strength: float = 1.0) -> None:
+        """Convenience wrapper around :meth:`add_dependency`."""
+        self.add_dependency(Dependency(source, target, kind, strength))
+
+    # -- queries ---------------------------------------------------------------------
+
+    @property
+    def elements(self) -> List[str]:
+        return list(self._graph.nodes)
+
+    def layer_of(self, element: str) -> str:
+        try:
+            return self._graph.nodes[element]["layer"]
+        except KeyError as exc:
+            raise KeyError(f"unknown element {element!r}") from exc
+
+    def elements_on(self, layer: str) -> List[str]:
+        return [n for n, data in self._graph.nodes(data=True) if data["layer"] == layer]
+
+    def layers(self) -> List[str]:
+        seen: List[str] = []
+        for _, data in self._graph.nodes(data=True):
+            if data["layer"] not in seen:
+                seen.append(data["layer"])
+        return seen
+
+    def direct_dependencies(self, element: str) -> List[Tuple[str, DependencyKind]]:
+        """Elements that ``element`` directly depends on."""
+        return [(target, self._graph.edges[element, target]["kind"])
+                for target in self._graph.successors(element)]
+
+    def direct_dependents(self, element: str) -> List[Tuple[str, DependencyKind]]:
+        """Elements that directly depend on ``element``."""
+        return [(source, self._graph.edges[source, element]["kind"])
+                for source in self._graph.predecessors(element)]
+
+    def dependents_closure(self, element: str) -> Set[str]:
+        """All elements transitively affected when ``element`` fails."""
+        if element not in self._graph:
+            raise KeyError(f"unknown element {element!r}")
+        return set(nx.ancestors(self._graph, element))
+
+    def dependencies_closure(self, element: str) -> Set[str]:
+        """All elements that ``element`` transitively depends on."""
+        if element not in self._graph:
+            raise KeyError(f"unknown element {element!r}")
+        return set(nx.descendants(self._graph, element))
+
+    def cross_layer_edges(self) -> List[Tuple[str, str]]:
+        """Edges whose endpoints live on different layers — the dependencies
+        the paper argues must be made explicit."""
+        return [(u, v) for u, v in self._graph.edges
+                if self._graph.nodes[u]["layer"] != self._graph.nodes[v]["layer"]]
+
+    def has_cycle(self) -> bool:
+        return not nx.is_directed_acyclic_graph(self._graph)
+
+    def to_networkx(self) -> nx.DiGraph:
+        return self._graph.copy()
+
+
+class DependencyAnalysis:
+    """The automated FMEA over a :class:`DependencyGraph`."""
+
+    def __init__(self, graph: DependencyGraph) -> None:
+        self.graph = graph
+
+    def failure_effects(self, failed_element: str,
+                        min_severity: float = 0.0) -> List[FailureEffect]:
+        """Enumerate the effects of a single element failure.
+
+        Severity along a path is the product of edge strengths; effects below
+        ``min_severity`` are dropped.  Effects are returned ordered by
+        descending severity, then path length, for deterministic reporting.
+        """
+        nxg = self.graph.to_networkx()
+        if failed_element not in nxg:
+            raise KeyError(f"unknown element {failed_element!r}")
+        effects: Dict[str, FailureEffect] = {}
+        # Breadth-first over reverse edges (dependents), tracking best severity.
+        frontier: List[Tuple[str, List[str], float]] = [(failed_element, [failed_element], 1.0)]
+        while frontier:
+            current, path, severity = frontier.pop(0)
+            for dependent in nxg.predecessors(current):
+                if dependent in path:
+                    continue
+                strength = nxg.edges[dependent, current]["strength"]
+                new_severity = severity * strength
+                if new_severity < min_severity:
+                    continue
+                existing = effects.get(dependent)
+                if existing is None or new_severity > existing.severity:
+                    effects[dependent] = FailureEffect(
+                        failed_element=failed_element,
+                        affected_element=dependent,
+                        layer=self.graph.layer_of(dependent),
+                        path=path + [dependent],
+                        severity=new_severity)
+                frontier.append((dependent, path + [dependent], new_severity))
+        return sorted(effects.values(), key=lambda e: (-e.severity, e.hops, e.affected_element))
+
+    def affected_layers(self, failed_element: str) -> List[str]:
+        """Layers touched by the failure, in order of first impact severity."""
+        layers: List[str] = []
+        for effect in self.failure_effects(failed_element):
+            if effect.layer not in layers:
+                layers.append(effect.layer)
+        return layers
+
+    def common_cause_elements(self, environment_effect: str) -> List[str]:
+        """Elements that share exposure to an environmental effect node
+        (e.g. 'ambient-temperature'), i.e. candidates for common-cause
+        failures (Section V's temperature example)."""
+        return sorted(effect.affected_element
+                      for effect in self.failure_effects(environment_effect))
+
+    def change_impact(self, changed_elements: Iterable[str]) -> Dict[str, Set[str]]:
+        """For a proposed change set, map each affected layer to the set of
+        affected elements; the MCC uses this to decide which viewpoint
+        analyses must be re-run."""
+        impact: Dict[str, Set[str]] = {}
+        for changed in changed_elements:
+            for effect in self.failure_effects(changed):
+                impact.setdefault(effect.layer, set()).add(effect.affected_element)
+            impact.setdefault(self.graph.layer_of(changed), set()).add(changed)
+        return impact
+
+    def single_points_of_failure(self, critical_elements: Iterable[str]) -> List[str]:
+        """Elements whose individual failure affects *all* given critical
+        elements — the classic FMEA output used to require redundancy."""
+        critical = set(critical_elements)
+        if not critical:
+            return []
+        spofs: List[str] = []
+        for element in self.graph.elements:
+            if element in critical:
+                continue
+            affected = {e.affected_element for e in self.failure_effects(element)}
+            if critical <= affected:
+                spofs.append(element)
+        return sorted(spofs)

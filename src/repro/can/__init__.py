@@ -1,0 +1,42 @@
+"""CAN bus substrate and virtualized CAN controller (Section III, Fig. 2).
+
+The paper's quantitative evaluation concerns a hardware-virtualized CAN
+controller split into a physical function (PF) and per-VM virtual functions
+(VFs).  We reproduce it with a discrete-event CAN bus model (priority-based
+arbitration, bit-accurate frame lengths), a conventional controller model,
+the PF/VF virtualization layer with a calibrated latency model, and an
+analytical FPGA resource model used for the break-even analysis (E3).
+"""
+
+from repro.can.frame import CanFrame, FrameType, frame_bit_length
+from repro.can.bus import CanBus, BusError, BusStatistics
+from repro.can.controller import CanController, TxRequest, RxMessage, AcceptanceFilter
+from repro.can.virtualization import (
+    VirtualFunction,
+    PhysicalFunction,
+    VirtualizedCanController,
+    VirtualizationLatencyModel,
+    TxSchedulingPolicy,
+)
+from repro.can.resources import FpgaResourceModel, ResourceEstimate, break_even_vms
+
+__all__ = [
+    "CanFrame",
+    "FrameType",
+    "frame_bit_length",
+    "CanBus",
+    "BusError",
+    "BusStatistics",
+    "CanController",
+    "TxRequest",
+    "RxMessage",
+    "AcceptanceFilter",
+    "VirtualFunction",
+    "PhysicalFunction",
+    "VirtualizedCanController",
+    "VirtualizationLatencyModel",
+    "TxSchedulingPolicy",
+    "FpgaResourceModel",
+    "ResourceEstimate",
+    "break_even_vms",
+]

@@ -1,0 +1,214 @@
+"""Conventional (stand-alone) CAN controller model — the "protocol layer".
+
+This is the baseline against which the virtualized controller is compared:
+a controller owned by a single host with prioritized transmit buffers,
+acceptance filtering, and a receive FIFO.  Host-side access latencies
+(register write for TX, interrupt + register read for RX) are modelled so
+that the round-trip benchmark can report the *added* latency of the
+virtualization wrapper, which is the paper's headline number (7–11 µs).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.can.frame import CanFrame
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class TxRequest:
+    """A frame queued for transmission together with bookkeeping times."""
+
+    frame: CanFrame
+    enqueue_time: float
+    start_time: Optional[float] = None
+    complete_time: Optional[float] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.complete_time is None:
+            return None
+        return self.complete_time - self.enqueue_time
+
+
+@dataclass
+class RxMessage:
+    """A received frame with delivery bookkeeping."""
+
+    frame: CanFrame
+    bus_time: float
+    delivery_time: float
+
+    @property
+    def delivery_latency(self) -> float:
+        return self.delivery_time - self.bus_time
+
+
+@dataclass(frozen=True)
+class AcceptanceFilter:
+    """Classic mask/match acceptance filter: accept if (id & mask) == (match & mask)."""
+
+    match: int
+    mask: int
+
+    def accepts(self, can_id: int) -> bool:
+        return (can_id & self.mask) == (self.match & self.mask)
+
+    @classmethod
+    def accept_all(cls) -> "AcceptanceFilter":
+        return cls(match=0, mask=0)
+
+    @classmethod
+    def exact(cls, can_id: int) -> "AcceptanceFilter":
+        return cls(match=can_id, mask=0x1FFF_FFFF)
+
+
+class CanController:
+    """A stand-alone CAN controller attached to one host.
+
+    Parameters
+    ----------
+    sim:
+        Discrete-event simulator.
+    name:
+        Node name (used as frame source).
+    tx_access_latency:
+        Host-side latency to place a frame into the controller's TX mailbox
+        (register writes across the peripheral bus).
+    rx_access_latency:
+        Host-side latency from end-of-frame on the bus to the frame being
+        available to the application (interrupt + register reads).
+    tx_queue_depth:
+        Number of TX mailboxes; enqueueing beyond this drops the frame and
+        counts an overflow (real controllers signal an error).
+    """
+
+    def __init__(self, sim: Simulator, name: str,
+                 tx_access_latency: float = 1.0e-6,
+                 rx_access_latency: float = 1.5e-6,
+                 tx_queue_depth: int = 32,
+                 rx_queue_depth: int = 64,
+                 filters: Optional[List[AcceptanceFilter]] = None,
+                 recorder: Optional[TraceRecorder] = None) -> None:
+        if tx_access_latency < 0 or rx_access_latency < 0:
+            raise ValueError("access latencies must be non-negative")
+        if tx_queue_depth <= 0 or rx_queue_depth <= 0:
+            raise ValueError("queue depths must be positive")
+        self.sim = sim
+        self.name = name
+        self.tx_access_latency = tx_access_latency
+        self.rx_access_latency = rx_access_latency
+        self.tx_queue_depth = tx_queue_depth
+        self.rx_queue_depth = rx_queue_depth
+        self.filters = filters if filters is not None else [AcceptanceFilter.accept_all()]
+        self.recorder = recorder or TraceRecorder()
+        self.bus = None  # set by CanBus.attach
+        self.rx_callback: Optional[Callable[[RxMessage], None]] = None
+
+        self._tx_heap: List[Tuple[Tuple[int, int], int, TxRequest]] = []
+        self._tx_counter = itertools.count()
+        #: Frames accepted for transmission and not yet handed to the bus
+        #: (includes frames still traversing the host access latency), used
+        #: for mailbox-overflow accounting.
+        self._queued = 0
+        self.sent: List[TxRequest] = []
+        self.received: List[RxMessage] = []
+        self.tx_overflows = 0
+        self.rx_overflows = 0
+
+    # -- host-facing API ----------------------------------------------------------------
+
+    def send(self, frame: CanFrame) -> Optional[TxRequest]:
+        """Host requests transmission of a frame.
+
+        The frame becomes visible to bus arbitration after the TX access
+        latency.  Returns the TX request, or ``None`` if the mailbox
+        overflowed.
+        """
+        if self._queued >= self.tx_queue_depth:
+            self.tx_overflows += 1
+            self.recorder.record(self.sim.now, "can.tx_overflow", self.name, can_id=frame.can_id)
+            return None
+        stamped = frame.with_source(frame.source or self.name).with_timestamp(self.sim.now)
+        request = TxRequest(frame=stamped, enqueue_time=self.sim.now)
+        self._queued += 1
+        delay = self.tx_access_latency
+
+        def make_visible(sim: Simulator) -> None:
+            heapq.heappush(self._tx_heap,
+                           (stamped.arbitration_key(), next(self._tx_counter), request))
+            request.start_time = sim.now
+            if self.bus is not None:
+                self.bus.notify_pending()
+
+        self.sim.schedule_in(delay, make_visible, name=f"{self.name}.tx_visible")
+        return request
+
+    def pending_tx(self) -> int:
+        return len(self._tx_heap)
+
+    # -- bus-facing API -------------------------------------------------------------------
+
+    def peek_tx(self) -> Optional[CanFrame]:
+        """Highest-priority frame waiting in the TX mailboxes (for arbitration)."""
+        if not self._tx_heap:
+            return None
+        return self._tx_heap[0][2].frame
+
+    def pop_tx(self) -> Optional[CanFrame]:
+        if not self._tx_heap:
+            return None
+        _, _, request = heapq.heappop(self._tx_heap)
+        self._in_flight = request
+        self._queued = max(0, self._queued - 1)
+        return request.frame
+
+    def on_transmit_complete(self, frame: CanFrame, time: float) -> None:
+        request = getattr(self, "_in_flight", None)
+        if request is not None and request.frame is frame:
+            request.complete_time = time
+            self.sent.append(request)
+            self._in_flight = None
+        self.recorder.record(time, "can.node_tx_done", self.name, can_id=frame.can_id)
+
+    def accepts(self, frame: CanFrame) -> bool:
+        return any(f.accepts(frame.can_id) for f in self.filters)
+
+    def on_bus_receive(self, frame: CanFrame, time: float) -> None:
+        """Called by the bus at end of frame; applies acceptance filtering and
+        models the host-side delivery latency."""
+        if not self.accepts(frame):
+            return
+        if len(self.received) >= self.rx_queue_depth and self.rx_callback is None:
+            self.rx_overflows += 1
+            self.recorder.record(time, "can.rx_overflow", self.name, can_id=frame.can_id)
+            return
+
+        def deliver(sim: Simulator) -> None:
+            message = RxMessage(frame=frame, bus_time=time, delivery_time=sim.now)
+            self.received.append(message)
+            self.recorder.record(sim.now, "can.rx_deliver", self.name,
+                                 can_id=frame.can_id, sender=frame.source,
+                                 latency=message.delivery_latency)
+            if self.rx_callback is not None:
+                self.rx_callback(message)
+
+        self.sim.schedule_in(self.rx_access_latency, deliver, name=f"{self.name}.rx_deliver")
+
+    # -- statistics -------------------------------------------------------------------------
+
+    def tx_latencies(self) -> List[float]:
+        return [r.latency for r in self.sent if r.latency is not None]
+
+    def rx_latencies(self) -> List[float]:
+        return [m.delivery_latency for m in self.received]
+
+    def drain_received(self) -> List[RxMessage]:
+        messages = list(self.received)
+        self.received.clear()
+        return messages

@@ -1,0 +1,121 @@
+"""CAN frame model.
+
+Classical CAN 2.0A/B data and remote frames with 11-bit or 29-bit
+identifiers.  Frame lengths are computed bit-accurately (including the
+worst-case stuff-bit estimate) because the bus model derives transmission
+times from them, and because arbitration is decided by the identifier value
+(lower identifier = higher priority) exactly as on the physical bus.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class FrameType(enum.Enum):
+    """CAN frame types relevant to the data path."""
+
+    DATA = "data"
+    REMOTE = "remote"
+    ERROR = "error"
+
+
+MAX_STANDARD_ID = 0x7FF
+MAX_EXTENDED_ID = 0x1FFF_FFFF
+MAX_PAYLOAD_BYTES = 8
+
+
+@dataclass(frozen=True)
+class CanFrame:
+    """A CAN frame as seen by controllers and the bus.
+
+    Attributes
+    ----------
+    can_id:
+        Identifier; arbitration priority (lower wins).
+    payload:
+        Data bytes (0-8 for classical CAN).
+    extended:
+        29-bit identifier if True, 11-bit otherwise.
+    frame_type:
+        DATA or REMOTE (ERROR frames are generated internally by the bus).
+    source:
+        Name of the sending node/VF, for tracing and intrusion detection.
+    timestamp:
+        Creation time at the sender (filled by the controller).
+    """
+
+    can_id: int
+    payload: bytes = b""
+    extended: bool = False
+    frame_type: FrameType = FrameType.DATA
+    source: str = ""
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        limit = MAX_EXTENDED_ID if self.extended else MAX_STANDARD_ID
+        if not 0 <= self.can_id <= limit:
+            raise ValueError(
+                f"CAN id {self.can_id:#x} out of range for "
+                f"{'extended' if self.extended else 'standard'} frame")
+        if len(self.payload) > MAX_PAYLOAD_BYTES:
+            raise ValueError(f"payload too long: {len(self.payload)} > {MAX_PAYLOAD_BYTES}")
+        if self.frame_type == FrameType.REMOTE and self.payload:
+            raise ValueError("remote frames carry no payload")
+
+    @property
+    def dlc(self) -> int:
+        """Data length code."""
+        return len(self.payload)
+
+    @property
+    def bit_length(self) -> int:
+        """Worst-case frame length in bits (including stuff bits)."""
+        return frame_bit_length(self.dlc, extended=self.extended)
+
+    def arbitration_key(self) -> Tuple[int, int]:
+        """Sort key implementing CAN arbitration.
+
+        Standard frames win against extended frames with the same leading
+        identifier bits; we approximate this with (id, extended) which is
+        exact for disjoint id spaces and deterministic otherwise.
+        """
+        return (self.can_id, 1 if self.extended else 0)
+
+    def with_timestamp(self, timestamp: float) -> "CanFrame":
+        return CanFrame(can_id=self.can_id, payload=self.payload, extended=self.extended,
+                        frame_type=self.frame_type, source=self.source, timestamp=timestamp)
+
+    def with_source(self, source: str) -> "CanFrame":
+        return CanFrame(can_id=self.can_id, payload=self.payload, extended=self.extended,
+                        frame_type=self.frame_type, source=source, timestamp=self.timestamp)
+
+
+def frame_bit_length(dlc: int, extended: bool = False, worst_case_stuffing: bool = True) -> int:
+    """Bit length of a classical CAN data frame.
+
+    Base frame: SOF(1) + ID(11) + RTR(1) + IDE/r0(2) + DLC(4) + data(8*dlc)
+    + CRC(15) + CRC del(1) + ACK(2) + EOF(7) + IFS(3).
+    Extended frames add SRR/IDE and the 18 extra identifier bits (+20 bits
+    subject to stuffing).  Worst-case stuff bits add one bit per four bits of
+    the stuffable region (SOF through CRC).
+    """
+    if not 0 <= dlc <= MAX_PAYLOAD_BYTES:
+        raise ValueError(f"invalid DLC {dlc}")
+    if extended:
+        # SOF + ID(29) + SRR + IDE + RTR + r1 + r0 + DLC + data + CRC
+        stuffable = 1 + 29 + 1 + 1 + 1 + 2 + 4 + 8 * dlc + 15
+    else:
+        stuffable = 1 + 11 + 1 + 2 + 4 + 8 * dlc + 15
+    fixed = 1 + 2 + 7 + 3  # CRC delimiter + ACK + EOF + interframe space
+    stuff_bits = (stuffable - 1) // 4 if worst_case_stuffing else 0
+    return stuffable + stuff_bits + fixed
+
+
+def transmission_time(dlc: int, bitrate_bps: float, extended: bool = False) -> float:
+    """Time to transmit one frame at the given bitrate (seconds)."""
+    if bitrate_bps <= 0:
+        raise ValueError("bitrate must be positive")
+    return frame_bit_length(dlc, extended=extended) / bitrate_bps

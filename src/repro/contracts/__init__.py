@@ -1,0 +1,43 @@
+"""Contracting language (Section II.A of the paper).
+
+Requirements and constraints of every application/platform component are
+captured explicitly so that the Multi-Change Controller can run
+viewpoint-specific analyses (safety, timing, security, resources) as
+acceptance tests during in-field integration.
+"""
+
+from repro.contracts.model import (
+    AsilLevel,
+    SecurityLevel,
+    Requirement,
+    RealTimeRequirement,
+    SafetyRequirement,
+    SecurityRequirement,
+    ResourceRequirement,
+    ServiceRequirement,
+    ServiceProvision,
+    Contract,
+    ContractViolation,
+)
+from repro.contracts.language import ContractParser, ContractSerializer, ContractSyntaxError
+from repro.contracts.viewpoints import Viewpoint, ViewpointRegistry, STANDARD_VIEWPOINTS
+
+__all__ = [
+    "AsilLevel",
+    "SecurityLevel",
+    "Requirement",
+    "RealTimeRequirement",
+    "SafetyRequirement",
+    "SecurityRequirement",
+    "ResourceRequirement",
+    "ServiceRequirement",
+    "ServiceProvision",
+    "Contract",
+    "ContractViolation",
+    "ContractParser",
+    "ContractSerializer",
+    "ContractSyntaxError",
+    "Viewpoint",
+    "ViewpointRegistry",
+    "STANDARD_VIEWPOINTS",
+]

@@ -1,0 +1,91 @@
+"""Viewpoint registry.
+
+The MCC models "particular viewpoints such as safety, availability or
+security" as separate layers, each with its own analysis (Section II.A).
+A :class:`Viewpoint` names one such aspect and knows which requirement type
+it consumes; the :class:`ViewpointRegistry` lets the MCC enumerate and look
+up the analyses to run as acceptance tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.contracts.model import Contract
+
+
+@dataclass(frozen=True)
+class Viewpoint:
+    """A modelling viewpoint (safety, timing, security, resources, ...).
+
+    Attributes
+    ----------
+    name:
+        Identifier; matches ``Requirement.viewpoint`` of the requirements it
+        consumes.
+    description:
+        Human-readable summary of the aspect the viewpoint models.
+    mandatory:
+        Whether the MCC must run this viewpoint's acceptance test for every
+        change (mandatory viewpoints gate deployment even if no component
+        declares a matching requirement).
+    """
+
+    name: str
+    description: str
+    mandatory: bool = True
+
+    def relevant_contracts(self, contracts: List[Contract]) -> List[Contract]:
+        """Contracts that declare a requirement for this viewpoint."""
+        return [c for c in contracts if c.requirement(self.name) is not None]
+
+
+class ViewpointRegistry:
+    """Ordered registry of viewpoints known to the model domain."""
+
+    def __init__(self, viewpoints: Optional[List[Viewpoint]] = None) -> None:
+        self._viewpoints: Dict[str, Viewpoint] = {}
+        for viewpoint in viewpoints or []:
+            self.register(viewpoint)
+
+    def register(self, viewpoint: Viewpoint) -> None:
+        if viewpoint.name in self._viewpoints:
+            raise ValueError(f"viewpoint {viewpoint.name!r} is already registered")
+        self._viewpoints[viewpoint.name] = viewpoint
+
+    def get(self, name: str) -> Viewpoint:
+        try:
+            return self._viewpoints[name]
+        except KeyError as exc:
+            raise KeyError(f"unknown viewpoint {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._viewpoints
+
+    def __iter__(self) -> Iterator[Viewpoint]:
+        return iter(self._viewpoints.values())
+
+    def __len__(self) -> int:
+        return len(self._viewpoints)
+
+    def names(self) -> List[str]:
+        return list(self._viewpoints)
+
+    def mandatory(self) -> List[Viewpoint]:
+        return [v for v in self._viewpoints.values() if v.mandatory]
+
+
+def _build_standard_registry() -> ViewpointRegistry:
+    return ViewpointRegistry([
+        Viewpoint("timing", "Real-time constraints checked by worst-case response-time analysis."),
+        Viewpoint("safety", "ASIL integrity, redundancy and fail-operational requirements."),
+        Viewpoint("security", "Communication policy and threat exposure."),
+        Viewpoint("resources", "Memory, bandwidth and isolation budgets.", mandatory=False),
+        Viewpoint("dependency", "Cross-layer dependency analysis (automated FMEA).", mandatory=False),
+    ])
+
+
+#: The viewpoints the paper names explicitly (safety, availability/timing,
+#: security) plus the resource and dependency viewpoints that the MCC uses.
+STANDARD_VIEWPOINTS: ViewpointRegistry = _build_standard_registry()

@@ -1,0 +1,196 @@
+"""Cross-layer arbitration: route every anomaly to the most appropriate layer.
+
+This module implements the decision logic Section V argues for:
+
+* "A self-aware system is ... able to identify the most appropriate layer to
+  respond to detected anomalies without the need to anticipate the exact
+  situation at design time" — the coordinator asks every layer for proposals
+  and prefers the **lowest layer** that offers an *adequate* countermeasure
+  (sufficient predicted effectiveness), choosing the cheapest adequate
+  proposal on that layer.
+* "As the system can propagate detected problems through the layers, it must
+  ensure that these also cooperate and avoid situations in which the problem
+  is forwarded ad infinitum" — escalation is strictly monotonic (each anomaly
+  only moves towards higher layers), bounded by the number of layers, and an
+  anomaly that exhausts all layers falls back to the objective-layer
+  safe-stop countermeasure instead of cycling.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.countermeasures import Countermeasure, CountermeasureCatalog, Resolution
+from repro.core.layers import LAYER_ORDER, Layer, LayerHandler
+from repro.core.self_model import SelfModelSnapshot
+from repro.monitoring.anomaly import Anomaly, AnomalySeverity
+
+
+class ArbitrationPolicy(enum.Enum):
+    """Which layer gets to resolve an anomaly.
+
+    * ``LOWEST_ADEQUATE`` — the paper's cross-layer policy (default).
+    * ``LOCAL_ONLY`` — only the layer that observed the anomaly may react
+      (single-layer baseline for E5/E10).
+    * ``ALWAYS_ESCALATE`` — every anomaly is resolved on the objective layer
+      (the "stop the vehicle for everything" strawman baseline).
+    """
+
+    LOWEST_ADEQUATE = "lowest_adequate"
+    LOCAL_ONLY = "local_only"
+    ALWAYS_ESCALATE = "always_escalate"
+
+
+@dataclass
+class EscalationRecord:
+    """Bookkeeping of the escalation performed for one anomaly."""
+
+    anomaly_id: int
+    layers_consulted: List[Layer] = field(default_factory=list)
+    proposals_seen: int = 0
+    exhausted: bool = False
+
+
+class CrossLayerCoordinator:
+    """Selects the resolving layer and countermeasure for each anomaly."""
+
+    def __init__(self, catalog: Optional[CountermeasureCatalog] = None,
+                 policy: ArbitrationPolicy = ArbitrationPolicy.LOWEST_ADEQUATE,
+                 adequacy_threshold: float = 0.6,
+                 severity_boost: float = 0.1) -> None:
+        if not 0.0 < adequacy_threshold <= 1.0:
+            raise ValueError("adequacy threshold must be in (0, 1]")
+        self.catalog = catalog or CountermeasureCatalog()
+        self.policy = policy
+        self.adequacy_threshold = adequacy_threshold
+        self.severity_boost = severity_boost
+        self._handlers: Dict[Layer, List[LayerHandler]] = {}
+        self.resolutions: List[Resolution] = []
+        self.escalations: List[EscalationRecord] = []
+
+    # -- registration --------------------------------------------------------------------
+
+    def register_handler(self, handler: LayerHandler) -> None:
+        self._handlers.setdefault(handler.layer, []).append(handler)
+
+    def handlers_of(self, layer: Layer) -> List[LayerHandler]:
+        return list(self._handlers.get(layer, []))
+
+    # -- proposal collection ----------------------------------------------------------------
+
+    def _proposals_for(self, layer: Layer, anomaly: Anomaly,
+                       snapshot: SelfModelSnapshot) -> List[Countermeasure]:
+        proposals: List[Countermeasure] = []
+        for handler in self._handlers.get(layer, []):
+            if handler.applicable(anomaly, snapshot):
+                proposals.extend(handler.propose(anomaly, snapshot))
+        proposals.extend(self.catalog.proposals(layer, anomaly))
+        return proposals
+
+    def _required_effectiveness(self, anomaly: Anomaly) -> float:
+        """More severe anomalies demand more effective countermeasures."""
+        boost = self.severity_boost * max(0, int(anomaly.severity) - int(AnomalySeverity.WARNING))
+        return min(1.0, self.adequacy_threshold + boost)
+
+    def _candidate_layers(self, anomaly: Anomaly) -> List[Layer]:
+        observed = self._observed_layer(anomaly)
+        if self.policy == ArbitrationPolicy.LOCAL_ONLY:
+            return [observed]
+        if self.policy == ArbitrationPolicy.ALWAYS_ESCALATE:
+            return [Layer.OBJECTIVE]
+        # LOWEST_ADEQUATE: start from the observing layer and walk upwards.
+        start_index = LAYER_ORDER.index(observed)
+        return LAYER_ORDER[start_index:]
+
+    @staticmethod
+    def _observed_layer(anomaly: Anomaly) -> Layer:
+        try:
+            return Layer.from_label(anomaly.layer)
+        except ValueError:
+            return Layer.PLATFORM
+
+    # -- decision --------------------------------------------------------------------------------
+
+    def decide(self, anomaly: Anomaly, snapshot: SelfModelSnapshot) -> Resolution:
+        """Choose the resolving layer and countermeasure for one anomaly.
+
+        The search is strictly upwards through the layers, so it terminates
+        after at most ``len(LAYER_ORDER)`` steps — the formal argument that a
+        problem cannot be forwarded forever.
+        """
+        record = EscalationRecord(anomaly_id=anomaly.anomaly_id)
+        required = self._required_effectiveness(anomaly)
+        consulted: List[Layer] = []
+        best_fallback: Optional[Countermeasure] = None
+
+        for layer in self._candidate_layers(anomaly):
+            consulted.append(layer)
+            record.layers_consulted.append(layer)
+            proposals = self._proposals_for(layer, anomaly, snapshot)
+            record.proposals_seen += len(proposals)
+            adequate = [p for p in proposals if p.effectiveness >= required]
+            if adequate:
+                chosen = min(adequate, key=lambda p: (p.cost, -p.effectiveness, p.name))
+                resolution = Resolution(anomaly=anomaly, time=anomaly.time,
+                                        chosen_layer=layer, countermeasure=chosen,
+                                        escalation_path=consulted, resolved=True)
+                self.resolutions.append(resolution)
+                self.escalations.append(record)
+                return resolution
+            # Remember the most effective inadequate proposal as a fallback.
+            for proposal in proposals:
+                if best_fallback is None or proposal.effectiveness > best_fallback.effectiveness:
+                    best_fallback = proposal
+
+        record.exhausted = True
+        self.escalations.append(record)
+        if best_fallback is not None:
+            resolution = Resolution(anomaly=anomaly, time=anomaly.time,
+                                    chosen_layer=best_fallback.layer,
+                                    countermeasure=best_fallback,
+                                    escalation_path=consulted, resolved=False,
+                                    note="no adequate countermeasure; applying best effort")
+        else:
+            resolution = Resolution(anomaly=anomaly, time=anomaly.time, chosen_layer=None,
+                                    countermeasure=None, escalation_path=consulted,
+                                    resolved=False,
+                                    note="no layer offered a countermeasure")
+        self.resolutions.append(resolution)
+        return resolution
+
+    def decide_and_execute(self, anomaly: Anomaly, snapshot: SelfModelSnapshot,
+                           time: Optional[float] = None) -> Resolution:
+        """Decide and immediately execute the chosen countermeasure."""
+        resolution = self.decide(anomaly, snapshot)
+        if resolution.countermeasure is not None:
+            resolution.executed = resolution.countermeasure.execute(
+                anomaly, anomaly.time if time is None else time)
+        return resolution
+
+    # -- statistics -------------------------------------------------------------------------------
+
+    def resolution_rate(self) -> float:
+        if not self.resolutions:
+            return 0.0
+        return sum(1 for r in self.resolutions if r.resolved) / len(self.resolutions)
+
+    def cross_layer_rate(self) -> float:
+        if not self.resolutions:
+            return 0.0
+        return sum(1 for r in self.resolutions if r.cross_layer) / len(self.resolutions)
+
+    def escalation_depths(self) -> List[int]:
+        return [r.escalation_depth for r in self.resolutions]
+
+    def max_escalation_depth(self) -> int:
+        depths = self.escalation_depths()
+        return max(depths) if depths else 0
+
+    def resolutions_by_layer(self) -> Dict[Layer, int]:
+        counts: Dict[Layer, int] = {}
+        for resolution in self.resolutions:
+            if resolution.chosen_layer is not None:
+                counts[resolution.chosen_layer] = counts.get(resolution.chosen_layer, 0) + 1
+        return counts

@@ -1,0 +1,165 @@
+"""The self-awareness loop: observe, decide, act.
+
+The loop ties the layers together at run time: every cycle it (1) collects
+fresh anomalies from all registered observation sources (monitor suites, the
+IDS, the ability graph, arbitrary callables), (2) refreshes the self-model
+snapshot, (3) hands each anomaly to the cross-layer coordinator, and (4)
+executes the chosen countermeasures.  This is the runtime embodiment of
+"self-awareness refers to a system's capability to recognize its own state,
+possible actions and the result of these actions" from the introduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.arbitration import CrossLayerCoordinator
+from repro.core.countermeasures import Resolution
+from repro.core.self_model import SelfModel, SelfModelSnapshot
+from repro.monitoring.anomaly import Anomaly
+from repro.monitoring.monitors import MonitorSuite
+
+#: An observation source is any callable returning fresh anomalies.
+AnomalySource = Callable[[float], List[Anomaly]]
+
+
+@dataclass
+class AwarenessCycleResult:
+    """Everything that happened in one awareness cycle."""
+
+    time: float
+    snapshot: SelfModelSnapshot
+    anomalies: List[Anomaly] = field(default_factory=list)
+    resolutions: List[Resolution] = field(default_factory=list)
+
+    @property
+    def acted(self) -> bool:
+        return any(r.executed for r in self.resolutions)
+
+    def resolutions_on(self, layer_label: str) -> List[Resolution]:
+        return [r for r in self.resolutions
+                if r.chosen_layer is not None and r.chosen_layer.label == layer_label]
+
+
+class SelfAwarenessLoop:
+    """Periodic observe–decide–act loop over the self-model.
+
+    Parameters
+    ----------
+    self_model:
+        The shared self-representation.
+    coordinator:
+        The cross-layer coordinator making the decisions.
+    dedup_window_s:
+        Identical anomalies (same type and subject) within this window are
+        reported once; monitors typically re-detect a persisting condition
+        every cycle and the coordinator should not re-decide every time.
+    """
+
+    def __init__(self, self_model: SelfModel, coordinator: CrossLayerCoordinator,
+                 dedup_window_s: float = 1.0) -> None:
+        if dedup_window_s < 0:
+            raise ValueError("dedup window must be non-negative")
+        self.self_model = self_model
+        self.coordinator = coordinator
+        self.dedup_window_s = dedup_window_s
+        self._sources: List[AnomalySource] = []
+        self._suites: List[MonitorSuite] = []
+        self._last_seen: Dict[tuple, float] = {}
+        #: (type, subject, layer) -> severity of the anomaly already mitigated.
+        #: A persisting condition that has been reacted to is not re-decided
+        #: every cycle; only an *escalation* in severity re-opens it.  This is
+        #: part of the "avoid forwarding ad infinitum" requirement.
+        self._mitigated: Dict[tuple, int] = {}
+        self.cycles: List[AwarenessCycleResult] = []
+
+    # -- wiring --------------------------------------------------------------------------
+
+    def add_source(self, source: AnomalySource) -> None:
+        """Register a callable returning fresh anomalies each cycle."""
+        self._sources.append(source)
+
+    def add_monitor_suite(self, suite: MonitorSuite) -> None:
+        self._suites.append(suite)
+
+    # -- execution ------------------------------------------------------------------------
+
+    def _collect(self, time: float) -> List[Anomaly]:
+        anomalies: List[Anomaly] = []
+        for suite in self._suites:
+            anomalies.extend(suite.drain())
+        for source in self._sources:
+            anomalies.extend(source(time))
+        return self._deduplicate(anomalies)
+
+    def _deduplicate(self, anomalies: List[Anomaly]) -> List[Anomaly]:
+        fresh: List[Anomaly] = []
+        for anomaly in anomalies:
+            key = (anomaly.anomaly_type, anomaly.subject, anomaly.layer)
+            mitigated_severity = self._mitigated.get(key)
+            if mitigated_severity is not None and int(anomaly.severity) <= mitigated_severity:
+                continue
+            last = self._last_seen.get(key)
+            if last is not None and anomaly.time - last < self.dedup_window_s:
+                continue
+            self._last_seen[key] = anomaly.time
+            fresh.append(anomaly)
+        return fresh
+
+    def acknowledge_recovery(self, subject: str) -> None:
+        """Forget mitigations concerning the subject (e.g. after a repair), so
+        future anomalies about it are decided afresh."""
+        for key in [k for k in self._mitigated if k[1] == subject]:
+            del self._mitigated[key]
+        for key in [k for k in self._last_seen if k[1] == subject]:
+            del self._last_seen[key]
+
+    def cycle(self, time: float) -> AwarenessCycleResult:
+        """Run one observe–decide–act cycle at the given time."""
+        snapshot = self.self_model.snapshot(time)
+        anomalies = self._collect(time)
+        result = AwarenessCycleResult(time=time, snapshot=snapshot, anomalies=anomalies)
+        for anomaly in anomalies:
+            resolution = self.coordinator.decide_and_execute(anomaly, snapshot, time=time)
+            result.resolutions.append(resolution)
+            if resolution.resolved and resolution.executed:
+                key = (anomaly.anomaly_type, anomaly.subject, anomaly.layer)
+                self._mitigated[key] = max(self._mitigated.get(key, 0), int(anomaly.severity))
+        self.cycles.append(result)
+        return result
+
+    def run(self, start: float, end: float, period: float) -> List[AwarenessCycleResult]:
+        """Run cycles at a fixed period over [start, end]."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+        results: List[AwarenessCycleResult] = []
+        time = start
+        while time <= end + 1e-12:
+            results.append(self.cycle(time))
+            time += period
+        return results
+
+    # -- statistics ------------------------------------------------------------------------
+
+    def all_resolutions(self) -> List[Resolution]:
+        return [r for cycle in self.cycles for r in cycle.resolutions]
+
+    def anomalies_observed(self) -> int:
+        return sum(len(cycle.anomalies) for cycle in self.cycles)
+
+    def first_resolution_for(self, subject: str) -> Optional[Resolution]:
+        for cycle in self.cycles:
+            for resolution in cycle.resolutions:
+                if resolution.anomaly.subject == subject:
+                    return resolution
+        return None
+
+    def time_to_mitigation(self, subject: str, onset_time: float) -> Optional[float]:
+        """Delay between an injected problem's onset and the first executed
+        countermeasure addressing it (the E5/E6 headline metric)."""
+        for cycle in self.cycles:
+            for resolution in cycle.resolutions:
+                if resolution.anomaly.subject == subject and resolution.executed:
+                    return max(0.0, cycle.time - onset_time)
+        return None

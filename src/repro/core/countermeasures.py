@@ -1,0 +1,131 @@
+"""Countermeasure model.
+
+Every layer offers countermeasures for the anomalies it can react to; the
+cross-layer coordinator selects among them.  A countermeasure carries a
+predicted effectiveness (how likely it is to contain the problem), a cost
+(the degradation of service it implies — a safe stop is maximally costly,
+a DVFS step is cheap), and an executable action.  The chosen countermeasure
+and the path that led to it are recorded as a :class:`Resolution`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.layers import Layer
+from repro.monitoring.anomaly import Anomaly
+
+
+@dataclass
+class Countermeasure:
+    """One possible reaction of a layer to an anomaly.
+
+    Attributes
+    ----------
+    name:
+        Identifier (e.g. ``"quarantine-component"``).
+    layer:
+        The layer that executes the countermeasure.
+    description:
+        Human-readable explanation of the reaction.
+    effectiveness:
+        Predicted probability in [0, 1] that the countermeasure contains the
+        problem (adequacy criterion of the coordinator).
+    cost:
+        Normalized service-degradation cost in [0, 1] (0 = free,
+        1 = mission abort).  Among adequate countermeasures the coordinator
+        prefers the cheapest.
+    action:
+        Optional callable executed when the countermeasure is applied; it
+        receives the anomaly and the current time.
+    """
+
+    name: str
+    layer: Layer
+    description: str
+    effectiveness: float
+    cost: float
+    action: Optional[Callable[[Anomaly, float], None]] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.effectiveness <= 1.0:
+            raise ValueError("effectiveness must be in [0, 1]")
+        if not 0.0 <= self.cost <= 1.0:
+            raise ValueError("cost must be in [0, 1]")
+
+    def execute(self, anomaly: Anomaly, time: float) -> bool:
+        """Run the action; returns True if an action was attached and ran."""
+        if self.action is None:
+            return False
+        self.action(anomaly, time)
+        return True
+
+
+@dataclass
+class Resolution:
+    """Record of how one anomaly was resolved (or not)."""
+
+    anomaly: Anomaly
+    time: float
+    chosen_layer: Optional[Layer]
+    countermeasure: Optional[Countermeasure]
+    escalation_path: List[Layer] = field(default_factory=list)
+    resolved: bool = False
+    executed: bool = False
+    note: str = ""
+
+    @property
+    def escalation_depth(self) -> int:
+        """How many layers beyond the first considered one were consulted."""
+        return max(0, len(self.escalation_path) - 1)
+
+    @property
+    def cross_layer(self) -> bool:
+        """Whether the resolving layer differs from the observing layer."""
+        if self.chosen_layer is None:
+            return False
+        return self.chosen_layer.label != self.anomaly.layer
+
+
+class CountermeasureCatalog:
+    """A per-layer registry of countermeasure factories.
+
+    Layers register either static countermeasures or factories that build
+    anomaly-specific countermeasures on demand; the catalogue is the default
+    proposal source used by :class:`~repro.core.arbitration.CrossLayerCoordinator`
+    when a layer has no bespoke handler.
+    """
+
+    def __init__(self) -> None:
+        self._static: Dict[Layer, List[Countermeasure]] = {}
+        self._factories: Dict[Layer, List[Callable[[Anomaly], Optional[Countermeasure]]]] = {}
+
+    def register(self, countermeasure: Countermeasure) -> Countermeasure:
+        self._static.setdefault(countermeasure.layer, []).append(countermeasure)
+        return countermeasure
+
+    def register_factory(self, layer: Layer,
+                         factory: Callable[[Anomaly], Optional[Countermeasure]]) -> None:
+        self._factories.setdefault(layer, []).append(factory)
+
+    def proposals(self, layer: Layer, anomaly: Anomaly) -> List[Countermeasure]:
+        """All countermeasures the layer offers for this anomaly."""
+        proposals = list(self._static.get(layer, []))
+        for factory in self._factories.get(layer, []):
+            built = factory(anomaly)
+            if built is not None:
+                if built.layer != layer:
+                    raise ValueError(
+                        f"factory for layer {layer.name} produced a countermeasure "
+                        f"for layer {built.layer.name}")
+                proposals.append(built)
+        return proposals
+
+    def layers(self) -> List[Layer]:
+        present = set(self._static) | set(self._factories)
+        return sorted(present)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._static.values()) + sum(
+            len(v) for v in self._factories.values())

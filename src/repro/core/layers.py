@@ -1,0 +1,103 @@
+"""The layer model of vehicle self-awareness.
+
+Section V structures the vehicle into layers that each observe and react to
+deviations: the hardware/software *platform*, the *communication* layer
+(network access, intrusion detection), the *safety* layer (redundancy,
+recovery, fail-operational mechanisms), the *ability* layer (skill/ability
+graphs of the driving function) and the *objective* layer (the driving
+mission itself, e.g. continue, reduce objectives, safe stop).
+
+Each layer registers a :class:`LayerHandler` with the cross-layer
+coordinator; a handler can judge whether it is applicable to an anomaly and
+propose countermeasures with a predicted effectiveness.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional, Protocol, TYPE_CHECKING
+
+from repro.monitoring.anomaly import Anomaly
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.countermeasures import Countermeasure
+    from repro.core.self_model import SelfModelSnapshot
+
+
+class Layer(enum.IntEnum):
+    """Ordered system layers; lower values are "closer to the hardware".
+
+    The ordering matters for escalation: the coordinator prefers resolving a
+    problem on the lowest layer that offers an adequate countermeasure
+    ("if only a single IP-based service is affected by a security leak, it
+    will be more appropriate to contain this service than to terminate all
+    network connections on the Ethernet layer") and escalates upwards when a
+    layer cannot contain the problem.
+    """
+
+    PLATFORM = 0
+    COMMUNICATION = 1
+    SAFETY = 2
+    ABILITY = 3
+    OBJECTIVE = 4
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def from_label(cls, label: str) -> "Layer":
+        try:
+            return cls[label.upper()]
+        except KeyError as exc:
+            raise ValueError(f"unknown layer {label!r}") from exc
+
+    def next_higher(self) -> Optional["Layer"]:
+        if self == Layer.OBJECTIVE:
+            return None
+        return Layer(self + 1)
+
+
+#: Layers in escalation order (lowest first).
+LAYER_ORDER: List[Layer] = [Layer.PLATFORM, Layer.COMMUNICATION, Layer.SAFETY,
+                            Layer.ABILITY, Layer.OBJECTIVE]
+
+
+class LayerHandler(Protocol):
+    """Interface each layer exposes to the cross-layer coordinator."""
+
+    layer: Layer
+
+    def applicable(self, anomaly: Anomaly, snapshot: "SelfModelSnapshot") -> bool:
+        """Whether this layer can meaningfully react to the anomaly at all."""
+        ...  # pragma: no cover - protocol
+
+    def propose(self, anomaly: Anomaly,
+                snapshot: "SelfModelSnapshot") -> List["Countermeasure"]:
+        """Countermeasures this layer offers for the anomaly (may be empty)."""
+        ...  # pragma: no cover - protocol
+
+
+class CallbackLayerHandler:
+    """Convenience handler assembled from plain callables.
+
+    Scenarios and examples register handlers without subclassing:
+
+    >>> handler = CallbackLayerHandler(Layer.SAFETY,
+    ...     applicable=lambda a, s: a.anomaly_type.value == "component_failure",
+    ...     propose=lambda a, s: [restart_countermeasure])
+    """
+
+    def __init__(self, layer: Layer,
+                 applicable: Callable[[Anomaly, "SelfModelSnapshot"], bool],
+                 propose: Callable[[Anomaly, "SelfModelSnapshot"], List["Countermeasure"]]) -> None:
+        self.layer = layer
+        self._applicable = applicable
+        self._propose = propose
+
+    def applicable(self, anomaly: Anomaly, snapshot: "SelfModelSnapshot") -> bool:
+        return self._applicable(anomaly, snapshot)
+
+    def propose(self, anomaly: Anomaly,
+                snapshot: "SelfModelSnapshot") -> List["Countermeasure"]:
+        return self._propose(anomaly, snapshot)

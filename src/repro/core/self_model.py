@@ -1,0 +1,136 @@
+"""The vehicle's self-representation.
+
+"The overall monitoring concept must ensure that metrics from different
+layers can be aggregated to a consistent self-representation of the system"
+(Section V).  The :class:`SelfModel` collects the latest state of every
+layer — platform operating conditions, component lifecycle states,
+communication health, ability scores, and the current driving objective —
+and exposes immutable :class:`SelfModelSnapshot` objects that the
+cross-layer coordinator and the layer handlers reason over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.layers import Layer
+from repro.monitoring.metrics import MetricRegistry
+from repro.skills.ability import AbilityGraph
+
+
+@dataclass(frozen=True)
+class SelfModelSnapshot:
+    """Immutable snapshot of the aggregated system state at one time."""
+
+    time: float
+    platform: Dict[str, Dict[str, float]]
+    components: Dict[str, str]
+    communication: Dict[str, float]
+    abilities: Dict[str, float]
+    objective: str
+    metrics: Dict[str, Dict[str, float]]
+    annotations: Dict[str, Any] = field(default_factory=dict)
+
+    def ability_score(self, name: str) -> Optional[float]:
+        return self.abilities.get(name)
+
+    def component_state(self, name: str) -> Optional[str]:
+        return self.components.get(name)
+
+    def processor_temperature(self, name: str) -> Optional[float]:
+        return self.platform.get(name, {}).get("temperature_c")
+
+    def layer_health(self, layer: Layer) -> float:
+        """Coarse per-layer health indicator in [0, 1] used for reporting.
+
+        Platform health is the share of processors below the warning
+        temperature and at nominal speed; communication health the share of
+        senders without violations; safety health the share of running
+        components; ability health the root ability score; objective health
+        1.0 unless a safe stop is active.
+        """
+        if layer == Layer.PLATFORM:
+            if not self.platform:
+                return 1.0
+            healthy = sum(1 for state in self.platform.values()
+                          if state.get("speed_factor", 1.0) >= 0.99
+                          and state.get("temperature_c", 0.0) < 85.0)
+            return healthy / len(self.platform)
+        if layer == Layer.COMMUNICATION:
+            return self.communication.get("health", 1.0)
+        if layer == Layer.SAFETY:
+            if not self.components:
+                return 1.0
+            running = sum(1 for state in self.components.values()
+                          if state in ("running", "degraded"))
+            return running / len(self.components)
+        if layer == Layer.ABILITY:
+            if not self.abilities:
+                return 1.0
+            root = self.annotations.get("main_skill")
+            if root and root in self.abilities:
+                return self.abilities[root]
+            return min(self.abilities.values())
+        return 0.0 if self.objective == "safe_stop" else 1.0
+
+
+class SelfModel:
+    """Mutable aggregation point updated by the awareness loop each cycle."""
+
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
+        self.registry = registry or MetricRegistry()
+        self.ability_graph: Optional[AbilityGraph] = None
+        self.objective: str = "drive"
+        self._platform_state: Dict[str, Dict[str, float]] = {}
+        self._component_state: Dict[str, str] = {}
+        self._communication_state: Dict[str, float] = {"health": 1.0}
+        self._annotations: Dict[str, Any] = {}
+        self.snapshots: List[SelfModelSnapshot] = []
+
+    # -- updates from the layers -------------------------------------------------------
+
+    def attach_ability_graph(self, graph: AbilityGraph) -> None:
+        self.ability_graph = graph
+        self._annotations["main_skill"] = graph.main_skill
+
+    def update_platform(self, resource: str, **state: float) -> None:
+        self._platform_state.setdefault(resource, {}).update(state)
+
+    def update_components(self, states: Dict[str, str]) -> None:
+        self._component_state.update(states)
+
+    def update_communication(self, **state: float) -> None:
+        self._communication_state.update(state)
+
+    def set_objective(self, objective: str) -> None:
+        self.objective = objective
+
+    def annotate(self, key: str, value: Any) -> None:
+        self._annotations[key] = value
+
+    def annotation(self, key: str, default: Any = None) -> Any:
+        return self._annotations.get(key, default)
+
+    # -- snapshots ------------------------------------------------------------------------
+
+    def snapshot(self, time: float) -> SelfModelSnapshot:
+        """Produce (and record) a consistent snapshot of all layers."""
+        abilities = self.ability_graph.snapshot() if self.ability_graph else {}
+        snapshot = SelfModelSnapshot(
+            time=time,
+            platform={name: dict(state) for name, state in self._platform_state.items()},
+            components=dict(self._component_state),
+            communication=dict(self._communication_state),
+            abilities=abilities,
+            objective=self.objective,
+            metrics=self.registry.snapshot(),
+            annotations=dict(self._annotations))
+        self.snapshots.append(snapshot)
+        return snapshot
+
+    def latest(self) -> Optional[SelfModelSnapshot]:
+        return self.snapshots[-1] if self.snapshots else None
+
+    def history_of_objective(self) -> List[str]:
+        return [snapshot.objective for snapshot in self.snapshots]

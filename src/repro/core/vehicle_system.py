@@ -1,0 +1,455 @@
+"""A complete self-aware vehicle assembled from the library's substrates.
+
+:class:`SelfAwareVehicle` is the integration facade used by the examples,
+the scenario drivers and the E5/E6 benchmarks.  It wires together:
+
+* the **platform**: a small multi-core ECU platform with a thermal model and
+  a DVFS governor, managed by an MCC that deploys the ACC component set;
+* the **driving function**: longitudinal dynamics, environment, radar/camera
+  sensors, object tracking, driver-intent estimation, actuators and the ACC
+  controller;
+* the **functional self-awareness**: the ACC ability graph, a degradation
+  manager with speed-restriction and drive-train-braking tactics;
+* the **security layer**: access-control policy derived from the deployed
+  configuration plus the communication IDS;
+* the **cross-layer self-awareness**: a self-model, a countermeasure
+  catalogue populated with the standard per-layer reactions of Section V,
+  the cross-layer coordinator and the awareness loop.
+
+The facade exposes fault/attack injection hooks so scenarios can reproduce
+the paper's examples (compromised rear braking, thermal stress, sensor
+degradation) and inspection helpers for the benchmark metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.contracts.language import ContractParser
+from repro.core.arbitration import ArbitrationPolicy, CrossLayerCoordinator
+from repro.core.awareness import AwarenessCycleResult, SelfAwarenessLoop
+from repro.core.countermeasures import Countermeasure, CountermeasureCatalog
+from repro.core.layers import Layer
+from repro.core.self_model import SelfModel
+from repro.mcc.controller import MultiChangeController
+from repro.monitoring.anomaly import Anomaly, AnomalySeverity, AnomalyType
+from repro.monitoring.monitors import (
+    MonitorSuite,
+    SensorQualityMonitor,
+    TemperatureMonitor,
+)
+from repro.platform.resources import Platform, ProcessingResource, NetworkResource
+from repro.platform.rte import RuntimeEnvironment
+from repro.platform.thermal import DvfsGovernor, ThermalModel
+from repro.security.access_control import build_policy_from_registry
+from repro.security.ids import IntrusionDetectionSystem
+from repro.sim.random import SeededRNG
+from repro.skills.acc_example import build_acc_ability_graph
+from repro.skills.degradation import (
+    DegradationManager,
+    OperationalRestriction,
+)
+from repro.vehicle.actuators import BrakeActuator, PowertrainActuator
+from repro.vehicle.acc import AccController
+from repro.vehicle.driver import DriverIntentEstimator
+from repro.vehicle.dynamics import LongitudinalDynamics, VehicleState
+from repro.vehicle.environment import Environment, LeadVehicle, Weather
+from repro.vehicle.sensors import CameraSensor, RadarSensor, SensorFault
+from repro.vehicle.tracking import ObjectTracker
+
+
+@dataclass
+class VehicleSystemConfig:
+    """Configuration knobs of the integrated self-aware vehicle."""
+
+    seed: int = 0
+    initial_speed_mps: float = 25.0
+    set_speed_mps: float = 27.0
+    lead_gap_m: float = 60.0
+    lead_speed_mps: float = 24.0
+    control_period_s: float = 0.05
+    awareness_period_s: float = 0.2
+    arbitration_policy: ArbitrationPolicy = ArbitrationPolicy.LOWEST_ADEQUATE
+    adequacy_threshold: float = 0.6
+    safe_stop_threshold: float = 0.3
+    weather: Weather = field(default_factory=Weather.clear)
+
+
+#: Contract documents of the ACC component set deployed through the MCC.
+ACC_CONTRACT_DOCUMENTS: List[dict] = [
+    {"component": "radar_sensor", "timing": {"period": 0.05, "wcet": 0.004},
+     "safety": {"asil": "B"}, "security": {"level": "MEDIUM"},
+     "provides": ["radar_targets"]},
+    {"component": "camera_sensor", "timing": {"period": 0.05, "wcet": 0.008},
+     "safety": {"asil": "B"}, "security": {"level": "MEDIUM"},
+     "provides": ["camera_objects"]},
+    {"component": "object_tracker", "timing": {"period": 0.05, "wcet": 0.006},
+     "safety": {"asil": "B"}, "security": {"level": "MEDIUM"},
+     "requires": [{"service": "radar_targets"}, {"service": "camera_objects"}],
+     "provides": ["object_list"]},
+    {"component": "driver_intent_estimator", "timing": {"period": 0.1, "wcet": 0.002},
+     "safety": {"asil": "B"}, "security": {"level": "LOW"},
+     "provides": ["driver_intent"]},
+    {"component": "powertrain_coordinator", "timing": {"period": 0.01, "wcet": 0.001},
+     "safety": {"asil": "B", "redundancy_group": "braking"}, "security": {"level": "MEDIUM"},
+     "provides": ["drive_actuation"]},
+    {"component": "brake_controller", "timing": {"period": 0.01, "wcet": 0.001},
+     "safety": {"asil": "B", "fail_operational": True, "redundancy_group": "braking"},
+     "security": {"level": "MEDIUM"},
+     "provides": ["brake_actuation"]},
+    {"component": "acc_controller", "timing": {"period": 0.05, "wcet": 0.003},
+     "safety": {"asil": "B"}, "security": {"level": "MEDIUM"},
+     "requires": [{"service": "object_list"}, {"service": "driver_intent"},
+                  {"service": "brake_actuation"}, {"service": "drive_actuation"}],
+     "provides": ["acc_setpoints"]},
+    {"component": "telematics_gateway", "timing": {"period": 0.2, "wcet": 0.005},
+     "safety": {"asil": "QM"}, "security": {"level": "HIGH", "external_interface": True},
+     "provides": ["remote_services"]},
+]
+
+#: CAN identifier assignment used for the IDS rules of the deployed components.
+ACC_CAN_IDS: Dict[str, set] = {
+    "radar_sensor": {0x110},
+    "camera_sensor": {0x111},
+    "object_tracker": {0x120},
+    "driver_intent_estimator": {0x130},
+    "acc_controller": {0x140},
+    "brake_controller": {0x0A0},
+    "powertrain_coordinator": {0x0B0},
+    "telematics_gateway": {0x300},
+}
+
+
+class SelfAwareVehicle:
+    """The integrated, cross-layer self-aware vehicle."""
+
+    def __init__(self, config: Optional[VehicleSystemConfig] = None) -> None:
+        self.config = config or VehicleSystemConfig()
+        self.rng = SeededRNG(self.config.seed)
+        self.time = 0.0
+
+        #: Component failures produced by containment actions, to be reported
+        #: to the safety/ability layers in the next awareness cycle.
+        self._pending_failures: List[Anomaly] = []
+
+        self._build_platform()
+        self._build_driving_function()
+        self._build_functional_awareness()
+        self._build_security_layer()
+        self._build_cross_layer_awareness()
+
+        self._next_awareness_time = 0.0
+        self.safe_stop_requested = False
+        self.safe_stop_time: Optional[float] = None
+        self.events: List[str] = []
+
+    # -- construction ----------------------------------------------------------------------
+
+    def _build_platform(self) -> None:
+        self.platform = Platform(name="vehicle-ecu")
+        self.cpu0 = self.platform.add_processor(ProcessingResource("cpu0", capacity=0.9))
+        self.cpu1 = self.platform.add_processor(ProcessingResource("cpu1", capacity=0.9))
+        self.platform.add_network(NetworkResource("can0", bandwidth_bps=500_000.0))
+        self.rte = RuntimeEnvironment(self.platform)
+        self.mcc = MultiChangeController(self.platform, rte=self.rte)
+        parser = ContractParser()
+        for document in ACC_CONTRACT_DOCUMENTS:
+            report = self.mcc.add_component(parser.parse(document))
+            if not report.accepted:  # pragma: no cover - configuration is accepted by design
+                raise RuntimeError(f"baseline configuration rejected: {report.summary()}")
+        self.thermal = ThermalModel(self.cpu0, ambient_c=self.config.weather.ambient_temperature_c)
+        self.dvfs = DvfsGovernor(self.cpu0)
+
+    def _build_driving_function(self) -> None:
+        config = self.config
+        self.environment = Environment(config.weather, self.rng.spawn(1))
+        self.environment.add_lead_vehicle(LeadVehicle(
+            "lead", position_m=config.lead_gap_m, speed_mps=config.lead_speed_mps))
+        self.dynamics = LongitudinalDynamics(
+            initial_state=VehicleState(speed_mps=config.initial_speed_mps))
+        self.dynamics.friction_factor = config.weather.friction_factor
+        self.radar = RadarSensor("radar_sensor", self.rng.spawn(2))
+        self.camera = CameraSensor("camera_sensor", self.rng.spawn(3))
+        self.tracker = ObjectTracker()
+        self.driver = DriverIntentEstimator(default_set_speed_mps=config.set_speed_mps)
+        self.powertrain = PowertrainActuator()
+        self.brakes = BrakeActuator()
+        self.acc = AccController(self.dynamics, self.powertrain, self.brakes)
+        self.acc.config.control_period_s = config.control_period_s
+
+    def _build_functional_awareness(self) -> None:
+        self.ability_graph = build_acc_ability_graph()
+        self.degradation = DegradationManager(self.ability_graph,
+                                              safe_stop_threshold=self.config.safe_stop_threshold)
+        self.degradation.register_restriction(OperationalRestriction(
+            ability="decelerate",
+            description="reduce maximum speed and use drive-train braking",
+            compensated_score=0.7))
+        self.degradation.register_restriction(OperationalRestriction(
+            ability="braking_system",
+            description="compensate rear-brake loss with front brakes and drive train",
+            compensated_score=0.6))
+        self.degradation.register_restriction(OperationalRestriction(
+            ability="perceive_track_objects",
+            description="increase following distance to compensate reduced perception",
+            compensated_score=0.65))
+
+    def _build_security_layer(self) -> None:
+        self.access_policy = build_policy_from_registry(
+            self.rte.registry, can_id_assignments=ACC_CAN_IDS, default_rate_hz=200.0)
+        self.ids = IntrusionDetectionSystem()
+        self.access_policy.configure_ids(self.ids)
+
+    def _build_cross_layer_awareness(self) -> None:
+        self.self_model = SelfModel()
+        self.self_model.attach_ability_graph(self.ability_graph)
+        self.monitors = MonitorSuite(self.self_model.registry)
+        self.sensor_monitor = self.monitors.add(SensorQualityMonitor("sensor-quality"))
+        self.temperature_monitor = self.monitors.add(
+            TemperatureMonitor("cpu-temperature", warning_c=85.0, critical_c=100.0))
+        self.catalog = CountermeasureCatalog()
+        self._register_countermeasures()
+        self.coordinator = CrossLayerCoordinator(
+            catalog=self.catalog, policy=self.config.arbitration_policy,
+            adequacy_threshold=self.config.adequacy_threshold)
+        self.awareness = SelfAwarenessLoop(self.self_model, self.coordinator)
+        self.awareness.add_monitor_suite(self.monitors)
+        self.awareness.add_source(lambda time: self.ids.drain_anomalies())
+        self.awareness.add_source(self._ability_anomalies)
+
+    # -- countermeasures (the per-layer reactions of Section V) -------------------------------
+
+    def _register_countermeasures(self) -> None:
+        self.catalog.register_factory(Layer.PLATFORM, self._platform_countermeasure)
+        self.catalog.register_factory(Layer.COMMUNICATION, self._communication_countermeasure)
+        self.catalog.register_factory(Layer.SAFETY, self._safety_countermeasure)
+        self.catalog.register_factory(Layer.ABILITY, self._ability_countermeasure)
+        self.catalog.register_factory(Layer.OBJECTIVE, self._objective_countermeasure)
+
+    def _objective_countermeasure(self, anomaly: Anomaly) -> Optional[Countermeasure]:
+        # The objective layer only alters the driving mission for problems
+        # that genuinely threaten safe operation; transient warnings are not
+        # worth aborting the mission for ("correct degree of cooperation").
+        if anomaly.severity < AnomalySeverity.CRITICAL:
+            return None
+        return Countermeasure(
+            name="safe-stop", layer=Layer.OBJECTIVE,
+            description="alter the driving objective: come to a safe stop, then deactivate "
+                        "the affected subsystems",
+            effectiveness=1.0, cost=1.0, action=self._act_safe_stop)
+
+    def _platform_countermeasure(self, anomaly: Anomaly) -> Optional[Countermeasure]:
+        if anomaly.anomaly_type != AnomalyType.THERMAL:
+            return None
+        effectiveness = 0.4 if self.dvfs.at_lowest_point else 0.8
+        return Countermeasure(
+            name="dvfs-throttle", layer=Layer.PLATFORM,
+            description="scale down voltage/frequency to prevent permanent damage",
+            effectiveness=effectiveness, cost=0.2, action=self._act_throttle)
+
+    def _communication_countermeasure(self, anomaly: Anomaly) -> Optional[Countermeasure]:
+        if anomaly.anomaly_type not in (AnomalyType.SECURITY_INTRUSION,
+                                        AnomalyType.ACCESS_VIOLATION):
+            return None
+        component = anomaly.subject
+        # Containment is highly effective at stopping the leak itself, but if
+        # the component realizes driving abilities its loss must be handled on
+        # the layers above — which is exactly the cross-layer hand-over.
+        return Countermeasure(
+            name="quarantine-component", layer=Layer.COMMUNICATION,
+            description=f"revoke all sessions of {component} and shut it down",
+            effectiveness=0.9, cost=0.3,
+            action=self._act_quarantine)
+
+    def _safety_countermeasure(self, anomaly: Anomaly) -> Optional[Countermeasure]:
+        if anomaly.anomaly_type != AnomalyType.COMPONENT_FAILURE:
+            return None
+        component = anomaly.subject
+        contract = None
+        if component in self.mcc.model:
+            contract = self.mcc.model.contract(component)
+        redundancy = bool(contract and contract.safety and contract.safety.redundancy_group)
+        if not redundancy:
+            return None
+        return Countermeasure(
+            name="activate-redundancy", layer=Layer.SAFETY,
+            description=f"treat {component} as failed and activate its redundancy partner",
+            effectiveness=0.75, cost=0.4, action=self._act_activate_redundancy)
+
+    def _ability_countermeasure(self, anomaly: Anomaly) -> Optional[Countermeasure]:
+        if anomaly.anomaly_type not in (AnomalyType.SENSOR_DEGRADATION,
+                                        AnomalyType.CONTROL_PERFORMANCE,
+                                        AnomalyType.COMPONENT_FAILURE):
+            return None
+        plan = self.degradation.plan()
+        if plan.empty:
+            return None
+        effectiveness = 0.3 if plan.requires_safe_stop else 0.8
+        return Countermeasure(
+            name="graceful-degradation", layer=Layer.ABILITY,
+            description="; ".join(str(action) for action in plan.actions),
+            effectiveness=effectiveness, cost=0.5,
+            action=self._act_degrade)
+
+    # -- countermeasure actions -------------------------------------------------------------------
+
+    def _act_throttle(self, anomaly: Anomaly, time: float) -> None:
+        before = self.dvfs.current.name
+        self.dvfs.update(self.thermal.temperature_c)
+        self.events.append(f"{time:.2f}s platform: DVFS {before} -> {self.dvfs.current.name}")
+
+    def _act_quarantine(self, anomaly: Anomaly, time: float) -> None:
+        component = anomaly.subject
+        if component in self.rte.registry:
+            self.rte.quarantine(component, time=time)
+        self.access_policy_revocations = getattr(self, "access_policy_revocations", 0) + 1
+        affected = self.ability_graph.fail_implementation(component, time=time)
+        if component == "brake_controller":
+            self.brakes.disable_circuit("rear", self.dynamics)
+        self.events.append(
+            f"{time:.2f}s communication: quarantined {component} (abilities affected: {affected})")
+        # Losing a component is a new fact for the safety/ability layers: report
+        # it as a component failure so the next cycle can react on those layers.
+        self._pending_failures.append(Anomaly(
+            anomaly_type=AnomalyType.COMPONENT_FAILURE, subject=component, layer="safety",
+            severity=AnomalySeverity.CRITICAL, time=time))
+
+    def _act_activate_redundancy(self, anomaly: Anomaly, time: float) -> None:
+        component = anomaly.subject
+        if component == "brake_controller":
+            # The powertrain coordinator (same redundancy group) provides
+            # drive-train braking in place of the rear circuit.
+            self.powertrain.set_drivetrain_braking(True, self.dynamics)
+            self.events.append(f"{time:.2f}s safety: drive-train braking activated "
+                               f"to back up {component}")
+        else:
+            self.events.append(f"{time:.2f}s safety: redundancy activated for {component}")
+
+    def _act_degrade(self, anomaly: Anomaly, time: float) -> None:
+        plan = self.degradation.plan()
+        log = self.degradation.apply(plan, time=time)
+        # Translate the restriction into an actual speed limit derived from the
+        # currently available braking capability.
+        available = self.dynamics.available_deceleration()
+        sight_distance = 40.0
+        safe_speed = min(self.config.set_speed_mps,
+                         (2.0 * available * sight_distance) ** 0.5)
+        self.acc.impose_speed_limit(safe_speed)
+        self.events.append(
+            f"{time:.2f}s ability: {'; '.join(log)}; speed limit {safe_speed:.1f} m/s")
+        if plan.requires_safe_stop:
+            self._act_safe_stop(anomaly, time)
+
+    def _act_safe_stop(self, anomaly: Anomaly, time: float) -> None:
+        if not self.safe_stop_requested:
+            self.safe_stop_requested = True
+            self.safe_stop_time = time
+            self.self_model.set_objective("safe_stop")
+            self.acc.impose_speed_limit(0.0)
+            self.events.append(f"{time:.2f}s objective: safe stop requested")
+
+    # -- anomaly sources ------------------------------------------------------------------------------
+
+    def _ability_anomalies(self, time: float) -> List[Anomaly]:
+        anomalies = self.ability_graph.anomalies(time, threshold=0.85)
+        pending = list(self._pending_failures)
+        self._pending_failures.clear()
+        return anomalies + pending
+
+    # -- injection hooks --------------------------------------------------------------------------------
+
+    def inject_rear_brake_compromise(self) -> None:
+        """The Section V running example: the rear-brake component is
+        compromised and starts emitting frames with spoofed identifiers."""
+        for _ in range(self.ids.suspicion_threshold):
+            self.ids.observe_can_frame(self.time, "brake_controller", 0x140)
+        self.events.append(f"{self.time:.2f}s attack: brake_controller compromised")
+
+    def inject_sensor_fault(self, sensor: str, fault: SensorFault,
+                            magnitude: float = 1.0) -> None:
+        target = {"radar_sensor": self.radar, "camera_sensor": self.camera}[sensor]
+        target.inject_fault(fault, magnitude)
+        self.events.append(f"{self.time:.2f}s fault: {sensor} {fault.value}")
+
+    def set_ambient_temperature_profile(self, profile) -> None:
+        self.environment.set_temperature_profile(profile)
+
+    # -- main loop ---------------------------------------------------------------------------------------
+
+    def step(self) -> Optional[AwarenessCycleResult]:
+        """Advance the vehicle by one control period; runs an awareness cycle
+        whenever its period elapses.  Returns the cycle result if one ran."""
+        dt = self.config.control_period_s
+        time = self.time
+
+        # Driving function.
+        readings = [sensor.measure(time, self.dynamics.state.position_m,
+                                   self.dynamics.state.speed_mps, self.environment)
+                    for sensor in (self.radar, self.camera)]
+        track = self.tracker.update(time, readings)
+        intent = self.driver.estimate(time)
+        self.acc.step(time, intent, track)
+        self.environment.step(dt)
+
+        # Functional self-awareness: feed intrinsic scores into the ability graph.
+        for sensor, node in ((self.radar, "radar_sensor"), (self.camera, "camera_sensor")):
+            self.sensor_monitor.observe(time, node, sensor.last_quality)
+            self.ability_graph.observe(node, sensor.last_quality, time=time)
+        self.ability_graph.observe("powertrain", self.powertrain.ability_score(), time=time)
+        self.ability_graph.observe("braking_system", self.brakes.ability_score(), time=time)
+        self.ability_graph.observe("hmi", self.driver.ability_score(), time=time)
+        self.ability_graph.observe("perceive_track_objects",
+                                   max(self.tracker.performance_score(), 0.0), time=time)
+        self.ability_graph.observe("acc_driving", self.acc.control_performance(), time=time)
+
+        # Platform self-awareness: thermal model follows the CPU load.
+        utilization = min(1.0, self.cpu0.utilization)
+        self.thermal.step(dt, utilization, self.dvfs.current.power_factor,
+                          ambient_c=self.environment.ambient_temperature_c)
+        self.temperature_monitor.observe(time, "cpu0", self.thermal.temperature_c)
+        self.self_model.update_platform(
+            "cpu0", temperature_c=self.thermal.temperature_c,
+            speed_factor=self.cpu0.condition.speed_factor,
+            utilization=utilization)
+        self.self_model.update_components(self.rte.snapshot())
+        violation_count = len(self.ids.suspected_compromised())
+        self.self_model.update_communication(health=1.0 if violation_count == 0 else 0.5)
+
+        # Cross-layer awareness cycle.
+        result: Optional[AwarenessCycleResult] = None
+        if time + 1e-9 >= self._next_awareness_time:
+            result = self.awareness.cycle(time)
+            self._next_awareness_time += self.config.awareness_period_s
+
+        self.time += dt
+        return result
+
+    def run(self, duration_s: float) -> List[AwarenessCycleResult]:
+        """Run the vehicle for ``duration_s`` seconds of simulated time."""
+        results: List[AwarenessCycleResult] = []
+        steps = int(round(duration_s / self.config.control_period_s))
+        for _ in range(steps):
+            result = self.step()
+            if result is not None:
+                results.append(result)
+        return results
+
+    # -- inspection ----------------------------------------------------------------------------------------
+
+    @property
+    def speed_mps(self) -> float:
+        return self.dynamics.state.speed_mps
+
+    @property
+    def stopped(self) -> bool:
+        return self.dynamics.state.speed_mps <= 0.1
+
+    def minimum_gap_m(self) -> Optional[float]:
+        return self.acc.minimum_gap_observed()
+
+    def root_ability_score(self) -> float:
+        return self.ability_graph.root_score()
+
+    def event_log(self) -> List[str]:
+        return list(self.events)

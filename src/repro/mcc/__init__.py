@@ -1,0 +1,47 @@
+"""Multi-Change Controller (MCC) — the model domain of the CCC architecture.
+
+"A so-called Multi-Change Controller (MCC) takes full control over the
+system and platform configuration ... It performs the integration process
+and ensures that a new configuration passes all necessary acceptance and
+conformance tests." (Section II.A)
+
+The MCC consumes contracts (from :mod:`repro.contracts`), gradually refines
+a candidate configuration (functional architecture -> technical architecture
+-> implementation mapping), runs the viewpoint analyses from
+:mod:`repro.analysis` as acceptance tests, and only then hands the
+configuration over to the execution domain's RTE.
+"""
+
+from repro.mcc.configuration import ChangeRequest, ChangeKind, SystemModel, IntegrationReport
+from repro.mcc.mapping import MappingEngine, MappingStrategy, MappingError
+from repro.mcc.acceptance import (
+    AcceptanceResult,
+    AcceptanceTest,
+    TimingAcceptanceTest,
+    SafetyAcceptanceTest,
+    SecurityAcceptanceTest,
+    ResourceAcceptanceTest,
+    default_acceptance_tests,
+)
+from repro.mcc.integration import IntegrationProcess, IntegrationError
+from repro.mcc.controller import MultiChangeController
+
+__all__ = [
+    "ChangeRequest",
+    "ChangeKind",
+    "SystemModel",
+    "IntegrationReport",
+    "MappingEngine",
+    "MappingStrategy",
+    "MappingError",
+    "AcceptanceResult",
+    "AcceptanceTest",
+    "TimingAcceptanceTest",
+    "SafetyAcceptanceTest",
+    "SecurityAcceptanceTest",
+    "ResourceAcceptanceTest",
+    "default_acceptance_tests",
+    "IntegrationProcess",
+    "IntegrationError",
+    "MultiChangeController",
+]

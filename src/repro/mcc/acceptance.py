@@ -1,0 +1,181 @@
+"""Viewpoint acceptance tests run by the MCC.
+
+"Viewpoint-specific analyses can be implemented as separate entities in the
+MCC ... This process is assisted by formal analyses that a) can guide the
+(mapping) decisions and b) work as acceptance tests." (Section II.A)
+
+Each acceptance test wraps one of the analyses from :mod:`repro.analysis`
+behind a uniform interface so the integration process can run them all and
+collect a per-viewpoint verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol
+
+from repro.analysis.cpa import ResponseTimeAnalysis
+from repro.analysis.safety import SafetyAnalysis
+from repro.analysis.threat import ThreatModel
+from repro.contracts.model import Contract
+from repro.platform.resources import Platform
+from repro.platform.tasks import Task, TaskSet
+
+
+@dataclass
+class AcceptanceResult:
+    """The verdict of one acceptance test."""
+
+    viewpoint: str
+    passed: bool
+    findings: List[str] = field(default_factory=list)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+
+class AcceptanceTest(Protocol):
+    """Interface of an MCC acceptance test."""
+
+    viewpoint: str
+
+    def run(self, contracts: List[Contract], mapping: Dict[str, str],
+            priorities: Dict[str, int], platform: Platform) -> AcceptanceResult:
+        """Evaluate a candidate configuration."""
+        ...  # pragma: no cover - protocol
+
+
+def _tasksets_from_mapping(contracts: List[Contract], mapping: Dict[str, str],
+                           priorities: Dict[str, int]) -> Dict[str, TaskSet]:
+    """Build per-processor task sets from a candidate configuration."""
+    tasksets: Dict[str, TaskSet] = {}
+    for contract in contracts:
+        timing = contract.timing
+        if timing is None:
+            continue
+        processor = mapping.get(contract.component)
+        if processor is None:
+            continue
+        task_name = f"{contract.component}.task"
+        task = Task.from_requirement(task_name, timing,
+                                     priority=priorities.get(task_name, 0),
+                                     component=contract.component,
+                                     criticality=contract.asil.name)
+        tasksets.setdefault(processor, TaskSet()).add(task)
+    return tasksets
+
+
+class TimingAcceptanceTest:
+    """Worst-case response-time analysis of every processor."""
+
+    viewpoint = "timing"
+
+    def __init__(self, speed_factor: float = 1.0) -> None:
+        self.speed_factor = speed_factor
+
+    def run(self, contracts: List[Contract], mapping: Dict[str, str],
+            priorities: Dict[str, int], platform: Platform) -> AcceptanceResult:
+        findings: List[str] = []
+        metrics: Dict[str, float] = {}
+        tasksets = _tasksets_from_mapping(contracts, mapping, priorities)
+        for processor_name, taskset in sorted(tasksets.items()):
+            analysis = ResponseTimeAnalysis(taskset, speed_factor=self.speed_factor)
+            metrics[f"{processor_name}.utilization"] = analysis.utilization()
+            for task_name, result in analysis.analyse().items():
+                if result.wcrt is not None:
+                    metrics[f"{task_name}.wcrt"] = result.wcrt
+                if not result.schedulable:
+                    wcrt = f"{result.wcrt:.4f}s" if result.wcrt is not None else "unbounded"
+                    findings.append(
+                        f"{task_name} on {processor_name}: WCRT {wcrt} exceeds "
+                        f"deadline {result.task.deadline:.4f}s")
+        return AcceptanceResult(viewpoint=self.viewpoint, passed=not findings,
+                                findings=findings, metrics=metrics)
+
+
+class SafetyAcceptanceTest:
+    """Safety viewpoint: ASIL consistency, redundancy and mapping independence."""
+
+    viewpoint = "safety"
+
+    def run(self, contracts: List[Contract], mapping: Dict[str, str],
+            priorities: Dict[str, int], platform: Platform) -> AcceptanceResult:
+        analysis = SafetyAnalysis(contracts, mapping)
+        findings = analysis.analyse()
+        blocking = [str(f) for f in findings if f.blocking]
+        informational = [str(f) for f in findings if not f.blocking]
+        return AcceptanceResult(viewpoint=self.viewpoint, passed=not blocking,
+                                findings=blocking + informational,
+                                metrics={"blocking_findings": float(len(blocking)),
+                                         "informational_findings": float(len(informational))})
+
+
+class SecurityAcceptanceTest:
+    """Security viewpoint: threat-model analysis over the service topology."""
+
+    viewpoint = "security"
+
+    def run(self, contracts: List[Contract], mapping: Dict[str, str],
+            priorities: Dict[str, int], platform: Platform) -> AcceptanceResult:
+        model = ThreatModel()
+        model.add_components(contracts)
+        providers: Dict[str, List[str]] = {}
+        for contract in contracts:
+            for provision in contract.provides:
+                providers.setdefault(provision.service, []).append(contract.component)
+        for contract in contracts:
+            for requirement in contract.requires:
+                for provider in providers.get(requirement.service, []):
+                    model.add_session(contract.component, provider)
+        assessment = model.analyse()
+        findings = [f"component {name} is under-protected for its exposure"
+                    for name in assessment.under_protected]
+        for path in assessment.attack_paths[:10]:
+            findings.append(
+                f"attack path {' -> '.join(path.path)} (exposure {path.exposure:.2f})")
+        return AcceptanceResult(viewpoint=self.viewpoint, passed=assessment.acceptable,
+                                findings=findings,
+                                metrics={"attack_paths": float(len(assessment.attack_paths)),
+                                         "under_protected": float(len(assessment.under_protected))})
+
+
+class ResourceAcceptanceTest:
+    """Resource viewpoint: memory and network bandwidth budgets fit."""
+
+    viewpoint = "resources"
+
+    def run(self, contracts: List[Contract], mapping: Dict[str, str],
+            priorities: Dict[str, int], platform: Platform) -> AcceptanceResult:
+        findings: List[str] = []
+        metrics: Dict[str, float] = {}
+        memory_demand: Dict[str, float] = {}
+        can_demand = 0.0
+        for contract in contracts:
+            resources = contract.resources
+            if resources is None:
+                continue
+            processor = mapping.get(contract.component)
+            if processor is not None:
+                memory_demand[processor] = memory_demand.get(processor, 0.0) + resources.memory_kib
+            can_demand += resources.can_bandwidth_bps
+        for processor_name, demand in sorted(memory_demand.items()):
+            available = platform.processor(processor_name).memory_kib
+            metrics[f"{processor_name}.memory_demand_kib"] = demand
+            if demand > available:
+                findings.append(f"{processor_name}: memory demand {demand:.0f} KiB exceeds "
+                                f"{available:.0f} KiB")
+        total_can = sum(n.bandwidth_bps for n in platform.networks() if n.kind == "can")
+        metrics["can_demand_bps"] = can_demand
+        if total_can and can_demand > 0.7 * total_can:
+            findings.append(
+                f"CAN bandwidth demand {can_demand:.0f} bps exceeds 70% of capacity "
+                f"{total_can:.0f} bps")
+        return AcceptanceResult(viewpoint=self.viewpoint, passed=not findings,
+                                findings=findings, metrics=metrics)
+
+
+def default_acceptance_tests() -> List[AcceptanceTest]:
+    """The standard battery of acceptance tests the MCC runs per change."""
+    return [TimingAcceptanceTest(), SafetyAcceptanceTest(),
+            SecurityAcceptanceTest(), ResourceAcceptanceTest()]

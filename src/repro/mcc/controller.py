@@ -1,0 +1,169 @@
+"""The Multi-Change Controller.
+
+The MCC "takes full control over the system and platform configuration":
+it holds the deployed system model, processes change requests through the
+integration process, deploys accepted configurations to the execution
+domain, and consumes run-time feedback (metrics, deviations) from the
+monitors to refine its models or trigger self-reconfiguration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.contracts.model import Contract, RealTimeRequirement
+from repro.mcc.acceptance import AcceptanceTest
+from repro.mcc.configuration import ChangeKind, ChangeRequest, IntegrationReport, SystemModel
+from repro.mcc.integration import IntegrationProcess
+from repro.mcc.mapping import MappingStrategy
+from repro.monitoring.deviation import DeviationDetector, ExpectedBehaviour
+from repro.monitoring.metrics import MetricRegistry
+from repro.platform.resources import Platform
+from repro.platform.rte import RteConfiguration, RuntimeEnvironment
+
+
+class MultiChangeController:
+    """Model-domain controller of the CCC architecture.
+
+    Parameters
+    ----------
+    platform:
+        The target platform model.
+    rte:
+        Optional execution-domain runtime; if given, accepted configurations
+        are deployed immediately.
+    acceptance_tests:
+        Override the default battery of viewpoint acceptance tests.
+    """
+
+    def __init__(self, platform: Platform, rte: Optional[RuntimeEnvironment] = None,
+                 acceptance_tests: Optional[List[AcceptanceTest]] = None,
+                 mapping_strategy: MappingStrategy = MappingStrategy.FIRST_FIT) -> None:
+        self.platform = platform
+        self.rte = rte
+        self.model = SystemModel()
+        self.process = IntegrationProcess(platform, acceptance_tests=acceptance_tests,
+                                          mapping_strategy=mapping_strategy)
+        self.reports: List[IntegrationReport] = []
+        self.deployed_configuration: Optional[RteConfiguration] = None
+        #: Model-domain expectations derived from the contracts (fed to the
+        #: deviation detector of the execution domain).
+        self.expectations: List[ExpectedBehaviour] = []
+
+    # -- change handling -----------------------------------------------------------------
+
+    def request_change(self, request: ChangeRequest) -> IntegrationReport:
+        """Process one change request end-to-end.
+
+        The change is applied to a candidate model, integrated, and — only if
+        every acceptance test passes — adopted and deployed.
+        """
+        candidate = self.model.candidate()
+        try:
+            candidate.apply_change(request)
+        except (ValueError, KeyError) as exc:
+            report = IntegrationReport(request_id=request.request_id, accepted=False)
+            report.findings.append(str(exc))
+            self.reports.append(report)
+            return report
+
+        report = self.process.integrate(candidate, request)
+        if report.accepted:
+            candidate.version = self.model.version + 1
+            self.model = candidate
+            configuration = self.process.synthesize_configuration(candidate, candidate.version)
+            self.deployed_configuration = configuration
+            report.configuration_version = configuration.version
+            self._refresh_expectations()
+            if self.rte is not None:
+                self.rte.deploy(configuration)
+        self.reports.append(report)
+        return report
+
+    def request_changes(self, requests: List[ChangeRequest]) -> List[IntegrationReport]:
+        return [self.request_change(request) for request in requests]
+
+    def add_component(self, contract: Contract) -> IntegrationReport:
+        return self.request_change(ChangeRequest(kind=ChangeKind.ADD_COMPONENT,
+                                                 component=contract.component,
+                                                 contract=contract))
+
+    def update_component(self, contract: Contract) -> IntegrationReport:
+        return self.request_change(ChangeRequest(kind=ChangeKind.UPDATE_COMPONENT,
+                                                 component=contract.component,
+                                                 contract=contract))
+
+    def remove_component(self, component: str) -> IntegrationReport:
+        return self.request_change(ChangeRequest(kind=ChangeKind.REMOVE_COMPONENT,
+                                                 component=component))
+
+    # -- status ---------------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self.model.version
+
+    def accepted_reports(self) -> List[IntegrationReport]:
+        return [r for r in self.reports if r.accepted]
+
+    def rejected_reports(self) -> List[IntegrationReport]:
+        return [r for r in self.reports if not r.accepted]
+
+    def acceptance_rate(self) -> float:
+        if not self.reports:
+            return 0.0
+        return len(self.accepted_reports()) / len(self.reports)
+
+    # -- feedback from the execution domain -------------------------------------------------
+
+    def _refresh_expectations(self) -> None:
+        """Derive model expectations (execution-time budgets) from contracts."""
+        self.expectations = []
+        for contract in self.model.contracts():
+            timing = contract.timing
+            if timing is None:
+                continue
+            self.expectations.append(ExpectedBehaviour(
+                source=f"{contract.component}.task", metric="execution_time",
+                nominal=timing.wcet, tolerance=0.1, layer="platform"))
+
+    def configure_deviation_detector(self, registry: MetricRegistry) -> DeviationDetector:
+        """Build a deviation detector loaded with the current expectations."""
+        detector = DeviationDetector(registry)
+        for expectation in self.expectations:
+            detector.expect(expectation)
+        return detector
+
+    def incorporate_observed_wcets(self, observed: Dict[str, float],
+                                   margin: float = 1.2) -> List[IntegrationReport]:
+        """Model refinement from run-time metrics: if observed execution times
+        exceed the contracted WCET, update the affected contracts (with a
+        safety margin) and re-integrate them.
+
+        Returns the integration reports of the triggered updates (empty if
+        all observations are within the contracted budgets).
+        """
+        if margin < 1.0:
+            raise ValueError("margin must be at least 1.0")
+        reports: List[IntegrationReport] = []
+        for task_name, observed_wcet in observed.items():
+            component = task_name.removesuffix(".task")
+            if component not in self.model:
+                continue
+            contract = self.model.contract(component)
+            timing = contract.timing
+            if timing is None or observed_wcet <= timing.wcet:
+                continue
+            new_wcet = min(observed_wcet * margin, timing.deadline or timing.period)
+            updated = Contract(component=contract.component,
+                               requirements=[r for r in contract.requirements
+                                             if r.viewpoint != "timing"],
+                               requires=list(contract.requires),
+                               provides=list(contract.provides),
+                               metadata=dict(contract.metadata))
+            updated.add_requirement(RealTimeRequirement(
+                period=timing.period, wcet=new_wcet, deadline=timing.deadline,
+                jitter=timing.jitter))
+            reports.append(self.update_component(updated))
+        return reports

@@ -1,0 +1,46 @@
+"""Run-time monitoring (Section II.B and V).
+
+The execution domain is augmented with application and platform monitors
+that (a) enforce model assumptions (budgets, access policies) and (b)
+extract run-time metrics fed back into the model domain.  Deviations from
+nominal behaviour surface as :class:`~repro.monitoring.anomaly.Anomaly`
+objects, the common currency consumed by the cross-layer self-awareness
+coordinator in :mod:`repro.core`.
+"""
+
+from repro.monitoring.anomaly import Anomaly, AnomalySeverity, AnomalyType
+from repro.monitoring.metrics import MetricSeries, MetricRegistry, MetricSummary
+from repro.monitoring.monitors import (
+    Monitor,
+    HeartbeatMonitor,
+    ValueRangeMonitor,
+    ExecutionTimeMonitor,
+    DeadlineMonitor,
+    TemperatureMonitor,
+    SensorQualityMonitor,
+    MonitorSuite,
+)
+from repro.monitoring.deviation import DeviationDetector, ExpectedBehaviour
+from repro.monitoring.enforcement import BudgetEnforcer, AccessPolicyEnforcer, EnforcementAction
+
+__all__ = [
+    "Anomaly",
+    "AnomalySeverity",
+    "AnomalyType",
+    "MetricSeries",
+    "MetricRegistry",
+    "MetricSummary",
+    "Monitor",
+    "HeartbeatMonitor",
+    "ValueRangeMonitor",
+    "ExecutionTimeMonitor",
+    "DeadlineMonitor",
+    "TemperatureMonitor",
+    "SensorQualityMonitor",
+    "MonitorSuite",
+    "DeviationDetector",
+    "ExpectedBehaviour",
+    "BudgetEnforcer",
+    "AccessPolicyEnforcer",
+    "EnforcementAction",
+]

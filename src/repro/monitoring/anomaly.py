@@ -1,0 +1,98 @@
+"""Anomaly model.
+
+"A deviation of the anticipated/expected behavior must be detectable by a
+system as a prerequisite to become self-aware" (Section V).  Every monitor
+in the library reports such deviations as :class:`Anomaly` objects that name
+the affected element, the layer the observation was made on, a severity and
+the observed-vs-expected values.  The cross-layer coordinator consumes these
+anomalies and decides on which layer to react.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+_anomaly_counter = itertools.count(1)
+
+
+class AnomalyType(enum.Enum):
+    """What kind of deviation was observed."""
+
+    DEADLINE_MISS = "deadline_miss"
+    BUDGET_OVERRUN = "budget_overrun"
+    HEARTBEAT_LOSS = "heartbeat_loss"
+    VALUE_OUT_OF_RANGE = "value_out_of_range"
+    SENSOR_DEGRADATION = "sensor_degradation"
+    CONTROL_PERFORMANCE = "control_performance"
+    THERMAL = "thermal"
+    SECURITY_INTRUSION = "security_intrusion"
+    ACCESS_VIOLATION = "access_violation"
+    COMPONENT_FAILURE = "component_failure"
+    COMMUNICATION = "communication"
+    ENVIRONMENT = "environment"
+
+
+class AnomalySeverity(enum.IntEnum):
+    """Ordered severity scale used to prioritize reactions."""
+
+    INFO = 0
+    WARNING = 1
+    CRITICAL = 2
+    CATASTROPHIC = 3
+
+
+@dataclass
+class Anomaly:
+    """One detected deviation from expected behaviour.
+
+    Attributes
+    ----------
+    anomaly_type:
+        The category of deviation.
+    subject:
+        The element the deviation concerns (component, task, sensor, skill...).
+    layer:
+        The layer on which the deviation was *observed* (platform,
+        communication, safety, ability, objective).  The layer on which it is
+        *resolved* may differ — that is the cross-layer decision.
+    severity:
+        Ordered severity.
+    time:
+        Simulation time of detection.
+    observed / expected:
+        The offending observation and the model expectation, where
+        meaningful.
+    details:
+        Free-form extra context for countermeasure selection.
+    """
+
+    anomaly_type: AnomalyType
+    subject: str
+    layer: str
+    severity: AnomalySeverity
+    time: float
+    observed: Optional[float] = None
+    expected: Optional[float] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+    anomaly_id: int = field(default_factory=lambda: next(_anomaly_counter))
+
+    @property
+    def deviation(self) -> Optional[float]:
+        """Absolute deviation between observation and expectation, if both known."""
+        if self.observed is None or self.expected is None:
+            return None
+        return abs(self.observed - self.expected)
+
+    def escalate(self) -> "Anomaly":
+        """Return a copy with severity bumped by one step (capped)."""
+        new_severity = AnomalySeverity(min(self.severity + 1, AnomalySeverity.CATASTROPHIC))
+        return Anomaly(anomaly_type=self.anomaly_type, subject=self.subject, layer=self.layer,
+                       severity=new_severity, time=self.time, observed=self.observed,
+                       expected=self.expected, details=dict(self.details))
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        return (f"[{self.severity.name}] {self.anomaly_type.value} on {self.subject} "
+                f"(layer={self.layer}, t={self.time:.3f})")

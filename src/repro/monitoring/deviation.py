@@ -1,0 +1,129 @@
+"""Deviation detection between model assumptions and observed behaviour.
+
+"This enables the model domain to detect deviations from the nominal
+behavior, refine its models, anticipate changes, and adapt the system
+configuration accordingly" (Section II.B).  :class:`ExpectedBehaviour`
+captures the model-domain assumption for one metric (nominal value and
+tolerance band); :class:`DeviationDetector` compares the metric registry
+against these expectations and produces anomalies plus model-refinement
+suggestions (updated nominal values learned from observations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.monitoring.anomaly import Anomaly, AnomalySeverity, AnomalyType
+from repro.monitoring.metrics import MetricRegistry
+
+
+@dataclass
+class ExpectedBehaviour:
+    """Model assumption for one (source, metric) pair.
+
+    ``nominal`` is the value the model domain assumed (e.g. the contracted
+    WCET, the calibrated sensor quality); ``tolerance`` is the accepted
+    relative deviation before the detector raises an anomaly.
+    """
+
+    source: str
+    metric: str
+    nominal: float
+    tolerance: float = 0.1
+    anomaly_type: AnomalyType = AnomalyType.VALUE_OUT_OF_RANGE
+    layer: str = "platform"
+    higher_is_worse: bool = True
+
+    def __post_init__(self) -> None:
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+
+    def bounds(self) -> Tuple[float, float]:
+        margin = abs(self.nominal) * self.tolerance
+        return (self.nominal - margin, self.nominal + margin)
+
+    def violated_by(self, value: float) -> bool:
+        low, high = self.bounds()
+        if self.higher_is_worse:
+            return value > high
+        return value < low
+
+
+class DeviationDetector:
+    """Compares observed metrics against expected behaviour.
+
+    The detector also implements the "refine its models" part of the loop:
+    :meth:`refinement_suggestions` proposes updated nominal values when the
+    observed mean drifted but stayed within safe bounds.
+    """
+
+    def __init__(self, registry: MetricRegistry) -> None:
+        self.registry = registry
+        self._expectations: Dict[Tuple[str, str], ExpectedBehaviour] = {}
+
+    def expect(self, expectation: ExpectedBehaviour) -> None:
+        self._expectations[(expectation.source, expectation.metric)] = expectation
+
+    def expectation(self, source: str, metric: str) -> Optional[ExpectedBehaviour]:
+        return self._expectations.get((source, metric))
+
+    def expectations(self) -> List[ExpectedBehaviour]:
+        return list(self._expectations.values())
+
+    # -- detection -----------------------------------------------------------------
+
+    def check(self, time: float) -> List[Anomaly]:
+        """Compare the latest observation of every expected metric against its
+        tolerance band."""
+        anomalies: List[Anomaly] = []
+        for (source, metric), expectation in self._expectations.items():
+            series = self.registry.get(source, metric)
+            if series is None or series.last is None:
+                continue
+            value = series.last
+            if expectation.violated_by(value):
+                relative = (abs(value - expectation.nominal) / abs(expectation.nominal)
+                            if expectation.nominal else float("inf"))
+                severity = (AnomalySeverity.CRITICAL if relative > 2 * expectation.tolerance
+                            else AnomalySeverity.WARNING)
+                anomalies.append(Anomaly(
+                    anomaly_type=expectation.anomaly_type, subject=source,
+                    layer=expectation.layer, severity=severity, time=time,
+                    observed=value, expected=expectation.nominal,
+                    details={"metric": metric, "tolerance": expectation.tolerance}))
+        anomalies.sort(key=lambda a: (-int(a.severity), a.subject))
+        return anomalies
+
+    # -- model refinement ------------------------------------------------------------
+
+    def refinement_suggestions(self, min_samples: int = 20,
+                               drift_threshold: float = 0.05) -> Dict[Tuple[str, str], float]:
+        """Suggest updated nominal values for metrics whose observed mean
+        drifted by more than ``drift_threshold`` (relative) but did not
+        violate the tolerance band — the benign drift the model domain should
+        learn from rather than alarm on."""
+        suggestions: Dict[Tuple[str, str], float] = {}
+        for key, expectation in self._expectations.items():
+            series = self.registry.get(*key)
+            if series is None or len(series) < min_samples:
+                continue
+            summary = series.summary()
+            if expectation.nominal == 0:
+                continue
+            drift = abs(summary.mean - expectation.nominal) / abs(expectation.nominal)
+            violated = expectation.violated_by(summary.maximum if expectation.higher_is_worse
+                                               else summary.minimum)
+            if drift > drift_threshold and not violated:
+                suggestions[key] = summary.mean
+        return suggestions
+
+    def apply_refinements(self, suggestions: Dict[Tuple[str, str], float]) -> int:
+        """Adopt suggested nominal values; returns how many expectations changed."""
+        changed = 0
+        for key, nominal in suggestions.items():
+            expectation = self._expectations.get(key)
+            if expectation is not None and expectation.nominal != nominal:
+                expectation.nominal = nominal
+                changed += 1
+        return changed

@@ -1,0 +1,168 @@
+"""Enforcement of model assumptions at run time.
+
+The MCC "can configure the monitoring facilities to enforce, e.g., the
+access policy to network resources or real-time behavior where necessary"
+(Section II.B).  Two enforcers are provided:
+
+* :class:`BudgetEnforcer` — suspends tasks that exceed their execution-time
+  budget within a replenishment period (a simple deferrable-server style
+  mechanism that protects other tasks on the same resource).
+* :class:`AccessPolicyEnforcer` — whitelist of allowed communication
+  relations; violations are blocked and reported as anomalies, which is the
+  hook the intrusion-detection scenario builds on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.monitoring.anomaly import Anomaly, AnomalySeverity, AnomalyType
+
+
+class EnforcementAction(enum.Enum):
+    """What the enforcer did with an offending activity."""
+
+    ALLOWED = "allowed"
+    THROTTLED = "throttled"
+    BLOCKED = "blocked"
+    SUSPENDED = "suspended"
+
+
+@dataclass
+class _Budget:
+    budget: float
+    period: float
+    consumed: float = 0.0
+    window_start: float = 0.0
+    suspended: bool = False
+
+
+class BudgetEnforcer:
+    """Execution-time budget enforcement per task.
+
+    Each task gets ``budget`` seconds of execution per ``period``; once the
+    budget is exhausted the task is reported as suspended until the next
+    replenishment.  This bounds the interference a misbehaving (or
+    compromised) task can impose on higher-criticality tasks sharing the
+    processor — the freedom-from-interference mechanism that makes
+    mixed-criticality co-location acceptable to the safety viewpoint.
+    """
+
+    def __init__(self, layer: str = "platform") -> None:
+        self.layer = layer
+        self._budgets: Dict[str, _Budget] = {}
+        self.anomalies: List[Anomaly] = []
+        self.actions: List[Tuple[float, str, EnforcementAction]] = []
+
+    def configure(self, task: str, budget: float, period: float) -> None:
+        if budget <= 0 or period <= 0:
+            raise ValueError("budget and period must be positive")
+        if budget > period:
+            raise ValueError("budget cannot exceed its replenishment period")
+        self._budgets[task] = _Budget(budget=budget, period=period)
+
+    def configured_tasks(self) -> List[str]:
+        return list(self._budgets)
+
+    def _replenish_if_due(self, entry: _Budget, time: float) -> None:
+        while time >= entry.window_start + entry.period:
+            entry.window_start += entry.period
+            entry.consumed = 0.0
+            entry.suspended = False
+
+    def charge(self, time: float, task: str, execution_time: float) -> EnforcementAction:
+        """Charge observed execution time; returns the enforcement decision."""
+        if execution_time < 0:
+            raise ValueError("execution time must be non-negative")
+        entry = self._budgets.get(task)
+        if entry is None:
+            return EnforcementAction.ALLOWED
+        self._replenish_if_due(entry, time)
+        if entry.suspended:
+            self.actions.append((time, task, EnforcementAction.SUSPENDED))
+            return EnforcementAction.SUSPENDED
+        entry.consumed += execution_time
+        if entry.consumed > entry.budget:
+            entry.suspended = True
+            self.anomalies.append(Anomaly(
+                anomaly_type=AnomalyType.BUDGET_OVERRUN, subject=task, layer=self.layer,
+                severity=AnomalySeverity.WARNING, time=time,
+                observed=entry.consumed, expected=entry.budget,
+                details={"period": entry.period}))
+            self.actions.append((time, task, EnforcementAction.SUSPENDED))
+            return EnforcementAction.SUSPENDED
+        self.actions.append((time, task, EnforcementAction.ALLOWED))
+        return EnforcementAction.ALLOWED
+
+    def is_suspended(self, task: str, time: float) -> bool:
+        entry = self._budgets.get(task)
+        if entry is None:
+            return False
+        self._replenish_if_due(entry, time)
+        return entry.suspended
+
+    def drain(self) -> List[Anomaly]:
+        anomalies = list(self.anomalies)
+        self.anomalies.clear()
+        return anomalies
+
+
+class AccessPolicyEnforcer:
+    """Whitelist-based communication policy enforcement.
+
+    The policy is the set of allowed (sender, receiver, service-or-id)
+    triples derived from the deployed configuration's service sessions and
+    CAN identifier assignments.  Any observed communication outside the
+    whitelist is blocked and reported — the "monitoring communication
+    behavior" mechanism of the intrusion example in Section V.
+    """
+
+    def __init__(self, layer: str = "communication") -> None:
+        self.layer = layer
+        self._allowed: Set[Tuple[str, str, str]] = set()
+        self.anomalies: List[Anomaly] = []
+        self.blocked_count = 0
+        self.allowed_count = 0
+
+    def allow(self, sender: str, receiver: str, subject: str = "*") -> None:
+        self._allowed.add((sender, receiver, subject))
+
+    def allow_many(self, triples: List[Tuple[str, str, str]]) -> None:
+        for sender, receiver, subject in triples:
+            self.allow(sender, receiver, subject)
+
+    def revoke(self, sender: str, receiver: str, subject: str = "*") -> None:
+        self._allowed.discard((sender, receiver, subject))
+
+    def revoke_all_for(self, component: str) -> int:
+        """Remove every rule that involves the component (containment)."""
+        to_remove = {rule for rule in self._allowed if component in (rule[0], rule[1])}
+        self._allowed -= to_remove
+        return len(to_remove)
+
+    def is_allowed(self, sender: str, receiver: str, subject: str = "*") -> bool:
+        return ((sender, receiver, subject) in self._allowed
+                or (sender, receiver, "*") in self._allowed)
+
+    def check(self, time: float, sender: str, receiver: str,
+              subject: str = "*") -> EnforcementAction:
+        """Check one observed communication against the policy."""
+        if self.is_allowed(sender, receiver, subject):
+            self.allowed_count += 1
+            return EnforcementAction.ALLOWED
+        self.blocked_count += 1
+        self.anomalies.append(Anomaly(
+            anomaly_type=AnomalyType.ACCESS_VIOLATION, subject=sender, layer=self.layer,
+            severity=AnomalySeverity.CRITICAL, time=time,
+            details={"receiver": receiver, "subject": subject}))
+        return EnforcementAction.BLOCKED
+
+    def rules(self) -> List[Tuple[str, str, str]]:
+        return sorted(self._allowed)
+
+    def drain(self) -> List[Anomaly]:
+        anomalies = list(self.anomalies)
+        self.anomalies.clear()
+        return anomalies

@@ -1,0 +1,276 @@
+"""Application and platform monitors.
+
+Each monitor supervises one run-time property the paper names explicitly —
+execution times, access patterns, sensor values, heartbeats, temperatures —
+"with very little interference on the actual functionality" (Section II.B).
+Monitors write their observations into a :class:`MetricRegistry` and emit
+:class:`Anomaly` objects when the observation deviates from the configured
+expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.monitoring.anomaly import Anomaly, AnomalySeverity, AnomalyType
+from repro.monitoring.metrics import MetricRegistry
+
+
+class Monitor:
+    """Base class: a named observer bound to a layer and a metric registry."""
+
+    def __init__(self, name: str, layer: str, registry: Optional[MetricRegistry] = None) -> None:
+        self.name = name
+        self.layer = layer
+        self.registry = registry or MetricRegistry()
+        self.anomalies: List[Anomaly] = []
+        self.enabled = True
+
+    def _emit(self, anomaly: Anomaly) -> Anomaly:
+        self.anomalies.append(anomaly)
+        return anomaly
+
+    def drain(self) -> List[Anomaly]:
+        """Return and clear the accumulated anomalies (the awareness loop
+        polls monitors through this)."""
+        anomalies = list(self.anomalies)
+        self.anomalies.clear()
+        return anomalies
+
+    def reset(self) -> None:
+        self.anomalies.clear()
+
+
+class HeartbeatMonitor(Monitor):
+    """Detects missing heartbeats of components or sensors.
+
+    This is the baseline mechanism of RACE/SAFER that the paper contrasts
+    with richer quality monitoring: "Any degradation strategy is only
+    activated if the heartbeat of a sensor goes missing".
+    """
+
+    def __init__(self, name: str, layer: str, timeout: float,
+                 registry: Optional[MetricRegistry] = None) -> None:
+        super().__init__(name, layer, registry)
+        if timeout <= 0:
+            raise ValueError("heartbeat timeout must be positive")
+        self.timeout = timeout
+        self._last_beat: Dict[str, float] = {}
+
+    def beat(self, time: float, source: str) -> None:
+        self._last_beat[source] = time
+        self.registry.sample(time, source, "heartbeat", 1.0)
+
+    def check(self, time: float) -> List[Anomaly]:
+        """Check all known sources for heartbeat loss at ``time``."""
+        if not self.enabled:
+            return []
+        found: List[Anomaly] = []
+        for source, last in self._last_beat.items():
+            if time - last > self.timeout:
+                found.append(self._emit(Anomaly(
+                    anomaly_type=AnomalyType.HEARTBEAT_LOSS, subject=source,
+                    layer=self.layer, severity=AnomalySeverity.CRITICAL, time=time,
+                    observed=time - last, expected=self.timeout)))
+        return found
+
+    def sources(self) -> List[str]:
+        return list(self._last_beat)
+
+
+class ValueRangeMonitor(Monitor):
+    """Boundary check on observed values (the RACE-style sensor check)."""
+
+    def __init__(self, name: str, layer: str, low: float, high: float,
+                 severity: AnomalySeverity = AnomalySeverity.WARNING,
+                 registry: Optional[MetricRegistry] = None) -> None:
+        super().__init__(name, layer, registry)
+        if low >= high:
+            raise ValueError("low bound must be below high bound")
+        self.low = low
+        self.high = high
+        self.severity = severity
+
+    def observe(self, time: float, source: str, value: float) -> Optional[Anomaly]:
+        if not self.enabled:
+            return None
+        self.registry.sample(time, source, self.name, value)
+        if value < self.low or value > self.high:
+            expected = self.low if value < self.low else self.high
+            return self._emit(Anomaly(
+                anomaly_type=AnomalyType.VALUE_OUT_OF_RANGE, subject=source,
+                layer=self.layer, severity=self.severity, time=time,
+                observed=value, expected=expected,
+                details={"low": self.low, "high": self.high}))
+        return None
+
+
+class ExecutionTimeMonitor(Monitor):
+    """Supervises task execution times against their contracted WCET budget."""
+
+    def __init__(self, name: str, layer: str = "platform",
+                 registry: Optional[MetricRegistry] = None,
+                 overrun_severity: AnomalySeverity = AnomalySeverity.WARNING) -> None:
+        super().__init__(name, layer, registry)
+        self._budgets: Dict[str, float] = {}
+        self.overrun_severity = overrun_severity
+
+    def set_budget(self, task: str, wcet: float) -> None:
+        if wcet <= 0:
+            raise ValueError("budget must be positive")
+        self._budgets[task] = wcet
+
+    def observe(self, time: float, task: str, execution_time: float) -> Optional[Anomaly]:
+        if not self.enabled:
+            return None
+        self.registry.sample(time, task, "execution_time", execution_time)
+        budget = self._budgets.get(task)
+        if budget is not None and execution_time > budget:
+            return self._emit(Anomaly(
+                anomaly_type=AnomalyType.BUDGET_OVERRUN, subject=task, layer=self.layer,
+                severity=self.overrun_severity, time=time,
+                observed=execution_time, expected=budget))
+        return None
+
+    def budget(self, task: str) -> Optional[float]:
+        return self._budgets.get(task)
+
+
+class DeadlineMonitor(Monitor):
+    """Supervises response times against deadlines (platform monitor)."""
+
+    def __init__(self, name: str, layer: str = "platform",
+                 registry: Optional[MetricRegistry] = None) -> None:
+        super().__init__(name, layer, registry)
+        self._deadlines: Dict[str, float] = {}
+
+    def set_deadline(self, task: str, deadline: float) -> None:
+        if deadline <= 0:
+            raise ValueError("deadline must be positive")
+        self._deadlines[task] = deadline
+
+    def observe(self, time: float, task: str, response_time: float) -> Optional[Anomaly]:
+        if not self.enabled:
+            return None
+        self.registry.sample(time, task, "response_time", response_time)
+        deadline = self._deadlines.get(task)
+        if deadline is not None and response_time > deadline:
+            return self._emit(Anomaly(
+                anomaly_type=AnomalyType.DEADLINE_MISS, subject=task, layer=self.layer,
+                severity=AnomalySeverity.CRITICAL, time=time,
+                observed=response_time, expected=deadline))
+        return None
+
+
+class TemperatureMonitor(Monitor):
+    """Supervises junction/ambient temperatures of platform resources."""
+
+    def __init__(self, name: str, layer: str = "platform",
+                 warning_c: float = 85.0, critical_c: float = 100.0,
+                 registry: Optional[MetricRegistry] = None) -> None:
+        super().__init__(name, layer, registry)
+        if warning_c >= critical_c:
+            raise ValueError("warning threshold must be below critical threshold")
+        self.warning_c = warning_c
+        self.critical_c = critical_c
+
+    def observe(self, time: float, resource: str, temperature_c: float) -> Optional[Anomaly]:
+        if not self.enabled:
+            return None
+        self.registry.sample(time, resource, "temperature_c", temperature_c)
+        if temperature_c >= self.critical_c:
+            severity = AnomalySeverity.CRITICAL
+            expected = self.critical_c
+        elif temperature_c >= self.warning_c:
+            severity = AnomalySeverity.WARNING
+            expected = self.warning_c
+        else:
+            return None
+        return self._emit(Anomaly(
+            anomaly_type=AnomalyType.THERMAL, subject=resource, layer=self.layer,
+            severity=severity, time=time, observed=temperature_c, expected=expected))
+
+
+class SensorQualityMonitor(Monitor):
+    """Data-quality assessment for environmental sensors.
+
+    The paper argues self-diagnosis "need[s] to be extended towards the data
+    quality assessment for environmental sensors (e.g. cameras, LiDAR-,
+    RADAR-sensors)" — this monitor tracks a continuous quality score in
+    [0, 1] per sensor and flags degradation below a threshold.
+    """
+
+    def __init__(self, name: str, layer: str = "ability", degraded_threshold: float = 0.7,
+                 failed_threshold: float = 0.3,
+                 registry: Optional[MetricRegistry] = None) -> None:
+        super().__init__(name, layer, registry)
+        if not 0 <= failed_threshold < degraded_threshold <= 1:
+            raise ValueError("need 0 <= failed < degraded <= 1")
+        self.degraded_threshold = degraded_threshold
+        self.failed_threshold = failed_threshold
+
+    def observe(self, time: float, sensor: str, quality: float) -> Optional[Anomaly]:
+        if not self.enabled:
+            return None
+        self.registry.sample(time, sensor, "quality", quality)
+        if quality <= self.failed_threshold:
+            severity = AnomalySeverity.CRITICAL
+            expected = self.failed_threshold
+        elif quality <= self.degraded_threshold:
+            severity = AnomalySeverity.WARNING
+            expected = self.degraded_threshold
+        else:
+            return None
+        return self._emit(Anomaly(
+            anomaly_type=AnomalyType.SENSOR_DEGRADATION, subject=sensor, layer=self.layer,
+            severity=severity, time=time, observed=quality, expected=expected))
+
+
+class MonitorSuite:
+    """A named collection of monitors sharing one metric registry.
+
+    ``MonitorSuite`` plays the role of the *Application Monitor* and
+    *Platform Monitor* boxes in Fig. 1: the awareness loop drains it once per
+    cycle to obtain all fresh anomalies across layers.
+    """
+
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
+        self.registry = registry or MetricRegistry()
+        self._monitors: Dict[str, Monitor] = {}
+
+    def add(self, monitor: Monitor) -> Monitor:
+        if monitor.name in self._monitors:
+            raise ValueError(f"duplicate monitor {monitor.name!r}")
+        monitor.registry = self.registry
+        self._monitors[monitor.name] = monitor
+        return monitor
+
+    def get(self, name: str) -> Monitor:
+        try:
+            return self._monitors[name]
+        except KeyError as exc:
+            raise KeyError(f"unknown monitor {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._monitors
+
+    def __len__(self) -> int:
+        return len(self._monitors)
+
+    def monitors(self) -> List[Monitor]:
+        return list(self._monitors.values())
+
+    def drain(self) -> List[Anomaly]:
+        """Collect anomalies from every monitor, ordered by time then severity."""
+        anomalies: List[Anomaly] = []
+        for monitor in self._monitors.values():
+            anomalies.extend(monitor.drain())
+        anomalies.sort(key=lambda a: (a.time, -int(a.severity), a.subject))
+        return anomalies
+
+    def disable(self, name: str) -> None:
+        self.get(name).enabled = False
+
+    def enable(self, name: str) -> None:
+        self.get(name).enabled = True

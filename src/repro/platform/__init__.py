@@ -1,0 +1,53 @@
+"""Execution-domain substrate (Section II.B of the paper).
+
+Models the microkernel-based run-time environment the CCC architecture
+builds on: software components and micro-servers connected through explicit
+service sessions, tasks with real-time parameters, processing resources, a
+fixed-priority preemptive scheduling simulator, and the RTE configuration
+object that the MCC deploys and that monitors attach to.
+"""
+
+from repro.platform.tasks import Task, TaskState, Job, TaskSet
+from repro.platform.resources import (
+    ProcessingResource,
+    NetworkResource,
+    MemoryPool,
+    ResourceError,
+    Platform,
+)
+from repro.platform.components import (
+    Component,
+    MicroServer,
+    ServiceSession,
+    ComponentRegistry,
+    ComponentError,
+)
+from repro.platform.scheduler import FixedPriorityScheduler, SchedulerStats, ResourceScheduler
+from repro.platform.rte import RuntimeEnvironment, RteConfiguration, CapabilityError
+from repro.platform.thermal import ThermalModel, DvfsGovernor, OperatingPoint
+
+__all__ = [
+    "Task",
+    "TaskState",
+    "Job",
+    "TaskSet",
+    "ProcessingResource",
+    "NetworkResource",
+    "MemoryPool",
+    "ResourceError",
+    "Platform",
+    "Component",
+    "MicroServer",
+    "ServiceSession",
+    "ComponentRegistry",
+    "ComponentError",
+    "FixedPriorityScheduler",
+    "SchedulerStats",
+    "ResourceScheduler",
+    "RuntimeEnvironment",
+    "RteConfiguration",
+    "CapabilityError",
+    "ThermalModel",
+    "DvfsGovernor",
+    "OperatingPoint",
+]

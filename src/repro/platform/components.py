@@ -1,0 +1,258 @@
+"""Software components and micro-servers.
+
+The CCC execution domain builds on microkernel component semantics: "micro
+servers provide services that can be granted to other components that require
+these services" (Section II.B).  ``Component`` is a deployable unit carrying
+its contract; ``MicroServer`` is a component that additionally exports
+services; ``ServiceSession`` is an explicit, revocable grant from a provider
+to a client — the unit on which the principle of least privilege and the
+distributed access control of the security layer operate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.contracts.model import Contract
+
+
+class ComponentError(RuntimeError):
+    """Raised for invalid component wiring or lifecycle operations."""
+
+
+class ComponentState(enum.Enum):
+    """Lifecycle of a deployed component."""
+
+    DECLARED = "declared"
+    RUNNING = "running"
+    DEGRADED = "degraded"
+    QUARANTINED = "quarantined"
+    STOPPED = "stopped"
+
+
+@dataclass
+class ServiceSession:
+    """A granted client/provider service relationship.
+
+    Sessions are the capability-like objects through which all inter-component
+    communication flows; revoking a session cuts the client off from the
+    provider, which is how the security layer contains a compromised
+    component.
+    """
+
+    service: str
+    provider: str
+    client: str
+    max_latency: Optional[float] = None
+    active: bool = True
+
+    def revoke(self) -> None:
+        self.active = False
+
+    @property
+    def key(self) -> str:
+        return f"{self.client}->{self.provider}:{self.service}"
+
+
+class Component:
+    """A deployable software component with an explicit contract."""
+
+    def __init__(self, contract: Contract, version: str = "1.0") -> None:
+        self.contract = contract
+        self.version = version
+        self.state = ComponentState.DECLARED
+        self.sessions: List[ServiceSession] = []
+        self.health: float = 1.0  # 1.0 = nominal, 0.0 = failed
+
+    @property
+    def name(self) -> str:
+        return self.contract.component
+
+    @property
+    def is_micro_server(self) -> bool:
+        return bool(self.contract.provides)
+
+    def start(self) -> None:
+        if self.state in (ComponentState.QUARANTINED,):
+            raise ComponentError(f"component {self.name} is quarantined and cannot start")
+        self.state = ComponentState.RUNNING
+
+    def stop(self) -> None:
+        self.state = ComponentState.STOPPED
+        for session in self.sessions:
+            session.revoke()
+
+    def quarantine(self) -> None:
+        """Isolate the component after a security incident: sessions revoked,
+        restart blocked until the MCC re-integrates it."""
+        self.state = ComponentState.QUARANTINED
+        for session in self.sessions:
+            session.revoke()
+
+    def degrade(self, health: float) -> None:
+        if not 0.0 <= health <= 1.0:
+            raise ComponentError("health must be within [0, 1]")
+        self.health = health
+        if self.state == ComponentState.RUNNING and health < 1.0:
+            self.state = ComponentState.DEGRADED
+        if health >= 1.0 and self.state == ComponentState.DEGRADED:
+            self.state = ComponentState.RUNNING
+
+    @property
+    def running(self) -> bool:
+        return self.state in (ComponentState.RUNNING, ComponentState.DEGRADED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Component({self.name!r}, state={self.state.value}, health={self.health:.2f})"
+
+
+class MicroServer(Component):
+    """A component that provides services to clients.
+
+    The distinction is purely semantic (any component with provisions acts as
+    a micro-server); this subclass exists to make example/system code read
+    like the paper's architecture description.
+    """
+
+    def grant(self, client: "Component", service: str,
+              max_latency: Optional[float] = None) -> ServiceSession:
+        if service not in self.contract.provided_services():
+            raise ComponentError(
+                f"micro-server {self.name} does not provide service {service!r}")
+        session = ServiceSession(service=service, provider=self.name,
+                                 client=client.name, max_latency=max_latency)
+        self.sessions.append(session)
+        client.sessions.append(session)
+        return session
+
+
+class ComponentRegistry:
+    """All components deployed in one execution domain, plus session wiring."""
+
+    def __init__(self) -> None:
+        self._components: Dict[str, Component] = {}
+        self._sessions: Dict[str, ServiceSession] = {}
+
+    # -- membership ----------------------------------------------------------
+
+    def add(self, component: Component) -> Component:
+        if component.name in self._components:
+            raise ComponentError(f"duplicate component {component.name!r}")
+        self._components[component.name] = component
+        return component
+
+    def remove(self, name: str) -> Component:
+        component = self.get(name)
+        component.stop()
+        for session in list(component.sessions):
+            self._sessions.pop(session.key, None)
+        del self._components[name]
+        return component
+
+    def get(self, name: str) -> Component:
+        try:
+            return self._components[name]
+        except KeyError as exc:
+            raise ComponentError(f"unknown component {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __iter__(self) -> Iterator[Component]:
+        return iter(self._components.values())
+
+    def components(self) -> List[Component]:
+        return list(self._components.values())
+
+    def contracts(self) -> List[Contract]:
+        return [component.contract for component in self._components.values()]
+
+    # -- service wiring --------------------------------------------------------
+
+    def providers_of(self, service: str) -> List[Component]:
+        return [c for c in self._components.values()
+                if service in c.contract.provided_services()]
+
+    def connect(self, client_name: str, service: str,
+                provider_name: Optional[str] = None) -> ServiceSession:
+        """Create a session from ``client`` to a provider of ``service``.
+
+        If ``provider_name`` is not given, a unique provider must exist.
+        """
+        client = self.get(client_name)
+        if provider_name is None:
+            providers = self.providers_of(service)
+            if not providers:
+                raise ComponentError(f"no provider for service {service!r}")
+            if len(providers) > 1:
+                raise ComponentError(
+                    f"ambiguous providers for service {service!r}: "
+                    f"{sorted(p.name for p in providers)}")
+            provider = providers[0]
+        else:
+            provider = self.get(provider_name)
+            if service not in provider.contract.provided_services():
+                raise ComponentError(
+                    f"component {provider_name} does not provide {service!r}")
+        requirement = next((r for r in client.contract.requires if r.service == service), None)
+        session = ServiceSession(service=service, provider=provider.name, client=client.name,
+                                 max_latency=requirement.max_latency if requirement else None)
+        if session.key in self._sessions:
+            raise ComponentError(f"session {session.key} already exists")
+        self._sessions[session.key] = session
+        provider.sessions.append(session)
+        client.sessions.append(session)
+        return session
+
+    def autowire(self) -> List[ServiceSession]:
+        """Connect every required service to its (unique) provider.
+
+        Optional requirements with no provider are skipped; mandatory ones
+        raise :class:`ComponentError`.
+        """
+        created: List[ServiceSession] = []
+        for component in self._components.values():
+            for requirement in component.contract.requires:
+                key_exists = any(
+                    s.client == component.name and s.service == requirement.service
+                    for s in component.sessions if s.active)
+                if key_exists:
+                    continue
+                providers = self.providers_of(requirement.service)
+                if not providers:
+                    if requirement.optional:
+                        continue
+                    raise ComponentError(
+                        f"component {component.name} requires service "
+                        f"{requirement.service!r} but no provider exists")
+                if len(providers) > 1:
+                    raise ComponentError(
+                        f"ambiguous providers for {requirement.service!r} required by "
+                        f"{component.name}")
+                created.append(self.connect(component.name, requirement.service,
+                                            providers[0].name))
+        return created
+
+    def sessions(self) -> List[ServiceSession]:
+        return list(self._sessions.values())
+
+    def active_sessions(self) -> List[ServiceSession]:
+        return [s for s in self._sessions.values() if s.active]
+
+    def sessions_of(self, component_name: str) -> List[ServiceSession]:
+        return [s for s in self._sessions.values()
+                if s.client == component_name or s.provider == component_name]
+
+    def revoke_sessions(self, component_name: str) -> int:
+        """Revoke every session touching the component; returns the count."""
+        count = 0
+        for session in self.sessions_of(component_name):
+            if session.active:
+                session.revoke()
+                count += 1
+        return count

@@ -1,0 +1,286 @@
+"""Platform resources: processing elements, networks and memory pools.
+
+The CCC target platform "typically consists of multiple processing resources
+and networks" shared by functions of different criticality (Section II.A).
+``Platform`` bundles the resources of one vehicle ECU network and is the
+object the MCC maps technical architectures onto.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.platform.tasks import Task, TaskSet
+
+
+class ResourceError(ValueError):
+    """Raised for invalid resource configuration or over-allocation."""
+
+
+@dataclass
+class OperatingCondition:
+    """Current physical operating condition of a processing resource.
+
+    ``speed_factor`` scales execution times (1.0 = nominal, 0.5 = half speed
+    after down-clocking), ``temperature_c`` is the junction temperature used
+    by the thermal model and the platform monitor.
+    """
+
+    speed_factor: float = 1.0
+    temperature_c: float = 45.0
+    frequency_mhz: float = 1000.0
+
+
+class ProcessingResource:
+    """A CPU (or CPU partition) hosting a task set.
+
+    Parameters
+    ----------
+    name:
+        Unique resource identifier.
+    capacity:
+        Schedulable utilization bound used by admission heuristics (1.0 for a
+        single core; lower values reserve headroom for monitoring overhead).
+    frequency_mhz:
+        Nominal clock frequency; DVFS changes scale ``speed_factor``.
+    """
+
+    def __init__(self, name: str, capacity: float = 1.0, frequency_mhz: float = 1000.0,
+                 memory_kib: float = 1024 * 64) -> None:
+        if capacity <= 0 or capacity > 1.0 + 1e-9:
+            raise ResourceError(f"capacity must be in (0, 1], got {capacity}")
+        if frequency_mhz <= 0:
+            raise ResourceError("frequency must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.nominal_frequency_mhz = frequency_mhz
+        self.memory_kib = memory_kib
+        self.taskset = TaskSet()
+        self.condition = OperatingCondition(frequency_mhz=frequency_mhz)
+        self._memory_allocations: Dict[str, float] = {}
+
+    # -- task hosting ------------------------------------------------------
+
+    def host(self, task: Task) -> None:
+        """Admit a task onto this resource (no admission test here; the MCC
+        runs the analyses before deploying)."""
+        self.taskset.add(task)
+
+    def evict(self, task_name: str) -> Task:
+        return self.taskset.remove(task_name)
+
+    @property
+    def utilization(self) -> float:
+        """Utilization at the *current* operating point (WCETs scale with
+        1/speed_factor)."""
+        factor = 1.0 / self.condition.speed_factor if self.condition.speed_factor > 0 else float("inf")
+        return self.taskset.utilization * factor
+
+    @property
+    def nominal_utilization(self) -> float:
+        return self.taskset.utilization
+
+    def fits(self, task: Task) -> bool:
+        """Whether the task fits under the capacity bound at nominal speed."""
+        return self.nominal_utilization + task.utilization <= self.capacity + 1e-12
+
+    def effective_taskset(self) -> TaskSet:
+        """Task set with WCETs scaled to the current operating point."""
+        factor = 1.0 / self.condition.speed_factor
+        return TaskSet([task.scaled(factor) for task in self.taskset])
+
+    # -- memory ------------------------------------------------------------
+
+    def allocate_memory(self, owner: str, amount_kib: float) -> None:
+        if amount_kib < 0:
+            raise ResourceError("cannot allocate negative memory")
+        allocated = sum(self._memory_allocations.values())
+        if allocated + amount_kib > self.memory_kib + 1e-9:
+            raise ResourceError(
+                f"resource {self.name}: memory exhausted "
+                f"({allocated + amount_kib:.0f} KiB > {self.memory_kib:.0f} KiB)")
+        self._memory_allocations[owner] = self._memory_allocations.get(owner, 0.0) + amount_kib
+
+    def release_memory(self, owner: str) -> float:
+        return self._memory_allocations.pop(owner, 0.0)
+
+    @property
+    def memory_allocated_kib(self) -> float:
+        return sum(self._memory_allocations.values())
+
+    # -- operating point ----------------------------------------------------
+
+    def set_speed_factor(self, factor: float) -> None:
+        if factor <= 0 or factor > 1.0 + 1e-9:
+            raise ResourceError(f"speed factor must be in (0, 1], got {factor}")
+        self.condition.speed_factor = factor
+        self.condition.frequency_mhz = self.nominal_frequency_mhz * factor
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ProcessingResource({self.name!r}, util={self.nominal_utilization:.2f}, "
+                f"tasks={len(self.taskset)})")
+
+
+class NetworkResource:
+    """A shared communication resource (e.g. a CAN bus or Ethernet link).
+
+    Bandwidth is allocated to named flows; the security and resource
+    viewpoints check that allocations respect the link capacity.
+    """
+
+    def __init__(self, name: str, bandwidth_bps: float, kind: str = "can") -> None:
+        if bandwidth_bps <= 0:
+            raise ResourceError("bandwidth must be positive")
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.kind = kind
+        self._allocations: Dict[str, float] = {}
+
+    def allocate(self, flow: str, bps: float) -> None:
+        if bps < 0:
+            raise ResourceError("cannot allocate negative bandwidth")
+        current = sum(self._allocations.values())
+        if current + bps > self.bandwidth_bps + 1e-9:
+            raise ResourceError(
+                f"network {self.name}: bandwidth exhausted "
+                f"({current + bps:.0f} bps > {self.bandwidth_bps:.0f} bps)")
+        self._allocations[flow] = self._allocations.get(flow, 0.0) + bps
+
+    def release(self, flow: str) -> float:
+        return self._allocations.pop(flow, 0.0)
+
+    @property
+    def allocated_bps(self) -> float:
+        return sum(self._allocations.values())
+
+    @property
+    def utilization(self) -> float:
+        return self.allocated_bps / self.bandwidth_bps
+
+    def allocations(self) -> Dict[str, float]:
+        return dict(self._allocations)
+
+
+class MemoryPool:
+    """A shared memory region with named partitions (spatial isolation)."""
+
+    def __init__(self, name: str, size_kib: float) -> None:
+        if size_kib <= 0:
+            raise ResourceError("memory pool size must be positive")
+        self.name = name
+        self.size_kib = size_kib
+        self._partitions: Dict[str, float] = {}
+
+    def carve(self, owner: str, size_kib: float) -> None:
+        if size_kib <= 0:
+            raise ResourceError("partition size must be positive")
+        if owner in self._partitions:
+            raise ResourceError(f"partition {owner!r} already exists in pool {self.name}")
+        if self.allocated_kib + size_kib > self.size_kib + 1e-9:
+            raise ResourceError(f"memory pool {self.name} exhausted")
+        self._partitions[owner] = size_kib
+
+    def free(self, owner: str) -> float:
+        return self._partitions.pop(owner, 0.0)
+
+    @property
+    def allocated_kib(self) -> float:
+        return sum(self._partitions.values())
+
+    @property
+    def available_kib(self) -> float:
+        return self.size_kib - self.allocated_kib
+
+    def partitions(self) -> Dict[str, float]:
+        return dict(self._partitions)
+
+
+class Platform:
+    """The full hardware/software platform of one vehicle.
+
+    Bundles processing resources, networks and memory pools, and offers the
+    lookups that the MCC's mapping step and the monitors need.
+    """
+
+    def __init__(self, name: str = "vehicle-platform") -> None:
+        self.name = name
+        self._processors: Dict[str, ProcessingResource] = {}
+        self._networks: Dict[str, NetworkResource] = {}
+        self._memories: Dict[str, MemoryPool] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_processor(self, processor: ProcessingResource) -> ProcessingResource:
+        if processor.name in self._processors:
+            raise ResourceError(f"duplicate processor {processor.name!r}")
+        self._processors[processor.name] = processor
+        return processor
+
+    def add_network(self, network: NetworkResource) -> NetworkResource:
+        if network.name in self._networks:
+            raise ResourceError(f"duplicate network {network.name!r}")
+        self._networks[network.name] = network
+        return network
+
+    def add_memory(self, memory: MemoryPool) -> MemoryPool:
+        if memory.name in self._memories:
+            raise ResourceError(f"duplicate memory pool {memory.name!r}")
+        self._memories[memory.name] = memory
+        return memory
+
+    # -- lookup --------------------------------------------------------------
+
+    def processor(self, name: str) -> ProcessingResource:
+        try:
+            return self._processors[name]
+        except KeyError as exc:
+            raise ResourceError(f"unknown processor {name!r}") from exc
+
+    def network(self, name: str) -> NetworkResource:
+        try:
+            return self._networks[name]
+        except KeyError as exc:
+            raise ResourceError(f"unknown network {name!r}") from exc
+
+    def memory(self, name: str) -> MemoryPool:
+        try:
+            return self._memories[name]
+        except KeyError as exc:
+            raise ResourceError(f"unknown memory pool {name!r}") from exc
+
+    def processors(self) -> List[ProcessingResource]:
+        return list(self._processors.values())
+
+    def networks(self) -> List[NetworkResource]:
+        return list(self._networks.values())
+
+    def memories(self) -> List[MemoryPool]:
+        return list(self._memories.values())
+
+    def find_task(self, task_name: str) -> Optional[ProcessingResource]:
+        """Return the processor hosting the named task, if any."""
+        for processor in self._processors.values():
+            if task_name in processor.taskset:
+                return processor
+        return None
+
+    def total_utilization(self) -> float:
+        if not self._processors:
+            return 0.0
+        return sum(p.nominal_utilization for p in self._processors.values())
+
+    def __iter__(self) -> Iterator[ProcessingResource]:
+        return iter(self._processors.values())
+
+    @classmethod
+    def symmetric(cls, num_processors: int, capacity: float = 1.0,
+                  frequency_mhz: float = 1000.0, name: str = "vehicle-platform") -> "Platform":
+        """Convenience constructor: homogeneous multi-core platform."""
+        if num_processors <= 0:
+            raise ResourceError("need at least one processor")
+        platform = cls(name=name)
+        for index in range(num_processors):
+            platform.add_processor(ProcessingResource(
+                f"cpu{index}", capacity=capacity, frequency_mhz=frequency_mhz))
+        return platform

@@ -1,0 +1,234 @@
+"""Fixed-priority preemptive scheduling simulator.
+
+The execution domain enforces real-time behaviour; the platform monitor
+observes execution times and deadline misses (Section II.B).  This module
+provides an exact event-driven simulation of static-priority preemptive
+scheduling on a single processing resource.  It produces per-job response
+times, preemption counts and deadline-miss statistics that (a) validate the
+analytical WCRT bounds from :mod:`repro.analysis.cpa` and (b) feed the
+platform monitor in closed-loop scenarios (thermal stress, overload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.platform.resources import ProcessingResource
+from repro.platform.tasks import Job, Task, TaskSet, TaskState
+from repro.sim.trace import TraceRecorder
+
+_EPS = 1e-12
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate statistics of one scheduling simulation run."""
+
+    jobs_released: int = 0
+    jobs_completed: int = 0
+    deadline_misses: int = 0
+    preemptions: int = 0
+    busy_time: float = 0.0
+    horizon: float = 0.0
+    worst_response_times: Dict[str, float] = field(default_factory=dict)
+    response_times: Dict[str, List[float]] = field(default_factory=dict)
+
+    @property
+    def utilization_observed(self) -> float:
+        return self.busy_time / self.horizon if self.horizon > 0 else 0.0
+
+    @property
+    def deadline_miss_ratio(self) -> float:
+        if self.jobs_completed == 0:
+            return 0.0
+        return self.deadline_misses / self.jobs_completed
+
+    def worst_response_time(self, task_name: str) -> Optional[float]:
+        return self.worst_response_times.get(task_name)
+
+
+class FixedPriorityScheduler:
+    """Event-driven simulation of fixed-priority preemptive scheduling.
+
+    Parameters
+    ----------
+    taskset:
+        The tasks to simulate.  Priorities: lower number = higher priority.
+    speed_factor:
+        Execution-speed scaling (1.0 nominal).  WCETs are divided by this
+        factor, which is how thermal throttling shows up as longer execution.
+    critical_instant:
+        If True (default), all tasks are released simultaneously at their
+        offset, producing the worst-case ("critical instant") alignment that
+        the analytical WCRT bounds assume.
+    """
+
+    def __init__(self, taskset: TaskSet, speed_factor: float = 1.0,
+                 critical_instant: bool = True,
+                 recorder: Optional[TraceRecorder] = None,
+                 execution_time_fn: Optional[Callable[[Task, int], float]] = None) -> None:
+        if speed_factor <= 0:
+            raise ValueError("speed factor must be positive")
+        self.taskset = taskset
+        self.speed_factor = speed_factor
+        self.critical_instant = critical_instant
+        self.recorder = recorder
+        self.execution_time_fn = execution_time_fn
+        self.jobs: List[Job] = []
+
+    # -- helpers -------------------------------------------------------------
+
+    def _execution_time(self, task: Task, job_index: int) -> float:
+        if self.execution_time_fn is not None:
+            execution = self.execution_time_fn(task, job_index)
+        else:
+            execution = task.wcet
+        return execution / self.speed_factor
+
+    def _release_times(self, task: Task, horizon: float) -> List[float]:
+        releases: List[float] = []
+        start = task.offset if self.critical_instant else task.offset
+        time = start
+        while time < horizon - _EPS:
+            releases.append(time)
+            time += task.period
+        return releases
+
+    # -- simulation ----------------------------------------------------------
+
+    def run(self, horizon: float) -> SchedulerStats:
+        """Simulate the task set for ``horizon`` seconds and return statistics."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+
+        stats = SchedulerStats(horizon=horizon)
+        releases: List[Tuple[float, Task, int]] = []
+        job_counters: Dict[str, int] = {}
+        for task in self.taskset:
+            for index, release in enumerate(self._release_times(task, horizon)):
+                releases.append((release, task, index))
+        # Deterministic order: by time, then priority, then name.
+        releases.sort(key=lambda item: (item[0], item[1].priority, item[1].name))
+        stats.jobs_released = len(releases)
+
+        ready: List[Job] = []
+        self.jobs = []
+        current: Optional[Job] = None
+        time = 0.0
+        release_index = 0
+
+        def pick_next() -> Optional[Job]:
+            if not ready:
+                return None
+            ready.sort(key=lambda j: (j.task.priority, j.release_time, j.task.name))
+            return ready[0]
+
+        while time < horizon - _EPS:
+            # Next release after the current time.
+            next_release = releases[release_index][0] if release_index < len(releases) else None
+
+            if current is None:
+                candidate = pick_next()
+                if candidate is None:
+                    if next_release is None:
+                        break
+                    time = next_release
+                    while (release_index < len(releases)
+                           and releases[release_index][0] <= time + _EPS):
+                        rel_time, task, idx = releases[release_index]
+                        job = self._make_job(task, rel_time, idx)
+                        ready.append(job)
+                        self.jobs.append(job)
+                        release_index += 1
+                    continue
+                current = candidate
+                ready.remove(candidate)
+                current.state = TaskState.RUNNING
+                if current.start_time is None:
+                    current.start_time = time
+
+            # Run the current job until it finishes or the next release occurs.
+            finish_time = time + current.remaining
+            if next_release is not None and next_release < finish_time - _EPS:
+                # Execute until the release, then admit new jobs and possibly preempt.
+                executed = next_release - time
+                current.remaining -= executed
+                stats.busy_time += executed
+                time = next_release
+                while (release_index < len(releases)
+                       and releases[release_index][0] <= time + _EPS):
+                    rel_time, task, idx = releases[release_index]
+                    job = self._make_job(task, rel_time, idx)
+                    ready.append(job)
+                    self.jobs.append(job)
+                    release_index += 1
+                contender = pick_next()
+                if contender is not None and contender.task.priority < current.task.priority:
+                    # Preemption.
+                    current.state = TaskState.READY
+                    current.preemptions += 1
+                    stats.preemptions += 1
+                    ready.append(current)
+                    ready.remove(contender)
+                    contender.state = TaskState.RUNNING
+                    if contender.start_time is None:
+                        contender.start_time = time
+                    current = contender
+            else:
+                # Job completes (possibly beyond the horizon; clip busy time).
+                executed = min(current.remaining, max(0.0, horizon - time))
+                stats.busy_time += executed
+                time = finish_time
+                current.remaining = 0.0
+                current.completion_time = time
+                current.state = TaskState.COMPLETED
+                stats.jobs_completed += 1
+                name = current.task.name
+                response = current.response_time or 0.0
+                stats.response_times.setdefault(name, []).append(response)
+                worst = stats.worst_response_times.get(name, 0.0)
+                stats.worst_response_times[name] = max(worst, response)
+                if current.deadline_missed:
+                    stats.deadline_misses += 1
+                    if self.recorder is not None:
+                        self.recorder.record(time, "scheduler.deadline_miss", name,
+                                             response_time=response,
+                                             deadline=current.task.deadline)
+                elif self.recorder is not None:
+                    self.recorder.record(time, "scheduler.job_complete", name,
+                                         response_time=response)
+                current = None
+
+        return stats
+
+    def _make_job(self, task: Task, release_time: float, index: int) -> Job:
+        execution = self._execution_time(task, index)
+        return Job(task=task, release_time=release_time,
+                   absolute_deadline=release_time + (task.deadline or task.period),
+                   remaining=execution)
+
+
+class ResourceScheduler:
+    """Convenience wrapper: simulate every processor of a platform.
+
+    Returns one :class:`SchedulerStats` per processing resource, with WCETs
+    scaled to each resource's current operating point (speed factor), so the
+    thermal scenario can observe deadline misses appear as the platform is
+    throttled.
+    """
+
+    def __init__(self, recorder: Optional[TraceRecorder] = None) -> None:
+        self.recorder = recorder
+
+    def simulate(self, processors: List[ProcessingResource], horizon: float,
+                 critical_instant: bool = True) -> Dict[str, SchedulerStats]:
+        results: Dict[str, SchedulerStats] = {}
+        for processor in processors:
+            scheduler = FixedPriorityScheduler(
+                processor.taskset,
+                speed_factor=processor.condition.speed_factor,
+                critical_instant=critical_instant,
+                recorder=self.recorder)
+            results[processor.name] = scheduler.run(horizon)
+        return results

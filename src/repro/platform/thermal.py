@@ -1,0 +1,168 @@
+"""Thermal model and DVFS governor for processing resources.
+
+Section V uses ambient temperature as the running example of a common-cause,
+cross-layer disturbance: heat degrades the hardware platform (requiring
+voltage/frequency scaling to prevent permanent damage) *and* changes the
+plant so that control software underperforms.  This module provides the
+platform-side half of that coupling: a lumped-parameter thermal model of a
+processing resource and a DVFS governor that trades execution speed against
+junction temperature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.platform.resources import ProcessingResource
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A DVFS operating point: relative speed and relative power draw."""
+
+    name: str
+    speed_factor: float
+    power_factor: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.speed_factor <= 1.0:
+            raise ValueError("speed_factor must be in (0, 1]")
+        if not 0 < self.power_factor <= 1.0:
+            raise ValueError("power_factor must be in (0, 1]")
+
+
+#: Default operating points: power scales roughly with V^2 * f, modelled here
+#: as a super-linear drop relative to the speed reduction.
+DEFAULT_OPERATING_POINTS: List[OperatingPoint] = [
+    OperatingPoint("nominal", 1.0, 1.0),
+    OperatingPoint("throttle-80", 0.8, 0.55),
+    OperatingPoint("throttle-60", 0.6, 0.33),
+    OperatingPoint("throttle-40", 0.4, 0.18),
+]
+
+
+class ThermalModel:
+    """Lumped-parameter (single RC) thermal model of a processing resource.
+
+    dT/dt = (P * R - (T - T_ambient)) / (R * C)
+
+    with power P proportional to the active utilization times the power
+    factor of the current operating point.  The absolute scaling is chosen so
+    that a fully utilized core at nominal frequency settles ``delta_t_max``
+    kelvin above ambient.
+    """
+
+    def __init__(self, resource: ProcessingResource,
+                 ambient_c: float = 35.0,
+                 delta_t_max: float = 55.0,
+                 time_constant_s: float = 20.0) -> None:
+        if delta_t_max <= 0 or time_constant_s <= 0:
+            raise ValueError("delta_t_max and time_constant_s must be positive")
+        self.resource = resource
+        self.ambient_c = ambient_c
+        self.delta_t_max = delta_t_max
+        self.time_constant_s = time_constant_s
+        resource.condition.temperature_c = ambient_c
+
+    @property
+    def temperature_c(self) -> float:
+        return self.resource.condition.temperature_c
+
+    def steady_state(self, utilization: float, power_factor: float) -> float:
+        """Temperature the core would settle at for a constant load."""
+        load = min(max(utilization, 0.0), 1.0)
+        return self.ambient_c + self.delta_t_max * load * power_factor
+
+    def step(self, dt: float, utilization: float, power_factor: float = 1.0,
+             ambient_c: Optional[float] = None) -> float:
+        """Advance the model by ``dt`` seconds and return the new temperature."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        if ambient_c is not None:
+            self.ambient_c = ambient_c
+        target = self.steady_state(utilization, power_factor)
+        current = self.resource.condition.temperature_c
+        # Exponential first-order response towards the steady-state target.
+        import math
+
+        alpha = 1.0 - math.exp(-dt / self.time_constant_s)
+        new_temperature = current + alpha * (target - current)
+        self.resource.condition.temperature_c = new_temperature
+        return new_temperature
+
+
+class DvfsGovernor:
+    """Temperature-triggered frequency governor.
+
+    The governor walks down the list of operating points when the junction
+    temperature exceeds ``throttle_threshold_c`` and walks back up when it
+    falls below ``recover_threshold_c``.  The selected operating point's
+    speed factor is applied to the processing resource, which in turn
+    lengthens task execution times in the scheduler — the platform-layer
+    symptom that the cross-layer coordinator must reconcile with the control
+    function's needs.
+    """
+
+    def __init__(self, resource: ProcessingResource,
+                 operating_points: Optional[List[OperatingPoint]] = None,
+                 throttle_threshold_c: float = 85.0,
+                 recover_threshold_c: float = 70.0,
+                 critical_threshold_c: float = 105.0) -> None:
+        points = operating_points or DEFAULT_OPERATING_POINTS
+        if not points:
+            raise ValueError("need at least one operating point")
+        if recover_threshold_c >= throttle_threshold_c:
+            raise ValueError("recover threshold must be below throttle threshold")
+        self.resource = resource
+        self.operating_points = sorted(points, key=lambda p: -p.speed_factor)
+        self.throttle_threshold_c = throttle_threshold_c
+        self.recover_threshold_c = recover_threshold_c
+        self.critical_threshold_c = critical_threshold_c
+        self._index = 0
+        self._last_temperature: Optional[float] = None
+        self._apply()
+
+    @property
+    def current(self) -> OperatingPoint:
+        return self.operating_points[self._index]
+
+    @property
+    def at_lowest_point(self) -> bool:
+        return self._index == len(self.operating_points) - 1
+
+    def _apply(self) -> None:
+        self.resource.set_speed_factor(self.current.speed_factor)
+
+    def force(self, name: str) -> OperatingPoint:
+        """Force a named operating point (used by the cross-layer coordinator
+        when it decides the platform should pre-emptively slow down)."""
+        for index, point in enumerate(self.operating_points):
+            if point.name == name:
+                self._index = index
+                self._apply()
+                return point
+        raise ValueError(f"unknown operating point {name!r}")
+
+    def update(self, temperature_c: float) -> OperatingPoint:
+        """React to a temperature reading; returns the active operating point.
+
+        To avoid over-throttling while the (slow) thermal response to a
+        previous step is still settling, the governor only steps further down
+        while the temperature is not already falling.
+        """
+        falling = (self._last_temperature is not None
+                   and temperature_c < self._last_temperature - 1e-9)
+        if (temperature_c >= self.throttle_threshold_c and not falling
+                and not self.at_lowest_point):
+            self._index += 1
+            self._apply()
+        elif temperature_c <= self.recover_threshold_c and self._index > 0:
+            self._index -= 1
+            self._apply()
+        self._last_temperature = temperature_c
+        return self.current
+
+    def is_critical(self, temperature_c: float) -> bool:
+        """Whether the temperature exceeds the permanent-damage threshold."""
+        return temperature_c >= self.critical_threshold_c

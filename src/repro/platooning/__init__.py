@@ -1,0 +1,30 @@
+"""Cooperative platooning with trust and agreement (Section V).
+
+"Building a platoon with other vehicles can be beneficial in scenarios where
+the vehicles are differently suited for driving in certain weather
+conditions. ... agreeing on a common velocity or a minimum distance between
+vehicles in a platoon is an essential but non-trivial problem as the
+communication to or the platform of another vehicle might not be fully
+trustworthy or even compromised."
+"""
+
+from repro.platooning.trust import TrustModel, TrustLevel
+from repro.platooning.consensus import (
+    ConsensusProtocol,
+    ConsensusResult,
+    Proposal,
+    median_consensus,
+)
+from repro.platooning.platoon import Platoon, PlatoonMember, PlatoonError
+
+__all__ = [
+    "TrustModel",
+    "TrustLevel",
+    "ConsensusProtocol",
+    "ConsensusResult",
+    "Proposal",
+    "median_consensus",
+    "Platoon",
+    "PlatoonMember",
+    "PlatoonError",
+]

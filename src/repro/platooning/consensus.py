@@ -1,0 +1,169 @@
+"""Agreement on common velocity and minimum gap in a platoon.
+
+The paper notes that agreeing on a common velocity or minimum distance "can
+be addressed by agreement or consensus protocols" in the presence of
+untrustworthy or compromised members.  We implement a trust-weighted,
+median-based iterative agreement: every round, members exchange proposals,
+each honest member updates its proposal towards the trimmed/weighted median
+of the received values, and outlier proposals reduce the sender's
+reputation.  The protocol converges for honest majorities because the median
+is robust against a bounded fraction of arbitrary (Byzantine) values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.platooning.trust import TrustModel
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """One member's proposal for the agreement variable in one round."""
+
+    member: str
+    value: float
+    round_index: int
+
+
+@dataclass
+class ConsensusResult:
+    """Outcome of an agreement run."""
+
+    converged: bool
+    value: Optional[float]
+    rounds: int
+    final_proposals: Dict[str, float] = field(default_factory=dict)
+    excluded_members: List[str] = field(default_factory=list)
+
+    def agreement_error(self, honest_members: Sequence[str]) -> float:
+        """Maximum spread among honest members' final proposals."""
+        values = [self.final_proposals[m] for m in honest_members if m in self.final_proposals]
+        if len(values) < 2:
+            return 0.0
+        return max(values) - min(values)
+
+
+def median_consensus(values: Sequence[float], weights: Optional[Sequence[float]] = None) -> float:
+    """Weighted median of the values (robust aggregation primitive)."""
+    if not values:
+        raise ValueError("cannot aggregate an empty proposal set")
+    if weights is None:
+        weights = [1.0] * len(values)
+    if len(weights) != len(values):
+        raise ValueError("weights must match values")
+    pairs = sorted(zip(values, weights), key=lambda p: p[0])
+    total = sum(w for _, w in pairs)
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+    cumulative = 0.0
+    for value, weight in pairs:
+        cumulative += weight
+        if cumulative >= total / 2.0:
+            return value
+    return pairs[-1][0]
+
+
+class ConsensusProtocol:
+    """Iterative trust-weighted median agreement.
+
+    Parameters
+    ----------
+    trust:
+        Trust model used to weight proposals and to learn from deviations.
+    tolerance:
+        Convergence threshold on the spread of honest proposals.
+    max_rounds:
+        Upper bound on rounds (the protocol reports non-convergence beyond it).
+    step:
+        Fraction by which members move towards the aggregate each round.
+    """
+
+    def __init__(self, trust: Optional[TrustModel] = None, tolerance: float = 0.1,
+                 max_rounds: int = 50, step: float = 0.7,
+                 outlier_factor: float = 3.0) -> None:
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be at least 1")
+        if not 0.0 < step <= 1.0:
+            raise ValueError("step must be in (0, 1]")
+        self.trust = trust or TrustModel()
+        self.tolerance = tolerance
+        self.max_rounds = max_rounds
+        self.step = step
+        self.outlier_factor = outlier_factor
+        self.proposal_log: List[Proposal] = []
+
+    def agree(self, initial_proposals: Dict[str, float],
+              faulty_behaviour: Optional[Dict[str, Callable[[int], float]]] = None) -> ConsensusResult:
+        """Run the agreement.
+
+        Parameters
+        ----------
+        initial_proposals:
+            Member -> initial proposal (honest members start from their own
+            preferred value, e.g. the speed their sensors support in fog).
+        faulty_behaviour:
+            Member -> function(round) returning the (arbitrary) value a
+            faulty/malicious member broadcasts instead of following the
+            protocol.
+        """
+        if not initial_proposals:
+            raise ValueError("need at least one member")
+        faulty_behaviour = faulty_behaviour or {}
+        proposals = dict(initial_proposals)
+        honest = [m for m in proposals if m not in faulty_behaviour]
+        if not honest:
+            return ConsensusResult(converged=False, value=None, rounds=0,
+                                   final_proposals=dict(proposals))
+
+        rounds = 0
+        for round_index in range(1, self.max_rounds + 1):
+            rounds = round_index
+            # Broadcast phase: faulty members may send arbitrary values.
+            broadcast: Dict[str, float] = {}
+            for member, value in proposals.items():
+                if member in faulty_behaviour:
+                    broadcast[member] = float(faulty_behaviour[member](round_index))
+                else:
+                    broadcast[member] = value
+                self.proposal_log.append(Proposal(member, broadcast[member], round_index))
+
+            # Trust update: penalize members whose broadcast deviates strongly
+            # from the robust aggregate of everyone else.
+            for member, value in broadcast.items():
+                others = [v for m, v in broadcast.items() if m != member]
+                if not others:
+                    continue
+                reference = median_consensus(others)
+                spread = max(max(others) - min(others), self.tolerance)
+                if abs(value - reference) > self.outlier_factor * spread:
+                    self.trust.record_deviation(member)
+                else:
+                    self.trust.record_consistent(member, strength=0.3)
+
+            # Aggregation phase: honest members move towards the trust-weighted
+            # median of all broadcasts they accept (untrusted members weight 0).
+            weights = {member: self.trust.weight(member) for member in broadcast}
+            if all(weight <= 0 for weight in weights.values()):
+                weights = {member: 1.0 for member in broadcast}
+            aggregate = median_consensus(list(broadcast.values()),
+                                         [weights[m] for m in broadcast])
+            for member in honest:
+                proposals[member] += self.step * (aggregate - proposals[member])
+
+            spread = max(proposals[m] for m in honest) - min(proposals[m] for m in honest)
+            if spread <= self.tolerance:
+                agreed = median_consensus([proposals[m] for m in honest])
+                return ConsensusResult(
+                    converged=True, value=agreed, rounds=rounds,
+                    final_proposals=dict(proposals),
+                    excluded_members=[m for m in broadcast if self.trust.is_untrusted(m)])
+
+        return ConsensusResult(converged=False, value=None, rounds=rounds,
+                               final_proposals=dict(proposals),
+                               excluded_members=[m for m in proposals
+                                                 if self.trust.is_untrusted(m)])

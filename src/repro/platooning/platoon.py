@@ -1,0 +1,192 @@
+"""Platoon formation and operation.
+
+The fog scenario of Section V: "driving in dense fog with inappropriate or
+broken sensors will not be possible by a single autonomous vehicle.
+Nevertheless, building a platoon with better equipped vehicles could still be
+a viable option."  A :class:`Platoon` collects members with heterogeneous
+sensor capabilities, uses the consensus protocol to agree on a common
+velocity and minimum gap, and computes the speed each member can sustain —
+standalone versus inside the platoon — under the current weather.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.platooning.consensus import ConsensusProtocol, ConsensusResult
+from repro.platooning.trust import TrustModel
+from repro.vehicle.environment import Weather
+
+
+class PlatoonError(RuntimeError):
+    """Raised for invalid platoon operations."""
+
+
+@dataclass
+class PlatoonMember:
+    """One vehicle participating in (or considering) a platoon.
+
+    Attributes
+    ----------
+    name:
+        Vehicle identifier.
+    sensor_visibility_m:
+        Range up to which the member's own sensors work in clear conditions.
+    sensor_fog_capability:
+        Fraction of the sensor range retained in dense fog (radar-equipped
+        vehicles retain much more than camera-only vehicles).
+    preferred_speed_mps:
+        The speed the member would like to drive.
+    malicious:
+        If True, the member does not follow the agreement protocol (its
+        broadcasts are arbitrary) — the trust/consensus machinery must cope.
+    """
+
+    name: str
+    sensor_visibility_m: float = 150.0
+    sensor_fog_capability: float = 0.3
+    preferred_speed_mps: float = 25.0
+    reaction_time_s: float = 0.8
+    max_deceleration_mps2: float = 6.0
+    malicious: bool = False
+
+    def effective_sight_m(self, weather: Weather) -> float:
+        """Sight distance available to this member under the given weather."""
+        weather_limited = weather.visibility_m
+        own_limit = self.sensor_visibility_m
+        if weather.visibility_m < 1000.0:
+            own_limit = self.sensor_visibility_m * max(self.sensor_fog_capability,
+                                                       weather.visibility_m / 1000.0)
+        return min(weather_limited if self.sensor_fog_capability < 1.0 else own_limit,
+                   own_limit)
+
+    def safe_standalone_speed(self, weather: Weather) -> float:
+        """Maximum speed at which the member can stop within its own sight
+        distance (v^2 / (2 a) + v t_r <= sight)."""
+        sight = self.effective_sight_m(weather)
+        a = self.max_deceleration_mps2 * weather.friction_factor
+        t_r = self.reaction_time_s
+        # Solve v^2/(2a) + v*t_r - sight = 0 for v >= 0.
+        discriminant = (a * t_r) ** 2 + 2.0 * a * sight
+        speed = -a * t_r + discriminant ** 0.5
+        return max(0.0, min(speed, self.preferred_speed_mps))
+
+
+class Platoon:
+    """A platoon of cooperating vehicles.
+
+    Parameters
+    ----------
+    leader:
+        Name of the leading member (must be added as a member); the leader's
+        sensing effectively extends to all followers.
+    """
+
+    def __init__(self, leader: str, trust: Optional[TrustModel] = None,
+                 protocol: Optional[ConsensusProtocol] = None) -> None:
+        self.leader = leader
+        self.trust = trust or TrustModel()
+        self.protocol = protocol or ConsensusProtocol(trust=self.trust)
+        self._members: Dict[str, PlatoonMember] = {}
+        self.agreed_speed_mps: Optional[float] = None
+        self.agreed_gap_m: Optional[float] = None
+
+    # -- membership -----------------------------------------------------------------------
+
+    def add_member(self, member: PlatoonMember) -> PlatoonMember:
+        if member.name in self._members:
+            raise PlatoonError(f"duplicate member {member.name!r}")
+        self._members[member.name] = member
+        return member
+
+    def remove_member(self, name: str) -> PlatoonMember:
+        if name == self.leader:
+            raise PlatoonError("cannot remove the platoon leader")
+        try:
+            return self._members.pop(name)
+        except KeyError as exc:
+            raise PlatoonError(f"unknown member {name!r}") from exc
+
+    def member(self, name: str) -> PlatoonMember:
+        try:
+            return self._members[name]
+        except KeyError as exc:
+            raise PlatoonError(f"unknown member {name!r}") from exc
+
+    def members(self) -> List[PlatoonMember]:
+        return list(self._members.values())
+
+    def size(self) -> int:
+        return len(self._members)
+
+    def honest_members(self) -> List[PlatoonMember]:
+        return [m for m in self._members.values() if not m.malicious]
+
+    # -- capability assessment ----------------------------------------------------------------
+
+    def best_sight_m(self, weather: Weather) -> float:
+        """The best sensing available in the platoon (normally the leader's)."""
+        if not self._members:
+            return 0.0
+        return max(m.effective_sight_m(weather) for m in self.honest_members() or self.members())
+
+    def platoon_speed_bound(self, member: PlatoonMember, weather: Weather,
+                            gap_m: float) -> float:
+        """Speed a follower can sustain inside the platoon.
+
+        Inside a platoon the follower only needs to react to the preceding
+        vehicle at the agreed gap (cooperative sensing / coordinated braking)
+        instead of stopping within its own sight distance.
+        """
+        a = member.max_deceleration_mps2 * weather.friction_factor
+        t_r = member.reaction_time_s
+        effective_distance = max(gap_m, 2.0) + 0.5 * self.best_sight_m(weather)
+        discriminant = (a * t_r) ** 2 + 2.0 * a * effective_distance
+        speed = -a * t_r + discriminant ** 0.5
+        return max(0.0, min(speed, member.preferred_speed_mps))
+
+    # -- agreement ------------------------------------------------------------------------------
+
+    def agree_on_speed_and_gap(self, weather: Weather,
+                               min_gap_m: float = 10.0) -> ConsensusResult:
+        """Agree on the common platoon velocity (and derive the gap).
+
+        Honest members propose the speed they can sustain inside the platoon;
+        malicious members broadcast inflated values (they want the platoon to
+        go dangerously fast) — the consensus protocol must keep the agreed
+        speed close to what the honest members can support.
+        """
+        if self.leader not in self._members:
+            raise PlatoonError(f"leader {self.leader!r} is not a platoon member")
+        if self.size() < 2:
+            raise PlatoonError("a platoon needs at least two members")
+
+        initial: Dict[str, float] = {}
+        faulty: Dict[str, Callable[[int], float]] = {}
+        for member in self._members.values():
+            bound = self.platoon_speed_bound(member, weather, min_gap_m)
+            initial[member.name] = bound
+            if member.malicious:
+                faulty[member.name] = (
+                    lambda round_index, base=member.preferred_speed_mps:
+                    base * 2.0 + 5.0 * round_index)
+        result = self.protocol.agree(initial, faulty_behaviour=faulty)
+        if result.converged and result.value is not None:
+            honest_bounds = [initial[m.name] for m in self.honest_members()]
+            # Never agree on a speed above what the slowest honest member supports.
+            self.agreed_speed_mps = min(result.value, min(honest_bounds))
+            self.agreed_gap_m = max(min_gap_m,
+                                    self.agreed_speed_mps * 0.6)  # ~0.6 s time gap in platoon
+        return result
+
+    def standalone_speeds(self, weather: Weather) -> Dict[str, float]:
+        """Member -> speed achievable without the platoon (for comparison)."""
+        return {m.name: m.safe_standalone_speed(weather) for m in self._members.values()}
+
+    def speed_benefit(self, member_name: str, weather: Weather) -> Optional[float]:
+        """Speed gained by the member from joining the platoon (m/s)."""
+        if self.agreed_speed_mps is None:
+            return None
+        member = self.member(member_name)
+        return self.agreed_speed_mps - member.safe_standalone_speed(weather)

@@ -1,0 +1,109 @@
+"""Trust model for cooperating vehicles.
+
+Cooperation "rais[es] issues of trust and self-protection against other
+malicious neighbors" (Section V).  The trust model maintains a per-peer
+reputation in [0, 1] that increases with consistent behaviour (proposals
+close to the agreed value, heartbeats on time) and decreases with deviations;
+the platoon uses it to weight or exclude peers during agreement.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class TrustLevel(enum.Enum):
+    """Discrete trust classes derived from the continuous reputation score."""
+
+    UNTRUSTED = "untrusted"
+    SUSPECT = "suspect"
+    TRUSTED = "trusted"
+
+
+class TrustModel:
+    """Evidence-based reputation per peer.
+
+    Parameters
+    ----------
+    initial_trust:
+        Reputation assigned to newly encountered peers (cautious default).
+    trusted_threshold / untrusted_threshold:
+        Boundaries of the discrete trust classes.
+    """
+
+    def __init__(self, initial_trust: float = 0.6,
+                 trusted_threshold: float = 0.7,
+                 untrusted_threshold: float = 0.3,
+                 learning_rate: float = 0.2) -> None:
+        if not 0.0 <= untrusted_threshold < trusted_threshold <= 1.0:
+            raise ValueError("need 0 <= untrusted < trusted <= 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning rate must be in (0, 1]")
+        if not 0.0 <= initial_trust <= 1.0:
+            raise ValueError("initial trust must be in [0, 1]")
+        self.initial_trust = initial_trust
+        self.trusted_threshold = trusted_threshold
+        self.untrusted_threshold = untrusted_threshold
+        self.learning_rate = learning_rate
+        self._reputation: Dict[str, float] = {}
+        self._observations: Dict[str, int] = {}
+
+    # -- queries -----------------------------------------------------------------------
+
+    def reputation(self, peer: str) -> float:
+        return self._reputation.get(peer, self.initial_trust)
+
+    def level(self, peer: str) -> TrustLevel:
+        score = self.reputation(peer)
+        if score >= self.trusted_threshold:
+            return TrustLevel.TRUSTED
+        if score <= self.untrusted_threshold:
+            return TrustLevel.UNTRUSTED
+        return TrustLevel.SUSPECT
+
+    def is_trusted(self, peer: str) -> bool:
+        return self.level(peer) == TrustLevel.TRUSTED
+
+    def is_untrusted(self, peer: str) -> bool:
+        return self.level(peer) == TrustLevel.UNTRUSTED
+
+    def peers(self) -> List[str]:
+        return sorted(self._reputation)
+
+    def observations_of(self, peer: str) -> int:
+        return self._observations.get(peer, 0)
+
+    def weight(self, peer: str) -> float:
+        """Weight for consensus aggregation: zero for untrusted peers,
+        reputation otherwise."""
+        if self.is_untrusted(peer):
+            return 0.0
+        return self.reputation(peer)
+
+    # -- evidence ------------------------------------------------------------------------
+
+    def record_consistent(self, peer: str, strength: float = 1.0) -> float:
+        """Record behaviour consistent with the agreement/expectation."""
+        return self._update(peer, target=1.0, strength=strength)
+
+    def record_deviation(self, peer: str, strength: float = 1.0) -> float:
+        """Record behaviour deviating from the agreement/expectation."""
+        return self._update(peer, target=0.0, strength=strength)
+
+    def _update(self, peer: str, target: float, strength: float) -> float:
+        strength = min(max(strength, 0.0), 1.0)
+        current = self.reputation(peer)
+        updated = current + self.learning_rate * strength * (target - current)
+        self._reputation[peer] = min(1.0, max(0.0, updated))
+        self._observations[peer] = self._observations.get(peer, 0) + 1
+        return self._reputation[peer]
+
+    def reset(self, peer: Optional[str] = None) -> None:
+        if peer is None:
+            self._reputation.clear()
+            self._observations.clear()
+        else:
+            self._reputation.pop(peer, None)
+            self._observations.pop(peer, None)

@@ -1,0 +1,25 @@
+"""Weather-aware route planning under uncertainty (Section V).
+
+"If the system was aware that its systems may degrade on a certain route due
+to possible weather influences, it could plan alternative routes which avoid
+weather-related degradation. ... a self-aware vehicle could determine whether
+it plans a (possibly shorter) route across an alpine pass in winter or
+whether it is advantageous to take a longer detour without risking degraded
+performance."
+"""
+
+from repro.routing.road_network import RoadNetwork, RoadSegment, RouteError
+from repro.routing.weather_forecast import WeatherForecast, SegmentForecast
+from repro.routing.planner import RiskAwarePlanner, Route, PlannerConfig, build_alpine_network
+
+__all__ = [
+    "RoadNetwork",
+    "RoadSegment",
+    "RouteError",
+    "WeatherForecast",
+    "SegmentForecast",
+    "RiskAwarePlanner",
+    "Route",
+    "PlannerConfig",
+    "build_alpine_network",
+]

@@ -1,0 +1,187 @@
+"""Risk-aware route planner.
+
+The planner scores candidate routes by expected travel time (degradation
+slows the vehicle down) plus a risk penalty for exposure to conditions the
+vehicle cannot handle.  Vehicle capability enters through a
+``fog_capability`` / ``snow_capability`` profile derived from the ability
+graph (a vehicle with degraded sensors pays a much larger penalty for a
+foggy pass) — this is the "self-aware vehicle plans alternative routes which
+avoid weather-related degradation" behaviour of Section V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.routing.road_network import RoadNetwork, RoadSegment, RouteError
+from repro.routing.weather_forecast import (
+    DEGRADATION_SPEED_FACTOR,
+    WeatherForecast,
+)
+from repro.vehicle.environment import WeatherCondition
+
+
+@dataclass
+class PlannerConfig:
+    """Planner tuning parameters.
+
+    ``risk_aversion`` scales the penalty for expected exposure to conditions
+    the vehicle handles poorly; 0 reproduces a conventional shortest-time
+    planner (the non-self-aware baseline in E8).
+    """
+
+    risk_aversion: float = 1.0
+    max_route_alternatives: int = 64
+    unhandled_condition_penalty_h: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.risk_aversion < 0:
+            raise ValueError("risk aversion must be non-negative")
+        if self.max_route_alternatives < 1:
+            raise ValueError("need at least one route alternative")
+
+
+@dataclass
+class Route:
+    """A scored route."""
+
+    nodes: List[str]
+    length_km: float
+    expected_travel_time_h: float
+    risk_penalty_h: float
+    exposure: float  # expected fraction of the distance under adverse weather
+
+    @property
+    def cost(self) -> float:
+        return self.expected_travel_time_h + self.risk_penalty_h
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        return (f"{' -> '.join(self.nodes)} ({self.length_km:.0f} km, "
+                f"E[T]={self.expected_travel_time_h:.2f} h, risk={self.risk_penalty_h:.2f} h)")
+
+
+class RiskAwarePlanner:
+    """Plan routes that trade distance against weather-related degradation.
+
+    Parameters
+    ----------
+    network:
+        The road network.
+    capabilities:
+        Vehicle capability per weather condition in [0, 1]; 1.0 means the
+        vehicle handles the condition as well as clear weather, 0.0 means it
+        cannot operate in it at all.  Typically derived from the ability
+        graph (e.g. fog capability follows the radar/camera ability scores).
+    """
+
+    def __init__(self, network: RoadNetwork,
+                 capabilities: Optional[Dict[WeatherCondition, float]] = None,
+                 config: Optional[PlannerConfig] = None) -> None:
+        self.network = network
+        self.config = config or PlannerConfig()
+        self.capabilities = {
+            WeatherCondition.CLEAR: 1.0,
+            WeatherCondition.RAIN: 0.9,
+            WeatherCondition.DENSE_FOG: 0.5,
+            WeatherCondition.SNOW: 0.6,
+        }
+        if capabilities:
+            for condition, value in capabilities.items():
+                if not 0.0 <= value <= 1.0:
+                    raise ValueError("capabilities must be in [0, 1]")
+                self.capabilities[condition] = value
+
+    # -- scoring ----------------------------------------------------------------------------
+
+    def segment_expected_time_h(self, segment: RoadSegment,
+                                forecast: WeatherForecast) -> float:
+        """Expected travel time over the segment given the forecast and the
+        vehicle's capability profile."""
+        distribution = forecast.for_segment(segment)
+        expected_time = 0.0
+        for condition, probability in distribution.probabilities.items():
+            speed_factor = DEGRADATION_SPEED_FACTOR[condition]
+            capability = self.capabilities.get(condition, 1.0)
+            if capability <= 0.0:
+                # The vehicle cannot traverse the segment under this condition;
+                # charge the configured penalty instead of an infinite time so
+                # the comparison stays finite (it will practically never win).
+                expected_time += probability * self.config.unhandled_condition_penalty_h
+                continue
+            effective_speed = segment.nominal_speed_kmh * speed_factor * capability
+            expected_time += probability * (segment.length_km / max(effective_speed, 1.0))
+        return expected_time
+
+    def segment_risk_penalty_h(self, segment: RoadSegment, forecast: WeatherForecast) -> float:
+        """Risk penalty: expected time spent in conditions the vehicle handles
+        poorly, weighted by (1 - capability) and the risk aversion."""
+        distribution = forecast.for_segment(segment)
+        penalty = 0.0
+        for condition, probability in distribution.probabilities.items():
+            capability = self.capabilities.get(condition, 1.0)
+            if condition == WeatherCondition.CLEAR or capability >= 1.0:
+                continue
+            nominal_time = segment.length_km / segment.nominal_speed_kmh
+            penalty += probability * (1.0 - capability) * nominal_time
+        return self.config.risk_aversion * penalty
+
+    def score_route(self, nodes: List[str], forecast: WeatherForecast) -> Route:
+        segments = self.network.segments_on(nodes)
+        if not segments:
+            raise RouteError("route has no segments")
+        expected_time = sum(self.segment_expected_time_h(s, forecast) for s in segments)
+        risk_penalty = sum(self.segment_risk_penalty_h(s, forecast) for s in segments)
+        length = sum(s.length_km for s in segments)
+        exposure = (sum(forecast.adverse_probability(s) * s.length_km for s in segments) / length
+                    if length > 0 else 0.0)
+        return Route(nodes=list(nodes), length_km=length,
+                     expected_travel_time_h=expected_time,
+                     risk_penalty_h=risk_penalty, exposure=exposure)
+
+    # -- planning -----------------------------------------------------------------------------
+
+    def alternatives(self, origin: str, destination: str,
+                     forecast: WeatherForecast) -> List[Route]:
+        """All simple routes (bounded by configuration), scored and sorted by cost."""
+        paths = self.network.all_simple_routes(origin, destination)
+        if not paths:
+            raise RouteError(f"no route from {origin!r} to {destination!r}")
+        paths = paths[: self.config.max_route_alternatives]
+        routes = [self.score_route(path, forecast) for path in paths]
+        return sorted(routes, key=lambda r: (r.cost, r.length_km))
+
+    def plan(self, origin: str, destination: str, forecast: WeatherForecast) -> Route:
+        """The minimum-cost route under the forecast."""
+        return self.alternatives(origin, destination, forecast)[0]
+
+
+def build_alpine_network() -> RoadNetwork:
+    """The synthetic alpine scenario network used by E8 and the examples.
+
+    Two principal options connect ``south`` and ``north``: a short route over
+    an exposed alpine ``pass`` and a longer detour through the ``valley``
+    (plus a medium "hill" variant), mirroring the paper's "alpine pass in
+    winter vs longer detour" example.
+    """
+    network = RoadNetwork()
+    # Short but exposed: south -> pass_foot -> pass_summit -> north  (~150 km)
+    network.add_segment(RoadSegment("south", "pass_foot", 40.0, 100.0, "valley",
+                                    name="approach"))
+    network.add_segment(RoadSegment("pass_foot", "pass_summit", 35.0, 60.0, "pass",
+                                    name="alpine pass south ramp"))
+    network.add_segment(RoadSegment("pass_summit", "north", 45.0, 70.0, "pass",
+                                    name="alpine pass north ramp"))
+    # Medium: south -> hill_town -> north over hills (~220 km)
+    network.add_segment(RoadSegment("south", "hill_town", 110.0, 90.0, "hill",
+                                    name="hill road west"))
+    network.add_segment(RoadSegment("hill_town", "north", 95.0, 90.0, "hill",
+                                    name="hill road north"))
+    # Long but sheltered valley detour (~320 km of motorway)
+    network.add_segment(RoadSegment("south", "valley_junction", 120.0, 120.0, "valley",
+                                    name="valley motorway south"))
+    network.add_segment(RoadSegment("valley_junction", "valley_city", 110.0, 120.0, "valley",
+                                    name="valley motorway middle"))
+    network.add_segment(RoadSegment("valley_city", "north", 90.0, 110.0, "valley",
+                                    name="valley motorway north"))
+    return network

@@ -1,0 +1,140 @@
+"""Road network model for route planning.
+
+A directed multigraph of road segments, each with a length, a nominal speed
+and an elevation class (valley / hill / alpine pass) that determines how
+strongly weather degrades it.  The synthetic "alpine" network used by the E8
+benchmark is built in :mod:`repro.routing.planner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+
+class RouteError(RuntimeError):
+    """Raised for invalid network or routing operations."""
+
+
+@dataclass(frozen=True)
+class RoadSegment:
+    """A directed road segment between two nodes.
+
+    Attributes
+    ----------
+    source / destination:
+        Node names.
+    length_km:
+        Segment length.
+    nominal_speed_kmh:
+        Free-flow speed in clear weather.
+    elevation:
+        ``"valley"``, ``"hill"`` or ``"pass"``; higher elevation classes are
+        exposed to harsher weather (snow/fog) and degrade more.
+    name:
+        Optional human-readable name.
+    """
+
+    source: str
+    destination: str
+    length_km: float
+    nominal_speed_kmh: float
+    elevation: str = "valley"
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.length_km <= 0:
+            raise RouteError("segment length must be positive")
+        if self.nominal_speed_kmh <= 0:
+            raise RouteError("segment speed must be positive")
+        if self.elevation not in ("valley", "hill", "pass"):
+            raise RouteError(f"unknown elevation class {self.elevation!r}")
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.source, self.destination)
+
+    @property
+    def nominal_travel_time_h(self) -> float:
+        return self.length_km / self.nominal_speed_kmh
+
+
+class RoadNetwork:
+    """Directed road network with per-segment attributes."""
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+        self._segments: Dict[Tuple[str, str], RoadSegment] = {}
+
+    # -- construction -------------------------------------------------------------------
+
+    def add_node(self, name: str) -> None:
+        if not name:
+            raise RouteError("node name must be non-empty")
+        self._graph.add_node(name)
+
+    def add_segment(self, segment: RoadSegment, bidirectional: bool = True) -> None:
+        """Add a segment (and its reverse, unless ``bidirectional=False``)."""
+        for node in (segment.source, segment.destination):
+            self._graph.add_node(node)
+        if segment.key in self._segments:
+            raise RouteError(f"duplicate segment {segment.key}")
+        self._segments[segment.key] = segment
+        self._graph.add_edge(segment.source, segment.destination)
+        if bidirectional:
+            reverse = RoadSegment(source=segment.destination, destination=segment.source,
+                                  length_km=segment.length_km,
+                                  nominal_speed_kmh=segment.nominal_speed_kmh,
+                                  elevation=segment.elevation,
+                                  name=segment.name)
+            if reverse.key not in self._segments:
+                self._segments[reverse.key] = reverse
+                self._graph.add_edge(reverse.source, reverse.destination)
+
+    # -- queries -------------------------------------------------------------------------
+
+    def nodes(self) -> List[str]:
+        return list(self._graph.nodes)
+
+    def segments(self) -> List[RoadSegment]:
+        return list(self._segments.values())
+
+    def segment(self, source: str, destination: str) -> RoadSegment:
+        try:
+            return self._segments[(source, destination)]
+        except KeyError as exc:
+            raise RouteError(f"no segment {source!r} -> {destination!r}") from exc
+
+    def has_node(self, name: str) -> bool:
+        return name in self._graph
+
+    def neighbours(self, node: str) -> List[str]:
+        if node not in self._graph:
+            raise RouteError(f"unknown node {node!r}")
+        return sorted(self._graph.successors(node))
+
+    def all_simple_routes(self, origin: str, destination: str,
+                          cutoff: Optional[int] = None) -> List[List[str]]:
+        if origin not in self._graph or destination not in self._graph:
+            raise RouteError("origin or destination not in network")
+        return [list(path) for path in
+                nx.all_simple_paths(self._graph, origin, destination, cutoff=cutoff)]
+
+    def segments_on(self, path: Iterable[str]) -> List[RoadSegment]:
+        nodes = list(path)
+        return [self.segment(a, b) for a, b in zip(nodes, nodes[1:])]
+
+    def path_length_km(self, path: Iterable[str]) -> float:
+        return sum(segment.length_km for segment in self.segments_on(path))
+
+    def to_networkx(self) -> nx.DiGraph:
+        graph = self._graph.copy()
+        for (source, destination), segment in self._segments.items():
+            graph.edges[source, destination].update({
+                "length_km": segment.length_km,
+                "nominal_speed_kmh": segment.nominal_speed_kmh,
+                "elevation": segment.elevation,
+            })
+        return graph

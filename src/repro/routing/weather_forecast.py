@@ -1,0 +1,129 @@
+"""Weather forecasts with explicit uncertainty.
+
+"There is also information that inherently contains uncertainty such as
+weather forecasts" (Section V).  A forecast assigns every road segment a
+probability distribution over weather conditions; the planner reasons with
+expected degradation rather than a single deterministic weather value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.routing.road_network import RoadNetwork, RoadSegment, RouteError
+from repro.sim.random import SeededRNG
+from repro.vehicle.environment import Weather, WeatherCondition
+
+#: Relative speed factor a vehicle with degraded sensing must apply per
+#: weather condition (1.0 = no slowdown).  These capture the functional
+#: degradation of perception, not legal speed limits.
+DEGRADATION_SPEED_FACTOR: Dict[WeatherCondition, float] = {
+    WeatherCondition.CLEAR: 1.0,
+    WeatherCondition.RAIN: 0.8,
+    WeatherCondition.DENSE_FOG: 0.35,
+    WeatherCondition.SNOW: 0.45,
+}
+
+#: How much more likely adverse weather is on exposed elevation classes.
+ELEVATION_EXPOSURE: Dict[str, float] = {"valley": 0.4, "hill": 1.0, "pass": 2.2}
+
+
+@dataclass
+class SegmentForecast:
+    """Probability distribution over weather conditions for one segment."""
+
+    probabilities: Dict[WeatherCondition, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.probabilities:
+            self.probabilities = {WeatherCondition.CLEAR: 1.0}
+        total = sum(self.probabilities.values())
+        if total <= 0:
+            raise ValueError("forecast probabilities must sum to a positive value")
+        self.probabilities = {cond: p / total for cond, p in self.probabilities.items()}
+
+    def probability(self, condition: WeatherCondition) -> float:
+        return self.probabilities.get(condition, 0.0)
+
+    def adverse_probability(self) -> float:
+        """Probability of any non-clear condition."""
+        return 1.0 - self.probability(WeatherCondition.CLEAR)
+
+    def expected_speed_factor(self) -> float:
+        """Expected relative speed under the forecast distribution."""
+        return sum(p * DEGRADATION_SPEED_FACTOR[cond]
+                   for cond, p in self.probabilities.items())
+
+    def sample(self, rng: SeededRNG) -> WeatherCondition:
+        """Draw one realized condition (for Monte-Carlo evaluation)."""
+        draw = rng.uniform()
+        cumulative = 0.0
+        for condition, probability in self.probabilities.items():
+            cumulative += probability
+            if draw <= cumulative:
+                return condition
+        return list(self.probabilities)[-1]
+
+
+class WeatherForecast:
+    """Forecast for an entire road network.
+
+    Parameters
+    ----------
+    severity:
+        Overall weather severity in [0, 1]; 0 = stable high-pressure
+        situation, 1 = severe winter storm.  Exposure of individual segments
+        scales with their elevation class.
+    """
+
+    def __init__(self, severity: float = 0.3,
+                 dominant_condition: WeatherCondition = WeatherCondition.SNOW) -> None:
+        if not 0.0 <= severity <= 1.0:
+            raise ValueError("severity must be in [0, 1]")
+        if dominant_condition == WeatherCondition.CLEAR:
+            raise ValueError("dominant adverse condition cannot be CLEAR")
+        self.severity = severity
+        self.dominant_condition = dominant_condition
+        self._overrides: Dict[tuple, SegmentForecast] = {}
+
+    def override(self, segment: RoadSegment, forecast: SegmentForecast) -> None:
+        """Pin a specific forecast for one segment (e.g. live observations)."""
+        self._overrides[segment.key] = forecast
+
+    def for_segment(self, segment: RoadSegment) -> SegmentForecast:
+        """Forecast distribution for one segment."""
+        if segment.key in self._overrides:
+            return self._overrides[segment.key]
+        exposure = ELEVATION_EXPOSURE[segment.elevation]
+        adverse = min(0.95, self.severity * exposure)
+        # Split the adverse probability between the dominant condition and rain.
+        dominant = adverse * 0.75
+        rain = adverse * 0.25
+        return SegmentForecast({
+            WeatherCondition.CLEAR: max(0.0, 1.0 - adverse),
+            self.dominant_condition: dominant,
+            WeatherCondition.RAIN: rain,
+        })
+
+    def expected_speed_factor(self, segment: RoadSegment) -> float:
+        return self.for_segment(segment).expected_speed_factor()
+
+    def adverse_probability(self, segment: RoadSegment) -> float:
+        return self.for_segment(segment).adverse_probability()
+
+    def realize(self, network: RoadNetwork, rng: Optional[SeededRNG] = None) -> Dict[tuple, Weather]:
+        """Draw one concrete weather realization for every segment."""
+        rng = rng or SeededRNG(0)
+        realization: Dict[tuple, Weather] = {}
+        for segment in network.segments():
+            condition = self.for_segment(segment).sample(rng)
+            if condition == WeatherCondition.CLEAR:
+                realization[segment.key] = Weather.clear()
+            elif condition == WeatherCondition.RAIN:
+                realization[segment.key] = Weather.rain(0.5 + 0.5 * self.severity)
+            elif condition == WeatherCondition.DENSE_FOG:
+                realization[segment.key] = Weather.dense_fog(80.0 * (1.0 - 0.5 * self.severity))
+            else:
+                realization[segment.key] = Weather.snow(0.4 + 0.6 * self.severity)
+        return realization

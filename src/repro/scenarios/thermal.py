@@ -1,0 +1,154 @@
+"""Scenario: ambient temperature as a common-cause, cross-layer disturbance (E6).
+
+"Ambient temperatures are a source of common cause faults ... temperature
+can alter the physical properties of the system such that the anticipated
+plant models for control software no longer apply.  On the other hand, it
+can cause performance degradation of the (hardware) platform, which ... may
+require voltage or frequency scaling to prevent permanent damage.  This
+alone, however, does not fully contain the fault as the deteriorated
+hardware performance can still cause deadline misses and other, functional,
+faults." (Section V)
+
+The scenario ramps the ambient temperature, lets the platform throttle (or
+not), and measures the resulting junction temperature, deadline misses of
+the control tasks and the quality of the ACC control loop under four
+strategies: no reaction, platform-only (DVFS), function-only (relax the
+control, i.e. lower speed / longer headway so the slower control loop still
+suffices), and the cross-layer combination of both.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.cpa import ResponseTimeAnalysis
+from repro.platform.resources import ProcessingResource
+from repro.platform.tasks import Task, TaskSet
+from repro.platform.thermal import DvfsGovernor, ThermalModel
+
+
+class ThermalStrategy(enum.Enum):
+    """Reaction strategies compared in E6."""
+
+    NO_REACTION = "no_reaction"
+    PLATFORM_ONLY = "platform_only"
+    FUNCTION_ONLY = "function_only"
+    CROSS_LAYER = "cross_layer"
+
+
+@dataclass
+class ThermalScenarioResult:
+    """Metrics of one thermal scenario run."""
+
+    strategy: ThermalStrategy
+    peak_temperature_c: float
+    time_over_critical_s: float
+    deadline_miss_intervals: int
+    control_quality: float
+    final_speed_factor: float
+    temperature_trace: List[float] = field(default_factory=list)
+
+    @property
+    def hardware_protected(self) -> bool:
+        """No time spent above the permanent-damage threshold."""
+        return self.time_over_critical_s == 0.0
+
+    @property
+    def deadlines_kept(self) -> bool:
+        return self.deadline_miss_intervals == 0
+
+
+def _control_taskset() -> TaskSet:
+    """The control-related task set hosted on the hot processor.
+
+    Utilization is ~0.62 at nominal speed, so throttling to 60% speed pushes
+    it past 1.0 and produces deadline misses unless the function layer relaxes
+    its timing demands.
+    """
+    return TaskSet([
+        Task("acc_control.task", period=0.010, wcet=0.0030, priority=0),
+        Task("object_tracking.task", period=0.020, wcet=0.0060, priority=1),
+        Task("trajectory.task", period=0.050, wcet=0.0110, priority=2),
+    ])
+
+
+def _relaxed_taskset() -> TaskSet:
+    """Function-layer reaction: run the control functions at reduced rates
+    (possible because the vehicle simultaneously lowers its speed, so slower
+    control still keeps the plant stable)."""
+    return TaskSet([
+        Task("acc_control.task", period=0.020, wcet=0.0030, priority=0),
+        Task("object_tracking.task", period=0.040, wcet=0.0060, priority=1),
+        Task("trajectory.task", period=0.200, wcet=0.0110, priority=2),
+    ])
+
+
+def run_thermal_scenario(strategy: ThermalStrategy = ThermalStrategy.CROSS_LAYER,
+                         peak_ambient_c: float = 80.0,
+                         duration_s: float = 600.0,
+                         dt_s: float = 1.0) -> ThermalScenarioResult:
+    """Run the thermal-stress scenario under one reaction strategy.
+
+    The ambient temperature ramps linearly from 35 °C to ``peak_ambient_c``
+    over the first half of the run and stays there.
+    """
+    if duration_s <= 0 or dt_s <= 0:
+        raise ValueError("duration and dt must be positive")
+    processor = ProcessingResource("cpu0", capacity=1.0)
+    thermal = ThermalModel(processor, ambient_c=35.0, delta_t_max=55.0, time_constant_s=60.0)
+    governor = DvfsGovernor(processor, throttle_threshold_c=92.0, recover_threshold_c=80.0,
+                            critical_threshold_c=95.0)
+
+    function_relaxed = strategy in (ThermalStrategy.FUNCTION_ONLY, ThermalStrategy.CROSS_LAYER)
+    platform_reacts = strategy in (ThermalStrategy.PLATFORM_ONLY, ThermalStrategy.CROSS_LAYER)
+    taskset = _relaxed_taskset() if function_relaxed else _control_taskset()
+
+    peak_temperature = thermal.temperature_c
+    time_over_critical = 0.0
+    deadline_miss_intervals = 0
+    temperature_trace: List[float] = []
+    control_penalty = 0.15 if function_relaxed else 0.0  # relaxed control tracks less tightly
+
+    steps = int(round(duration_s / dt_s))
+    ramp_steps = max(1, steps // 2)
+    for step in range(steps):
+        time = step * dt_s
+        ambient = 35.0 + (peak_ambient_c - 35.0) * min(1.0, step / ramp_steps)
+        utilization = min(1.0, ResponseTimeAnalysis(
+            taskset, speed_factor=processor.condition.speed_factor).utilization())
+        thermal.step(dt_s, utilization, governor.current.power_factor, ambient_c=ambient)
+        temperature = thermal.temperature_c
+        temperature_trace.append(temperature)
+        peak_temperature = max(peak_temperature, temperature)
+        if governor.is_critical(temperature):
+            time_over_critical += dt_s
+        if platform_reacts:
+            governor.update(temperature)
+        analysis = ResponseTimeAnalysis(taskset, speed_factor=processor.condition.speed_factor)
+        if not analysis.schedulable():
+            deadline_miss_intervals += 1
+        _ = time
+
+    # Control quality: 1.0 minus penalties for relaxed control and for every
+    # interval in which deadlines were missed (missed deadlines translate into
+    # stale actuation and degraded tracking).
+    miss_fraction = deadline_miss_intervals / steps
+    control_quality = max(0.0, 1.0 - control_penalty - 0.8 * miss_fraction)
+
+    return ThermalScenarioResult(
+        strategy=strategy,
+        peak_temperature_c=peak_temperature,
+        time_over_critical_s=time_over_critical,
+        deadline_miss_intervals=deadline_miss_intervals,
+        control_quality=control_quality,
+        final_speed_factor=processor.condition.speed_factor,
+        temperature_trace=temperature_trace)
+
+
+def compare_thermal_strategies(peak_ambient_c: float = 80.0,
+                               duration_s: float = 600.0) -> Dict[str, ThermalScenarioResult]:
+    """Run all four strategies (E6's table)."""
+    return {strategy.value: run_thermal_scenario(strategy, peak_ambient_c, duration_s)
+            for strategy in ThermalStrategy}

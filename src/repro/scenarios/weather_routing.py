@@ -1,0 +1,95 @@
+"""Scenario: weather-aware route planning under uncertainty (E8).
+
+"A self-aware vehicle could determine whether it plans a (possibly shorter)
+route across an alpine pass in winter or whether it is advantageous to take
+a longer detour without risking degraded performance." (Section V)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.routing.planner import PlannerConfig, RiskAwarePlanner, Route, build_alpine_network
+from repro.routing.weather_forecast import WeatherForecast
+from repro.vehicle.environment import WeatherCondition
+
+
+@dataclass
+class WeatherRoutingResult:
+    """Metrics of one routing decision at a given forecast severity."""
+
+    severity: float
+    aware_route: Route
+    baseline_route: Route
+    aware_takes_detour: bool
+    baseline_takes_detour: bool
+    aware_exposure: float
+    baseline_exposure: float
+    detour_extra_km: float
+
+    @property
+    def aware_avoids_exposure(self) -> bool:
+        return self.aware_exposure <= self.baseline_exposure + 1e-9
+
+
+#: Capability profile of a vehicle whose perception degrades strongly in
+#: snow/fog (the self-aware planner knows this about itself).
+DEGRADED_VEHICLE_CAPABILITIES: Dict[WeatherCondition, float] = {
+    WeatherCondition.CLEAR: 1.0,
+    WeatherCondition.RAIN: 0.85,
+    WeatherCondition.DENSE_FOG: 0.25,
+    WeatherCondition.SNOW: 0.30,
+}
+
+
+def _route_uses_pass(route: Route) -> bool:
+    return any(node.startswith("pass_") for node in route.nodes)
+
+
+def run_weather_routing_scenario(severity: float,
+                                 capabilities: Optional[Dict[WeatherCondition, float]] = None,
+                                 risk_aversion: float = 1.0) -> WeatherRoutingResult:
+    """Compare the self-aware (risk-aware) planner against the baseline
+    shortest-expected-time planner at one forecast severity."""
+    network = build_alpine_network()
+    forecast = WeatherForecast(severity=severity, dominant_condition=WeatherCondition.SNOW)
+    capability_profile = capabilities or DEGRADED_VEHICLE_CAPABILITIES
+
+    aware = RiskAwarePlanner(network, capabilities=capability_profile,
+                             config=PlannerConfig(risk_aversion=risk_aversion))
+    baseline = RiskAwarePlanner(network, capabilities={c: 1.0 for c in WeatherCondition},
+                                config=PlannerConfig(risk_aversion=0.0))
+
+    aware_route = aware.plan("south", "north", forecast)
+    baseline_route = baseline.plan("south", "north", forecast)
+
+    return WeatherRoutingResult(
+        severity=severity,
+        aware_route=aware_route,
+        baseline_route=baseline_route,
+        aware_takes_detour=not _route_uses_pass(aware_route),
+        baseline_takes_detour=not _route_uses_pass(baseline_route),
+        aware_exposure=aware_route.exposure,
+        baseline_exposure=baseline_route.exposure,
+        detour_extra_km=aware_route.length_km - baseline_route.length_km)
+
+
+def sweep_severity(severities: List[float],
+                   risk_aversion: float = 1.0) -> List[WeatherRoutingResult]:
+    """Severity sweep used by the E8 benchmark; shows the crossover severity
+    at which the self-aware planner switches from the pass to the detour."""
+    return [run_weather_routing_scenario(severity, risk_aversion=risk_aversion)
+            for severity in severities]
+
+
+def crossover_severity(resolution: float = 0.05) -> Optional[float]:
+    """The lowest forecast severity at which the self-aware planner abandons
+    the alpine pass (None if it never does within [0, 1])."""
+    severity = 0.0
+    while severity <= 1.0 + 1e-9:
+        result = run_weather_routing_scenario(severity)
+        if result.aware_takes_detour:
+            return severity
+        severity += resolution
+    return None

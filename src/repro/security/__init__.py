@@ -1,0 +1,32 @@
+"""Security layer: intrusion detection, access control and attack injection.
+
+Section V's cross-layer example starts from "monitoring communication
+behavior, the system itself is capable of detecting components or subsystems
+affected by a security leak".  This package provides the communication-
+behaviour intrusion detection system, the distributed access-control
+configuration derived from the deployed contracts, and attack injectors used
+by the scenarios and benchmarks.
+"""
+
+from repro.security.ids import IntrusionDetectionSystem, IdsRule, IntrusionAlert
+from repro.security.access_control import AccessControlConfig, build_policy_from_registry
+from repro.security.attacks import (
+    Attack,
+    MessageInjectionAttack,
+    ComponentCompromiseAttack,
+    FloodingAttack,
+    AttackInjector,
+)
+
+__all__ = [
+    "IntrusionDetectionSystem",
+    "IdsRule",
+    "IntrusionAlert",
+    "AccessControlConfig",
+    "build_policy_from_registry",
+    "Attack",
+    "MessageInjectionAttack",
+    "ComponentCompromiseAttack",
+    "FloodingAttack",
+    "AttackInjector",
+]

@@ -1,0 +1,100 @@
+"""Distributed access control derived from the deployed configuration.
+
+The CCC execution domain follows the principle of least privilege: the only
+communication relations that exist are the service sessions the MCC wired
+(reference [5] of the paper: "A communication framework for distributed
+access control in microkernel-based systems").  This module derives the
+access-control whitelist (for the
+:class:`~repro.monitoring.enforcement.AccessPolicyEnforcer`) and the IDS
+rules from a component registry, so that policy always matches the deployed
+configuration rather than being maintained by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.monitoring.enforcement import AccessPolicyEnforcer
+from repro.platform.components import ComponentRegistry
+from repro.security.ids import IdsRule, IntrusionDetectionSystem
+
+
+@dataclass
+class AccessControlConfig:
+    """The derived access-control configuration.
+
+    Attributes
+    ----------
+    allowed_calls:
+        (client, provider, service) triples permitted by the configuration.
+    can_id_assignments:
+        Component -> set of CAN identifiers the component may transmit.
+    rates:
+        Component -> maximum sustained message rate (Hz).
+    """
+
+    allowed_calls: List[Tuple[str, str, str]] = field(default_factory=list)
+    can_id_assignments: Dict[str, Set[int]] = field(default_factory=dict)
+    rates: Dict[str, float] = field(default_factory=dict)
+
+    def assign_can_ids(self, component: str, can_ids: Set[int],
+                       max_rate_hz: Optional[float] = None) -> None:
+        self.can_id_assignments.setdefault(component, set()).update(can_ids)
+        if max_rate_hz is not None:
+            self.rates[component] = max_rate_hz
+
+    def allowed_peers_of(self, component: str) -> Set[str]:
+        return {provider for client, provider, _ in self.allowed_calls if client == component}
+
+    def components(self) -> List[str]:
+        names: Set[str] = set(self.can_id_assignments)
+        for client, provider, _ in self.allowed_calls:
+            names.add(client)
+            names.add(provider)
+        return sorted(names)
+
+    # -- materialization -----------------------------------------------------------------
+
+    def configure_enforcer(self, enforcer: AccessPolicyEnforcer) -> AccessPolicyEnforcer:
+        """Install the whitelist into an access-policy enforcer."""
+        for client, provider, service in self.allowed_calls:
+            enforcer.allow(client, provider, service)
+        return enforcer
+
+    def configure_ids(self, ids: IntrusionDetectionSystem) -> IntrusionDetectionSystem:
+        """Derive and install IDS rules for every known component."""
+        for component in self.components():
+            ids.add_rule(IdsRule(
+                sender=component,
+                allowed_ids=set(self.can_id_assignments.get(component, set())),
+                allowed_peers=self.allowed_peers_of(component),
+                max_rate_hz=self.rates.get(component)))
+        return ids
+
+
+def build_policy_from_registry(registry: ComponentRegistry,
+                               can_id_assignments: Optional[Dict[str, Set[int]]] = None,
+                               default_rate_hz: Optional[float] = None) -> AccessControlConfig:
+    """Derive the access-control configuration from the active service sessions.
+
+    Parameters
+    ----------
+    registry:
+        The component registry of the deployed configuration.
+    can_id_assignments:
+        Optional CAN identifier assignment per component (from the resource
+        viewpoint of the contracts).
+    default_rate_hz:
+        Optional default rate limit applied to every component.
+    """
+    config = AccessControlConfig()
+    for session in registry.active_sessions():
+        config.allowed_calls.append((session.client, session.provider, session.service))
+    for component in registry.components():
+        if can_id_assignments and component.name in can_id_assignments:
+            config.assign_can_ids(component.name, set(can_id_assignments[component.name]))
+        if default_rate_hz is not None:
+            config.rates.setdefault(component.name, default_rate_hz)
+    config.allowed_calls.sort()
+    return config

@@ -1,0 +1,156 @@
+"""Attack injection for scenarios and benchmarks.
+
+The paper's running example assumes "a security flaw in the software
+component governing rear braking".  The attack injectors model what such a
+compromised component *does*: it emits CAN frames with identifiers it does
+not own, floods the bus, or calls services it has no session for.  Attacks
+are defined declaratively (start time, duration, behaviour) and executed
+against the CAN bus / RTE by the :class:`AttackInjector`, which the E5
+benchmark and the intrusion scenario drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.can.frame import CanFrame
+
+
+@dataclass
+class Attack:
+    """Base class for declarative attacks.
+
+    Attributes
+    ----------
+    name:
+        Attack identifier for reporting.
+    compromised_component:
+        The component the attacker controls (ground truth for evaluating the
+        detector: the IDS should converge on this component).
+    start_time / duration:
+        When the malicious behaviour is active.
+    """
+
+    name: str
+    compromised_component: str
+    start_time: float
+    duration: float = float("inf")
+
+    def active_at(self, time: float) -> bool:
+        return self.start_time <= time < self.start_time + self.duration
+
+    def malicious_frames(self, time: float) -> List[CanFrame]:
+        """CAN frames the attacker emits in the control cycle at ``time``."""
+        return []
+
+    def malicious_calls(self, time: float) -> List[Tuple[str, str]]:
+        """(sender, peer) service calls the attacker attempts at ``time``."""
+        return []
+
+
+@dataclass
+class MessageInjectionAttack(Attack):
+    """Injects frames with identifiers the component does not own.
+
+    This models the typical CAN spoofing attack: a compromised ECU component
+    transmits, e.g., braking commands on behalf of another ECU.
+    """
+
+    spoofed_ids: Sequence[int] = (0x0A0,)
+    frames_per_cycle: int = 1
+    payload: bytes = b"\xde\xad\xbe\xef"
+
+    def malicious_frames(self, time: float) -> List[CanFrame]:
+        if not self.active_at(time):
+            return []
+        frames: List[CanFrame] = []
+        for index in range(self.frames_per_cycle):
+            can_id = self.spoofed_ids[index % len(self.spoofed_ids)]
+            frames.append(CanFrame(can_id=can_id, payload=self.payload[:8],
+                                   source=self.compromised_component))
+        return frames
+
+
+@dataclass
+class FloodingAttack(Attack):
+    """Floods the bus with high-priority frames (denial of service attempt).
+
+    Used only to evaluate the defence (rate limiting and containment) inside
+    the simulated vehicle; the frames carry an identifier owned by the
+    attacker so the rate rule, not the identifier rule, must catch it.
+    """
+
+    can_id: int = 0x010
+    frames_per_cycle: int = 20
+
+    def malicious_frames(self, time: float) -> List[CanFrame]:
+        if not self.active_at(time):
+            return []
+        return [CanFrame(can_id=self.can_id, payload=b"\x00",
+                         source=self.compromised_component)
+                for _ in range(self.frames_per_cycle)]
+
+
+@dataclass
+class ComponentCompromiseAttack(Attack):
+    """The compromised component abuses its service sessions and tries to
+    reach peers it has no session with (lateral movement)."""
+
+    target_peers: Sequence[str] = ()
+    calls_per_cycle: int = 1
+
+    def malicious_calls(self, time: float) -> List[Tuple[str, str]]:
+        if not self.active_at(time) or not self.target_peers:
+            return []
+        calls: List[Tuple[str, str]] = []
+        for index in range(self.calls_per_cycle):
+            peer = self.target_peers[index % len(self.target_peers)]
+            calls.append((self.compromised_component, peer))
+        return calls
+
+
+class AttackInjector:
+    """Executes declarative attacks against the monitored interfaces.
+
+    The injector does not touch the bus/RTE directly; instead the scenario's
+    control loop asks it for the malicious activity of the current cycle and
+    feeds it through the same observation points (IDS, access-policy
+    enforcer) that legitimate traffic passes — which is exactly how a real
+    compromised component would appear to the monitors.
+    """
+
+    def __init__(self) -> None:
+        self._attacks: List[Attack] = []
+        self.injected_frames = 0
+        self.injected_calls = 0
+
+    def add(self, attack: Attack) -> Attack:
+        self._attacks.append(attack)
+        return attack
+
+    def attacks(self) -> List[Attack]:
+        return list(self._attacks)
+
+    def active_attacks(self, time: float) -> List[Attack]:
+        return [attack for attack in self._attacks if attack.active_at(time)]
+
+    def compromised_components(self, time: Optional[float] = None) -> List[str]:
+        attacks = self._attacks if time is None else self.active_attacks(time)
+        return sorted({attack.compromised_component for attack in attacks})
+
+    def frames_at(self, time: float) -> List[CanFrame]:
+        frames: List[CanFrame] = []
+        for attack in self._attacks:
+            emitted = attack.malicious_frames(time)
+            frames.extend(emitted)
+        self.injected_frames += len(frames)
+        return frames
+
+    def calls_at(self, time: float) -> List[Tuple[str, str]]:
+        calls: List[Tuple[str, str]] = []
+        for attack in self._attacks:
+            attempted = attack.malicious_calls(time)
+            calls.extend(attempted)
+        self.injected_calls += len(calls)
+        return calls

@@ -1,0 +1,184 @@
+"""Communication-behaviour intrusion detection.
+
+The IDS observes the communication of components (service calls and CAN
+traffic) and compares it against per-sender rules derived from the deployed
+configuration: which identifiers a sender may use, at which maximum rate,
+and which peers it may talk to.  Violations produce
+:class:`IntrusionAlert` objects carrying the suspected component — the input
+the cross-layer coordinator needs to decide *where* to contain the leak
+(Section V: contain the single affected service rather than shutting down
+the whole Ethernet layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.monitoring.anomaly import Anomaly, AnomalySeverity, AnomalyType
+
+
+@dataclass
+class IdsRule:
+    """Expected communication behaviour of one sender.
+
+    Attributes
+    ----------
+    sender:
+        Component or VM name the rule applies to.
+    allowed_ids:
+        CAN identifiers / message types the sender may emit (empty = any).
+    allowed_peers:
+        Service peers the sender may address (empty = any).
+    max_rate_hz:
+        Maximum sustained message rate; ``None`` disables rate checking.
+    """
+
+    sender: str
+    allowed_ids: Set[int] = field(default_factory=set)
+    allowed_peers: Set[str] = field(default_factory=set)
+    max_rate_hz: Optional[float] = None
+
+
+@dataclass
+class IntrusionAlert:
+    """One detected intrusion indicator."""
+
+    time: float
+    sender: str
+    reason: str
+    observed: Optional[float] = None
+    limit: Optional[float] = None
+
+    def to_anomaly(self) -> Anomaly:
+        return Anomaly(anomaly_type=AnomalyType.SECURITY_INTRUSION, subject=self.sender,
+                       layer="communication", severity=AnomalySeverity.CRITICAL,
+                       time=self.time, observed=self.observed, expected=self.limit,
+                       details={"reason": self.reason})
+
+
+class IntrusionDetectionSystem:
+    """Rule-based IDS over observed communication events.
+
+    The IDS is stateful: it keeps a sliding window of recent transmissions
+    per sender for rate checking, a per-sender violation count, and marks a
+    sender as *suspected compromised* after ``suspicion_threshold``
+    violations (a single malformed message is treated as a glitch; repeated
+    violations indicate an intrusion).
+    """
+
+    def __init__(self, rate_window_s: float = 1.0, suspicion_threshold: int = 3) -> None:
+        if rate_window_s <= 0:
+            raise ValueError("rate window must be positive")
+        if suspicion_threshold < 1:
+            raise ValueError("suspicion threshold must be at least 1")
+        self.rate_window_s = rate_window_s
+        self.suspicion_threshold = suspicion_threshold
+        self._rules: Dict[str, IdsRule] = {}
+        self._recent_times: Dict[str, List[float]] = {}
+        self._violations: Dict[str, int] = {}
+        #: Pending alerts (cleared when drained into the awareness loop).
+        self.alerts: List[IntrusionAlert] = []
+        #: Full alert history (never cleared; used for detection-time metrics).
+        self.alert_history: List[IntrusionAlert] = []
+
+    # -- configuration -----------------------------------------------------------------
+
+    def add_rule(self, rule: IdsRule) -> None:
+        self._rules[rule.sender] = rule
+
+    def rule_for(self, sender: str) -> Optional[IdsRule]:
+        return self._rules.get(sender)
+
+    def senders(self) -> List[str]:
+        return list(self._rules)
+
+    # -- observation --------------------------------------------------------------------
+
+    def observe_can_frame(self, time: float, sender: str, can_id: int) -> List[IntrusionAlert]:
+        """Observe one CAN transmission attributed to ``sender``."""
+        alerts: List[IntrusionAlert] = []
+        rule = self._rules.get(sender)
+        if rule is None:
+            alerts.append(self._alert(time, sender, "unknown sender"))
+            return alerts
+        if rule.allowed_ids and can_id not in rule.allowed_ids:
+            alerts.append(self._alert(time, sender,
+                                      f"unauthorized CAN id {can_id:#x}", observed=float(can_id)))
+        alerts.extend(self._check_rate(time, sender, rule))
+        return alerts
+
+    def observe_service_call(self, time: float, sender: str, peer: str) -> List[IntrusionAlert]:
+        """Observe one service invocation from ``sender`` to ``peer``."""
+        alerts: List[IntrusionAlert] = []
+        rule = self._rules.get(sender)
+        if rule is None:
+            alerts.append(self._alert(time, sender, "unknown sender"))
+            return alerts
+        if rule.allowed_peers and peer not in rule.allowed_peers:
+            alerts.append(self._alert(time, sender, f"unauthorized peer {peer!r}"))
+        alerts.extend(self._check_rate(time, sender, rule))
+        return alerts
+
+    def _check_rate(self, time: float, sender: str, rule: IdsRule) -> List[IntrusionAlert]:
+        times = self._recent_times.setdefault(sender, [])
+        times.append(time)
+        cutoff = time - self.rate_window_s
+        while times and times[0] < cutoff:
+            times.pop(0)
+        if rule.max_rate_hz is not None:
+            rate = len(times) / self.rate_window_s
+            if rate > rule.max_rate_hz:
+                return [self._alert(time, sender, "rate limit exceeded",
+                                    observed=rate, limit=rule.max_rate_hz)]
+        return []
+
+    def _alert(self, time: float, sender: str, reason: str,
+               observed: Optional[float] = None, limit: Optional[float] = None) -> IntrusionAlert:
+        alert = IntrusionAlert(time=time, sender=sender, reason=reason,
+                               observed=observed, limit=limit)
+        self.alerts.append(alert)
+        self.alert_history.append(alert)
+        self._violations[sender] = self._violations.get(sender, 0) + 1
+        return alert
+
+    # -- assessment ------------------------------------------------------------------------
+
+    def violations_of(self, sender: str) -> int:
+        return self._violations.get(sender, 0)
+
+    def suspected_compromised(self) -> List[str]:
+        """Senders whose violation count reached the suspicion threshold."""
+        return sorted(sender for sender, count in self._violations.items()
+                      if count >= self.suspicion_threshold)
+
+    def is_suspected(self, sender: str) -> bool:
+        return self.violations_of(sender) >= self.suspicion_threshold
+
+    def first_alert_time(self, sender: str) -> Optional[float]:
+        for alert in self.alert_history:
+            if alert.sender == sender:
+                return alert.time
+        return None
+
+    def detection_time(self, sender: str) -> Optional[float]:
+        """Time at which the sender crossed the suspicion threshold."""
+        count = 0
+        for alert in self.alert_history:
+            if alert.sender == sender:
+                count += 1
+                if count >= self.suspicion_threshold:
+                    return alert.time
+        return None
+
+    def drain_anomalies(self) -> List[Anomaly]:
+        """Convert and clear pending alerts into anomalies for the awareness loop."""
+        anomalies = [alert.to_anomaly() for alert in self.alerts]
+        self.alerts.clear()
+        return anomalies
+
+    def reset(self) -> None:
+        self.alerts.clear()
+        self.alert_history.clear()
+        self._violations.clear()
+        self._recent_times.clear()

@@ -1,0 +1,23 @@
+"""Discrete-event simulation substrate.
+
+Every time-driven subsystem in this reproduction (platform scheduling, CAN
+bus, vehicle dynamics, monitoring loops) runs on top of the small
+discrete-event kernel defined here.  The kernel is deliberately simple: an
+event calendar ordered by (time, priority, sequence number), a simulation
+clock, and a trace recorder that downstream analyses and benchmarks consume.
+"""
+
+from repro.sim.kernel import Event, EventQueue, Simulator, Process
+from repro.sim.trace import Trace, TraceRecord, TraceRecorder
+from repro.sim.random import SeededRNG
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Process",
+    "Trace",
+    "TraceRecord",
+    "TraceRecorder",
+    "SeededRNG",
+]

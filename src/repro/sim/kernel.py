@@ -1,0 +1,229 @@
+"""Discrete-event simulation kernel.
+
+The kernel models time as a float (seconds by convention, although callers
+may use any consistent unit).  Events are callbacks scheduled at absolute
+times; ties are broken first by an integer priority (lower runs first) and
+then by insertion order, which keeps runs fully deterministic.
+
+Two usage styles are supported:
+
+* **Callback style** -- ``sim.schedule(t, fn)`` or ``sim.schedule_in(dt, fn)``.
+* **Process style** -- subclasses of :class:`Process` implement ``step`` and
+  are re-scheduled periodically; this is how periodic tasks, monitors and
+  controllers are expressed throughout the library.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid kernel operations (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled event.
+
+    Events compare by ``(time, priority, seq)`` so that the event queue pops
+    them in deterministic order.  The callback and its metadata do not take
+    part in the comparison.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[["Simulator"], None] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A cancellable priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def push(self, time: float, callback: Callable[["Simulator"], None],
+             priority: int = 0, name: str = "") -> Event:
+        if math.isnan(time):
+            raise SimulationError("cannot schedule an event at time NaN")
+        event = Event(time=time, priority=priority, seq=next(self._counter),
+                      callback=callback, name=name)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the next non-cancelled event, or ``None`` if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def cancel(self, event: Event) -> None:
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+
+class Simulator:
+    """Discrete-event simulator with a monotonic clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial simulation time (default 0.0).
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._queue = EventQueue()
+        self._now = start_time
+        self._running = False
+        self._stopped = False
+        self._processes: List[Process] = []
+        self.stats: Dict[str, Any] = {"events_executed": 0}
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, time: float, callback: Callable[["Simulator"], None],
+                 priority: int = 0, name: str = "") -> Event:
+        """Schedule ``callback`` at absolute ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}")
+        return self._queue.push(time, callback, priority=priority, name=name)
+
+    def schedule_in(self, delay: float, callback: Callable[["Simulator"], None],
+                    priority: int = 0, name: str = "") -> Event:
+        """Schedule ``callback`` at ``now + delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule(self._now + delay, callback, priority=priority, name=name)
+
+    def cancel(self, event: Event) -> None:
+        self._queue.cancel(event)
+
+    def add_process(self, process: "Process") -> None:
+        """Register a process and schedule its first activation."""
+        self._processes.append(process)
+        process.bind(self)
+        self.schedule(max(self._now, process.start_time), process._activate,
+                      priority=process.priority, name=process.name)
+
+    # -- execution --------------------------------------------------------
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed.  Returns the final simulation time."""
+        self._running = True
+        self._stopped = False
+        executed = 0
+        while self._queue and not self._stopped:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            event = self._queue.pop()
+            if event is None:
+                break
+            self._now = event.time
+            event.callback(self)
+            executed += 1
+            self.stats["events_executed"] += 1
+            if max_events is not None and executed >= max_events:
+                break
+        if until is not None and not self._queue and self._now < until and not self._stopped:
+            # advance the clock even if nothing else happens
+            self._now = until
+        self._running = False
+        return self._now
+
+
+class Process:
+    """Base class for periodically activated simulation processes.
+
+    Subclasses implement :meth:`step`, which is called at every activation.
+    If ``period`` is ``None``, the process runs exactly once; otherwise it is
+    re-activated every ``period`` time units until :meth:`deactivate` is
+    called or the simulation ends.
+    """
+
+    def __init__(self, name: str, period: Optional[float] = None,
+                 start_time: float = 0.0, priority: int = 0) -> None:
+        if period is not None and period <= 0:
+            raise SimulationError(f"process period must be positive, got {period}")
+        self.name = name
+        self.period = period
+        self.start_time = start_time
+        self.priority = priority
+        self.activations = 0
+        self.active = True
+        self._sim: Optional[Simulator] = None
+
+    def bind(self, sim: Simulator) -> None:
+        self._sim = sim
+
+    @property
+    def sim(self) -> Simulator:
+        if self._sim is None:
+            raise SimulationError(f"process {self.name!r} is not bound to a simulator")
+        return self._sim
+
+    def deactivate(self) -> None:
+        """Stop future activations of this process."""
+        self.active = False
+
+    def _activate(self, sim: Simulator) -> None:
+        if not self.active:
+            return
+        self.activations += 1
+        self.step(sim)
+        if self.period is not None and self.active:
+            sim.schedule_in(self.period, self._activate,
+                            priority=self.priority, name=self.name)
+
+    def step(self, sim: Simulator) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError

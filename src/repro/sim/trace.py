@@ -1,0 +1,116 @@
+"""Trace recording utilities.
+
+Monitors, schedulers and the CAN bus emit :class:`TraceRecord` entries into a
+shared :class:`TraceRecorder`.  Benchmarks and the self-awareness loop query
+these traces to compute metrics (response times, latencies, detection delays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single trace entry.
+
+    Attributes
+    ----------
+    time:
+        Simulation time at which the event was recorded.
+    category:
+        Free-form grouping key, e.g. ``"task.complete"`` or ``"can.rx"``.
+    source:
+        Name of the emitting entity.
+    data:
+        Arbitrary payload describing the event.
+    """
+
+    time: float
+    category: str
+    source: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class Trace:
+    """An ordered collection of trace records with simple query helpers."""
+
+    def __init__(self, records: Optional[Iterable[TraceRecord]] = None) -> None:
+        self._records: List[TraceRecord] = list(records or [])
+
+    def append(self, record: TraceRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    def filter(self, category: Optional[str] = None, source: Optional[str] = None,
+               predicate: Optional[Callable[[TraceRecord], bool]] = None) -> "Trace":
+        """Return a new trace containing only the matching records."""
+        def match(record: TraceRecord) -> bool:
+            if category is not None and record.category != category:
+                return False
+            if source is not None and record.source != source:
+                return False
+            if predicate is not None and not predicate(record):
+                return False
+            return True
+
+        return Trace(record for record in self._records if match(record))
+
+    def values(self, key: str) -> List[Any]:
+        """Extract ``data[key]`` from every record that carries it."""
+        return [record.data[key] for record in self._records if key in record.data]
+
+    def times(self) -> List[float]:
+        return [record.time for record in self._records]
+
+    def first(self) -> Optional[TraceRecord]:
+        return self._records[0] if self._records else None
+
+    def last(self) -> Optional[TraceRecord]:
+        return self._records[-1] if self._records else None
+
+    def between(self, start: float, end: float) -> "Trace":
+        """Records with ``start <= time <= end``."""
+        return Trace(r for r in self._records if start <= r.time <= end)
+
+    def categories(self) -> List[str]:
+        seen: List[str] = []
+        for record in self._records:
+            if record.category not in seen:
+                seen.append(record.category)
+        return seen
+
+
+class TraceRecorder:
+    """Collects trace records from many emitters.
+
+    The recorder can be disabled to remove tracing overhead from tight
+    benchmark loops; emitters call :meth:`record` unconditionally.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.trace = Trace()
+
+    def record(self, time: float, category: str, source: str, **data: Any) -> None:
+        if not self.enabled:
+            return
+        self.trace.append(TraceRecord(time=time, category=category, source=source, data=data))
+
+    def filter(self, category: Optional[str] = None, source: Optional[str] = None) -> Trace:
+        return self.trace.filter(category=category, source=source)
+
+    def clear(self) -> None:
+        self.trace = Trace()
+
+    def __len__(self) -> int:
+        return len(self.trace)

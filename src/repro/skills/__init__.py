@@ -1,0 +1,46 @@
+"""Skill and ability graphs (Section IV of the paper).
+
+A *skill graph* is a directed acyclic graph of skill nodes, data source
+nodes and data sink nodes modelling which abilities a driving function needs
+and how they depend on each other.  Instantiated with implementations and
+metrics it becomes an *ability graph* used during operation to monitor the
+current system performance, propagate degradations towards the main skill,
+and drive graceful-degradation decisions.
+"""
+
+from repro.skills.graph import NodeKind, SkillNode, SkillGraph, SkillGraphError
+from repro.skills.ability import (
+    AbilityLevel,
+    Ability,
+    AbilityGraph,
+    PropagationPolicy,
+)
+from repro.skills.degradation import (
+    DegradationAction,
+    DegradationActionKind,
+    DegradationPlan,
+    DegradationManager,
+    OperationalRestriction,
+    RedundancySwitch,
+)
+from repro.skills.acc_example import build_acc_skill_graph, build_acc_ability_graph, ACC_MAIN_SKILL
+
+__all__ = [
+    "NodeKind",
+    "SkillNode",
+    "SkillGraph",
+    "SkillGraphError",
+    "AbilityLevel",
+    "Ability",
+    "AbilityGraph",
+    "PropagationPolicy",
+    "DegradationAction",
+    "DegradationActionKind",
+    "DegradationPlan",
+    "DegradationManager",
+    "OperationalRestriction",
+    "RedundancySwitch",
+    "build_acc_skill_graph",
+    "build_acc_ability_graph",
+    "ACC_MAIN_SKILL",
+]

@@ -1,0 +1,255 @@
+"""Ability graphs: run-time capability monitoring.
+
+"A skill can be understood as an abstract representation of the driving task
+including the conditions necessary to provide it while an ability is derived
+from an abstract skill by instantiation and including information about the
+ability's current performance." (Section IV)
+
+An :class:`AbilityGraph` mirrors the structure of a :class:`SkillGraph` but
+every node carries a current performance score in [0, 1].  Leaf scores
+(sensor quality, actuator availability) are set from monitor observations;
+skill scores are computed bottom-up through a propagation policy, and the
+root score is the vehicle's current ability level for the main driving task,
+which "can then guide decision making and the vehicle's behavior execution".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.monitoring.anomaly import Anomaly, AnomalySeverity, AnomalyType
+from repro.skills.graph import NodeKind, SkillGraph, SkillGraphError
+
+
+class AbilityLevel(enum.IntEnum):
+    """Discrete ability levels derived from the continuous performance score."""
+
+    UNAVAILABLE = 0
+    SEVERELY_DEGRADED = 1
+    DEGRADED = 2
+    FULLY_AVAILABLE = 3
+
+    @classmethod
+    def from_score(cls, score: float) -> "AbilityLevel":
+        if score >= 0.9:
+            return cls.FULLY_AVAILABLE
+        if score >= 0.6:
+            return cls.DEGRADED
+        if score >= 0.3:
+            return cls.SEVERELY_DEGRADED
+        return cls.UNAVAILABLE
+
+
+class PropagationPolicy(enum.Enum):
+    """How a skill's score is computed from its own health and its dependencies.
+
+    * ``MIN`` — weakest-link semantics: a skill is only as good as its worst
+      dependency (conservative, the default).
+    * ``WEIGHTED`` — weighted geometric mean of the dependencies; reflects
+      that some dependencies matter more than others and that several mild
+      degradations compound.
+    """
+
+    MIN = "min"
+    WEIGHTED = "weighted"
+
+
+@dataclass
+class Ability:
+    """Run-time state of one node of the ability graph.
+
+    Attributes
+    ----------
+    name:
+        Node name (same as the skill-graph node).
+    kind:
+        Node kind (skill / data source / data sink).
+    implementation:
+        Name of the software component or device realizing the ability; used
+        to join ability state with platform/security observations.
+    intrinsic_score:
+        The node's own health in [0, 1] before considering dependencies
+        (sensor data quality, actuator health, control performance metric).
+    score:
+        The propagated performance score (equals ``intrinsic_score`` for
+        leaves).
+    """
+
+    name: str
+    kind: NodeKind
+    implementation: Optional[str] = None
+    intrinsic_score: float = 1.0
+    score: float = 1.0
+
+    @property
+    def level(self) -> AbilityLevel:
+        return AbilityLevel.from_score(self.score)
+
+    @property
+    def available(self) -> bool:
+        return self.level >= AbilityLevel.DEGRADED
+
+
+class AbilityGraph:
+    """Run-time instantiation of a skill graph with performance propagation."""
+
+    def __init__(self, skill_graph: SkillGraph,
+                 policy: PropagationPolicy = PropagationPolicy.MIN,
+                 implementations: Optional[Dict[str, str]] = None) -> None:
+        problems = skill_graph.validate()
+        if problems:
+            raise SkillGraphError(
+                "cannot instantiate ability graph from invalid skill graph: "
+                + "; ".join(problems))
+        self.skill_graph = skill_graph
+        self.policy = policy
+        self._abilities: Dict[str, Ability] = {}
+        implementations = implementations or {}
+        for node in skill_graph.nodes():
+            self._abilities[node.name] = Ability(
+                name=node.name, kind=node.kind,
+                implementation=implementations.get(node.name))
+        self._history: List[Tuple[float, str, float]] = []
+        self.propagate()
+
+    # -- accessors ------------------------------------------------------------------
+
+    @property
+    def main_skill(self) -> str:
+        return self.skill_graph.main_skill
+
+    def ability(self, name: str) -> Ability:
+        try:
+            return self._abilities[name]
+        except KeyError as exc:
+            raise SkillGraphError(f"unknown ability {name!r}") from exc
+
+    def abilities(self) -> List[Ability]:
+        return list(self._abilities.values())
+
+    def score(self, name: str) -> float:
+        return self.ability(name).score
+
+    def level(self, name: str) -> AbilityLevel:
+        return self.ability(name).level
+
+    def root_score(self) -> float:
+        return self.score(self.main_skill)
+
+    def root_level(self) -> AbilityLevel:
+        return self.level(self.main_skill)
+
+    def implementation_of(self, name: str) -> Optional[str]:
+        return self.ability(name).implementation
+
+    def abilities_implemented_by(self, implementation: str) -> List[Ability]:
+        return [a for a in self._abilities.values() if a.implementation == implementation]
+
+    # -- updates -----------------------------------------------------------------------
+
+    def observe(self, name: str, intrinsic_score: float, time: float = 0.0) -> None:
+        """Set the intrinsic score of a node from a monitor observation and
+        re-propagate."""
+        if not 0.0 <= intrinsic_score <= 1.0:
+            raise ValueError("intrinsic score must lie in [0, 1]")
+        ability = self.ability(name)
+        ability.intrinsic_score = intrinsic_score
+        self._history.append((time, name, intrinsic_score))
+        self.propagate()
+
+    def fail(self, name: str, time: float = 0.0) -> None:
+        """Mark a node as completely failed (score 0)."""
+        self.observe(name, 0.0, time=time)
+
+    def restore(self, name: str, time: float = 0.0) -> None:
+        """Restore a node to nominal health."""
+        self.observe(name, 1.0, time=time)
+
+    def fail_implementation(self, implementation: str, time: float = 0.0) -> List[str]:
+        """Fail every ability realized by the given component (used when the
+        platform or security layer shuts the component down); returns the
+        affected ability names."""
+        affected = [a.name for a in self.abilities_implemented_by(implementation)]
+        for name in affected:
+            self.ability(name).intrinsic_score = 0.0
+            self._history.append((time, name, 0.0))
+        if affected:
+            self.propagate()
+        return affected
+
+    # -- propagation -----------------------------------------------------------------------
+
+    def propagate(self) -> float:
+        """Recompute all scores bottom-up; returns the root score."""
+        for name in self.skill_graph.topological_order():
+            ability = self._abilities[name]
+            node = self.skill_graph.node(name)
+            if node.is_leaf_kind:
+                ability.score = ability.intrinsic_score
+                continue
+            dependencies = self.skill_graph.dependencies_of(name)
+            if not dependencies:
+                ability.score = ability.intrinsic_score
+                continue
+            dependency_scores = [self._abilities[dep].score for dep in dependencies]
+            if self.policy == PropagationPolicy.MIN:
+                combined = min(dependency_scores)
+            else:
+                weights = [self.skill_graph.dependency_weight(name, dep) for dep in dependencies]
+                total_weight = sum(weights)
+                combined = 1.0
+                for dep_score, weight in zip(dependency_scores, weights):
+                    # Weighted geometric mean; a zero dependency forces zero.
+                    if dep_score <= 0.0:
+                        combined = 0.0
+                        break
+                    combined *= dep_score ** (weight / total_weight)
+            ability.score = min(ability.intrinsic_score, combined)
+        return self.root_score()
+
+    # -- diagnostics -------------------------------------------------------------------------
+
+    def degraded_abilities(self, threshold: float = 0.9) -> List[Ability]:
+        """All abilities whose score is below the threshold, ordered worst-first."""
+        degraded = [a for a in self._abilities.values() if a.score < threshold]
+        return sorted(degraded, key=lambda a: (a.score, a.name))
+
+    def root_cause_candidates(self) -> List[Ability]:
+        """Degraded leaves / intrinsically degraded skills — the candidates
+        the degradation manager should address first.
+
+        Error propagation in the graph means a degraded root usually has a
+        small set of intrinsically degraded nodes underneath; this query
+        isolates them (the paper's "visualize error propagation" use case).
+        """
+        candidates = [a for a in self._abilities.values()
+                      if a.intrinsic_score < 1.0 - 1e-9]
+        return sorted(candidates, key=lambda a: (a.intrinsic_score, a.name))
+
+    def anomalies(self, time: float, threshold: float = 0.9) -> List[Anomaly]:
+        """Express current degradations as anomalies on the ability layer."""
+        result: List[Anomaly] = []
+        for ability in self.degraded_abilities(threshold):
+            if ability.level == AbilityLevel.UNAVAILABLE:
+                severity = AnomalySeverity.CRITICAL
+            elif ability.level == AbilityLevel.SEVERELY_DEGRADED:
+                severity = AnomalySeverity.CRITICAL
+            else:
+                severity = AnomalySeverity.WARNING
+            result.append(Anomaly(
+                anomaly_type=AnomalyType.CONTROL_PERFORMANCE
+                if ability.kind == NodeKind.SKILL else AnomalyType.SENSOR_DEGRADATION,
+                subject=ability.name, layer="ability", severity=severity, time=time,
+                observed=ability.score, expected=1.0,
+                details={"level": ability.level.name,
+                         "implementation": ability.implementation}))
+        return result
+
+    def history(self) -> List[Tuple[float, str, float]]:
+        return list(self._history)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Name -> current score for all nodes (for the self-model)."""
+        return {name: ability.score for name, ability in self._abilities.items()}

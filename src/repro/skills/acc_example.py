@@ -1,0 +1,116 @@
+"""The ACC skill graph worked example from Section IV of the paper.
+
+The paper refines Adaptive Cruise Control (ACC) driving as the main skill
+into the abilities to control distance, control speed and keep the vehicle
+controllable for the driver; these refine further down to target-object
+selection, dynamic-object perception/tracking, driver-intent estimation and
+acceleration/deceleration, terminating at environment sensors and the HMI as
+data sources and at the powertrain and braking system as data sinks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.skills.ability import AbilityGraph, PropagationPolicy
+from repro.skills.graph import SkillGraph
+
+#: Name of the root (main) skill of the ACC example.
+ACC_MAIN_SKILL = "acc_driving"
+
+#: Default mapping of ability-graph nodes to the software components /
+#: devices that implement them (matches the component names used by the
+#: vehicle substrate and the example configurations).
+DEFAULT_IMPLEMENTATIONS: Dict[str, str] = {
+    "acc_driving": "acc_controller",
+    "control_distance": "acc_controller",
+    "control_speed": "acc_controller",
+    "keep_vehicle_controllable": "vehicle_supervisor",
+    "select_target_object": "object_tracker",
+    "perceive_track_objects": "object_tracker",
+    "estimate_driver_intent": "driver_intent_estimator",
+    "accelerate_decelerate": "powertrain_coordinator",
+    "decelerate": "brake_controller",
+    "radar_sensor": "radar_sensor",
+    "camera_sensor": "camera_sensor",
+    "hmi": "hmi_unit",
+    "powertrain": "powertrain_actuator",
+    "braking_system": "brake_actuator",
+}
+
+
+def build_acc_skill_graph() -> SkillGraph:
+    """Construct the ACC skill graph exactly as described in the paper."""
+    graph = SkillGraph(main_skill=ACC_MAIN_SKILL)
+
+    # Skills.
+    graph.add_skill(ACC_MAIN_SKILL, "Adaptive cruise control driving (main skill).")
+    graph.add_skill("control_distance", "Control the distance to the preceding vehicle.")
+    graph.add_skill("control_speed", "Control the speed of the ego vehicle.")
+    graph.add_skill("keep_vehicle_controllable",
+                    "Keep the vehicle controllable for the driver.")
+    graph.add_skill("select_target_object", "Select the relevant target object.")
+    graph.add_skill("perceive_track_objects", "Perceive and track dynamic objects.")
+    graph.add_skill("estimate_driver_intent", "Estimate the driver's intent.")
+    graph.add_skill("accelerate_decelerate", "Accelerate and decelerate the vehicle.")
+    graph.add_skill("decelerate", "Decelerate the vehicle if required.")
+
+    # Data sources and sinks.
+    graph.add_data_source("radar_sensor", "RADAR environment sensor.")
+    graph.add_data_source("camera_sensor", "Camera environment sensor.")
+    graph.add_data_source("hmi", "Human-machine interface (driver inputs).")
+    graph.add_data_sink("powertrain", "Powertrain system.")
+    graph.add_data_sink("braking_system", "Braking system.")
+
+    # "For realizing ACC driving, the abilities to control distance, to
+    # control speed and to keep the vehicle controllable for the driver are
+    # required."
+    graph.add_dependency(ACC_MAIN_SKILL, "control_distance")
+    graph.add_dependency(ACC_MAIN_SKILL, "control_speed")
+    graph.add_dependency(ACC_MAIN_SKILL, "keep_vehicle_controllable")
+
+    # "To keep the vehicle controllable for the driver it is necessary to
+    # estimate the driver's intent and to be able to decelerate the vehicle
+    # if required."
+    graph.add_dependency("keep_vehicle_controllable", "estimate_driver_intent")
+    graph.add_dependency("keep_vehicle_controllable", "decelerate")
+
+    # "To control the distance to the preceding vehicle and to control the
+    # speed of the ego vehicle the skill to select a target object is needed.
+    # Both the aforementioned abilities are also dependent on the skill to
+    # estimate the driver's intent and the skill to accelerate and decelerate."
+    graph.add_dependency("control_distance", "select_target_object")
+    graph.add_dependency("control_speed", "select_target_object")
+    graph.add_dependency("control_distance", "estimate_driver_intent")
+    graph.add_dependency("control_speed", "estimate_driver_intent")
+    graph.add_dependency("control_distance", "accelerate_decelerate")
+    graph.add_dependency("control_speed", "accelerate_decelerate")
+
+    # "For the selection of a target object, the system has to be able to
+    # perceive and track dynamic objects which itself depends on environment
+    # sensors as data sources."
+    graph.add_dependency("select_target_object", "perceive_track_objects")
+    graph.add_dependency("perceive_track_objects", "radar_sensor")
+    graph.add_dependency("perceive_track_objects", "camera_sensor")
+
+    # "To estimate the driver's intent, a form of HMI is required as a data
+    # source."
+    graph.add_dependency("estimate_driver_intent", "hmi")
+
+    # "Acceleration and deceleration both require the powertrain system as a
+    # data sink while deceleration also requires the braking system as a data
+    # sink."
+    graph.add_dependency("accelerate_decelerate", "powertrain")
+    graph.add_dependency("decelerate", "powertrain")
+    graph.add_dependency("decelerate", "braking_system")
+
+    return graph
+
+
+def build_acc_ability_graph(policy: PropagationPolicy = PropagationPolicy.MIN,
+                            implementations: Optional[Dict[str, str]] = None) -> AbilityGraph:
+    """Instantiate the ACC skill graph into a runtime ability graph."""
+    mapping = dict(DEFAULT_IMPLEMENTATIONS)
+    if implementations:
+        mapping.update(implementations)
+    return AbilityGraph(build_acc_skill_graph(), policy=policy, implementations=mapping)

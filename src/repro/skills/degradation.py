@@ -1,0 +1,216 @@
+"""Graceful degradation tactics driven by the ability graph.
+
+"In case of a reduced ability level it is possible for the system to apply
+graceful degradation tactics, e.g. by switching to different software
+modules or by performing self-reconfiguration." (Section IV)
+
+The :class:`DegradationManager` holds the catalogue of tactics available for
+each ability (redundant modules to switch to, operational restrictions such
+as speed limits, and the last-resort safe stop) and turns the current ability
+graph state into a :class:`DegradationPlan`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.skills.ability import AbilityGraph, AbilityLevel
+
+
+class DegradationActionKind(enum.Enum):
+    """Kinds of degradation actions the functional level can take."""
+
+    SWITCH_REDUNDANT = "switch_redundant"
+    RESTRICT_OPERATION = "restrict_operation"
+    RECONFIGURE = "reconfigure"
+    SAFE_STOP = "safe_stop"
+
+
+@dataclass(frozen=True)
+class RedundancySwitch:
+    """A redundant implementation that can replace a degraded one."""
+
+    ability: str
+    primary_implementation: str
+    backup_implementation: str
+    performance_penalty: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.performance_penalty < 1.0:
+            raise ValueError("performance penalty must be in [0, 1)")
+
+
+@dataclass
+class DegradationAction:
+    """One concrete action of a degradation plan."""
+
+    kind: DegradationActionKind
+    ability: str
+    detail: str
+    expected_score: float
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        return f"{self.kind.value}({self.ability}): {self.detail}"
+
+
+@dataclass
+class DegradationPlan:
+    """Ordered set of actions plus the predicted resulting root ability level."""
+
+    actions: List[DegradationAction] = field(default_factory=list)
+    predicted_root_score: float = 1.0
+    requires_safe_stop: bool = False
+
+    @property
+    def empty(self) -> bool:
+        return not self.actions
+
+    def action_kinds(self) -> List[DegradationActionKind]:
+        return [action.kind for action in self.actions]
+
+
+@dataclass(frozen=True)
+class OperationalRestriction:
+    """A restriction of the driving task that compensates a degraded ability
+    (e.g. "reduce maximum speed" when braking ability is partial)."""
+
+    ability: str
+    description: str
+    compensated_score: float  # ability score considered acceptable after restriction
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.compensated_score <= 1.0:
+            raise ValueError("compensated score must be in (0, 1]")
+
+
+class DegradationManager:
+    """Chooses graceful degradation tactics from the ability graph state."""
+
+    def __init__(self, ability_graph: AbilityGraph,
+                 safe_stop_threshold: float = 0.3) -> None:
+        if not 0.0 <= safe_stop_threshold <= 1.0:
+            raise ValueError("safe stop threshold must be in [0, 1]")
+        self.ability_graph = ability_graph
+        self.safe_stop_threshold = safe_stop_threshold
+        self._switches: Dict[str, RedundancySwitch] = {}
+        self._restrictions: Dict[str, OperationalRestriction] = {}
+        self._switched: Dict[str, str] = {}
+
+    # -- catalogue -----------------------------------------------------------------
+
+    def register_redundancy(self, switch: RedundancySwitch) -> None:
+        if switch.ability not in self.ability_graph.skill_graph:
+            raise KeyError(f"unknown ability {switch.ability!r}")
+        self._switches[switch.ability] = switch
+
+    def register_restriction(self, restriction: OperationalRestriction) -> None:
+        if restriction.ability not in self.ability_graph.skill_graph:
+            raise KeyError(f"unknown ability {restriction.ability!r}")
+        self._restrictions[restriction.ability] = restriction
+
+    def redundancy_for(self, ability: str) -> Optional[RedundancySwitch]:
+        return self._switches.get(ability)
+
+    def restriction_for(self, ability: str) -> Optional[OperationalRestriction]:
+        return self._restrictions.get(ability)
+
+    def active_switches(self) -> Dict[str, str]:
+        """Ability -> backup implementation currently in use."""
+        return dict(self._switched)
+
+    # -- planning ------------------------------------------------------------------------
+
+    def plan(self, degradation_threshold: float = 0.9) -> DegradationPlan:
+        """Build a degradation plan for the current ability graph state.
+
+        For every intrinsically degraded ability (root cause), prefer
+        switching to a registered redundant implementation; otherwise apply a
+        registered operational restriction; if neither exists and the
+        predicted root score stays below the safe-stop threshold, request a
+        safe stop (the objective-layer escalation of Section V).
+        """
+        plan = DegradationPlan()
+        candidates = [a for a in self.ability_graph.root_cause_candidates()
+                      if a.score < degradation_threshold]
+        compensated: Dict[str, float] = {}
+        for ability in candidates:
+            switch = self._switches.get(ability.name)
+            if switch is not None and self._switched.get(ability.name) != switch.backup_implementation:
+                expected = 1.0 - switch.performance_penalty
+                plan.actions.append(DegradationAction(
+                    kind=DegradationActionKind.SWITCH_REDUNDANT, ability=ability.name,
+                    detail=(f"switch from {switch.primary_implementation} to "
+                            f"{switch.backup_implementation}"),
+                    expected_score=expected))
+                compensated[ability.name] = expected
+                continue
+            restriction = self._restrictions.get(ability.name)
+            if restriction is not None:
+                plan.actions.append(DegradationAction(
+                    kind=DegradationActionKind.RESTRICT_OPERATION, ability=ability.name,
+                    detail=restriction.description,
+                    expected_score=restriction.compensated_score))
+                compensated[ability.name] = max(ability.intrinsic_score,
+                                                restriction.compensated_score)
+                continue
+            # No tactic available: the ability keeps its (intrinsically
+            # degraded) state in the prediction.
+            compensated[ability.name] = ability.intrinsic_score
+
+        plan.predicted_root_score = self._predict_root(compensated)
+        if plan.predicted_root_score < self.safe_stop_threshold:
+            plan.requires_safe_stop = True
+            plan.actions.append(DegradationAction(
+                kind=DegradationActionKind.SAFE_STOP, ability=self.ability_graph.main_skill,
+                detail="ability level below safe threshold; transition to safe state",
+                expected_score=plan.predicted_root_score))
+        return plan
+
+    def _predict_root(self, compensated: Dict[str, float]) -> float:
+        """Predict the root score if the compensations were applied, without
+        mutating the live graph."""
+        original: Dict[str, float] = {}
+        for name, score in compensated.items():
+            original[name] = self.ability_graph.ability(name).intrinsic_score
+            self.ability_graph.ability(name).intrinsic_score = score
+        predicted = self.ability_graph.propagate()
+        for name, score in original.items():
+            self.ability_graph.ability(name).intrinsic_score = score
+        self.ability_graph.propagate()
+        return predicted
+
+    # -- execution ---------------------------------------------------------------------------
+
+    def apply(self, plan: DegradationPlan, time: float = 0.0) -> List[str]:
+        """Apply a plan to the ability graph; returns a log of applied steps.
+
+        Switching to a redundant implementation restores the ability's
+        intrinsic score to (1 - penalty); restrictions raise the score to the
+        compensated value; the safe stop itself is executed by the vehicle
+        layer, so here it is only logged.
+        """
+        log: List[str] = []
+        for action in plan.actions:
+            if action.kind == DegradationActionKind.SWITCH_REDUNDANT:
+                switch = self._switches[action.ability]
+                self._switched[action.ability] = switch.backup_implementation
+                self.ability_graph.ability(action.ability).implementation = (
+                    switch.backup_implementation)
+                self.ability_graph.observe(action.ability, action.expected_score, time=time)
+                log.append(f"switched {action.ability} to {switch.backup_implementation}")
+            elif action.kind == DegradationActionKind.RESTRICT_OPERATION:
+                current = self.ability_graph.ability(action.ability).intrinsic_score
+                self.ability_graph.observe(action.ability,
+                                           max(current, action.expected_score), time=time)
+                log.append(f"restricted operation to compensate {action.ability}")
+            elif action.kind == DegradationActionKind.SAFE_STOP:
+                log.append("requested safe stop")
+            else:  # RECONFIGURE is performed by the MCC, not locally
+                log.append(f"requested reconfiguration for {action.ability}")
+        return log
+
+
+# Re-export the action-kind enum under the name used in the public API.
+DegradationAction.Kind = DegradationActionKind  # type: ignore[attr-defined]

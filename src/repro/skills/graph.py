@@ -1,0 +1,222 @@
+"""Skill graphs: development-time capability models.
+
+"A skill graph is a directed acyclic graph (DAG) that consists of skill
+nodes, data sink nodes, data source nodes, and dependency relations between
+the nodes.  A path in this DAG, starting with a main skill and ending at a
+data source or data sink, represents a chain of dependencies between
+abilities." (Section IV)
+
+Edges point from a skill to the node it depends on, so the main skill is a
+root (no incoming edges) and data sources/sinks are leaves (no outgoing
+edges).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+import networkx as nx
+
+
+class SkillGraphError(ValueError):
+    """Raised for structurally invalid skill graphs."""
+
+
+class NodeKind(enum.Enum):
+    """The three node kinds of a skill graph."""
+
+    SKILL = "skill"
+    DATA_SOURCE = "data_source"
+    DATA_SINK = "data_sink"
+
+
+@dataclass(frozen=True)
+class SkillNode:
+    """One node of a skill graph."""
+
+    name: str
+    kind: NodeKind
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SkillGraphError("node name must be non-empty")
+
+    @property
+    def is_skill(self) -> bool:
+        return self.kind == NodeKind.SKILL
+
+    @property
+    def is_leaf_kind(self) -> bool:
+        return self.kind in (NodeKind.DATA_SOURCE, NodeKind.DATA_SINK)
+
+
+class SkillGraph:
+    """A DAG of skills, data sources and data sinks.
+
+    Parameters
+    ----------
+    main_skill:
+        Name of the root skill (e.g. ``"acc_driving"``); it must be added as
+        a skill node before validation.
+    """
+
+    def __init__(self, main_skill: str) -> None:
+        if not main_skill:
+            raise SkillGraphError("main skill name must be non-empty")
+        self.main_skill = main_skill
+        self._graph = nx.DiGraph()
+        self._nodes: Dict[str, SkillNode] = {}
+
+    # -- construction -------------------------------------------------------------
+
+    def add_node(self, node: SkillNode) -> SkillNode:
+        if node.name in self._nodes:
+            raise SkillGraphError(f"duplicate node {node.name!r}")
+        self._nodes[node.name] = node
+        self._graph.add_node(node.name)
+        return node
+
+    def add_skill(self, name: str, description: str = "") -> SkillNode:
+        return self.add_node(SkillNode(name, NodeKind.SKILL, description))
+
+    def add_data_source(self, name: str, description: str = "") -> SkillNode:
+        return self.add_node(SkillNode(name, NodeKind.DATA_SOURCE, description))
+
+    def add_data_sink(self, name: str, description: str = "") -> SkillNode:
+        return self.add_node(SkillNode(name, NodeKind.DATA_SINK, description))
+
+    def add_dependency(self, skill: str, depends_on: str, weight: float = 1.0) -> None:
+        """Declare that ``skill`` depends on ``depends_on``.
+
+        Only skill nodes may have dependencies; data sources and sinks are
+        terminal.  ``weight`` expresses the relative importance of this
+        dependency for weighted propagation policies.
+        """
+        if skill not in self._nodes:
+            raise SkillGraphError(f"unknown node {skill!r}")
+        if depends_on not in self._nodes:
+            raise SkillGraphError(f"unknown node {depends_on!r}")
+        if not self._nodes[skill].is_skill:
+            raise SkillGraphError(
+                f"{skill!r} is a {self._nodes[skill].kind.value} and cannot have dependencies")
+        if skill == depends_on:
+            raise SkillGraphError(f"node {skill!r} cannot depend on itself")
+        if weight <= 0:
+            raise SkillGraphError("dependency weight must be positive")
+        self._graph.add_edge(skill, depends_on, weight=weight)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(skill, depends_on)
+            raise SkillGraphError(
+                f"adding dependency {skill!r} -> {depends_on!r} would create a cycle")
+
+    # -- accessors --------------------------------------------------------------------
+
+    def node(self, name: str) -> SkillNode:
+        try:
+            return self._nodes[name]
+        except KeyError as exc:
+            raise SkillGraphError(f"unknown node {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> List[SkillNode]:
+        return list(self._nodes.values())
+
+    def skills(self) -> List[SkillNode]:
+        return [n for n in self._nodes.values() if n.kind == NodeKind.SKILL]
+
+    def data_sources(self) -> List[SkillNode]:
+        return [n for n in self._nodes.values() if n.kind == NodeKind.DATA_SOURCE]
+
+    def data_sinks(self) -> List[SkillNode]:
+        return [n for n in self._nodes.values() if n.kind == NodeKind.DATA_SINK]
+
+    def dependencies_of(self, name: str) -> List[str]:
+        """Direct dependencies (children) of a node."""
+        if name not in self._nodes:
+            raise SkillGraphError(f"unknown node {name!r}")
+        return sorted(self._graph.successors(name))
+
+    def dependents_of(self, name: str) -> List[str]:
+        """Direct dependents (parents) of a node."""
+        if name not in self._nodes:
+            raise SkillGraphError(f"unknown node {name!r}")
+        return sorted(self._graph.predecessors(name))
+
+    def dependency_weight(self, skill: str, depends_on: str) -> float:
+        try:
+            return self._graph.edges[skill, depends_on]["weight"]
+        except KeyError as exc:
+            raise SkillGraphError(f"no dependency {skill!r} -> {depends_on!r}") from exc
+
+    def transitive_dependencies(self, name: str) -> Set[str]:
+        if name not in self._nodes:
+            raise SkillGraphError(f"unknown node {name!r}")
+        return set(nx.descendants(self._graph, name))
+
+    def transitive_dependents(self, name: str) -> Set[str]:
+        if name not in self._nodes:
+            raise SkillGraphError(f"unknown node {name!r}")
+        return set(nx.ancestors(self._graph, name))
+
+    def paths_from_main(self) -> List[List[str]]:
+        """All dependency chains from the main skill to a data source/sink."""
+        leaves = [n.name for n in self.nodes() if n.is_leaf_kind]
+        paths: List[List[str]] = []
+        for leaf in leaves:
+            for path in nx.all_simple_paths(self._graph, self.main_skill, leaf):
+                paths.append(list(path))
+        return sorted(paths)
+
+    def topological_order(self) -> List[str]:
+        """Nodes ordered so that every node appears after its dependents
+        (i.e. leaves first, main skill last) — the evaluation order for
+        bottom-up performance propagation."""
+        return list(reversed(list(nx.topological_sort(self._graph))))
+
+    # -- validation --------------------------------------------------------------------
+
+    def validate(self) -> List[str]:
+        """Return the list of structural problems (empty when well-formed).
+
+        Checks: main skill present and a skill node; graph acyclic; every
+        skill has at least one dependency; every non-main node is reachable
+        from the main skill; data sources/sinks have no outgoing edges.
+        """
+        problems: List[str] = []
+        if self.main_skill not in self._nodes:
+            problems.append(f"main skill {self.main_skill!r} is not part of the graph")
+            return problems
+        if not self._nodes[self.main_skill].is_skill:
+            problems.append(f"main skill {self.main_skill!r} is not a skill node")
+        if not nx.is_directed_acyclic_graph(self._graph):
+            problems.append("graph contains a cycle")
+        for node in self._nodes.values():
+            out_degree = self._graph.out_degree(node.name)
+            if node.is_skill and out_degree == 0:
+                problems.append(f"skill {node.name!r} has no dependencies "
+                                "(should be refined to data sources/sinks)")
+            if node.is_leaf_kind and out_degree > 0:
+                problems.append(f"{node.kind.value} {node.name!r} must not have dependencies")
+        reachable = set(nx.descendants(self._graph, self.main_skill)) | {self.main_skill}
+        for name in self._nodes:
+            if name not in reachable:
+                problems.append(f"node {name!r} is not reachable from the main skill")
+        return problems
+
+    def is_valid(self) -> bool:
+        return not self.validate()
+
+    def to_networkx(self) -> nx.DiGraph:
+        graph = self._graph.copy()
+        for name, node in self._nodes.items():
+            graph.nodes[name]["kind"] = node.kind.value
+            graph.nodes[name]["description"] = node.description
+        return graph

@@ -1,0 +1,52 @@
+"""Driving-function substrate (Sections IV and V).
+
+The paper's functional self-awareness concepts are exercised against this
+simulated vehicle: longitudinal dynamics of an ego vehicle following lead
+traffic, environment effects (fog, rain, ambient temperature), sensor models
+whose data quality degrades with the environment and injected faults, a
+simple object tracker, driver-intent estimation, actuators (powertrain and
+brakes, including the drive-train braking fallback used in the rear-brake
+intrusion example) and an ACC controller.
+"""
+
+from repro.vehicle.dynamics import VehicleParameters, VehicleState, LongitudinalDynamics
+from repro.vehicle.environment import Weather, WeatherCondition, Environment, LeadVehicle
+from repro.vehicle.sensors import (
+    Sensor,
+    RadarSensor,
+    CameraSensor,
+    LidarSensor,
+    SensorFault,
+    SensorReading,
+)
+from repro.vehicle.tracking import ObjectTracker, TrackedObject
+from repro.vehicle.driver import DriverIntentEstimator, DriverIntent
+from repro.vehicle.actuators import Actuator, BrakeActuator, PowertrainActuator, ActuatorFault
+from repro.vehicle.acc import AccController, AccConfig, AccStatus
+
+__all__ = [
+    "VehicleParameters",
+    "VehicleState",
+    "LongitudinalDynamics",
+    "Weather",
+    "WeatherCondition",
+    "Environment",
+    "LeadVehicle",
+    "Sensor",
+    "RadarSensor",
+    "CameraSensor",
+    "LidarSensor",
+    "SensorFault",
+    "SensorReading",
+    "ObjectTracker",
+    "TrackedObject",
+    "DriverIntentEstimator",
+    "DriverIntent",
+    "Actuator",
+    "BrakeActuator",
+    "PowertrainActuator",
+    "ActuatorFault",
+    "AccController",
+    "AccConfig",
+    "AccStatus",
+]

@@ -1,0 +1,194 @@
+"""Adaptive Cruise Control (ACC) controller.
+
+The ACC controller realizes the main skill of the paper's worked example:
+it keeps the set speed when no target is present and keeps a time-gap to the
+target object otherwise, using the tracker output, the driver intent and the
+actuators.  The controller continuously assesses its own control performance
+(the self-awareness hook of [21] in the paper) and respects an externally
+imposed speed limit — the knob the ability layer turns when braking
+capability is degraded.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.vehicle.actuators import BrakeActuator, PowertrainActuator
+from repro.vehicle.driver import DriverIntent, DriverIntentKind
+from repro.vehicle.dynamics import LongitudinalDynamics
+from repro.vehicle.tracking import TrackedObject
+
+
+class AccStatus(enum.Enum):
+    """Operational status of the ACC function."""
+
+    ACTIVE = "active"
+    OVERRIDDEN = "overridden"
+    DISENGAGED = "disengaged"
+    DEGRADED = "degraded"
+
+
+@dataclass
+class AccConfig:
+    """ACC tuning parameters."""
+
+    speed_gain: float = 0.35
+    gap_gain: float = 0.18
+    rate_gain: float = 0.45
+    min_gap_m: float = 5.0
+    comfort_decel_mps2: float = 2.5
+    max_decel_mps2: float = 6.0
+    control_period_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.control_period_s <= 0:
+            raise ValueError("control period must be positive")
+        if self.min_gap_m <= 0:
+            raise ValueError("minimum gap must be positive")
+
+
+@dataclass
+class AccCommand:
+    """One control output of the ACC controller."""
+
+    time: float
+    drive: float
+    brake: float
+    target_speed_mps: float
+    status: AccStatus
+    desired_gap_m: Optional[float] = None
+    actual_gap_m: Optional[float] = None
+
+
+class AccController:
+    """Time-gap ACC with self-assessment of control performance."""
+
+    def __init__(self, dynamics: LongitudinalDynamics,
+                 powertrain: PowertrainActuator, brakes: BrakeActuator,
+                 config: Optional[AccConfig] = None) -> None:
+        self.dynamics = dynamics
+        self.powertrain = powertrain
+        self.brakes = brakes
+        self.config = config or AccConfig()
+        self.status = AccStatus.ACTIVE
+        #: Externally imposed maximum speed (m/s); None means unrestricted.
+        self.speed_limit_mps: Optional[float] = None
+        self.commands: List[AccCommand] = []
+        self._speed_errors: List[float] = []
+        self._gap_errors: List[float] = []
+
+    # -- external restrictions -----------------------------------------------------------
+
+    def impose_speed_limit(self, limit_mps: Optional[float]) -> None:
+        """Impose (or lift, with ``None``) a maximum speed; used by the
+        ability layer when braking capability is reduced."""
+        if limit_mps is not None and limit_mps < 0:
+            raise ValueError("speed limit must be non-negative")
+        self.speed_limit_mps = limit_mps
+
+    def disengage(self) -> None:
+        self.status = AccStatus.DISENGAGED
+
+    def engage(self) -> None:
+        self.status = AccStatus.ACTIVE
+
+    # -- control law -------------------------------------------------------------------------
+
+    def step(self, time: float, intent: DriverIntent,
+             track: Optional[TrackedObject]) -> AccCommand:
+        """Compute one control command and apply it to the dynamics model."""
+        config = self.config
+        ego_speed = self.dynamics.state.speed_mps
+
+        if intent.kind == DriverIntentKind.DISENGAGE:
+            self.status = AccStatus.DISENGAGED
+        elif intent.kind in (DriverIntentKind.OVERRIDE_BRAKE,
+                             DriverIntentKind.OVERRIDE_ACCELERATE):
+            self.status = AccStatus.OVERRIDDEN
+        elif self.status in (AccStatus.DISENGAGED, AccStatus.OVERRIDDEN):
+            self.status = AccStatus.ACTIVE
+
+        if self.status == AccStatus.DISENGAGED:
+            command = AccCommand(time=time, drive=0.0, brake=0.0,
+                                 target_speed_mps=0.0, status=self.status)
+            self._apply(command)
+            return command
+        if self.status == AccStatus.OVERRIDDEN:
+            drive = 0.6 if intent.kind == DriverIntentKind.OVERRIDE_ACCELERATE else 0.0
+            brake = 0.6 if intent.kind == DriverIntentKind.OVERRIDE_BRAKE else 0.0
+            command = AccCommand(time=time, drive=drive, brake=brake,
+                                 target_speed_mps=ego_speed, status=self.status)
+            self._apply(command)
+            return command
+
+        # Target speed: driver set speed, clipped by the imposed limit.
+        target_speed = intent.set_speed_mps
+        if self.speed_limit_mps is not None:
+            target_speed = min(target_speed, self.speed_limit_mps)
+
+        desired_gap = None
+        actual_gap = None
+        acceleration_demand = config.speed_gain * (target_speed - ego_speed)
+
+        if track is not None and track.usable:
+            actual_gap = track.range_m
+            desired_gap = max(config.min_gap_m, intent.headway_s * ego_speed)
+            gap_error = actual_gap - desired_gap
+            closing_rate = track.range_rate_mps
+            follow_demand = config.gap_gain * gap_error + config.rate_gain * closing_rate
+            acceleration_demand = min(acceleration_demand, follow_demand)
+            self._gap_errors.append(abs(gap_error) / max(desired_gap, 1.0))
+
+        self._speed_errors.append(abs(target_speed - ego_speed) / max(target_speed, 1.0))
+
+        acceleration_demand = max(-config.max_decel_mps2, min(2.0, acceleration_demand))
+        drive, brake = self._demand_to_commands(acceleration_demand)
+        command = AccCommand(time=time, drive=drive, brake=brake,
+                             target_speed_mps=target_speed, status=self.status,
+                             desired_gap_m=desired_gap, actual_gap_m=actual_gap)
+        self._apply(command)
+        return command
+
+    def _demand_to_commands(self, acceleration_demand: float) -> tuple[float, float]:
+        """Translate an acceleration demand (m/s^2) into drive/brake commands."""
+        params = self.dynamics.parameters
+        if acceleration_demand >= 0:
+            force = acceleration_demand * params.mass_kg + self.dynamics.resistive_forces(
+                self.dynamics.state.speed_mps)
+            drive = min(1.0, max(0.0, force / params.max_drive_force_n))
+            return drive, 0.0
+        required_force = -acceleration_demand * params.mass_kg
+        available = self.dynamics.available_brake_force()
+        brake = min(1.0, required_force / available) if available > 0 else 1.0
+        return 0.0, brake
+
+    def _apply(self, command: AccCommand) -> None:
+        effective_drive = self.powertrain.apply(self.dynamics, command.drive)
+        effective_brake = self.brakes.apply(self.dynamics, command.brake)
+        self.dynamics.step(self.config.control_period_s, effective_drive, effective_brake)
+        self.commands.append(command)
+
+    # -- self-assessment --------------------------------------------------------------------------
+
+    def control_performance(self, window: int = 50) -> float:
+        """Control-performance score in [0, 1] for the ability graph.
+
+        Based on recent normalized speed and gap errors: 1.0 means the
+        controller tracks its references tightly, lower values indicate the
+        plant no longer responds as the controller expects (e.g. degraded
+        brakes, changed friction) — the condition [21] monitors for.
+        """
+        errors: List[float] = []
+        errors.extend(self._speed_errors[-window:])
+        errors.extend(self._gap_errors[-window:])
+        if not errors:
+            return 1.0
+        mean_error = sum(errors) / len(errors)
+        return max(0.0, min(1.0, 1.0 - mean_error))
+
+    def minimum_gap_observed(self) -> Optional[float]:
+        gaps = [c.actual_gap_m for c in self.commands if c.actual_gap_m is not None]
+        return min(gaps) if gaps else None

@@ -1,0 +1,148 @@
+"""Actuator models: powertrain and brake systems (the ACC data sinks).
+
+Actuators accept normalized commands, expose their health/availability (the
+ability scores of the ``powertrain`` and ``braking_system`` data sinks) and
+support fault injection.  The brake actuator distinguishes the front and rear
+circuits so the rear-brake intrusion example of Section V can disable only
+the compromised circuit, and the powertrain actuator offers drive-train
+braking as the compensating capability.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.vehicle.dynamics import LongitudinalDynamics
+
+
+class ActuatorFault(enum.Enum):
+    """Injectable actuator fault modes."""
+
+    NONE = "none"
+    DEGRADED = "degraded"      # only part of the nominal authority available
+    UNAVAILABLE = "unavailable"  # no authority at all
+    COMPROMISED = "compromised"  # under attacker control (must be shut off)
+
+
+class Actuator:
+    """Base actuator with health tracking and fault injection."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.fault = ActuatorFault.NONE
+        self.degradation = 0.0  # fraction of authority lost in DEGRADED mode
+        self.command_history: List[float] = []
+        self.enabled = True
+
+    def inject_fault(self, fault: ActuatorFault, degradation: float = 0.5) -> None:
+        if not 0.0 <= degradation <= 1.0:
+            raise ValueError("degradation must be in [0, 1]")
+        self.fault = fault
+        self.degradation = degradation
+
+    def clear_fault(self) -> None:
+        self.fault = ActuatorFault.NONE
+        self.degradation = 0.0
+
+    def shut_off(self) -> None:
+        """Disable the actuator entirely (containment of a compromised unit)."""
+        self.enabled = False
+
+    def restore(self) -> None:
+        self.enabled = True
+        self.clear_fault()
+
+    @property
+    def availability(self) -> float:
+        """Fraction of nominal authority currently available in [0, 1]."""
+        if not self.enabled or self.fault == ActuatorFault.UNAVAILABLE:
+            return 0.0
+        if self.fault == ActuatorFault.COMPROMISED:
+            # A compromised actuator cannot be trusted even if physically able.
+            return 0.0
+        if self.fault == ActuatorFault.DEGRADED:
+            return max(0.0, 1.0 - self.degradation)
+        return 1.0
+
+    def ability_score(self) -> float:
+        """Score for the corresponding data-sink node of the ability graph."""
+        return self.availability
+
+    def _effective_command(self, command: float) -> float:
+        command = min(max(command, 0.0), 1.0)
+        return command * self.availability
+
+
+class PowertrainActuator(Actuator):
+    """Powertrain (drive) actuator, including drive-train braking capability."""
+
+    def __init__(self, name: str = "powertrain_actuator") -> None:
+        super().__init__(name)
+        self.drivetrain_braking_enabled = True
+
+    def apply(self, dynamics: LongitudinalDynamics, drive_command: float) -> float:
+        """Translate a normalized drive command into the command handed to the
+        dynamics model; returns the effective command."""
+        effective = self._effective_command(drive_command)
+        self.command_history.append(effective)
+        return effective
+
+    def set_drivetrain_braking(self, enabled: bool,
+                               dynamics: Optional[LongitudinalDynamics] = None) -> None:
+        """Enable/disable the drive-train braking contribution (the
+        compensation used when the rear brake circuit is shut off)."""
+        self.drivetrain_braking_enabled = enabled
+        if dynamics is not None:
+            dynamics.set_brake_circuit_availability(
+                drivetrain=self.availability if enabled else 0.0)
+
+
+class BrakeActuator(Actuator):
+    """Friction brake actuator with separate front and rear circuits."""
+
+    def __init__(self, name: str = "brake_actuator") -> None:
+        super().__init__(name)
+        self.front_circuit_available = True
+        self.rear_circuit_available = True
+
+    def disable_circuit(self, circuit: str,
+                        dynamics: Optional[LongitudinalDynamics] = None) -> None:
+        """Disable one brake circuit ("front" or "rear")."""
+        if circuit == "front":
+            self.front_circuit_available = False
+        elif circuit == "rear":
+            self.rear_circuit_available = False
+        else:
+            raise ValueError(f"unknown brake circuit {circuit!r}")
+        self._sync_dynamics(dynamics)
+
+    def enable_circuit(self, circuit: str,
+                       dynamics: Optional[LongitudinalDynamics] = None) -> None:
+        if circuit == "front":
+            self.front_circuit_available = True
+        elif circuit == "rear":
+            self.rear_circuit_available = True
+        else:
+            raise ValueError(f"unknown brake circuit {circuit!r}")
+        self._sync_dynamics(dynamics)
+
+    def _sync_dynamics(self, dynamics: Optional[LongitudinalDynamics]) -> None:
+        if dynamics is None:
+            return
+        overall = self.availability
+        dynamics.set_brake_circuit_availability(
+            front=overall if self.front_circuit_available else 0.0,
+            rear=overall if self.rear_circuit_available else 0.0)
+
+    def apply(self, dynamics: LongitudinalDynamics, brake_command: float) -> float:
+        effective = self._effective_command(brake_command)
+        self.command_history.append(effective)
+        return effective
+
+    def ability_score(self) -> float:
+        """Braking-system ability reflects circuits and general availability."""
+        circuit_factor = (0.5 * (1.0 if self.front_circuit_available else 0.0)
+                          + 0.5 * (1.0 if self.rear_circuit_available else 0.0))
+        return self.availability * circuit_factor

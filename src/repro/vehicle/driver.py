@@ -1,0 +1,134 @@
+"""Driver intent estimation via the HMI (the "estimate driver intent" skill).
+
+In a level-5 vehicle the driver is out of the control loop, but the ACC
+example of the paper still requires driver-intent estimation (set speed,
+headway preference, override requests) through an HMI data source.  The
+estimator debounces raw HMI inputs, tracks the active intent and reports a
+confidence value that doubles as the ability score of the
+``estimate_driver_intent`` skill.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class DriverIntentKind(enum.Enum):
+    """The intents the ACC function distinguishes."""
+
+    CRUISE = "cruise"
+    OVERRIDE_BRAKE = "override_brake"
+    OVERRIDE_ACCELERATE = "override_accelerate"
+    CHANGE_SET_SPEED = "change_set_speed"
+    DISENGAGE = "disengage"
+
+
+@dataclass
+class DriverIntent:
+    """The currently estimated driver intent."""
+
+    kind: DriverIntentKind
+    set_speed_mps: float
+    headway_s: float
+    confidence: float
+    time: float
+
+
+@dataclass
+class HmiInput:
+    """One raw HMI event (button press, pedal actuation)."""
+
+    time: float
+    control: str
+    value: float = 1.0
+
+
+class DriverIntentEstimator:
+    """Debounce HMI inputs into a stable intent estimate.
+
+    Parameters
+    ----------
+    default_set_speed_mps:
+        Initial ACC set speed.
+    default_headway_s:
+        Initial desired time headway.
+    hmi_timeout_s:
+        If no HMI heartbeat arrives for this long, confidence decays —
+        the HMI data source is degrading.
+    """
+
+    def __init__(self, default_set_speed_mps: float = 27.0,
+                 default_headway_s: float = 1.8,
+                 hmi_timeout_s: float = 2.0) -> None:
+        if default_set_speed_mps < 0 or default_headway_s <= 0 or hmi_timeout_s <= 0:
+            raise ValueError("invalid estimator defaults")
+        self.set_speed_mps = default_set_speed_mps
+        self.headway_s = default_headway_s
+        self.hmi_timeout_s = hmi_timeout_s
+        self._intent_kind = DriverIntentKind.CRUISE
+        self._last_hmi_time: Optional[float] = None
+        self._confidence = 1.0
+        self.history: List[DriverIntent] = []
+        self.hmi_available = True
+
+    # -- inputs ------------------------------------------------------------------------
+
+    def process_input(self, event: HmiInput) -> None:
+        """Consume one raw HMI event."""
+        if not self.hmi_available:
+            return
+        self._last_hmi_time = event.time
+        control = event.control.lower()
+        if control == "brake_pedal" and event.value > 0.1:
+            self._intent_kind = DriverIntentKind.OVERRIDE_BRAKE
+        elif control == "accelerator_pedal" and event.value > 0.1:
+            self._intent_kind = DriverIntentKind.OVERRIDE_ACCELERATE
+        elif control == "set_speed":
+            self.set_speed_mps = max(0.0, event.value)
+            self._intent_kind = DriverIntentKind.CHANGE_SET_SPEED
+        elif control == "headway":
+            self.headway_s = max(0.5, event.value)
+        elif control == "cancel":
+            self._intent_kind = DriverIntentKind.DISENGAGE
+        elif control == "resume":
+            self._intent_kind = DriverIntentKind.CRUISE
+        else:
+            # Unknown controls are ignored; heartbeat effect only.
+            pass
+
+    def set_hmi_available(self, available: bool) -> None:
+        """Model an HMI failure/repair (data-source degradation)."""
+        self.hmi_available = available
+
+    # -- estimation -----------------------------------------------------------------------
+
+    def estimate(self, time: float) -> DriverIntent:
+        """Produce the current intent estimate with confidence."""
+        if not self.hmi_available:
+            self._confidence = 0.0
+        elif self._last_hmi_time is None:
+            self._confidence = 0.9  # no input yet: defaults assumed valid
+        else:
+            silence = time - self._last_hmi_time
+            if silence <= self.hmi_timeout_s:
+                self._confidence = 1.0
+            else:
+                # Linear decay after the timeout, floor at 0.3 (the defaults
+                # are still usable but stale).
+                over = silence - self.hmi_timeout_s
+                self._confidence = max(0.3, 1.0 - 0.1 * over)
+        intent = DriverIntent(kind=self._intent_kind, set_speed_mps=self.set_speed_mps,
+                              headway_s=self.headway_s, confidence=self._confidence,
+                              time=time)
+        self.history.append(intent)
+        return intent
+
+    @property
+    def confidence(self) -> float:
+        return self._confidence
+
+    def ability_score(self) -> float:
+        """Score for the ``estimate_driver_intent`` node of the ability graph."""
+        return self._confidence if self.hmi_available else 0.0

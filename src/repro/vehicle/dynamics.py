@@ -1,0 +1,182 @@
+"""Longitudinal vehicle dynamics.
+
+A point-mass longitudinal model is sufficient for every scenario in the
+paper (ACC following, degraded braking, safe stop, platooning): the ego
+vehicle's acceleration results from powertrain force, braking force (front
+and rear circuits modelled separately so the rear-brake intrusion example
+can disable one circuit), aerodynamic drag and rolling resistance.  Ambient
+temperature scales the available friction so the thermal scenario couples
+into the plant model as the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class VehicleParameters:
+    """Physical parameters of the ego vehicle."""
+
+    mass_kg: float = 1600.0
+    drag_coefficient: float = 0.30
+    frontal_area_m2: float = 2.2
+    rolling_resistance: float = 0.012
+    max_drive_force_n: float = 4500.0
+    max_front_brake_force_n: float = 9000.0
+    max_rear_brake_force_n: float = 6000.0
+    #: Maximum regenerative / engine braking force available from the drive
+    #: train (the fallback used when the rear brake circuit is unavailable).
+    max_drivetrain_brake_force_n: float = 2200.0
+    air_density: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.mass_kg <= 0:
+            raise ValueError("vehicle mass must be positive")
+        for name in ("max_drive_force_n", "max_front_brake_force_n",
+                     "max_rear_brake_force_n", "max_drivetrain_brake_force_n"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def max_brake_force_n(self) -> float:
+        return self.max_front_brake_force_n + self.max_rear_brake_force_n
+
+    def max_deceleration(self, friction_factor: float = 1.0) -> float:
+        """Best-case deceleration (m/s^2) with all brake circuits available."""
+        return self.max_brake_force_n * friction_factor / self.mass_kg
+
+
+@dataclass
+class VehicleState:
+    """Kinematic state of the ego vehicle."""
+
+    position_m: float = 0.0
+    speed_mps: float = 0.0
+    acceleration_mps2: float = 0.0
+    time: float = 0.0
+
+    def copy(self) -> "VehicleState":
+        return VehicleState(self.position_m, self.speed_mps, self.acceleration_mps2, self.time)
+
+
+class LongitudinalDynamics:
+    """Forward-Euler integration of the longitudinal point-mass model.
+
+    Parameters
+    ----------
+    parameters:
+        Vehicle parameters.
+    friction_factor:
+        Scales the achievable brake force (1.0 dry road; lowered by the
+        environment for wet/icy conditions or overheated brakes).
+    """
+
+    def __init__(self, parameters: Optional[VehicleParameters] = None,
+                 initial_state: Optional[VehicleState] = None,
+                 friction_factor: float = 1.0) -> None:
+        self.parameters = parameters or VehicleParameters()
+        self.state = initial_state or VehicleState()
+        if not 0.0 < friction_factor <= 1.0:
+            raise ValueError("friction factor must be in (0, 1]")
+        self.friction_factor = friction_factor
+        #: Per-circuit availability in [0, 1]; the intrusion scenario sets the
+        #: rear circuit to 0 when the rear-brake component is shut down.
+        self.front_brake_availability = 1.0
+        self.rear_brake_availability = 1.0
+        self.drivetrain_brake_availability = 1.0
+        self.history: List[VehicleState] = []
+
+    # -- capability queries ------------------------------------------------------------
+
+    def available_brake_force(self) -> float:
+        """Total brake force currently available (N)."""
+        params = self.parameters
+        return self.friction_factor * (
+            params.max_front_brake_force_n * self.front_brake_availability
+            + params.max_rear_brake_force_n * self.rear_brake_availability
+            + params.max_drivetrain_brake_force_n * self.drivetrain_brake_availability)
+
+    def available_deceleration(self) -> float:
+        """Maximum achievable deceleration (m/s^2, positive number)."""
+        return self.available_brake_force() / self.parameters.mass_kg
+
+    def braking_capability_ratio(self) -> float:
+        """Available deceleration relative to the nominal (all circuits) value."""
+        nominal = (self.parameters.max_brake_force_n
+                   + self.parameters.max_drivetrain_brake_force_n) / self.parameters.mass_kg
+        return self.available_deceleration() / nominal if nominal > 0 else 0.0
+
+    def stopping_distance(self, speed_mps: Optional[float] = None) -> float:
+        """Distance needed to stop from the given speed at full available braking."""
+        speed = self.state.speed_mps if speed_mps is None else speed_mps
+        deceleration = self.available_deceleration()
+        if deceleration <= 0:
+            return math.inf
+        return speed * speed / (2.0 * deceleration)
+
+    def safe_speed_for_stopping_distance(self, distance_m: float) -> float:
+        """Maximum speed from which the vehicle can stop within ``distance_m``
+        — the quantity the ability layer uses to derive a reduced speed limit
+        when braking is degraded."""
+        if distance_m <= 0:
+            return 0.0
+        return math.sqrt(2.0 * self.available_deceleration() * distance_m)
+
+    # -- fault injection ------------------------------------------------------------------
+
+    def set_brake_circuit_availability(self, front: Optional[float] = None,
+                                       rear: Optional[float] = None,
+                                       drivetrain: Optional[float] = None) -> None:
+        for name, value in (("front_brake_availability", front),
+                            ("rear_brake_availability", rear),
+                            ("drivetrain_brake_availability", drivetrain)):
+            if value is not None:
+                if not 0.0 <= value <= 1.0:
+                    raise ValueError(f"{name} must be in [0, 1]")
+                setattr(self, name, value)
+
+    # -- integration ------------------------------------------------------------------------
+
+    def resistive_forces(self, speed_mps: float) -> float:
+        """Aerodynamic drag plus rolling resistance at the given speed (N)."""
+        params = self.parameters
+        drag = 0.5 * params.air_density * params.drag_coefficient * params.frontal_area_m2 * speed_mps ** 2
+        rolling = params.rolling_resistance * params.mass_kg * 9.81 if speed_mps > 0 else 0.0
+        return drag + rolling
+
+    def step(self, dt: float, drive_command: float, brake_command: float) -> VehicleState:
+        """Advance the model by ``dt`` seconds.
+
+        ``drive_command`` and ``brake_command`` are normalized commands in
+        [0, 1]; braking is distributed over the available circuits.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        drive_command = min(max(drive_command, 0.0), 1.0)
+        brake_command = min(max(brake_command, 0.0), 1.0)
+        params = self.parameters
+
+        drive_force = drive_command * params.max_drive_force_n
+        brake_force = brake_command * self.available_brake_force()
+        resistive = self.resistive_forces(self.state.speed_mps)
+
+        force = drive_force - brake_force - resistive
+        acceleration = force / params.mass_kg
+        new_speed = self.state.speed_mps + acceleration * dt
+        if new_speed < 0.0:
+            # The vehicle does not roll backwards under braking/drag.
+            new_speed = 0.0
+            acceleration = (new_speed - self.state.speed_mps) / dt
+        new_position = self.state.position_m + self.state.speed_mps * dt + 0.5 * acceleration * dt * dt
+
+        self.state = VehicleState(position_m=new_position, speed_mps=new_speed,
+                                  acceleration_mps2=acceleration, time=self.state.time + dt)
+        self.history.append(self.state.copy())
+        return self.state
+
+    def reset(self, state: Optional[VehicleState] = None) -> None:
+        self.state = state or VehicleState()
+        self.history.clear()

@@ -1,0 +1,166 @@
+"""Environment model: weather, temperature and surrounding traffic.
+
+Section V's examples hinge on environmental effects the system cannot fully
+anticipate: ambient temperature as a common-cause fault, dense fog degrading
+perception, and uncertain weather along a route.  The environment model
+provides these effects as continuous fields over time that the sensors,
+thermal model and route planner sample.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.random import SeededRNG
+
+
+class WeatherCondition(enum.Enum):
+    """Coarse weather classes used by sensors and the route planner."""
+
+    CLEAR = "clear"
+    RAIN = "rain"
+    DENSE_FOG = "dense_fog"
+    SNOW = "snow"
+
+
+@dataclass
+class Weather:
+    """Weather state at one point in time/space.
+
+    ``visibility_m`` is the meteorological visibility that optical sensors
+    depend on; ``friction_factor`` scales the achievable tyre friction;
+    ``precipitation`` in [0, 1] degrades radar performance mildly.
+    """
+
+    condition: WeatherCondition = WeatherCondition.CLEAR
+    visibility_m: float = 10_000.0
+    friction_factor: float = 1.0
+    precipitation: float = 0.0
+    ambient_temperature_c: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.visibility_m <= 0:
+            raise ValueError("visibility must be positive")
+        if not 0.0 < self.friction_factor <= 1.0:
+            raise ValueError("friction factor must be in (0, 1]")
+        if not 0.0 <= self.precipitation <= 1.0:
+            raise ValueError("precipitation must be in [0, 1]")
+
+    @classmethod
+    def clear(cls) -> "Weather":
+        return cls()
+
+    @classmethod
+    def rain(cls, intensity: float = 0.5) -> "Weather":
+        intensity = min(max(intensity, 0.0), 1.0)
+        return cls(condition=WeatherCondition.RAIN,
+                   visibility_m=max(300.0, 5000.0 * (1.0 - 0.8 * intensity)),
+                   friction_factor=1.0 - 0.3 * intensity,
+                   precipitation=intensity,
+                   ambient_temperature_c=12.0)
+
+    @classmethod
+    def dense_fog(cls, visibility_m: float = 60.0) -> "Weather":
+        return cls(condition=WeatherCondition.DENSE_FOG,
+                   visibility_m=visibility_m,
+                   friction_factor=0.95,
+                   precipitation=0.1,
+                   ambient_temperature_c=8.0)
+
+    @classmethod
+    def snow(cls, intensity: float = 0.5) -> "Weather":
+        intensity = min(max(intensity, 0.0), 1.0)
+        return cls(condition=WeatherCondition.SNOW,
+                   visibility_m=max(150.0, 2000.0 * (1.0 - 0.8 * intensity)),
+                   friction_factor=max(0.25, 1.0 - 0.6 * intensity),
+                   precipitation=intensity,
+                   ambient_temperature_c=-3.0)
+
+
+@dataclass
+class LeadVehicle:
+    """A vehicle ahead of the ego vehicle in the same lane."""
+
+    name: str
+    position_m: float
+    speed_mps: float
+    speed_profile: Optional[Callable[[float], float]] = None
+
+    def step(self, dt: float, time: float) -> None:
+        if self.speed_profile is not None:
+            self.speed_mps = max(0.0, self.speed_profile(time))
+        self.position_m += self.speed_mps * dt
+
+    def gap_to(self, ego_position_m: float) -> float:
+        """Bumper-to-bumper gap to the ego vehicle (positive if ahead)."""
+        return self.position_m - ego_position_m
+
+
+class Environment:
+    """The world the ego vehicle operates in.
+
+    Holds the current weather, an ambient-temperature profile and the lead
+    vehicles, and advances them in lock-step with the vehicle dynamics.
+    """
+
+    def __init__(self, weather: Optional[Weather] = None,
+                 rng: Optional[SeededRNG] = None) -> None:
+        self.weather = weather or Weather.clear()
+        self.rng = rng or SeededRNG(0)
+        self.time = 0.0
+        self._lead_vehicles: Dict[str, LeadVehicle] = {}
+        self._temperature_profile: Optional[Callable[[float], float]] = None
+        self._weather_schedule: List[tuple[float, Weather]] = []
+
+    # -- traffic --------------------------------------------------------------------
+
+    def add_lead_vehicle(self, vehicle: LeadVehicle) -> LeadVehicle:
+        if vehicle.name in self._lead_vehicles:
+            raise ValueError(f"duplicate lead vehicle {vehicle.name!r}")
+        self._lead_vehicles[vehicle.name] = vehicle
+        return vehicle
+
+    def lead_vehicle(self, name: str) -> LeadVehicle:
+        return self._lead_vehicles[name]
+
+    def lead_vehicles(self) -> List[LeadVehicle]:
+        return list(self._lead_vehicles.values())
+
+    def closest_lead(self, ego_position_m: float) -> Optional[LeadVehicle]:
+        ahead = [v for v in self._lead_vehicles.values() if v.position_m >= ego_position_m]
+        if not ahead:
+            return None
+        return min(ahead, key=lambda v: v.position_m - ego_position_m)
+
+    # -- environmental fields ----------------------------------------------------------
+
+    def set_temperature_profile(self, profile: Callable[[float], float]) -> None:
+        """Ambient temperature as a function of time (the thermal scenario's
+        heat-up ramp)."""
+        self._temperature_profile = profile
+
+    def schedule_weather(self, at_time: float, weather: Weather) -> None:
+        """Switch to the given weather at the given simulation time."""
+        self._weather_schedule.append((at_time, weather))
+        self._weather_schedule.sort(key=lambda item: item[0])
+
+    @property
+    def ambient_temperature_c(self) -> float:
+        if self._temperature_profile is not None:
+            return self._temperature_profile(self.time)
+        return self.weather.ambient_temperature_c
+
+    # -- time ---------------------------------------------------------------------------
+
+    def step(self, dt: float) -> None:
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.time += dt
+        while self._weather_schedule and self._weather_schedule[0][0] <= self.time:
+            _, weather = self._weather_schedule.pop(0)
+            self.weather = weather
+        for vehicle in self._lead_vehicles.values():
+            vehicle.step(dt, self.time)

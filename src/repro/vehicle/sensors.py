@@ -1,0 +1,201 @@
+"""Environmental sensor models with data-quality assessment hooks.
+
+The paper argues that self-diagnosis must be "extended towards the data
+quality assessment for environmental sensors (e.g. cameras, LiDAR-,
+RADAR-sensors)" (Section IV).  Each sensor model here produces range
+measurements to the closest lead vehicle together with an explicit quality
+score in [0, 1] that reflects the environment (fog, rain), injected faults
+and the sensor's intrinsic noise — the signal that the
+:class:`~repro.monitoring.monitors.SensorQualityMonitor` and the ability
+graph consume.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim.random import SeededRNG
+from repro.vehicle.environment import Environment, Weather, WeatherCondition
+
+
+class SensorFault(enum.Enum):
+    """Injectable sensor fault modes."""
+
+    NONE = "none"
+    STUCK = "stuck"              # repeats the last value
+    DROPOUT = "dropout"          # no measurement at all
+    NOISE_BURST = "noise_burst"  # noise amplified by an order of magnitude
+    BIAS = "bias"                # constant offset added to the measurement
+    BLINDED = "blinded"          # quality collapses (e.g. low sun / dirt)
+
+
+@dataclass
+class SensorReading:
+    """One measurement cycle of a sensor."""
+
+    time: float
+    valid: bool
+    range_m: Optional[float]
+    range_rate_mps: Optional[float]
+    quality: float
+    sensor: str
+
+    @property
+    def usable(self) -> bool:
+        return self.valid and self.quality > 0.0
+
+
+class Sensor:
+    """Base class for range sensors.
+
+    Subclasses define how weather affects the effective detection range and
+    the base measurement noise.  Quality is computed as the product of a
+    weather factor, a fault factor and a noise-health factor so that the
+    monitors can distinguish "degraded by fog" from "internally faulty".
+    """
+
+    #: Nominal maximum detection range in metres (overridden by subclasses).
+    nominal_range_m: float = 150.0
+    #: Standard deviation of the range measurement noise in metres.
+    base_noise_m: float = 0.5
+
+    def __init__(self, name: str, rng: Optional[SeededRNG] = None,
+                 cycle_time_s: float = 0.05) -> None:
+        if cycle_time_s <= 0:
+            raise ValueError("cycle time must be positive")
+        self.name = name
+        self.rng = rng or SeededRNG(0)
+        self.cycle_time_s = cycle_time_s
+        self.fault = SensorFault.NONE
+        self.fault_magnitude = 1.0
+        self._last_reading: Optional[SensorReading] = None
+        self.readings: List[SensorReading] = []
+
+    # -- weather sensitivity (overridden per sensor technology) -------------------------
+
+    def weather_factor(self, weather: Weather) -> float:
+        """Quality factor in [0, 1] induced by the current weather."""
+        return 1.0
+
+    def effective_range(self, weather: Weather) -> float:
+        return self.nominal_range_m * self.weather_factor(weather)
+
+    # -- fault injection ------------------------------------------------------------------
+
+    def inject_fault(self, fault: SensorFault, magnitude: float = 1.0) -> None:
+        self.fault = fault
+        self.fault_magnitude = magnitude
+
+    def clear_fault(self) -> None:
+        self.fault = SensorFault.NONE
+        self.fault_magnitude = 1.0
+
+    # -- measurement -----------------------------------------------------------------------
+
+    def measure(self, time: float, ego_position_m: float, ego_speed_mps: float,
+                environment: Environment) -> SensorReading:
+        """Produce one measurement of the closest lead vehicle."""
+        weather = environment.weather
+        lead = environment.closest_lead(ego_position_m)
+        weather_quality = self.weather_factor(weather)
+        effective_range = self.nominal_range_m * weather_quality
+
+        true_range: Optional[float] = None
+        true_rate: Optional[float] = None
+        if lead is not None:
+            gap = lead.gap_to(ego_position_m)
+            if 0.0 <= gap <= effective_range:
+                true_range = gap
+                true_rate = lead.speed_mps - ego_speed_mps
+
+        reading = self._apply_faults(time, true_range, true_rate, weather_quality)
+        self._last_reading = reading
+        self.readings.append(reading)
+        return reading
+
+    def _apply_faults(self, time: float, true_range: Optional[float],
+                      true_rate: Optional[float], weather_quality: float) -> SensorReading:
+        fault_quality = 1.0
+        noise_scale = 1.0
+        if self.fault == SensorFault.DROPOUT:
+            return SensorReading(time=time, valid=False, range_m=None, range_rate_mps=None,
+                                 quality=0.0, sensor=self.name)
+        if self.fault == SensorFault.STUCK:
+            last = self._last_reading
+            return SensorReading(time=time, valid=last.valid if last else False,
+                                 range_m=last.range_m if last else None,
+                                 range_rate_mps=last.range_rate_mps if last else None,
+                                 quality=0.2, sensor=self.name)
+        if self.fault == SensorFault.NOISE_BURST:
+            noise_scale = 10.0 * self.fault_magnitude
+            fault_quality = 0.5
+        elif self.fault == SensorFault.BIAS:
+            fault_quality = 0.6
+        elif self.fault == SensorFault.BLINDED:
+            fault_quality = max(0.0, 0.2 / max(self.fault_magnitude, 1e-9))
+
+        if true_range is None:
+            # No target in range: the reading is valid but empty; quality only
+            # reflects the sensor's own health.
+            quality = weather_quality * fault_quality
+            return SensorReading(time=time, valid=True, range_m=None, range_rate_mps=None,
+                                 quality=quality, sensor=self.name)
+
+        noise = self.rng.normal(0.0, self.base_noise_m * noise_scale)
+        bias = self.fault_magnitude if self.fault == SensorFault.BIAS else 0.0
+        measured_range = max(0.0, true_range + noise + bias)
+        measured_rate = (true_rate if true_rate is None
+                         else true_rate + self.rng.normal(0.0, 0.2 * noise_scale))
+        quality = weather_quality * fault_quality
+        return SensorReading(time=time, valid=True, range_m=measured_range,
+                             range_rate_mps=measured_rate, quality=quality, sensor=self.name)
+
+    # -- quality history ---------------------------------------------------------------------
+
+    def quality_history(self) -> List[float]:
+        return [r.quality for r in self.readings]
+
+    @property
+    def last_quality(self) -> float:
+        return self._last_reading.quality if self._last_reading else 1.0
+
+
+class RadarSensor(Sensor):
+    """77 GHz long-range radar: robust in fog, mildly degraded by heavy rain."""
+
+    nominal_range_m = 200.0
+    base_noise_m = 0.8
+
+    def weather_factor(self, weather: Weather) -> float:
+        factor = 1.0 - 0.25 * weather.precipitation
+        if weather.condition == WeatherCondition.SNOW:
+            factor *= 0.85
+        return max(0.1, factor)
+
+
+class CameraSensor(Sensor):
+    """Camera: excellent in clear conditions, strongly limited by visibility."""
+
+    nominal_range_m = 120.0
+    base_noise_m = 1.5
+
+    def weather_factor(self, weather: Weather) -> float:
+        # Quality follows visibility saturating at the nominal range.
+        visibility_factor = min(1.0, weather.visibility_m / self.nominal_range_m)
+        precipitation_factor = 1.0 - 0.3 * weather.precipitation
+        return max(0.0, visibility_factor * precipitation_factor)
+
+
+class LidarSensor(Sensor):
+    """LiDAR: high accuracy, significantly affected by fog and precipitation."""
+
+    nominal_range_m = 150.0
+    base_noise_m = 0.2
+
+    def weather_factor(self, weather: Weather) -> float:
+        visibility_factor = min(1.0, weather.visibility_m / (1.5 * self.nominal_range_m))
+        precipitation_factor = 1.0 - 0.45 * weather.precipitation
+        return max(0.05, visibility_factor * precipitation_factor)

@@ -1,0 +1,179 @@
+"""Object tracking: fuse sensor readings into a target-object estimate.
+
+Implements the "perceive and track dynamic objects" skill of the ACC graph
+with a simple constant-velocity Kalman filter over the fused range/range-rate
+measurements of the available sensors.  The tracker also exposes a
+performance score (innovation-based) that feeds the ability graph, and it
+degrades gracefully when individual sensors drop out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.vehicle.sensors import SensorReading
+
+
+@dataclass
+class TrackedObject:
+    """State estimate of the closest lead object."""
+
+    time: float
+    range_m: float
+    range_rate_mps: float
+    variance: float
+    quality: float
+    coasting: bool = False
+
+    @property
+    def usable(self) -> bool:
+        return self.quality > 0.0 and not math.isnan(self.range_m)
+
+
+class ObjectTracker:
+    """Constant-velocity Kalman filter over fused range measurements.
+
+    Parameters
+    ----------
+    process_noise:
+        Process noise intensity (acceleration variance of the lead object).
+    max_coast_cycles:
+        How many cycles the track is kept alive ("coasted") without any
+        usable measurement before it is dropped.
+    """
+
+    def __init__(self, process_noise: float = 2.0, max_coast_cycles: int = 10) -> None:
+        if process_noise <= 0:
+            raise ValueError("process noise must be positive")
+        if max_coast_cycles < 0:
+            raise ValueError("max coast cycles must be non-negative")
+        self.process_noise = process_noise
+        self.max_coast_cycles = max_coast_cycles
+        self._state: Optional[np.ndarray] = None  # [range, range_rate]
+        self._covariance: Optional[np.ndarray] = None
+        self._coast_count = 0
+        self._last_time: Optional[float] = None
+        self.track_history: List[TrackedObject] = []
+
+    @property
+    def has_track(self) -> bool:
+        return self._state is not None
+
+    def reset(self) -> None:
+        self._state = None
+        self._covariance = None
+        self._coast_count = 0
+        self._last_time = None
+
+    # -- fusion ------------------------------------------------------------------------
+
+    @staticmethod
+    def fuse(readings: Sequence[SensorReading]) -> Optional[SensorReading]:
+        """Quality-weighted fusion of simultaneous readings into one pseudo
+        measurement; returns ``None`` if no reading is usable."""
+        usable = [r for r in readings if r.usable and r.range_m is not None]
+        if not usable:
+            return None
+        weights = np.array([max(r.quality, 1e-6) for r in usable])
+        weights = weights / weights.sum()
+        range_m = float(sum(w * r.range_m for w, r in zip(weights, usable)))
+        rates = [(w, r.range_rate_mps) for w, r in zip(weights, usable)
+                 if r.range_rate_mps is not None]
+        range_rate = (float(sum(w * rate for w, rate in rates) / sum(w for w, _ in rates))
+                      if rates else 0.0)
+        quality = float(max(r.quality for r in usable))
+        return SensorReading(time=usable[0].time, valid=True, range_m=range_m,
+                             range_rate_mps=range_rate, quality=quality, sensor="fused")
+
+    # -- filtering ------------------------------------------------------------------------
+
+    def update(self, time: float, readings: Sequence[SensorReading]) -> Optional[TrackedObject]:
+        """Run one predict/update cycle; returns the current track (or None)."""
+        measurement = self.fuse(readings)
+        dt = 0.0 if self._last_time is None else max(0.0, time - self._last_time)
+        self._last_time = time
+
+        if self._state is not None and dt > 0.0:
+            self._predict(dt)
+
+        if measurement is None or measurement.range_m is None:
+            return self._coast(time)
+
+        measurement_noise = self._measurement_noise(measurement.quality)
+        if self._state is None:
+            self._state = np.array([measurement.range_m,
+                                    measurement.range_rate_mps or 0.0], dtype=float)
+            self._covariance = np.diag([measurement_noise, 4.0])
+        else:
+            self._update_filter(measurement, measurement_noise)
+        self._coast_count = 0
+
+        track = TrackedObject(time=time,
+                              range_m=float(self._state[0]),
+                              range_rate_mps=float(self._state[1]),
+                              variance=float(self._covariance[0, 0]),
+                              quality=measurement.quality,
+                              coasting=False)
+        self.track_history.append(track)
+        return track
+
+    def _predict(self, dt: float) -> None:
+        transition = np.array([[1.0, dt], [0.0, 1.0]])
+        process = self.process_noise * np.array([[dt ** 4 / 4, dt ** 3 / 2],
+                                                 [dt ** 3 / 2, dt ** 2]])
+        self._state = transition @ self._state
+        self._covariance = transition @ self._covariance @ transition.T + process
+
+    def _update_filter(self, measurement: SensorReading, measurement_noise: float) -> None:
+        observation = np.array([[1.0, 0.0], [0.0, 1.0]])
+        z = np.array([measurement.range_m, measurement.range_rate_mps or float(self._state[1])])
+        noise = np.diag([measurement_noise, 4.0 * measurement_noise])
+        innovation = z - observation @ self._state
+        innovation_cov = observation @ self._covariance @ observation.T + noise
+        gain = self._covariance @ observation.T @ np.linalg.inv(innovation_cov)
+        self._state = self._state + gain @ innovation
+        identity = np.eye(2)
+        self._covariance = (identity - gain @ observation) @ self._covariance
+
+    def _coast(self, time: float) -> Optional[TrackedObject]:
+        """Keep predicting without measurements for a bounded number of cycles."""
+        if self._state is None:
+            return None
+        self._coast_count += 1
+        if self._coast_count > self.max_coast_cycles:
+            self.reset()
+            return None
+        quality = max(0.0, 0.5 * (1.0 - self._coast_count / max(1, self.max_coast_cycles)))
+        track = TrackedObject(time=time,
+                              range_m=float(self._state[0]),
+                              range_rate_mps=float(self._state[1]),
+                              variance=float(self._covariance[0, 0]),
+                              quality=quality, coasting=True)
+        self.track_history.append(track)
+        return track
+
+    @staticmethod
+    def _measurement_noise(quality: float) -> float:
+        """Map a quality score to a measurement variance (m^2)."""
+        quality = min(max(quality, 1e-3), 1.0)
+        return 0.25 / quality
+
+    # -- performance assessment ----------------------------------------------------------------
+
+    def performance_score(self, window: int = 20) -> float:
+        """Tracking performance in [0, 1] for the ability graph.
+
+        Combines the fraction of non-coasting updates in the recent window
+        with the average measurement quality.
+        """
+        recent = self.track_history[-window:]
+        if not recent:
+            return 0.0
+        fresh = [t for t in recent if not t.coasting]
+        freshness = len(fresh) / len(recent)
+        quality = sum(t.quality for t in recent) / len(recent)
+        return max(0.0, min(1.0, 0.5 * freshness + 0.5 * quality))

@@ -1,0 +1,20 @@
+"""Platform virtualization layer (Section III).
+
+Hypervisor-based process virtualization provides temporal and spatial
+segregation among mixed-criticality applications sharing a multicore
+platform.  The hypervisor owns the physical functions of virtualized
+peripherals (such as the CAN controller) and assigns virtual functions to
+guest VMs; modifications inside one VM cannot affect other VMs.
+"""
+
+from repro.virtualization.vm import VirtualMachine, VmState, VmError
+from repro.virtualization.hypervisor import Hypervisor, DeviceAssignment, IsolationViolation
+
+__all__ = [
+    "VirtualMachine",
+    "VmState",
+    "VmError",
+    "Hypervisor",
+    "DeviceAssignment",
+    "IsolationViolation",
+]

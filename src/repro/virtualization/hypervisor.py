@@ -1,0 +1,197 @@
+"""Hypervisor: VM admission, CPU/memory partitioning and device assignment.
+
+The hypervisor is the privileged software component that (a) partitions the
+physical platform among VMs, (b) owns the physical functions of virtualized
+peripherals, and (c) hands out virtual functions to VMs.  The MCC runs at
+this privilege level (Section III: "The PF shall only be accessible to
+privileged SW components, e.g. the hypervisor running an MCC").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.can.controller import AcceptanceFilter
+from repro.can.virtualization import VirtualFunction, VirtualizedCanController
+from repro.platform.resources import Platform, ProcessingResource, ResourceError
+from repro.virtualization.vm import VirtualMachine, VmError, VmState
+
+
+class IsolationViolation(RuntimeError):
+    """Raised when an operation would break VM isolation guarantees."""
+
+
+@dataclass
+class DeviceAssignment:
+    """Record of a virtual function assigned to a VM."""
+
+    vm: str
+    controller: str
+    vf_name: str
+
+
+class Hypervisor:
+    """Partitioning hypervisor for one vehicle platform.
+
+    Parameters
+    ----------
+    platform:
+        The physical platform whose resources are partitioned.
+    name:
+        Identity used when accessing physical functions (privileged owner).
+    """
+
+    def __init__(self, platform: Platform, name: str = "hypervisor") -> None:
+        self.platform = platform
+        self.name = name
+        self._vms: Dict[str, VirtualMachine] = {}
+        self._vm_processor: Dict[str, str] = {}
+        self._controllers: Dict[str, VirtualizedCanController] = {}
+        self._assignments: List[DeviceAssignment] = []
+
+    # -- VM management -------------------------------------------------------------------
+
+    def define_vm(self, vm: VirtualMachine, processor: Optional[str] = None) -> VirtualMachine:
+        """Admit a VM: reserve CPU share and memory on a processor.
+
+        If ``processor`` is omitted the hypervisor picks the first processor
+        with enough spare CPU share (first-fit).
+        """
+        if vm.name in self._vms:
+            raise VmError(f"VM {vm.name!r} already defined")
+        candidates = ([self.platform.processor(processor)] if processor
+                      else self.platform.processors())
+        chosen: Optional[ProcessingResource] = None
+        for candidate in candidates:
+            used = sum(self._vms[name].cpu_share
+                       for name, proc in self._vm_processor.items()
+                       if proc == candidate.name)
+            if used + vm.cpu_share <= candidate.capacity + 1e-9:
+                chosen = candidate
+                break
+        if chosen is None:
+            raise ResourceError(f"no processor has {vm.cpu_share:.2f} CPU share available "
+                                f"for VM {vm.name}")
+        chosen.allocate_memory(f"vm:{vm.name}", vm.memory_kib)
+        self._vms[vm.name] = vm
+        self._vm_processor[vm.name] = chosen.name
+        return vm
+
+    def destroy_vm(self, vm_name: str) -> None:
+        vm = self.vm(vm_name)
+        vm.stop()
+        processor_name = self._vm_processor.pop(vm_name, None)
+        if processor_name is not None:
+            self.platform.processor(processor_name).release_memory(f"vm:{vm_name}")
+        for assignment in [a for a in self._assignments if a.vm == vm_name]:
+            controller = self._controllers[assignment.controller]
+            controller.pf.destroy_vf(self.name, assignment.vf_name)
+            self._assignments.remove(assignment)
+        del self._vms[vm_name]
+
+    def vm(self, name: str) -> VirtualMachine:
+        try:
+            return self._vms[name]
+        except KeyError as exc:
+            raise VmError(f"unknown VM {name!r}") from exc
+
+    def vms(self) -> List[VirtualMachine]:
+        return list(self._vms.values())
+
+    def processor_of(self, vm_name: str) -> ProcessingResource:
+        return self.platform.processor(self._vm_processor[self.vm(vm_name).name])
+
+    def start_all(self) -> None:
+        for vm in self._vms.values():
+            vm.start()
+
+    # -- device virtualization --------------------------------------------------------------
+
+    def register_controller(self, controller: VirtualizedCanController) -> None:
+        """Take ownership of a virtualized CAN controller's physical function."""
+        if controller.name in self._controllers:
+            raise VmError(f"controller {controller.name!r} already registered")
+        if controller.pf.privileged_owner != self.name:
+            raise IsolationViolation(
+                f"controller {controller.name} PF is owned by "
+                f"{controller.pf.privileged_owner!r}, not by this hypervisor")
+        self._controllers[controller.name] = controller
+
+    def controller(self, name: str) -> VirtualizedCanController:
+        try:
+            return self._controllers[name]
+        except KeyError as exc:
+            raise VmError(f"unknown controller {name!r}") from exc
+
+    def assign_can_vf(self, vm_name: str, controller_name: str,
+                      filters: Optional[List[AcceptanceFilter]] = None,
+                      tx_queue_depth: int = 16, rx_queue_depth: int = 32) -> VirtualFunction:
+        """Create a VF on the controller and attach it to the VM."""
+        vm = self.vm(vm_name)
+        controller = self.controller(controller_name)
+        vf_name = f"{controller_name}.vf.{vm_name}"
+        vf = controller.pf.create_vf(self.name, vf_name, vm_name, filters,
+                                     tx_queue_depth, rx_queue_depth)
+        vm.attach_device(vf_name)
+        self._assignments.append(DeviceAssignment(vm=vm_name, controller=controller_name,
+                                                  vf_name=vf_name))
+        return vf
+
+    def revoke_can_vf(self, vm_name: str, controller_name: str) -> None:
+        """Revoke the VM's VF on the controller (containment measure)."""
+        assignment = next((a for a in self._assignments
+                           if a.vm == vm_name and a.controller == controller_name), None)
+        if assignment is None:
+            raise VmError(f"VM {vm_name} has no VF on controller {controller_name}")
+        controller = self.controller(controller_name)
+        controller.pf.destroy_vf(self.name, assignment.vf_name)
+        self.vm(vm_name).detach_device(assignment.vf_name)
+        self._assignments.remove(assignment)
+
+    def assignments(self) -> List[DeviceAssignment]:
+        return list(self._assignments)
+
+    # -- isolation checks --------------------------------------------------------------------------
+
+    def verify_isolation(self) -> List[str]:
+        """Return a list of isolation problems (empty when the partitioning is sound).
+
+        Checks that per-processor CPU shares do not exceed capacity and that
+        no VF is attached to more than one VM.
+        """
+        problems: List[str] = []
+        for processor in self.platform.processors():
+            share = sum(self._vms[name].cpu_share
+                        for name, proc in self._vm_processor.items()
+                        if proc == processor.name)
+            if share > processor.capacity + 1e-9:
+                problems.append(
+                    f"processor {processor.name} oversubscribed: {share:.2f} > "
+                    f"{processor.capacity:.2f}")
+        seen_vfs: Dict[str, str] = {}
+        for assignment in self._assignments:
+            if assignment.vf_name in seen_vfs:
+                problems.append(
+                    f"VF {assignment.vf_name} assigned to both "
+                    f"{seen_vfs[assignment.vf_name]} and {assignment.vm}")
+            seen_vfs[assignment.vf_name] = assignment.vm
+        return problems
+
+    def guest_accesses_pf(self, vm_name: str, controller_name: str) -> None:
+        """Model a guest VM attempting a privileged PF operation.
+
+        Always raises :class:`IsolationViolation`; exists so tests and the
+        intrusion scenario can demonstrate that the PF is not reachable from
+        guests.
+        """
+        self.vm(vm_name)
+        controller = self.controller(controller_name)
+        try:
+            controller.pf.set_bitrate(vm_name, 125_000.0)
+        except Exception as exc:
+            raise IsolationViolation(
+                f"VM {vm_name} attempted a privileged operation on {controller_name}") from exc
+        raise IsolationViolation(  # pragma: no cover - PF must have rejected the call
+            f"VM {vm_name} succeeded in a privileged operation on {controller_name}; "
+            "isolation is broken")

@@ -1,0 +1,104 @@
+"""Virtual machines hosting execution domains.
+
+A VM bundles a share of the processing resources (vCPU budget), a private
+memory partition and the set of components deployed into it.  VMs are the
+isolation boundary the paper relies on: "Modifications made on one virtual
+machine (VM) will not affect other VMs."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class VmError(RuntimeError):
+    """Raised for invalid VM configuration or lifecycle operations."""
+
+
+class VmState(enum.Enum):
+    """VM lifecycle states."""
+
+    DEFINED = "defined"
+    RUNNING = "running"
+    PAUSED = "paused"
+    STOPPED = "stopped"
+
+
+@dataclass
+class VirtualMachine:
+    """A guest virtual machine.
+
+    Attributes
+    ----------
+    name:
+        Unique VM identifier.
+    cpu_share:
+        Fraction of one physical core reserved for this VM (0, 1].
+    memory_kib:
+        Private memory partition size.
+    criticality:
+        Highest ASIL of the components intended to run inside the VM; the
+        hypervisor uses it to sanity-check device assignments.
+    """
+
+    name: str
+    cpu_share: float
+    memory_kib: float
+    criticality: str = "QM"
+    state: VmState = VmState.DEFINED
+    components: List[str] = field(default_factory=list)
+    devices: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.cpu_share <= 1.0:
+            raise VmError(f"VM {self.name}: cpu_share must be in (0, 1]")
+        if self.memory_kib <= 0:
+            raise VmError(f"VM {self.name}: memory_kib must be positive")
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.state == VmState.RUNNING:
+            return
+        self.state = VmState.RUNNING
+
+    def pause(self) -> None:
+        if self.state != VmState.RUNNING:
+            raise VmError(f"VM {self.name} is not running")
+        self.state = VmState.PAUSED
+
+    def resume(self) -> None:
+        if self.state != VmState.PAUSED:
+            raise VmError(f"VM {self.name} is not paused")
+        self.state = VmState.RUNNING
+
+    def stop(self) -> None:
+        self.state = VmState.STOPPED
+
+    @property
+    def running(self) -> bool:
+        return self.state == VmState.RUNNING
+
+    # -- contents -----------------------------------------------------------------
+
+    def host_component(self, component_name: str) -> None:
+        if component_name in self.components:
+            raise VmError(f"component {component_name!r} already hosted in VM {self.name}")
+        self.components.append(component_name)
+
+    def evict_component(self, component_name: str) -> None:
+        if component_name not in self.components:
+            raise VmError(f"component {component_name!r} not hosted in VM {self.name}")
+        self.components.remove(component_name)
+
+    def attach_device(self, device_name: str) -> None:
+        if device_name in self.devices:
+            raise VmError(f"device {device_name!r} already attached to VM {self.name}")
+        self.devices.append(device_name)
+
+    def detach_device(self, device_name: str) -> None:
+        if device_name not in self.devices:
+            raise VmError(f"device {device_name!r} not attached to VM {self.name}")
+        self.devices.remove(device_name)

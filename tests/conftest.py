@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.contracts.language import ContractParser
+from repro.platform.resources import NetworkResource, Platform, ProcessingResource
+from repro.platform.tasks import Task, TaskSet
+from repro.sim.kernel import Simulator
+from repro.sim.random import SeededRNG
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> SeededRNG:
+    return SeededRNG(1234)
+
+
+@pytest.fixture
+def parser() -> ContractParser:
+    return ContractParser()
+
+
+@pytest.fixture
+def simple_taskset() -> TaskSet:
+    """Three-task set that is schedulable at nominal speed."""
+    return TaskSet([
+        Task("t_high", period=0.01, wcet=0.002, priority=0),
+        Task("t_mid", period=0.02, wcet=0.005, priority=1),
+        Task("t_low", period=0.05, wcet=0.010, priority=2),
+    ])
+
+
+@pytest.fixture
+def dual_core_platform() -> Platform:
+    platform = Platform(name="test-platform")
+    platform.add_processor(ProcessingResource("cpu0", capacity=0.9))
+    platform.add_processor(ProcessingResource("cpu1", capacity=0.9))
+    platform.add_network(NetworkResource("can0", bandwidth_bps=500_000.0))
+    return platform
+
+
+@pytest.fixture
+def acc_contracts(parser):
+    """A small consistent contract set (tracker -> controller -> actuator)."""
+    documents = [
+        {"component": "tracker", "timing": {"period": 0.05, "wcet": 0.01},
+         "safety": {"asil": "B"}, "security": {"level": "MEDIUM"},
+         "provides": ["object_list"]},
+        {"component": "actuator", "timing": {"period": 0.01, "wcet": 0.001},
+         "safety": {"asil": "B"}, "security": {"level": "MEDIUM"},
+         "provides": ["actuation"]},
+        {"component": "controller", "timing": {"period": 0.01, "wcet": 0.002},
+         "safety": {"asil": "B"}, "security": {"level": "MEDIUM"},
+         "requires": [{"service": "object_list"}, {"service": "actuation"}],
+         "provides": ["setpoints"]},
+    ]
+    return parser.parse_many(documents)

@@ -1,0 +1,247 @@
+"""Tests for the model-domain analyses (dependency, threat, safety)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dependency import Dependency, DependencyAnalysis, DependencyGraph, DependencyKind
+from repro.analysis.safety import SafetyAnalysis
+from repro.analysis.threat import ThreatModel
+from repro.contracts.model import (
+    Contract,
+    SafetyRequirement,
+    SecurityRequirement,
+)
+
+
+def _vehicle_dependency_graph() -> DependencyGraph:
+    """A small cross-layer graph: ability -> components -> platform -> environment."""
+    graph = DependencyGraph()
+    graph.add_element("acc_driving", "ability")
+    graph.add_element("decelerate", "ability")
+    graph.add_element("brake_controller", "software")
+    graph.add_element("acc_controller", "software")
+    graph.add_element("cpu0", "platform")
+    graph.add_element("cpu1", "platform")
+    graph.add_element("ambient-temperature", "environment")
+    graph.depends_on("acc_driving", "decelerate", DependencyKind.DATA)
+    graph.depends_on("decelerate", "brake_controller", DependencyKind.MAPPING)
+    graph.depends_on("acc_driving", "acc_controller", DependencyKind.MAPPING)
+    graph.depends_on("brake_controller", "cpu0", DependencyKind.MAPPING)
+    graph.depends_on("acc_controller", "cpu0", DependencyKind.MAPPING, strength=0.8)
+    graph.depends_on("cpu0", "ambient-temperature", DependencyKind.ENVIRONMENT, strength=0.5)
+    graph.depends_on("cpu1", "ambient-temperature", DependencyKind.ENVIRONMENT, strength=0.5)
+    return graph
+
+
+class TestDependencyGraph:
+    def test_layers_and_elements(self):
+        graph = _vehicle_dependency_graph()
+        assert set(graph.layers()) == {"ability", "software", "platform", "environment"}
+        assert "brake_controller" in graph.elements_on("software")
+        assert graph.layer_of("cpu0") == "platform"
+
+    def test_unknown_element_rejected(self):
+        graph = DependencyGraph()
+        graph.add_element("a", "x")
+        with pytest.raises(KeyError):
+            graph.depends_on("a", "missing", DependencyKind.DATA)
+        with pytest.raises(KeyError):
+            graph.layer_of("missing")
+
+    def test_conflicting_layer_rejected(self):
+        graph = DependencyGraph()
+        graph.add_element("a", "x")
+        with pytest.raises(ValueError):
+            graph.add_element("a", "y")
+
+    def test_invalid_strength(self):
+        with pytest.raises(ValueError):
+            Dependency("a", "b", DependencyKind.DATA, strength=0.0)
+
+    def test_closures(self):
+        graph = _vehicle_dependency_graph()
+        assert "acc_driving" in graph.dependents_closure("cpu0")
+        assert "ambient-temperature" in graph.dependencies_closure("acc_driving")
+
+    def test_cross_layer_edges(self):
+        graph = _vehicle_dependency_graph()
+        cross = graph.cross_layer_edges()
+        assert ("decelerate", "brake_controller") in cross
+        assert ("acc_driving", "decelerate") not in cross
+
+    def test_no_cycle(self):
+        assert not _vehicle_dependency_graph().has_cycle()
+
+
+class TestDependencyAnalysis:
+    def test_failure_effects_reach_ability_layer(self):
+        analysis = DependencyAnalysis(_vehicle_dependency_graph())
+        effects = analysis.failure_effects("cpu0")
+        affected = {e.affected_element for e in effects}
+        assert {"brake_controller", "acc_controller", "decelerate", "acc_driving"} <= affected
+        assert "ability" in analysis.affected_layers("cpu0")
+
+    def test_severity_attenuates_along_path(self):
+        analysis = DependencyAnalysis(_vehicle_dependency_graph())
+        effects = {e.affected_element: e for e in analysis.failure_effects("ambient-temperature")}
+        assert effects["cpu0"].severity == pytest.approx(0.5)
+        assert effects["acc_controller"].severity == pytest.approx(0.4)
+
+    def test_min_severity_filters(self):
+        analysis = DependencyAnalysis(_vehicle_dependency_graph())
+        effects = analysis.failure_effects("ambient-temperature", min_severity=0.45)
+        assert all(e.severity >= 0.45 for e in effects)
+
+    def test_common_cause_elements(self):
+        analysis = DependencyAnalysis(_vehicle_dependency_graph())
+        assert "cpu0" in analysis.common_cause_elements("ambient-temperature")
+        assert "cpu1" in analysis.common_cause_elements("ambient-temperature")
+
+    def test_change_impact_maps_layers(self):
+        analysis = DependencyAnalysis(_vehicle_dependency_graph())
+        impact = analysis.change_impact(["brake_controller"])
+        assert "ability" in impact and "software" in impact
+        assert "decelerate" in impact["ability"]
+
+    def test_single_points_of_failure(self):
+        analysis = DependencyAnalysis(_vehicle_dependency_graph())
+        spofs = analysis.single_points_of_failure(["acc_driving", "decelerate"])
+        assert "brake_controller" in spofs
+        assert "cpu1" not in spofs
+
+    def test_unknown_element_raises(self):
+        analysis = DependencyAnalysis(_vehicle_dependency_graph())
+        with pytest.raises(KeyError):
+            analysis.failure_effects("missing")
+
+
+def _threat_contracts():
+    gateway = Contract("gateway")
+    gateway.add_requirement(SecurityRequirement(level="HIGH", external_interface=True))
+    gateway.add_provided_service("remote")
+    planner = Contract("planner")
+    planner.add_requirement(SecurityRequirement(level="MEDIUM"))
+    planner.add_requirement(SafetyRequirement(asil="C"))
+    planner.add_required_service("remote")
+    planner.add_provided_service("trajectory")
+    brake = Contract("brake")
+    brake.add_requirement(SecurityRequirement(level="LOW"))
+    brake.add_requirement(SafetyRequirement(asil="D"))
+    brake.add_required_service("trajectory")
+    return gateway, planner, brake
+
+
+class TestThreatModel:
+    def _model(self):
+        gateway, planner, brake = _threat_contracts()
+        model = ThreatModel()
+        model.add_components([gateway, planner, brake])
+        model.add_session("planner", "gateway")
+        model.add_session("brake", "planner")
+        return model
+
+    def test_entry_points(self):
+        assert self._model().entry_points() == ["gateway"]
+
+    def test_attack_paths_reach_critical_assets(self):
+        assessment = self._model().analyse()
+        targets = {p.target for p in assessment.attack_paths}
+        assert {"planner", "brake"} <= targets
+        brake_paths = assessment.paths_to("brake")
+        assert brake_paths and brake_paths[0].hops == 2
+
+    def test_exposure_decays_with_hops(self):
+        assessment = self._model().analyse()
+        planner_exposure = max(p.exposure for p in assessment.paths_to("planner"))
+        brake_exposure = max(p.exposure for p in assessment.paths_to("brake"))
+        assert planner_exposure > brake_exposure
+
+    def test_under_protected_detection(self):
+        assessment = self._model().analyse()
+        # brake declares LOW but sits two hops from the surface, which requires LOW;
+        # planner declares MEDIUM one hop away (requires MEDIUM) - both fine.
+        assert "planner" not in assessment.under_protected
+        # Now weaken the planner.
+        gateway, planner, brake = _threat_contracts()
+        planner.requirements = [r for r in planner.requirements if r.viewpoint != "security"]
+        planner.add_requirement(SecurityRequirement(level="NONE"))
+        model = ThreatModel()
+        model.add_components([gateway, planner, brake])
+        model.add_session("planner", "gateway")
+        assessment = model.analyse()
+        assert "planner" in assessment.under_protected
+        assert not assessment.acceptable
+
+    def test_unreachable_assets_reported(self):
+        gateway, planner, brake = _threat_contracts()
+        model = ThreatModel()
+        model.add_components([gateway, planner, brake])
+        assessment = model.analyse()
+        assert set(assessment.unreachable_assets) == {"planner", "brake"}
+
+    def test_blast_radius_and_containment(self):
+        model = self._model()
+        radius = model.blast_radius("gateway")
+        assert {"planner", "brake"} <= radius
+        candidates = model.containment_candidates("gateway")
+        assert candidates[0][0] == "planner"
+        assert candidates[0][1] >= 1
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(KeyError):
+            self._model().blast_radius("nope")
+        with pytest.raises(KeyError):
+            self._model().add_channel("gateway", "nope")
+
+
+class TestSafetyAnalysis:
+    def _contracts(self):
+        high = Contract("braking")
+        high.add_requirement(SafetyRequirement(asil="D", fail_operational=True,
+                                               redundancy_group="brake"))
+        high.add_required_service("wheel_speed")
+        backup = Contract("braking_backup")
+        backup.add_requirement(SafetyRequirement(asil="D", redundancy_group="brake"))
+        low = Contract("wheel_sensor")
+        low.add_requirement(SafetyRequirement(asil="A"))
+        low.add_provided_service("wheel_speed")
+        return [high, backup, low]
+
+    def test_asil_inheritance_violation_detected(self):
+        findings = SafetyAnalysis(self._contracts()).check_asil_decomposition()
+        assert any(f.kind == "asil-inheritance" for f in findings)
+
+    def test_missing_provider_detected(self):
+        contracts = self._contracts()
+        contracts.pop()  # remove the wheel sensor
+        findings = SafetyAnalysis(contracts).check_asil_decomposition()
+        assert any(f.kind == "missing-provider" for f in findings)
+
+    def test_fail_operational_needs_redundancy(self):
+        lonely = Contract("steering")
+        lonely.add_requirement(SafetyRequirement(asil="D", fail_operational=True))
+        findings = SafetyAnalysis([lonely]).check_fail_operational_redundancy()
+        assert any(f.kind == "missing-redundancy" for f in findings)
+        # With a redundancy peer the finding disappears.
+        findings = SafetyAnalysis(self._contracts()).check_fail_operational_redundancy()
+        assert findings == []
+
+    def test_mixed_criticality_colocation_is_informational(self):
+        contracts = self._contracts()
+        mapping = {"braking": "cpu0", "wheel_sensor": "cpu0", "braking_backup": "cpu1"}
+        findings = SafetyAnalysis(contracts, mapping).check_mixed_criticality_colocation()
+        assert findings and not findings[0].blocking
+
+    def test_redundancy_colocation_is_blocking(self):
+        contracts = self._contracts()
+        mapping = {"braking": "cpu0", "braking_backup": "cpu0"}
+        findings = SafetyAnalysis(contracts, mapping).check_redundancy_mapping_independence()
+        assert findings and findings[0].blocking
+
+    def test_acceptable_configuration(self):
+        safe = Contract("comp")
+        safe.add_requirement(SafetyRequirement(asil="B"))
+        analysis = SafetyAnalysis([safe], {"comp": "cpu0"})
+        assert analysis.acceptable()
+        assert analysis.analyse() == []

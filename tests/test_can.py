@@ -1,0 +1,286 @@
+"""Tests for the CAN substrate: frames, bus arbitration, controllers, the
+virtualized PF/VF controller and the FPGA resource model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.can.bus import BusError, CanBus
+from repro.can.controller import AcceptanceFilter, CanController
+from repro.can.frame import CanFrame, FrameType, frame_bit_length, transmission_time
+from repro.can.resources import FpgaResourceModel, ResourceEstimate, break_even_vms
+from repro.can.virtualization import (
+    TxSchedulingPolicy,
+    VirtualizationError,
+    VirtualizationLatencyModel,
+    VirtualizedCanController,
+)
+from repro.sim.kernel import Simulator
+
+
+class TestCanFrame:
+    def test_standard_id_bounds(self):
+        CanFrame(can_id=0x7FF)
+        with pytest.raises(ValueError):
+            CanFrame(can_id=0x800)
+        CanFrame(can_id=0x800, extended=True)
+        with pytest.raises(ValueError):
+            CanFrame(can_id=0x2000_0000, extended=True)
+
+    def test_payload_limit(self):
+        CanFrame(can_id=1, payload=b"x" * 8)
+        with pytest.raises(ValueError):
+            CanFrame(can_id=1, payload=b"x" * 9)
+
+    def test_remote_frame_has_no_payload(self):
+        with pytest.raises(ValueError):
+            CanFrame(can_id=1, payload=b"x", frame_type=FrameType.REMOTE)
+
+    def test_arbitration_key_orders_by_id(self):
+        assert CanFrame(can_id=0x10).arbitration_key() < CanFrame(can_id=0x20).arbitration_key()
+        assert (CanFrame(can_id=0x10).arbitration_key()
+                < CanFrame(can_id=0x10, extended=True).arbitration_key())
+
+    @given(dlc=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=9, deadline=None)
+    def test_bit_length_monotonic_in_dlc(self, dlc):
+        assert frame_bit_length(dlc + 0) <= frame_bit_length(min(8, dlc + 1))
+        assert frame_bit_length(dlc, extended=True) > frame_bit_length(dlc, extended=False)
+
+    def test_known_bit_length_range(self):
+        # A classical 8-byte standard frame is ~111 bits + stuffing + IFS.
+        assert 110 <= frame_bit_length(8) <= 140
+
+    def test_transmission_time(self):
+        assert transmission_time(8, 500_000.0) == pytest.approx(frame_bit_length(8) / 500_000.0)
+        with pytest.raises(ValueError):
+            transmission_time(8, 0.0)
+
+
+class TestAcceptanceFilter:
+    def test_accept_all_and_exact(self):
+        assert AcceptanceFilter.accept_all().accepts(0x123)
+        exact = AcceptanceFilter.exact(0x123)
+        assert exact.accepts(0x123)
+        assert not exact.accepts(0x124)
+
+    def test_masked_filter(self):
+        group = AcceptanceFilter(match=0x100, mask=0x700)
+        assert group.accepts(0x1FF)
+        assert not group.accepts(0x200)
+
+
+def _two_node_bus(sim):
+    bus = CanBus(sim, bitrate_bps=500_000.0)
+    a = CanController(sim, "node_a")
+    b = CanController(sim, "node_b")
+    bus.attach(a)
+    bus.attach(b)
+    return bus, a, b
+
+
+class TestCanBus:
+    def test_frame_delivered_to_other_node(self, sim):
+        bus, a, b = _two_node_bus(sim)
+        a.send(CanFrame(can_id=0x100, payload=b"\x01\x02"))
+        sim.run(until=0.01)
+        assert len(b.received) == 1
+        assert b.received[0].frame.can_id == 0x100
+        assert bus.stats.frames_transmitted == 1
+
+    def test_priority_arbitration(self, sim):
+        bus, a, b = _two_node_bus(sim)
+        monitor = CanController(sim, "monitor")
+        bus.attach(monitor)
+        # Occupy the bus with a first frame; the low- and high-priority frames
+        # then contend in the next arbitration round and the lower identifier
+        # must win regardless of enqueue order.
+        a.send(CanFrame(can_id=0x300, payload=b"\x00" * 8))
+        a.send(CanFrame(can_id=0x500))
+        b.send(CanFrame(can_id=0x100))
+        sim.run(until=0.01)
+        received_ids = [m.frame.can_id for m in monitor.received]
+        assert received_ids == [0x300, 0x100, 0x500]
+
+    def test_bus_busy_defers_new_frames(self, sim):
+        bus, a, b = _two_node_bus(sim)
+        a.send(CanFrame(can_id=0x200, payload=b"\xff" * 8))
+        sim.run(max_events=1)  # the frame became visible and transmission started
+        assert bus.busy
+        sim.run(until=0.01)
+        assert not bus.busy
+
+    def test_utilization_accounting(self, sim):
+        bus, a, b = _two_node_bus(sim)
+        for index in range(10):
+            a.send(CanFrame(can_id=0x100 + index, payload=b"\x00" * 8))
+        sim.run(until=0.01)
+        assert bus.stats.frames_transmitted == 10
+        assert 0.0 < bus.stats.utilization(0.01) <= 1.0
+
+    def test_acceptance_filter_drops_frames(self, sim):
+        bus = CanBus(sim)
+        sender = CanController(sim, "sender")
+        receiver = CanController(sim, "receiver", filters=[AcceptanceFilter.exact(0x123)])
+        bus.attach(sender)
+        bus.attach(receiver)
+        sender.send(CanFrame(can_id=0x200))
+        sender.send(CanFrame(can_id=0x123))
+        sim.run(until=0.01)
+        assert [m.frame.can_id for m in receiver.received] == [0x123]
+
+    def test_double_attach_rejected(self, sim):
+        bus, a, _ = _two_node_bus(sim)
+        with pytest.raises(BusError):
+            bus.attach(a)
+
+    def test_tx_overflow_counted(self, sim):
+        bus = CanBus(sim)
+        node = CanController(sim, "node", tx_queue_depth=2)
+        bus.attach(node)
+        results = [node.send(CanFrame(can_id=i)) for i in range(5)]
+        assert results.count(None) >= 1
+        assert node.tx_overflows >= 1
+
+    def test_invalid_bitrate(self, sim):
+        with pytest.raises(BusError):
+            CanBus(sim, bitrate_bps=0.0)
+
+
+def _virtualized_setup(sim, num_vfs=2, policy=TxSchedulingPolicy.PRIORITY):
+    bus = CanBus(sim, bitrate_bps=500_000.0)
+    remote = CanController(sim, "remote")
+    controller = VirtualizedCanController(sim, "virt", tx_policy=policy)
+    bus.attach(remote)
+    bus.attach(controller)
+    vfs = []
+    for index in range(num_vfs):
+        vfs.append(controller.pf.create_vf("hypervisor", f"vf{index}", f"vm{index}",
+                                           [AcceptanceFilter.exact(0x200 + index)], 16, 32))
+    return bus, remote, controller, vfs
+
+
+class TestVirtualizedCanController:
+    def test_pf_rejects_unprivileged_caller(self, sim):
+        controller = VirtualizedCanController(sim, "virt")
+        with pytest.raises(VirtualizationError):
+            controller.pf.create_vf("guest_vm", "vf0", "guest_vm")
+        with pytest.raises(VirtualizationError):
+            controller.pf.set_bitrate("guest_vm", 125_000.0)
+
+    def test_vf_data_path_round_trip(self, sim):
+        bus, remote, controller, vfs = _virtualized_setup(sim)
+        remote.rx_callback = lambda msg: remote.send(CanFrame(can_id=0x200, payload=b"\x02"))
+        controller.send_from_vf("vf0", CanFrame(can_id=0x100, payload=b"\x01"))
+        sim.run(until=0.01)
+        assert len(vfs[0].received) == 1
+        assert vfs[1].received == []  # filtering isolates the other VF
+
+    def test_added_latency_within_paper_range(self, sim):
+        """The calibrated virtualization overhead for 2-8 VFs and 8-byte
+        payloads lies in the published 7-11 us band."""
+        model = VirtualizationLatencyModel()
+        for vfs in range(2, 9):
+            overhead = model.round_trip_overhead(vfs, 8)
+            assert 6.5e-6 <= overhead <= 11.5e-6
+
+    def test_round_trip_slower_than_native_by_overhead(self, sim):
+        bus, remote, controller, vfs = _virtualized_setup(sim, num_vfs=1)
+        remote.rx_callback = lambda msg: remote.send(CanFrame(can_id=0x200, payload=b"\x02" * 8))
+        controller.send_from_vf("vf0", CanFrame(can_id=0x100, payload=b"\x01" * 8))
+        sim.run(until=0.01)
+        virtual_rtt = vfs[0].received[0].delivery_time
+
+        sim2 = Simulator()
+        bus2 = CanBus(sim2, bitrate_bps=500_000.0)
+        remote2 = CanController(sim2, "remote")
+        native = CanController(sim2, "native")
+        bus2.attach(remote2)
+        bus2.attach(native)
+        remote2.rx_callback = lambda msg: remote2.send(CanFrame(can_id=0x200, payload=b"\x02" * 8))
+        native.send(CanFrame(can_id=0x100, payload=b"\x01" * 8))
+        sim2.run(until=0.01)
+        native_rtt = native.received[0].delivery_time
+
+        added = virtual_rtt - native_rtt
+        assert 2e-6 <= added <= 15e-6
+        # near-native: the overhead is small relative to the full round trip
+        assert added < 0.1 * native_rtt
+
+    def test_priority_preserved_across_vfs(self, sim):
+        bus, remote, controller, vfs = _virtualized_setup(sim, num_vfs=2)
+        # Occupy the bus first so both VF frames are queued when arbitration runs.
+        remote.send(CanFrame(can_id=0x001, payload=b"\x00" * 8))
+        controller.send_from_vf("vf0", CanFrame(can_id=0x400))
+        controller.send_from_vf("vf1", CanFrame(can_id=0x050))
+        sim.run(until=0.01)
+        received = [m.frame.can_id for m in remote.received]
+        assert received == [0x050, 0x400]
+
+    def test_round_robin_policy_ignores_priority(self, sim):
+        bus, remote, controller, vfs = _virtualized_setup(
+            sim, num_vfs=2, policy=TxSchedulingPolicy.ROUND_ROBIN)
+        remote.send(CanFrame(can_id=0x001, payload=b"\x00" * 8))
+        controller.send_from_vf("vf0", CanFrame(can_id=0x400))
+        controller.send_from_vf("vf1", CanFrame(can_id=0x050))
+        sim.run(until=0.01)
+        received = [m.frame.can_id for m in remote.received]
+        assert received == [0x400, 0x050]
+
+    def test_disabled_vf_rejects_send(self, sim):
+        _, _, controller, vfs = _virtualized_setup(sim)
+        controller.pf.enable_vf("hypervisor", "vf0", enabled=False)
+        with pytest.raises(VirtualizationError):
+            controller.send_from_vf("vf0", CanFrame(can_id=0x100))
+
+    def test_destroy_vf(self, sim):
+        _, _, controller, _ = _virtualized_setup(sim)
+        controller.pf.destroy_vf("hypervisor", "vf0")
+        with pytest.raises(VirtualizationError):
+            controller.vf("vf0")
+
+    def test_duplicate_vf_rejected(self, sim):
+        _, _, controller, _ = _virtualized_setup(sim)
+        with pytest.raises(VirtualizationError):
+            controller.pf.create_vf("hypervisor", "vf0", "vmX")
+
+    def test_unmatched_frame_falls_back_to_pf_owner(self, sim):
+        bus, remote, controller, vfs = _virtualized_setup(sim)
+        remote.send(CanFrame(can_id=0x7F0))  # matches no VF filter
+        sim.run(until=0.01)
+        assert all(vf.received == [] for vf in vfs)
+        assert len(controller.received) == 1
+
+
+class TestFpgaResourceModel:
+    def test_break_even_at_small_vm_count(self):
+        model = FpgaResourceModel()
+        break_even = break_even_vms(model)
+        assert 2 <= break_even <= 5
+
+    def test_virtualized_scales_slower_than_standalone(self):
+        model = FpgaResourceModel()
+        rows = model.sweep(8)
+        virt_growth = rows[-1]["virtualized_total"] - rows[0]["virtualized_total"]
+        stand_growth = rows[-1]["standalone_total"] - rows[0]["standalone_total"]
+        assert virt_growth < stand_growth
+        assert rows[-1]["ratio"] < 1.0
+
+    def test_single_vm_overhead_above_one(self):
+        assert FpgaResourceModel().overhead_ratio(1) > 1.0
+
+    def test_resource_estimate_arithmetic(self):
+        a = ResourceEstimate(100, 50)
+        assert (a + a).total == 300
+        assert a.scaled(3).luts == 300
+        with pytest.raises(ValueError):
+            a.scaled(-1)
+
+    def test_invalid_arguments(self):
+        model = FpgaResourceModel()
+        with pytest.raises(ValueError):
+            model.standalone(-1)
+        with pytest.raises(ValueError):
+            model.overhead_ratio(0)

@@ -1,0 +1,348 @@
+"""Tests for the Multi-Change Controller, mapping, acceptance tests, the RTE
+deployment path and the hypervisor/VM layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.can.controller import AcceptanceFilter
+from repro.can.bus import CanBus
+from repro.can.virtualization import VirtualizedCanController
+from repro.contracts.language import ContractParser
+from repro.contracts.model import RealTimeRequirement
+from repro.mcc.acceptance import (
+    ResourceAcceptanceTest,
+    SafetyAcceptanceTest,
+    SecurityAcceptanceTest,
+    TimingAcceptanceTest,
+    default_acceptance_tests,
+)
+from repro.mcc.configuration import ChangeKind, ChangeRequest, SystemModel
+from repro.mcc.controller import MultiChangeController
+from repro.mcc.mapping import MappingEngine, MappingError, MappingStrategy
+from repro.platform.resources import Platform, ProcessingResource, ResourceError
+from repro.platform.rte import CapabilityError, RuntimeEnvironment
+from repro.sim.kernel import Simulator
+from repro.virtualization.hypervisor import Hypervisor, IsolationViolation
+from repro.virtualization.vm import VirtualMachine, VmError
+
+
+class TestSystemModel:
+    def test_apply_changes(self, acc_contracts, parser):
+        model = SystemModel(contracts=acc_contracts)
+        assert len(model) == 3
+        new = parser.parse({"component": "logger", "provides": ["log"]})
+        model.apply_change(ChangeRequest(ChangeKind.ADD_COMPONENT, "logger", new))
+        assert "logger" in model
+        model.apply_change(ChangeRequest(ChangeKind.REMOVE_COMPONENT, "logger"))
+        assert "logger" not in model
+
+    def test_update_invalidates_mapping(self, acc_contracts, parser):
+        model = SystemModel(contracts=acc_contracts, mapping={"tracker": "cpu0"})
+        updated = parser.parse({"component": "tracker",
+                                "timing": {"period": 0.05, "wcet": 0.02},
+                                "provides": ["object_list"]})
+        model.apply_change(ChangeRequest(ChangeKind.UPDATE_COMPONENT, "tracker", updated))
+        assert "tracker" not in model.mapping
+
+    def test_candidate_is_isolated(self, acc_contracts):
+        model = SystemModel(contracts=acc_contracts)
+        candidate = model.candidate()
+        candidate.mapping["tracker"] = "cpu0"
+        assert "tracker" not in model.mapping
+
+    def test_missing_services(self, parser):
+        model = SystemModel(contracts=[parser.parse(
+            {"component": "client", "requires": ["absent"]})])
+        assert model.missing_services() == ["client:absent"]
+
+    def test_request_validation(self, parser):
+        with pytest.raises(ValueError):
+            ChangeRequest(ChangeKind.ADD_COMPONENT, "x")
+        with pytest.raises(ValueError):
+            ChangeRequest(ChangeKind.ADD_COMPONENT, "x",
+                          parser.parse({"component": "y"}))
+
+
+class TestMappingEngine:
+    def test_respects_capacity(self, dual_core_platform, parser):
+        contracts = parser.parse_many([
+            {"component": f"c{i}", "timing": {"period": 0.01, "wcet": 0.004}}
+            for i in range(4)])
+        decision = MappingEngine(dual_core_platform).map(contracts)
+        assert set(decision.placement.values()) == {"cpu0", "cpu1"}
+        for processor, load in decision.utilization.items():
+            assert load <= 0.9 + 1e-9
+
+    def test_infeasible_raises(self, dual_core_platform, parser):
+        contracts = parser.parse_many([
+            {"component": f"c{i}", "timing": {"period": 0.01, "wcet": 0.008}}
+            for i in range(4)])
+        with pytest.raises(MappingError):
+            MappingEngine(dual_core_platform).map(contracts)
+
+    def test_worst_fit_balances_load(self, dual_core_platform, parser):
+        contracts = parser.parse_many([
+            {"component": f"c{i}", "timing": {"period": 0.1, "wcet": 0.01}}
+            for i in range(4)])
+        decision = MappingEngine(dual_core_platform,
+                                 strategy=MappingStrategy.WORST_FIT).map(contracts)
+        loads = list(decision.utilization.values())
+        assert max(loads) - min(loads) <= 0.11
+
+    def test_keep_existing_mapping(self, dual_core_platform, parser):
+        contracts = parser.parse_many([
+            {"component": "a", "timing": {"period": 0.1, "wcet": 0.01}},
+            {"component": "b", "timing": {"period": 0.1, "wcet": 0.01}}])
+        decision = MappingEngine(dual_core_platform).map(contracts, existing={"a": "cpu1"})
+        assert decision.placement["a"] == "cpu1"
+
+    def test_redundancy_group_members_separated(self, dual_core_platform, parser):
+        contracts = parser.parse_many([
+            {"component": "brake_a", "timing": {"period": 0.01, "wcet": 0.001},
+             "safety": {"asil": "D", "redundancy_group": "brake"}},
+            {"component": "brake_b", "timing": {"period": 0.01, "wcet": 0.001},
+             "safety": {"asil": "D", "redundancy_group": "brake"}}])
+        decision = MappingEngine(dual_core_platform).map(contracts)
+        assert decision.placement["brake_a"] != decision.placement["brake_b"]
+
+    def test_priorities_deadline_monotonic_per_processor(self, dual_core_platform, parser):
+        contracts = parser.parse_many([
+            {"component": "fast", "timing": {"period": 0.005, "wcet": 0.001}},
+            {"component": "slow", "timing": {"period": 0.1, "wcet": 0.001}}])
+        decision = MappingEngine(dual_core_platform).map(contracts, existing={
+            "fast": "cpu0", "slow": "cpu0"})
+        assert decision.priorities["fast.task"] < decision.priorities["slow.task"]
+
+
+class TestAcceptanceTests:
+    def test_timing_acceptance(self, dual_core_platform, acc_contracts):
+        mapping = {c.component: "cpu0" for c in acc_contracts}
+        ordered = sorted(acc_contracts, key=lambda c: c.timing.deadline)
+        priorities = {f"{c.component}.task": i for i, c in enumerate(ordered)}
+        result = TimingAcceptanceTest().run(acc_contracts, mapping, priorities,
+                                            dual_core_platform)
+        assert result.passed
+        # Throttle the platform in the analysis: the same set fails.
+        slow = TimingAcceptanceTest(speed_factor=0.1).run(acc_contracts, mapping, priorities,
+                                                          dual_core_platform)
+        assert not slow.passed and slow.findings
+
+    def test_safety_acceptance(self, dual_core_platform, parser):
+        contracts = parser.parse_many([
+            {"component": "critical", "timing": {"period": 0.01, "wcet": 0.001},
+             "safety": {"asil": "D"}, "requires": ["svc"]},
+            {"component": "weak", "timing": {"period": 0.01, "wcet": 0.001},
+             "safety": {"asil": "A"}, "provides": ["svc"]}])
+        result = SafetyAcceptanceTest().run(contracts, {}, {}, dual_core_platform)
+        assert not result.passed
+
+    def test_security_acceptance(self, dual_core_platform, parser):
+        contracts = parser.parse_many([
+            {"component": "gateway", "safety": {"asil": "QM"},
+             "security": {"level": "NONE", "external_interface": True},
+             "provides": ["remote"]},
+            {"component": "brake", "safety": {"asil": "D"},
+             "security": {"level": "LOW"}, "requires": ["remote"]}])
+        result = SecurityAcceptanceTest().run(contracts, {}, {}, dual_core_platform)
+        assert not result.passed
+
+    def test_resource_acceptance(self, dual_core_platform, parser):
+        contracts = parser.parse_many([
+            {"component": "memory_hog",
+             "resources": {"memory_kib": 10_000_000}}])
+        result = ResourceAcceptanceTest().run(contracts, {"memory_hog": "cpu0"}, {},
+                                              dual_core_platform)
+        assert not result.passed
+
+    def test_default_battery_covers_mandatory_viewpoints(self):
+        viewpoints = {t.viewpoint for t in default_acceptance_tests()}
+        assert {"timing", "safety", "security", "resources"} <= viewpoints
+
+
+class TestMultiChangeController:
+    def test_accepts_consistent_baseline_and_deploys(self, dual_core_platform, acc_contracts):
+        rte = RuntimeEnvironment(dual_core_platform)
+        mcc = MultiChangeController(dual_core_platform, rte=rte)
+        for contract in acc_contracts:
+            report = mcc.add_component(contract)
+            assert report.accepted, report.summary()
+        assert mcc.version == len(acc_contracts)
+        assert len(rte.components()) == len(acc_contracts)
+        assert rte.configuration.version == mcc.version
+        assert mcc.acceptance_rate() == 1.0
+
+    def test_rejects_overload_without_deploying(self, dual_core_platform, acc_contracts, parser):
+        rte = RuntimeEnvironment(dual_core_platform)
+        mcc = MultiChangeController(dual_core_platform, rte=rte)
+        for contract in acc_contracts:
+            mcc.add_component(contract)
+        version_before = mcc.version
+        hog = parser.parse({"component": "hog",
+                            "timing": {"period": 0.01, "wcet": 0.0095},
+                            "provides": ["hog_svc"]})
+        hog2 = parser.parse({"component": "hog2",
+                             "timing": {"period": 0.01, "wcet": 0.0095},
+                             "provides": ["hog2_svc"]})
+        mcc.add_component(hog)
+        report = mcc.add_component(hog2)
+        # The platform has two cores; a third full-core hog cannot fit.
+        hog3 = parser.parse({"component": "hog3",
+                             "timing": {"period": 0.01, "wcet": 0.0095},
+                             "provides": ["hog3_svc"]})
+        report = mcc.add_component(hog3)
+        assert not report.accepted
+        assert mcc.version >= version_before
+        assert "hog3" not in [c.name for c in rte.components()]
+
+    def test_rejects_dangling_requirement(self, dual_core_platform, parser):
+        mcc = MultiChangeController(dual_core_platform)
+        report = mcc.add_component(parser.parse(
+            {"component": "orphan", "requires": ["missing_service"]}))
+        assert not report.accepted
+        assert any("missing provider" in finding for finding in report.findings)
+
+    def test_update_and_remove_component(self, dual_core_platform, acc_contracts, parser):
+        mcc = MultiChangeController(dual_core_platform)
+        for contract in acc_contracts:
+            mcc.add_component(contract)
+        updated = parser.parse({"component": "tracker",
+                                "timing": {"period": 0.05, "wcet": 0.015},
+                                "safety": {"asil": "B"}, "security": {"level": "MEDIUM"},
+                                "provides": ["object_list"]})
+        assert mcc.update_component(updated).accepted
+        assert mcc.model.contract("tracker").timing.wcet == pytest.approx(0.015)
+        # Removing the provider breaks the controller's requirement.
+        report = mcc.remove_component("actuator")
+        assert not report.accepted
+        assert "actuator" in mcc.model
+
+    def test_unknown_component_update_rejected_gracefully(self, dual_core_platform, parser):
+        mcc = MultiChangeController(dual_core_platform)
+        report = mcc.update_component(parser.parse({"component": "ghost"}))
+        assert not report.accepted and report.findings
+
+    def test_wcet_feedback_triggers_reintegration(self, dual_core_platform, acc_contracts):
+        mcc = MultiChangeController(dual_core_platform)
+        for contract in acc_contracts:
+            mcc.add_component(contract)
+        version = mcc.version
+        reports = mcc.incorporate_observed_wcets({"tracker.task": 0.012})
+        assert len(reports) == 1 and reports[0].accepted
+        assert mcc.version == version + 1
+        assert mcc.model.contract("tracker").timing.wcet >= 0.012
+        # Observations within budget change nothing.
+        assert mcc.incorporate_observed_wcets({"tracker.task": 0.001}) == []
+
+    def test_expectations_follow_contracts(self, dual_core_platform, acc_contracts):
+        mcc = MultiChangeController(dual_core_platform)
+        for contract in acc_contracts:
+            mcc.add_component(contract)
+        sources = {e.source for e in mcc.expectations}
+        assert "tracker.task" in sources
+        from repro.monitoring.metrics import MetricRegistry
+        detector = mcc.configure_deviation_detector(MetricRegistry())
+        assert len(detector.expectations()) == len(mcc.expectations)
+
+
+class TestRuntimeEnvironment:
+    def _deployed(self, dual_core_platform, acc_contracts):
+        rte = RuntimeEnvironment(dual_core_platform)
+        mcc = MultiChangeController(dual_core_platform, rte=rte)
+        for contract in acc_contracts:
+            mcc.add_component(contract)
+        return rte
+
+    def test_capability_enforcement(self, dual_core_platform, acc_contracts):
+        rte = self._deployed(dual_core_platform, acc_contracts)
+        session = rte.use_service("controller", "object_list")
+        assert session.provider == "tracker"
+        with pytest.raises(CapabilityError):
+            rte.use_service("tracker", "setpoints")
+
+    def test_quarantine_revokes_sessions_and_blocks_restart(self, dual_core_platform,
+                                                            acc_contracts):
+        rte = self._deployed(dual_core_platform, acc_contracts)
+        revoked = rte.quarantine("tracker")
+        assert revoked >= 1
+        with pytest.raises(CapabilityError):
+            rte.use_service("controller", "object_list")
+        from repro.platform.components import ComponentError
+        with pytest.raises(ComponentError):
+            rte.restart("tracker")
+
+    def test_tasks_hosted_on_mapped_processors(self, dual_core_platform, acc_contracts):
+        rte = self._deployed(dual_core_platform, acc_contracts)
+        processor = rte.processor_of("controller")
+        assert processor is not None
+        assert "controller.task" in processor.taskset
+
+    def test_snapshot_reports_states(self, dual_core_platform, acc_contracts):
+        rte = self._deployed(dual_core_platform, acc_contracts)
+        snapshot = rte.snapshot()
+        assert snapshot["tracker"] == "running"
+
+
+class TestHypervisor:
+    def test_vm_admission_and_isolation_check(self):
+        platform = Platform.symmetric(1)
+        hypervisor = Hypervisor(platform)
+        hypervisor.define_vm(VirtualMachine("vm0", cpu_share=0.5, memory_kib=1024))
+        hypervisor.define_vm(VirtualMachine("vm1", cpu_share=0.5, memory_kib=1024))
+        with pytest.raises(ResourceError):
+            hypervisor.define_vm(VirtualMachine("vm2", cpu_share=0.5, memory_kib=1024))
+        assert hypervisor.verify_isolation() == []
+
+    def test_vf_assignment_and_revocation(self):
+        sim = Simulator()
+        platform = Platform.symmetric(1)
+        bus = CanBus(sim)
+        controller = VirtualizedCanController(sim, "can0", privileged_owner="hypervisor")
+        bus.attach(controller)
+        hypervisor = Hypervisor(platform, name="hypervisor")
+        hypervisor.register_controller(controller)
+        hypervisor.define_vm(VirtualMachine("vm0", cpu_share=0.3, memory_kib=512))
+        vf = hypervisor.assign_can_vf("vm0", "can0",
+                                      filters=[AcceptanceFilter.exact(0x100)])
+        assert vf.owner_vm == "vm0"
+        assert hypervisor.assignments()[0].vf_name == vf.name
+        hypervisor.revoke_can_vf("vm0", "can0")
+        assert hypervisor.assignments() == []
+
+    def test_guest_cannot_use_pf(self):
+        sim = Simulator()
+        platform = Platform.symmetric(1)
+        controller = VirtualizedCanController(sim, "can0", privileged_owner="hypervisor")
+        CanBus(sim).attach(controller)
+        hypervisor = Hypervisor(platform, name="hypervisor")
+        hypervisor.register_controller(controller)
+        hypervisor.define_vm(VirtualMachine("vm0", cpu_share=0.3, memory_kib=512))
+        with pytest.raises(IsolationViolation):
+            hypervisor.guest_accesses_pf("vm0", "can0")
+
+    def test_foreign_pf_owner_rejected(self):
+        sim = Simulator()
+        platform = Platform.symmetric(1)
+        controller = VirtualizedCanController(sim, "can0", privileged_owner="someone_else")
+        hypervisor = Hypervisor(platform, name="hypervisor")
+        with pytest.raises(IsolationViolation):
+            hypervisor.register_controller(controller)
+
+    def test_vm_lifecycle(self):
+        vm = VirtualMachine("vm0", cpu_share=0.5, memory_kib=256)
+        vm.start()
+        vm.pause()
+        vm.resume()
+        vm.stop()
+        with pytest.raises(VmError):
+            vm.resume()
+        with pytest.raises(VmError):
+            VirtualMachine("bad", cpu_share=0.0, memory_kib=256)
+
+    def test_destroy_vm_releases_resources(self):
+        platform = Platform.symmetric(1)
+        hypervisor = Hypervisor(platform)
+        hypervisor.define_vm(VirtualMachine("vm0", cpu_share=0.6, memory_kib=1024))
+        hypervisor.destroy_vm("vm0")
+        hypervisor.define_vm(VirtualMachine("vm1", cpu_share=0.6, memory_kib=1024))
+        assert hypervisor.vm("vm1").name == "vm1"

@@ -1,0 +1,169 @@
+"""Integration tests for the paper's scenario drivers (kept short — the
+benchmarks run the full-length versions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.arbitration import ArbitrationPolicy
+from repro.mcc.mapping import MappingStrategy
+from repro.scenarios.infield_update import generate_change_requests, run_infield_update_scenario
+from repro.scenarios.intrusion import run_intrusion_scenario
+from repro.scenarios.platooning_fog import run_fog_platooning_scenario, sweep_visibility
+from repro.scenarios.thermal import ThermalStrategy, compare_thermal_strategies, run_thermal_scenario
+from repro.scenarios.weather_routing import (
+    crossover_severity,
+    run_weather_routing_scenario,
+    sweep_severity,
+)
+
+
+class TestIntrusionScenario:
+    @pytest.fixture(scope="class")
+    def cross_layer(self):
+        return run_intrusion_scenario(ArbitrationPolicy.LOWEST_ADEQUATE,
+                                      attack_time_s=3.0, duration_s=25.0, seed=1)
+
+    @pytest.fixture(scope="class")
+    def always_escalate(self):
+        return run_intrusion_scenario(ArbitrationPolicy.ALWAYS_ESCALATE,
+                                      attack_time_s=3.0, duration_s=25.0, seed=1)
+
+    def test_cross_layer_keeps_vehicle_operational(self, cross_layer):
+        assert cross_layer.fail_operational
+        assert not cross_layer.safe_stop_requested
+        assert cross_layer.average_speed_after_attack_mps > 10.0
+        assert cross_layer.braking_capability_after < 1.0
+
+    def test_cross_layer_uses_multiple_layers(self, cross_layer):
+        assert cross_layer.cross_layer_layers_involved >= 2
+        assert "communication" in cross_layer.resolutions_by_layer
+
+    def test_detection_and_mitigation_are_fast(self, cross_layer):
+        assert cross_layer.detection_delay_s is not None
+        assert cross_layer.detection_delay_s <= 1.0
+        assert cross_layer.time_to_mitigation_s is not None
+        assert cross_layer.time_to_mitigation_s <= 2.0
+
+    def test_single_layer_escalation_degrades_availability(self, cross_layer, always_escalate):
+        assert always_escalate.safe_stop_requested
+        assert (always_escalate.average_speed_after_attack_mps
+                < cross_layer.average_speed_after_attack_mps)
+
+    def test_invalid_timing_rejected(self):
+        with pytest.raises(ValueError):
+            run_intrusion_scenario(attack_time_s=10.0, duration_s=5.0)
+
+
+class TestThermalScenario:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return compare_thermal_strategies(duration_s=400.0)
+
+    def test_no_reaction_overheats(self, results):
+        assert not results[ThermalStrategy.NO_REACTION.value].hardware_protected
+
+    def test_platform_only_protects_hardware_but_misses_deadlines(self, results):
+        result = results[ThermalStrategy.PLATFORM_ONLY.value]
+        assert result.hardware_protected
+        assert not result.deadlines_kept
+        assert result.final_speed_factor < 1.0
+
+    def test_function_only_keeps_deadlines_but_risks_hardware(self, results):
+        result = results[ThermalStrategy.FUNCTION_ONLY.value]
+        assert result.deadlines_kept
+        assert not result.hardware_protected
+
+    def test_cross_layer_is_the_only_strategy_satisfying_both(self, results):
+        cross = results[ThermalStrategy.CROSS_LAYER.value]
+        assert cross.hardware_protected and cross.deadlines_kept
+        assert cross.control_quality >= max(
+            results[ThermalStrategy.PLATFORM_ONLY.value].control_quality, 0.5)
+        others = [results[s.value] for s in ThermalStrategy if s != ThermalStrategy.CROSS_LAYER]
+        assert not any(r.hardware_protected and r.deadlines_kept for r in others)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            run_thermal_scenario(duration_s=0.0)
+
+
+class TestFogPlatooningScenario:
+    def test_platoon_benefits_fog_impaired_vehicle(self):
+        result = run_fog_platooning_scenario(visibility_m=60.0, num_members=4, num_malicious=0)
+        assert result.converged
+        assert result.platoon_worthwhile
+        assert result.agreed_speed_mps > result.ego_standalone_speed_mps
+
+    def test_malicious_member_tolerated(self):
+        result = run_fog_platooning_scenario(visibility_m=60.0, num_members=5, num_malicious=1)
+        assert result.converged
+        assert result.agreement_error_mps <= 0.2
+        # The agreed speed stays bounded by what honest members can support.
+        honest_max = max(v for k, v in result.standalone_speeds.items())
+        assert result.agreed_speed_mps < honest_max + 15.0
+
+    def test_benefit_shrinks_in_clear_weather(self):
+        foggy = run_fog_platooning_scenario(visibility_m=50.0)
+        clear = run_fog_platooning_scenario(visibility_m=2000.0)
+        assert (foggy.agreed_speed_mps - foggy.ego_standalone_speed_mps
+                > clear.agreed_speed_mps - clear.ego_standalone_speed_mps - 1e-6)
+
+    def test_visibility_sweep_monotone_standalone_speed(self):
+        results = sweep_visibility([30.0, 60.0, 120.0, 500.0])
+        speeds = [r.ego_standalone_speed_mps for r in results]
+        assert speeds == sorted(speeds)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            run_fog_platooning_scenario(num_members=1)
+        with pytest.raises(ValueError):
+            run_fog_platooning_scenario(num_members=3, num_malicious=2)
+
+
+class TestWeatherRoutingScenario:
+    def test_mild_forecast_keeps_the_pass(self):
+        result = run_weather_routing_scenario(severity=0.05)
+        assert not result.aware_takes_detour
+
+    def test_severe_forecast_triggers_detour(self):
+        result = run_weather_routing_scenario(severity=0.7)
+        assert result.aware_takes_detour
+        assert not result.baseline_takes_detour
+        assert result.detour_extra_km > 0.0
+        assert result.aware_exposure < result.baseline_exposure
+
+    def test_crossover_exists_and_is_intermediate(self):
+        crossover = crossover_severity(resolution=0.1)
+        assert crossover is not None
+        assert 0.0 < crossover < 0.8
+
+    def test_exposure_monotone_in_severity_for_baseline(self):
+        results = sweep_severity([0.1, 0.4, 0.8])
+        exposures = [r.baseline_exposure for r in results]
+        assert exposures == sorted(exposures)
+
+
+class TestInFieldUpdateScenario:
+    def test_risky_updates_are_rejected(self):
+        result = run_infield_update_scenario(num_requests=25, seed=3, risky_fraction=0.4)
+        assert result.total_requests == 25
+        assert result.rejected > 0
+        assert not result.unsafe_update_accepted
+        assert result.acceptance_rate < 1.0
+
+    def test_benign_campaign_mostly_accepted(self):
+        result = run_infield_update_scenario(num_requests=10, seed=5, risky_fraction=0.0,
+                                             num_processors=6)
+        assert result.acceptance_rate >= 0.8
+        assert result.final_version >= result.accepted
+
+    def test_request_generator_is_deterministic(self):
+        a = generate_change_requests(10, seed=1)
+        b = generate_change_requests(10, seed=1)
+        assert [r.component for r in a] == [r.component for r in b]
+        assert [r.contract.timing.wcet for r in a] == [r.contract.timing.wcet for r in b]
+
+    def test_mapping_strategy_ablation_runs(self):
+        worst_fit = run_infield_update_scenario(num_requests=10, seed=2,
+                                                mapping_strategy=MappingStrategy.WORST_FIT)
+        assert worst_fit.total_requests == 10

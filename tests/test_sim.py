@@ -1,0 +1,255 @@
+"""Tests for the discrete-event simulation substrate (repro.sim)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Process, SimulationError, Simulator
+from repro.sim.random import SeededRNG
+from repro.sim.trace import Trace, TraceRecord, TraceRecorder
+
+
+class TestSimulatorScheduling:
+    def test_events_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(2.0, lambda s: order.append("b"))
+        sim.schedule(1.0, lambda s: order.append("a"))
+        sim.schedule(3.0, lambda s: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_priority_then_insertion(self, sim):
+        order = []
+        sim.schedule(1.0, lambda s: order.append("late"), priority=5)
+        sim.schedule(1.0, lambda s: order.append("early"), priority=0)
+        sim.schedule(1.0, lambda s: order.append("late2"), priority=5)
+        sim.run()
+        assert order == ["early", "late", "late2"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(1.5, lambda s: seen.append(s.now))
+        sim.run()
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_schedule_in_relative_delay(self, sim):
+        seen = []
+        sim.schedule_in(0.25, lambda s: seen.append(s.now))
+        sim.run()
+        assert seen == [0.25]
+
+    def test_scheduling_in_the_past_raises(self, sim):
+        sim.schedule(1.0, lambda s: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule(0.5, lambda s: None)
+
+    def test_negative_delay_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-0.1, lambda s: None)
+
+    def test_nan_time_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(math.nan, lambda s: None)
+
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda s: fired.append(1))
+        sim.schedule(5.0, lambda s: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        assert sim.pending_events == 1
+
+    def test_run_until_advances_clock_when_queue_empty(self, sim):
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(1.0, lambda s: fired.append(1))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+        assert sim.pending_events == 0
+
+    def test_stop_halts_run(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda s: (fired.append(1), s.stop()))
+        sim.schedule(2.0, lambda s: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_events_scheduled_during_run_execute(self, sim):
+        fired = []
+
+        def first(s):
+            fired.append("first")
+            s.schedule_in(1.0, lambda s2: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_max_events_limits_execution(self, sim):
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda s, i=i: fired.append(i))
+        sim.run(max_events=3)
+        assert len(fired) == 3
+
+    def test_stats_count_executed_events(self, sim):
+        for i in range(4):
+            sim.schedule(float(i), lambda s: None)
+        sim.run()
+        assert sim.stats["events_executed"] == 4
+
+
+class CountingProcess(Process):
+    def __init__(self, **kwargs):
+        super().__init__("counter", **kwargs)
+        self.times = []
+
+    def step(self, sim):
+        self.times.append(sim.now)
+
+
+class TestProcess:
+    def test_periodic_process_reactivates(self, sim):
+        process = CountingProcess(period=1.0)
+        sim.add_process(process)
+        sim.run(until=3.5)
+        assert process.times == [0.0, 1.0, 2.0, 3.0]
+
+    def test_one_shot_process_runs_once(self, sim):
+        process = CountingProcess(period=None, start_time=2.0)
+        sim.add_process(process)
+        sim.run(until=10.0)
+        assert process.times == [2.0]
+
+    def test_deactivated_process_stops(self, sim):
+        process = CountingProcess(period=1.0)
+        sim.add_process(process)
+        sim.schedule(1.5, lambda s: process.deactivate())
+        sim.run(until=5.0)
+        assert process.times == [0.0, 1.0]
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(SimulationError):
+            CountingProcess(period=0.0)
+
+    def test_unbound_process_has_no_sim(self):
+        process = CountingProcess(period=1.0)
+        with pytest.raises(SimulationError):
+            _ = process.sim
+
+
+class TestTrace:
+    def test_recorder_collects_records(self):
+        recorder = TraceRecorder()
+        recorder.record(0.0, "cat.a", "src1", value=1)
+        recorder.record(1.0, "cat.b", "src2", value=2)
+        assert len(recorder) == 2
+
+    def test_disabled_recorder_drops_records(self):
+        recorder = TraceRecorder(enabled=False)
+        recorder.record(0.0, "cat", "src")
+        assert len(recorder) == 0
+
+    def test_filter_by_category_and_source(self):
+        recorder = TraceRecorder()
+        recorder.record(0.0, "a", "x", v=1)
+        recorder.record(1.0, "a", "y", v=2)
+        recorder.record(2.0, "b", "x", v=3)
+        assert len(recorder.filter(category="a")) == 2
+        assert len(recorder.filter(source="x")) == 2
+        assert len(recorder.filter(category="a", source="x")) == 1
+
+    def test_values_extracts_payload(self):
+        trace = Trace([TraceRecord(0.0, "c", "s", {"v": 1}),
+                       TraceRecord(1.0, "c", "s", {"w": 2})])
+        assert trace.values("v") == [1]
+
+    def test_between_selects_window(self):
+        trace = Trace([TraceRecord(float(i), "c", "s") for i in range(5)])
+        assert len(trace.between(1.0, 3.0)) == 3
+
+    def test_first_last_and_categories(self):
+        trace = Trace([TraceRecord(0.0, "a", "s"), TraceRecord(1.0, "b", "s")])
+        assert trace.first().category == "a"
+        assert trace.last().category == "b"
+        assert trace.categories() == ["a", "b"]
+
+    def test_clear_resets(self):
+        recorder = TraceRecorder()
+        recorder.record(0.0, "c", "s")
+        recorder.clear()
+        assert len(recorder) == 0
+
+
+class TestSeededRNG:
+    def test_same_seed_same_sequence(self):
+        a, b = SeededRNG(42), SeededRNG(42)
+        assert [a.uniform() for _ in range(5)] == [b.uniform() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert SeededRNG(1).uniform() != SeededRNG(2).uniform()
+
+    def test_spawn_is_deterministic_and_independent(self):
+        parent = SeededRNG(7)
+        child1 = parent.spawn(1)
+        child2 = SeededRNG(7).spawn(1)
+        assert child1.uniform() == child2.uniform()
+
+    def test_integer_bounds_inclusive(self, rng):
+        values = {rng.integer(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_bounded_normal_respects_bounds(self, rng):
+        for _ in range(100):
+            value = rng.bounded_normal(0.5, 10.0, 0.0, 1.0)
+            assert 0.0 <= value <= 1.0
+
+    def test_choice_from_empty_raises(self, rng):
+        with pytest.raises(ValueError):
+            rng.choice([])
+
+    def test_shuffle_preserves_elements(self, rng):
+        items = list(range(10))
+        shuffled = rng.shuffle(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(10))  # input not mutated
+
+    @given(n=st.integers(min_value=1, max_value=30),
+           total=st.floats(min_value=0.05, max_value=4.0))
+    @settings(max_examples=50, deadline=None)
+    def test_uunifast_sums_to_total(self, n, total):
+        utilizations = SeededRNG(99).uunifast(n, total)
+        assert len(utilizations) == n
+        assert all(u >= 0 for u in utilizations)
+        assert sum(utilizations) == pytest.approx(total, rel=1e-9)
+
+    def test_uunifast_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            rng.uunifast(0, 1.0)
+        with pytest.raises(ValueError):
+            rng.uunifast(3, 0.0)
+
+    def test_log_uniform_periods_in_range(self, rng):
+        periods = rng.log_uniform_periods(50, 0.001, 1.0)
+        assert len(periods) == 50
+        assert all(0.001 <= p <= 1.0 for p in periods)
+
+    def test_log_uniform_invalid_range(self, rng):
+        with pytest.raises(ValueError):
+            rng.log_uniform_periods(5, 1.0, 0.5)
+
+    def test_bernoulli_extremes(self, rng):
+        assert not any(rng.bernoulli(0.0) for _ in range(20))
+        assert all(rng.bernoulli(1.0) for _ in range(20))

@@ -1,0 +1,273 @@
+"""Tests for skill graphs, ability graphs and graceful degradation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.skills.ability import AbilityGraph, AbilityLevel, PropagationPolicy
+from repro.skills.acc_example import ACC_MAIN_SKILL, build_acc_ability_graph, build_acc_skill_graph
+from repro.skills.degradation import (
+    DegradationActionKind,
+    DegradationManager,
+    OperationalRestriction,
+    RedundancySwitch,
+)
+from repro.skills.graph import NodeKind, SkillGraph, SkillGraphError
+
+
+def _small_graph() -> SkillGraph:
+    graph = SkillGraph("drive")
+    graph.add_skill("drive")
+    graph.add_skill("perceive")
+    graph.add_skill("actuate")
+    graph.add_data_source("sensor")
+    graph.add_data_sink("brake")
+    graph.add_dependency("drive", "perceive")
+    graph.add_dependency("drive", "actuate")
+    graph.add_dependency("perceive", "sensor")
+    graph.add_dependency("actuate", "brake")
+    return graph
+
+
+class TestSkillGraph:
+    def test_valid_small_graph(self):
+        graph = _small_graph()
+        assert graph.is_valid()
+        assert len(graph) == 5
+        assert {n.name for n in graph.skills()} == {"drive", "perceive", "actuate"}
+
+    def test_cycle_rejected(self):
+        graph = _small_graph()
+        with pytest.raises(SkillGraphError):
+            graph.add_dependency("perceive", "drive")
+
+    def test_self_dependency_rejected(self):
+        graph = _small_graph()
+        with pytest.raises(SkillGraphError):
+            graph.add_dependency("drive", "drive")
+
+    def test_leaf_nodes_cannot_depend(self):
+        graph = _small_graph()
+        with pytest.raises(SkillGraphError):
+            graph.add_dependency("sensor", "brake")
+
+    def test_duplicate_node_rejected(self):
+        graph = _small_graph()
+        with pytest.raises(SkillGraphError):
+            graph.add_skill("drive")
+
+    def test_validation_finds_unrefined_skill(self):
+        graph = SkillGraph("drive")
+        graph.add_skill("drive")
+        problems = graph.validate()
+        assert any("no dependencies" in p for p in problems)
+
+    def test_validation_finds_unreachable_node(self):
+        graph = _small_graph()
+        graph.add_skill("orphan")
+        graph.add_data_source("orphan_src")
+        graph.add_dependency("orphan", "orphan_src")
+        problems = graph.validate()
+        assert any("not reachable" in p for p in problems)
+
+    def test_paths_from_main(self):
+        paths = _small_graph().paths_from_main()
+        assert ["drive", "perceive", "sensor"] in paths
+        assert ["drive", "actuate", "brake"] in paths
+
+    def test_topological_order_children_first(self):
+        graph = _small_graph()
+        order = graph.topological_order()
+        assert order.index("sensor") < order.index("perceive") < order.index("drive")
+
+    def test_dependents_and_dependencies(self):
+        graph = _small_graph()
+        assert graph.dependents_of("sensor") == ["perceive"]
+        assert graph.dependencies_of("drive") == ["actuate", "perceive"]
+        assert graph.transitive_dependencies("drive") == {"perceive", "actuate", "sensor", "brake"}
+        assert graph.transitive_dependents("sensor") == {"perceive", "drive"}
+
+
+class TestAccExampleGraph:
+    def test_structure_matches_paper(self):
+        graph = build_acc_skill_graph()
+        assert graph.is_valid()
+        assert graph.main_skill == ACC_MAIN_SKILL
+        assert {n.name for n in graph.data_sources()} == {"radar_sensor", "camera_sensor", "hmi"}
+        assert {n.name for n in graph.data_sinks()} == {"powertrain", "braking_system"}
+        # The explicit dependencies called out in the text:
+        assert set(graph.dependencies_of("acc_driving")) == {
+            "control_distance", "control_speed", "keep_vehicle_controllable"}
+        assert "select_target_object" in graph.dependencies_of("control_distance")
+        assert "estimate_driver_intent" in graph.dependencies_of("keep_vehicle_controllable")
+        assert "braking_system" in graph.dependencies_of("decelerate")
+        assert graph.dependencies_of("accelerate_decelerate") == ["powertrain"]
+        assert graph.dependencies_of("estimate_driver_intent") == ["hmi"]
+
+    def test_every_path_ends_at_source_or_sink(self):
+        graph = build_acc_skill_graph()
+        for path in graph.paths_from_main():
+            assert graph.node(path[0]).name == ACC_MAIN_SKILL
+            assert graph.node(path[-1]).is_leaf_kind
+
+
+class TestAbilityGraph:
+    def test_nominal_scores_are_one(self):
+        graph = build_acc_ability_graph()
+        assert graph.root_score() == 1.0
+        assert graph.root_level() == AbilityLevel.FULLY_AVAILABLE
+
+    def test_leaf_degradation_propagates_to_root_with_min_policy(self):
+        graph = build_acc_ability_graph()
+        graph.observe("radar_sensor", 0.4)
+        assert graph.root_score() == pytest.approx(0.4)
+        assert graph.score("perceive_track_objects") == pytest.approx(0.4)
+        assert graph.score("estimate_driver_intent") == 1.0
+
+    def test_weighted_policy_softens_single_degradation(self):
+        weighted = build_acc_ability_graph(policy=PropagationPolicy.WEIGHTED)
+        weighted.observe("radar_sensor", 0.4)
+        min_graph = build_acc_ability_graph()
+        min_graph.observe("radar_sensor", 0.4)
+        assert weighted.root_score() > min_graph.root_score()
+
+    def test_weighted_policy_zero_dependency_forces_zero(self):
+        weighted = build_acc_ability_graph(policy=PropagationPolicy.WEIGHTED)
+        weighted.fail("radar_sensor")
+        assert weighted.score("perceive_track_objects") == 0.0
+
+    def test_restore_recovers_root(self):
+        graph = build_acc_ability_graph()
+        graph.fail("camera_sensor")
+        assert graph.root_score() == 0.0
+        graph.restore("camera_sensor")
+        assert graph.root_score() == 1.0
+
+    def test_fail_implementation_affects_mapped_abilities(self):
+        graph = build_acc_ability_graph()
+        affected = graph.fail_implementation("brake_controller")
+        assert affected == ["decelerate"]
+        assert graph.score("keep_vehicle_controllable") == 0.0
+
+    def test_root_cause_candidates_isolate_origin(self):
+        graph = build_acc_ability_graph()
+        graph.observe("radar_sensor", 0.3)
+        candidates = graph.root_cause_candidates()
+        assert [c.name for c in candidates] == ["radar_sensor"]
+
+    def test_anomalies_report_degradations(self):
+        graph = build_acc_ability_graph()
+        graph.observe("camera_sensor", 0.2)
+        anomalies = graph.anomalies(time=3.0)
+        subjects = {a.subject for a in anomalies}
+        assert "camera_sensor" in subjects and "acc_driving" in subjects
+        assert all(a.layer == "ability" for a in anomalies)
+
+    def test_invalid_scores_rejected(self):
+        graph = build_acc_ability_graph()
+        with pytest.raises(ValueError):
+            graph.observe("radar_sensor", 1.5)
+        with pytest.raises(SkillGraphError):
+            graph.observe("not_a_node", 0.5)
+
+    def test_invalid_skill_graph_rejected(self):
+        incomplete = SkillGraph("drive")
+        incomplete.add_skill("drive")
+        with pytest.raises(SkillGraphError):
+            AbilityGraph(incomplete)
+
+    def test_ability_levels_from_score(self):
+        assert AbilityLevel.from_score(0.95) == AbilityLevel.FULLY_AVAILABLE
+        assert AbilityLevel.from_score(0.7) == AbilityLevel.DEGRADED
+        assert AbilityLevel.from_score(0.4) == AbilityLevel.SEVERELY_DEGRADED
+        assert AbilityLevel.from_score(0.1) == AbilityLevel.UNAVAILABLE
+
+    @given(scores=st.dictionaries(
+        st.sampled_from(["radar_sensor", "camera_sensor", "hmi", "powertrain",
+                         "braking_system"]),
+        st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_root_never_exceeds_worst_leaf(self, scores):
+        """Property: with MIN propagation, the root score never exceeds the
+        score of any degraded leaf (weakest-link semantics)."""
+        graph = build_acc_ability_graph()
+        for node, score in scores.items():
+            graph.observe(node, score)
+        assert graph.root_score() <= min(scores.values()) + 1e-9
+
+    @given(score=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scores_stay_in_unit_interval(self, score):
+        graph = build_acc_ability_graph(policy=PropagationPolicy.WEIGHTED)
+        graph.observe("radar_sensor", score)
+        graph.observe("camera_sensor", 1.0 - score)
+        for ability in graph.abilities():
+            assert 0.0 <= ability.score <= 1.0
+
+
+class TestDegradationManager:
+    def test_redundancy_switch_preferred(self):
+        graph = build_acc_ability_graph()
+        manager = DegradationManager(graph)
+        manager.register_redundancy(RedundancySwitch(
+            "perceive_track_objects", "object_tracker", "radar_only_tracker",
+            performance_penalty=0.2))
+        graph.observe("perceive_track_objects", 0.2)
+        plan = manager.plan()
+        assert DegradationActionKind.SWITCH_REDUNDANT in plan.action_kinds()
+        log = manager.apply(plan)
+        assert any("switched" in entry for entry in log)
+        assert graph.score("perceive_track_objects") == pytest.approx(0.8)
+        assert manager.active_switches()["perceive_track_objects"] == "radar_only_tracker"
+
+    def test_restriction_used_when_no_redundancy(self):
+        graph = build_acc_ability_graph()
+        manager = DegradationManager(graph)
+        manager.register_restriction(OperationalRestriction(
+            "braking_system", "reduce maximum speed", compensated_score=0.6))
+        graph.observe("braking_system", 0.3)
+        plan = manager.plan()
+        assert DegradationActionKind.RESTRICT_OPERATION in plan.action_kinds()
+        assert not plan.requires_safe_stop
+        manager.apply(plan)
+        assert graph.score("braking_system") == pytest.approx(0.6)
+
+    def test_safe_stop_when_nothing_compensates(self):
+        graph = build_acc_ability_graph()
+        manager = DegradationManager(graph, safe_stop_threshold=0.3)
+        graph.fail("radar_sensor")
+        graph.fail("camera_sensor")
+        plan = manager.plan()
+        assert plan.requires_safe_stop
+        assert DegradationActionKind.SAFE_STOP in plan.action_kinds()
+
+    def test_plan_prediction_does_not_mutate_graph(self):
+        graph = build_acc_ability_graph()
+        manager = DegradationManager(graph)
+        manager.register_restriction(OperationalRestriction(
+            "braking_system", "reduce speed", compensated_score=0.7))
+        graph.observe("braking_system", 0.2)
+        before = graph.snapshot()
+        manager.plan()
+        assert graph.snapshot() == before
+
+    def test_empty_plan_when_healthy(self):
+        manager = DegradationManager(build_acc_ability_graph())
+        assert manager.plan().empty
+
+    def test_unknown_ability_registration_rejected(self):
+        manager = DegradationManager(build_acc_ability_graph())
+        with pytest.raises(KeyError):
+            manager.register_restriction(OperationalRestriction("nope", "x", 0.5))
+        with pytest.raises(KeyError):
+            manager.register_redundancy(RedundancySwitch("nope", "a", "b"))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RedundancySwitch("a", "p", "b", performance_penalty=1.0)
+        with pytest.raises(ValueError):
+            OperationalRestriction("a", "desc", compensated_score=0.0)
+        with pytest.raises(ValueError):
+            DegradationManager(build_acc_ability_graph(), safe_stop_threshold=1.5)

@@ -1,0 +1,359 @@
+"""Tests for the driving-function substrate (dynamics, sensors, tracking,
+driver intent, actuators, ACC)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.random import SeededRNG
+from repro.vehicle.actuators import ActuatorFault, BrakeActuator, PowertrainActuator
+from repro.vehicle.acc import AccConfig, AccController, AccStatus
+from repro.vehicle.driver import DriverIntentEstimator, DriverIntentKind, HmiInput
+from repro.vehicle.dynamics import LongitudinalDynamics, VehicleParameters, VehicleState
+from repro.vehicle.environment import Environment, LeadVehicle, Weather, WeatherCondition
+from repro.vehicle.sensors import CameraSensor, LidarSensor, RadarSensor, SensorFault
+from repro.vehicle.tracking import ObjectTracker
+
+
+class TestDynamics:
+    def test_acceleration_from_drive_command(self):
+        dynamics = LongitudinalDynamics()
+        dynamics.step(0.1, drive_command=1.0, brake_command=0.0)
+        assert dynamics.state.speed_mps > 0.0
+        assert dynamics.state.acceleration_mps2 > 0.0
+
+    def test_braking_stops_vehicle_without_reversing(self):
+        dynamics = LongitudinalDynamics(initial_state=VehicleState(speed_mps=5.0))
+        for _ in range(200):
+            dynamics.step(0.05, 0.0, 1.0)
+        assert dynamics.state.speed_mps == 0.0
+
+    def test_disabling_rear_circuit_reduces_deceleration(self):
+        dynamics = LongitudinalDynamics()
+        nominal = dynamics.available_deceleration()
+        dynamics.set_brake_circuit_availability(rear=0.0)
+        assert dynamics.available_deceleration() < nominal
+        assert dynamics.braking_capability_ratio() < 1.0
+
+    def test_stopping_distance_grows_with_degraded_brakes(self):
+        dynamics = LongitudinalDynamics(initial_state=VehicleState(speed_mps=30.0))
+        nominal = dynamics.stopping_distance()
+        dynamics.set_brake_circuit_availability(rear=0.0, drivetrain=0.0)
+        assert dynamics.stopping_distance() > nominal
+
+    def test_safe_speed_inverse_of_stopping_distance(self):
+        dynamics = LongitudinalDynamics()
+        speed = dynamics.safe_speed_for_stopping_distance(50.0)
+        assert dynamics.stopping_distance(speed) == pytest.approx(50.0, rel=1e-6)
+
+    def test_friction_scales_braking(self):
+        dry = LongitudinalDynamics(friction_factor=1.0)
+        icy = LongitudinalDynamics(friction_factor=0.3)
+        assert icy.available_deceleration() < dry.available_deceleration()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            LongitudinalDynamics(friction_factor=0.0)
+        dynamics = LongitudinalDynamics()
+        with pytest.raises(ValueError):
+            dynamics.step(0.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            dynamics.set_brake_circuit_availability(rear=1.5)
+        with pytest.raises(ValueError):
+            VehicleParameters(mass_kg=0.0)
+
+    @given(speed=st.floats(min_value=0.0, max_value=60.0))
+    @settings(max_examples=30, deadline=None)
+    def test_coasting_never_accelerates(self, speed):
+        dynamics = LongitudinalDynamics(initial_state=VehicleState(speed_mps=speed))
+        dynamics.step(0.1, 0.0, 0.0)
+        assert dynamics.state.speed_mps <= speed + 1e-9
+
+
+class TestEnvironment:
+    def test_lead_vehicle_motion_and_gap(self):
+        env = Environment()
+        lead = env.add_lead_vehicle(LeadVehicle("lead", position_m=50.0, speed_mps=10.0))
+        env.step(1.0)
+        assert lead.position_m == pytest.approx(60.0)
+        assert lead.gap_to(20.0) == pytest.approx(40.0)
+
+    def test_closest_lead_selection(self):
+        env = Environment()
+        env.add_lead_vehicle(LeadVehicle("far", position_m=100.0, speed_mps=10.0))
+        env.add_lead_vehicle(LeadVehicle("near", position_m=40.0, speed_mps=10.0))
+        assert env.closest_lead(0.0).name == "near"
+        assert env.closest_lead(150.0) is None
+
+    def test_weather_schedule(self):
+        env = Environment(Weather.clear())
+        env.schedule_weather(5.0, Weather.dense_fog())
+        env.step(1.0)
+        assert env.weather.condition == WeatherCondition.CLEAR
+        env.step(5.0)
+        assert env.weather.condition == WeatherCondition.DENSE_FOG
+
+    def test_temperature_profile(self):
+        env = Environment()
+        env.set_temperature_profile(lambda t: 20.0 + t)
+        env.step(5.0)
+        assert env.ambient_temperature_c == pytest.approx(25.0)
+
+    def test_weather_factories(self):
+        assert Weather.rain(1.0).friction_factor < 1.0
+        assert Weather.dense_fog().visibility_m < 200.0
+        assert Weather.snow(1.0).friction_factor < Weather.rain(1.0).friction_factor
+        with pytest.raises(ValueError):
+            Weather(visibility_m=0.0)
+
+
+class TestSensors:
+    def _env_with_lead(self, weather=None, gap=50.0):
+        env = Environment(weather or Weather.clear(), SeededRNG(5))
+        env.add_lead_vehicle(LeadVehicle("lead", position_m=gap, speed_mps=20.0))
+        return env
+
+    def test_measurement_of_target_in_range(self):
+        env = self._env_with_lead()
+        radar = RadarSensor("radar", SeededRNG(1))
+        reading = radar.measure(0.0, 0.0, 25.0, env)
+        assert reading.usable
+        assert reading.range_m == pytest.approx(50.0, abs=5.0)
+        assert reading.range_rate_mps == pytest.approx(-5.0, abs=2.0)
+
+    def test_target_beyond_range_not_detected(self):
+        env = self._env_with_lead(gap=500.0)
+        camera = CameraSensor("camera", SeededRNG(1))
+        reading = camera.measure(0.0, 0.0, 25.0, env)
+        assert reading.valid and reading.range_m is None
+
+    def test_fog_degrades_camera_more_than_radar(self):
+        fog = Weather.dense_fog(visibility_m=50.0)
+        assert CameraSensor("c").weather_factor(fog) < RadarSensor("r").weather_factor(fog)
+        assert LidarSensor("l").weather_factor(fog) < RadarSensor("r").weather_factor(fog)
+
+    def test_dropout_fault(self):
+        env = self._env_with_lead()
+        radar = RadarSensor("radar", SeededRNG(1))
+        radar.inject_fault(SensorFault.DROPOUT)
+        reading = radar.measure(0.0, 0.0, 25.0, env)
+        assert not reading.valid and reading.quality == 0.0
+        radar.clear_fault()
+        assert radar.measure(0.1, 0.0, 25.0, env).usable
+
+    def test_stuck_fault_repeats_last_value(self):
+        env = self._env_with_lead()
+        radar = RadarSensor("radar", SeededRNG(1))
+        first = radar.measure(0.0, 0.0, 25.0, env)
+        radar.inject_fault(SensorFault.STUCK)
+        env.step(1.0)
+        second = radar.measure(1.0, 0.0, 25.0, env)
+        assert second.range_m == first.range_m
+        assert second.quality < first.quality
+
+    def test_bias_fault_shifts_measurement(self):
+        env = self._env_with_lead()
+        radar = RadarSensor("radar", SeededRNG(1))
+        radar.inject_fault(SensorFault.BIAS, magnitude=10.0)
+        reading = radar.measure(0.0, 0.0, 25.0, env)
+        assert reading.range_m == pytest.approx(60.0, abs=5.0)
+
+    def test_blinded_fault_collapses_quality(self):
+        env = self._env_with_lead()
+        camera = CameraSensor("camera", SeededRNG(1))
+        camera.inject_fault(SensorFault.BLINDED, magnitude=2.0)
+        assert camera.measure(0.0, 0.0, 25.0, env).quality <= 0.1
+
+
+class TestTracker:
+    def test_tracks_constant_gap(self):
+        env = Environment(Weather.clear(), SeededRNG(2))
+        env.add_lead_vehicle(LeadVehicle("lead", position_m=40.0, speed_mps=20.0))
+        radar = RadarSensor("radar", SeededRNG(3))
+        tracker = ObjectTracker()
+        track = None
+        for i in range(50):
+            reading = radar.measure(i * 0.05, 0.0, 20.0, env)
+            track = tracker.update(i * 0.05, [reading])
+        assert track is not None and track.usable
+        assert track.range_m == pytest.approx(40.0 + 50 * 0.05 * 0, abs=3.0)
+        assert tracker.performance_score() > 0.8
+
+    def test_coasts_then_drops_track(self):
+        tracker = ObjectTracker(max_coast_cycles=3)
+        from repro.vehicle.sensors import SensorReading
+        tracker.update(0.0, [SensorReading(0.0, True, 30.0, -2.0, 1.0, "radar")])
+        for i in range(1, 4):
+            track = tracker.update(i * 0.1, [])
+            assert track is not None and track.coasting
+        assert tracker.update(0.5, []) is None
+        assert not tracker.has_track
+
+    def test_fusion_weights_by_quality(self):
+        from repro.vehicle.sensors import SensorReading
+        good = SensorReading(0.0, True, 30.0, 0.0, 0.9, "radar")
+        bad = SensorReading(0.0, True, 60.0, 0.0, 0.1, "camera")
+        fused = ObjectTracker.fuse([good, bad])
+        assert fused.range_m < 45.0  # closer to the high-quality reading
+
+    def test_fusion_with_no_usable_readings(self):
+        from repro.vehicle.sensors import SensorReading
+        assert ObjectTracker.fuse([SensorReading(0.0, False, None, None, 0.0, "x")]) is None
+
+
+class TestDriverIntent:
+    def test_default_cruise_intent(self):
+        estimator = DriverIntentEstimator(default_set_speed_mps=30.0)
+        intent = estimator.estimate(0.0)
+        assert intent.kind == DriverIntentKind.CRUISE
+        assert intent.set_speed_mps == 30.0
+        assert intent.confidence > 0.5
+
+    def test_override_and_resume(self):
+        estimator = DriverIntentEstimator()
+        estimator.process_input(HmiInput(1.0, "brake_pedal", 0.8))
+        assert estimator.estimate(1.0).kind == DriverIntentKind.OVERRIDE_BRAKE
+        estimator.process_input(HmiInput(2.0, "resume"))
+        assert estimator.estimate(2.0).kind == DriverIntentKind.CRUISE
+
+    def test_set_speed_change(self):
+        estimator = DriverIntentEstimator()
+        estimator.process_input(HmiInput(0.0, "set_speed", 22.0))
+        assert estimator.estimate(0.0).set_speed_mps == 22.0
+
+    def test_hmi_loss_drops_ability_score(self):
+        estimator = DriverIntentEstimator()
+        estimator.set_hmi_available(False)
+        estimator.estimate(0.0)
+        assert estimator.ability_score() == 0.0
+        estimator.set_hmi_available(True)
+        estimator.process_input(HmiInput(1.0, "resume"))
+        estimator.estimate(1.0)
+        assert estimator.ability_score() == 1.0
+
+    def test_confidence_decays_after_silence(self):
+        estimator = DriverIntentEstimator(hmi_timeout_s=1.0)
+        estimator.process_input(HmiInput(0.0, "resume"))
+        assert estimator.estimate(0.5).confidence == 1.0
+        assert estimator.estimate(5.0).confidence < 1.0
+
+
+class TestActuators:
+    def test_availability_with_faults(self):
+        brake = BrakeActuator()
+        assert brake.availability == 1.0
+        brake.inject_fault(ActuatorFault.DEGRADED, degradation=0.4)
+        assert brake.availability == pytest.approx(0.6)
+        brake.inject_fault(ActuatorFault.COMPROMISED)
+        assert brake.availability == 0.0
+        brake.restore()
+        assert brake.availability == 1.0
+
+    def test_circuit_loss_affects_dynamics_and_score(self):
+        dynamics = LongitudinalDynamics()
+        brake = BrakeActuator()
+        brake.disable_circuit("rear", dynamics)
+        assert dynamics.rear_brake_availability == 0.0
+        assert brake.ability_score() == pytest.approx(0.5)
+        brake.enable_circuit("rear", dynamics)
+        assert dynamics.rear_brake_availability == 1.0
+        with pytest.raises(ValueError):
+            brake.disable_circuit("middle")
+
+    def test_drivetrain_braking_toggle(self):
+        dynamics = LongitudinalDynamics()
+        powertrain = PowertrainActuator()
+        powertrain.set_drivetrain_braking(False, dynamics)
+        assert dynamics.drivetrain_brake_availability == 0.0
+        powertrain.set_drivetrain_braking(True, dynamics)
+        assert dynamics.drivetrain_brake_availability == 1.0
+
+    def test_shut_off_blocks_commands(self):
+        dynamics = LongitudinalDynamics(initial_state=VehicleState(speed_mps=10.0))
+        powertrain = PowertrainActuator()
+        powertrain.shut_off()
+        assert powertrain.apply(dynamics, 1.0) == 0.0
+
+
+def _closed_loop(weather=None, steps=1500, set_speed=30.0, lead_speed=22.0):
+    env = Environment(weather or Weather.clear(), SeededRNG(11))
+    env.add_lead_vehicle(LeadVehicle("lead", position_m=70.0, speed_mps=lead_speed))
+    dynamics = LongitudinalDynamics(initial_state=VehicleState(speed_mps=25.0))
+    radar, camera = RadarSensor("radar", SeededRNG(12)), CameraSensor("camera", SeededRNG(13))
+    tracker, driver = ObjectTracker(), DriverIntentEstimator(default_set_speed_mps=set_speed)
+    powertrain, brakes = PowertrainActuator(), BrakeActuator()
+    acc = AccController(dynamics, powertrain, brakes)
+    time = 0.0
+    for _ in range(steps):
+        readings = [s.measure(time, dynamics.state.position_m, dynamics.state.speed_mps, env)
+                    for s in (radar, camera)]
+        track = tracker.update(time, readings)
+        acc.step(time, driver.estimate(time), track)
+        env.step(acc.config.control_period_s)
+        time += acc.config.control_period_s
+    return env, dynamics, acc
+
+
+class TestAccController:
+    def test_follows_slower_lead_at_safe_gap(self):
+        env, dynamics, acc = _closed_loop()
+        lead = env.lead_vehicle("lead")
+        gap = lead.position_m - dynamics.state.position_m
+        assert dynamics.state.speed_mps == pytest.approx(22.0, abs=1.0)
+        assert gap == pytest.approx(1.8 * 22.0, rel=0.3)
+        assert acc.minimum_gap_observed() > 10.0
+        assert acc.control_performance() > 0.7
+
+    def test_reaches_set_speed_without_lead(self):
+        env = Environment(Weather.clear(), SeededRNG(1))
+        dynamics = LongitudinalDynamics()
+        acc = AccController(dynamics, PowertrainActuator(), BrakeActuator())
+        driver = DriverIntentEstimator(default_set_speed_mps=20.0)
+        time = 0.0
+        for _ in range(2000):
+            acc.step(time, driver.estimate(time), None)
+            time += acc.config.control_period_s
+        assert dynamics.state.speed_mps == pytest.approx(20.0, abs=1.0)
+
+    def test_speed_limit_enforced(self):
+        env = Environment(Weather.clear(), SeededRNG(1))
+        dynamics = LongitudinalDynamics(initial_state=VehicleState(speed_mps=25.0))
+        acc = AccController(dynamics, PowertrainActuator(), BrakeActuator())
+        acc.impose_speed_limit(15.0)
+        driver = DriverIntentEstimator(default_set_speed_mps=30.0)
+        time = 0.0
+        for _ in range(2000):
+            acc.step(time, driver.estimate(time), None)
+            time += acc.config.control_period_s
+        assert dynamics.state.speed_mps <= 16.0
+        acc.impose_speed_limit(None)
+        with pytest.raises(ValueError):
+            acc.impose_speed_limit(-1.0)
+
+    def test_driver_override_suspends_control(self):
+        dynamics = LongitudinalDynamics(initial_state=VehicleState(speed_mps=20.0))
+        acc = AccController(dynamics, PowertrainActuator(), BrakeActuator())
+        driver = DriverIntentEstimator()
+        driver.process_input(HmiInput(0.0, "brake_pedal", 1.0))
+        command = acc.step(0.0, driver.estimate(0.0), None)
+        assert acc.status == AccStatus.OVERRIDDEN
+        assert command.brake > 0.0
+
+    def test_disengage(self):
+        dynamics = LongitudinalDynamics(initial_state=VehicleState(speed_mps=20.0))
+        acc = AccController(dynamics, PowertrainActuator(), BrakeActuator())
+        driver = DriverIntentEstimator()
+        driver.process_input(HmiInput(0.0, "cancel"))
+        command = acc.step(0.0, driver.estimate(0.0), None)
+        assert acc.status == AccStatus.DISENGAGED
+        assert command.drive == 0.0 and command.brake == 0.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            AccConfig(control_period_s=0.0)
+        with pytest.raises(ValueError):
+            AccConfig(min_gap_m=0.0)
