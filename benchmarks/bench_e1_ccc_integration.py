@@ -5,6 +5,9 @@ of change requests (a configurable fraction of them risky) is integrated
 against a shared mixed-criticality platform; the table reports acceptance
 rate, rejection reasons and deployed configuration growth, plus a mapping-
 strategy ablation.
+
+All runs drive through the scenario registry (``repro.experiments``), so the
+rows below are exactly the metric records a sweep would produce.
 """
 
 from __future__ import annotations
@@ -12,8 +15,7 @@ from __future__ import annotations
 import pytest
 
 from conftest import print_table
-from repro.mcc.mapping import MappingStrategy
-from repro.scenarios.infield_update import run_infield_update_scenario
+from repro.experiments import run_scenario
 
 
 @pytest.mark.benchmark(group="e1-ccc-integration")
@@ -21,26 +23,21 @@ def test_e1_update_campaign_acceptance(benchmark):
     """Acceptance behaviour over a 30-request campaign with 30% risky updates."""
 
     def campaign():
-        return run_infield_update_scenario(num_requests=30, seed=7, risky_fraction=0.3)
+        return run_scenario("infield_update", num_requests=30, seed=7,
+                            risky_fraction=0.3)
 
-    result = benchmark(campaign)
-    rows = [{
-        "requests": result.total_requests,
-        "accepted": result.accepted,
-        "rejected": result.rejected,
-        "acceptance_rate": result.acceptance_rate,
-        "unsafe_accepted": result.unsafe_update_accepted,
-        "final_version": result.final_version,
-        "deployed_components": result.deployed_components,
-    }]
+    record = benchmark(campaign)
+    rows = [{key: record[key] for key in
+             ("total_requests", "accepted", "rejected", "acceptance_rate",
+              "unsafe_update_accepted", "final_version", "deployed_components")}]
     print_table("E1: MCC in-field update campaign (30 requests, 30% risky)", rows)
     print_table("E1: rejections by viewpoint",
                 [{"viewpoint": vp, "rejections": count}
-                 for vp, count in sorted(result.rejected_by_viewpoint.items())])
+                 for vp, count in sorted(record["rejected_by_viewpoint"].items())])
     # The MCC must block every unsafe update while accepting a useful share.
-    assert not result.unsafe_update_accepted
-    assert result.rejected > 0
-    assert result.accepted > 0
+    assert not record["unsafe_update_accepted"]
+    assert record["rejected"] > 0
+    assert record["accepted"] > 0
 
 
 @pytest.mark.benchmark(group="e1-ccc-integration")
@@ -50,15 +47,16 @@ def test_e1_risky_fraction_sweep(benchmark):
     fractions = [0.0, 0.2, 0.4, 0.6]
 
     def sweep():
-        return [run_infield_update_scenario(num_requests=20, seed=11, risky_fraction=f)
+        return [run_scenario("infield_update", num_requests=20, seed=11,
+                             risky_fraction=f)
                 for f in fractions]
 
-    results = benchmark(sweep)
-    rows = [{"risky_fraction": f, "accepted": r.accepted, "rejected": r.rejected,
-             "acceptance_rate": r.acceptance_rate}
-            for f, r in zip(fractions, results)]
+    records = benchmark(sweep)
+    rows = [{"risky_fraction": f, "accepted": r["accepted"],
+             "rejected": r["rejected"], "acceptance_rate": r["acceptance_rate"]}
+            for f, r in zip(fractions, records)]
     print_table("E1: acceptance rate vs risky-update fraction", rows)
-    rates = [r.acceptance_rate for r in results]
+    rates = [r["acceptance_rate"] for r in records]
     assert rates[0] >= rates[-1]
 
 
@@ -66,16 +64,16 @@ def test_e1_risky_fraction_sweep(benchmark):
 def test_e1_mapping_strategy_ablation(benchmark):
     """Ablation: first-fit vs worst-fit vs best-fit placement heuristics."""
 
-    strategies = [MappingStrategy.FIRST_FIT, MappingStrategy.WORST_FIT, MappingStrategy.BEST_FIT]
+    strategies = ["first_fit", "worst_fit", "best_fit"]
 
     def sweep():
-        return [run_infield_update_scenario(num_requests=25, seed=13, risky_fraction=0.2,
-                                            mapping_strategy=s, deploy=False)
+        return [run_scenario("infield_update", num_requests=25, seed=13,
+                             risky_fraction=0.2, mapping_strategy=s, deploy=False)
                 for s in strategies]
 
-    results = benchmark(sweep)
-    rows = [{"strategy": s.value, "accepted": r.accepted,
-             "acceptance_rate": r.acceptance_rate}
-            for s, r in zip(strategies, results)]
+    records = benchmark(sweep)
+    rows = [{"strategy": s, "accepted": r["accepted"],
+             "acceptance_rate": r["acceptance_rate"]}
+            for s, r in zip(strategies, records)]
     print_table("E1 ablation: mapping strategy", rows)
-    assert all(r.accepted > 0 for r in results)
+    assert all(r["accepted"] > 0 for r in records)

@@ -6,6 +6,8 @@ communication layer + redundancy on the safety layer + speed restriction on
 the ability layer) keeps the vehicle fail-operational, whereas the
 escalate-everything baseline stops the vehicle and the local-only baseline
 leaves the functional consequences unhandled.
+
+All runs drive through the scenario registry (``repro.experiments``).
 """
 
 from __future__ import annotations
@@ -13,48 +15,50 @@ from __future__ import annotations
 import pytest
 
 from conftest import print_table
-from repro.core.arbitration import ArbitrationPolicy
-from repro.scenarios.intrusion import run_intrusion_scenario
+from repro.experiments import run_scenario
 
 
-POLICIES = [ArbitrationPolicy.LOWEST_ADEQUATE, ArbitrationPolicy.LOCAL_ONLY,
-            ArbitrationPolicy.ALWAYS_ESCALATE]
+POLICIES = ["lowest_adequate", "local_only", "always_escalate"]
 
 
 @pytest.mark.benchmark(group="e5-cross-layer-intrusion")
 def test_e5_policy_comparison(benchmark):
+    """The E5 table: one intrusion run per arbitration policy."""
+
     def run_all():
-        return {policy: run_intrusion_scenario(policy, attack_time_s=4.0,
-                                               duration_s=30.0, seed=2)
+        return {policy: run_scenario("intrusion", policy=policy, attack_time_s=4.0,
+                                     duration_s=30.0, seed=2)
                 for policy in POLICIES}
 
-    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    records = benchmark.pedantic(run_all, rounds=1, iterations=1)
     rows = []
-    for policy, result in results.items():
+    for policy, record in records.items():
         rows.append({
-            "policy": policy.value,
-            "fail_operational": result.fail_operational,
-            "safe_stop": result.safe_stop_requested,
-            "avg_speed_after_mps": result.average_speed_after_attack_mps,
-            "final_speed_mps": result.final_speed_mps,
-            "detection_delay_s": result.detection_delay_s if result.detection_delay_s is not None else -1,
-            "time_to_mitigation_s": result.time_to_mitigation_s
-            if result.time_to_mitigation_s is not None else -1,
-            "layers_involved": result.cross_layer_layers_involved,
-            "braking_capability": result.braking_capability_after,
+            "policy": policy,
+            "fail_operational": record["fail_operational"],
+            "safe_stop": record["safe_stop_requested"],
+            "avg_speed_after_mps": record["average_speed_after_attack_mps"],
+            "final_speed_mps": record["final_speed_mps"],
+            "detection_delay_s": record["detection_delay_s"]
+            if record["detection_delay_s"] is not None else -1,
+            "time_to_mitigation_s": record["time_to_mitigation_s"]
+            if record["time_to_mitigation_s"] is not None else -1,
+            "layers_involved": record["layers_involved"],
+            "braking_capability": record["braking_capability_after"],
         })
     print_table("E5: rear-brake intrusion, arbitration-policy comparison", rows)
 
-    cross = results[ArbitrationPolicy.LOWEST_ADEQUATE]
-    escalate = results[ArbitrationPolicy.ALWAYS_ESCALATE]
+    cross = records["lowest_adequate"]
+    escalate = records["always_escalate"]
     # Shape: the cross-layer policy keeps the vehicle driving at a reduced but
     # useful speed; escalating everything to the objective layer stops it.
-    assert cross.fail_operational and not cross.safe_stop_requested
-    assert escalate.safe_stop_requested
-    assert cross.average_speed_after_attack_mps > escalate.average_speed_after_attack_mps
-    assert cross.cross_layer_layers_involved >= 2
+    assert cross["fail_operational"] and not cross["safe_stop_requested"]
+    assert escalate["safe_stop_requested"]
+    assert (cross["average_speed_after_attack_mps"]
+            > escalate["average_speed_after_attack_mps"])
+    assert cross["layers_involved"] >= 2
     # Containment happened in both cases (the leak itself is always stopped).
-    assert cross.braking_capability_after < 1.0
+    assert cross["braking_capability_after"] < 1.0
 
 
 @pytest.mark.benchmark(group="e5-cross-layer-intrusion")
@@ -63,17 +67,17 @@ def test_e5_attack_time_sweep(benchmark):
     attack_times = [2.0, 6.0, 10.0]
 
     def sweep():
-        return [run_intrusion_scenario(ArbitrationPolicy.LOWEST_ADEQUATE,
-                                       attack_time_s=t, duration_s=t + 15.0, seed=4)
+        return [run_scenario("intrusion", policy="lowest_adequate",
+                             attack_time_s=t, duration_s=t + 15.0, seed=4)
                 for t in attack_times]
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    records = benchmark.pedantic(sweep, rounds=1, iterations=1)
     rows = [{"attack_time_s": t,
-             "detection_delay_s": r.detection_delay_s,
-             "time_to_mitigation_s": r.time_to_mitigation_s,
-             "fail_operational": r.fail_operational}
-            for t, r in zip(attack_times, results)]
+             "detection_delay_s": r["detection_delay_s"],
+             "time_to_mitigation_s": r["time_to_mitigation_s"],
+             "fail_operational": r["fail_operational"]}
+            for t, r in zip(attack_times, records)]
     print_table("E5: mitigation latency vs attack onset time", rows)
-    assert all(r.fail_operational for r in results)
-    assert all(r.time_to_mitigation_s is not None and r.time_to_mitigation_s <= 1.0
-               for r in results)
+    assert all(r["fail_operational"] for r in records)
+    assert all(r["time_to_mitigation_s"] is not None and r["time_to_mitigation_s"] <= 1.0
+               for r in records)

@@ -3,6 +3,8 @@
 Regenerates the paper's argument that neither a platform-only reaction (DVFS)
 nor a function-only reaction (relaxed control) suffices on its own: only the
 cross-layer combination protects the hardware *and* keeps deadlines.
+
+All runs drive through the scenario registry (``repro.experiments``).
 """
 
 from __future__ import annotations
@@ -10,35 +12,42 @@ from __future__ import annotations
 import pytest
 
 from conftest import print_table
-from repro.scenarios.thermal import ThermalStrategy, compare_thermal_strategies, run_thermal_scenario
+from repro.experiments import run_scenario
+
+
+STRATEGIES = ["no_reaction", "platform_only", "function_only", "cross_layer"]
 
 
 @pytest.mark.benchmark(group="e6-thermal")
 def test_e6_strategy_comparison(benchmark):
-    def run_all():
-        return compare_thermal_strategies(peak_ambient_c=80.0, duration_s=600.0)
+    """The E6 table: one thermal run per reaction strategy."""
 
-    results = benchmark(run_all)
+    def run_all():
+        return {strategy: run_scenario("thermal", strategy=strategy,
+                                       peak_ambient_c=80.0, duration_s=600.0)
+                for strategy in STRATEGIES}
+
+    records = benchmark(run_all)
     rows = []
-    for name, result in results.items():
+    for name, record in records.items():
         rows.append({
             "strategy": name,
-            "peak_temp_c": result.peak_temperature_c,
-            "time_over_critical_s": result.time_over_critical_s,
-            "deadline_miss_intervals": result.deadline_miss_intervals,
-            "control_quality": result.control_quality,
-            "final_speed_factor": result.final_speed_factor,
-            "hardware_protected": result.hardware_protected,
-            "deadlines_kept": result.deadlines_kept,
+            "peak_temp_c": record["peak_temperature_c"],
+            "time_over_critical_s": record["time_over_critical_s"],
+            "deadline_miss_intervals": record["deadline_miss_intervals"],
+            "control_quality": record["control_quality"],
+            "final_speed_factor": record["final_speed_factor"],
+            "hardware_protected": record["hardware_protected"],
+            "deadlines_kept": record["deadlines_kept"],
         })
     print_table("E6: thermal stress, reaction-strategy comparison", rows)
 
-    cross = results[ThermalStrategy.CROSS_LAYER.value]
-    assert cross.hardware_protected and cross.deadlines_kept
-    assert not results[ThermalStrategy.NO_REACTION.value].hardware_protected
-    assert not results[ThermalStrategy.PLATFORM_ONLY.value].deadlines_kept
-    assert not results[ThermalStrategy.FUNCTION_ONLY.value].hardware_protected
-    assert cross.control_quality > results[ThermalStrategy.PLATFORM_ONLY.value].control_quality
+    cross = records["cross_layer"]
+    assert cross["hardware_protected"] and cross["deadlines_kept"]
+    assert not records["no_reaction"]["hardware_protected"]
+    assert not records["platform_only"]["deadlines_kept"]
+    assert not records["function_only"]["hardware_protected"]
+    assert cross["control_quality"] > records["platform_only"]["control_quality"]
 
 
 @pytest.mark.benchmark(group="e6-thermal")
@@ -47,15 +56,15 @@ def test_e6_ambient_temperature_sweep(benchmark):
     ambients = [55.0, 65.0, 75.0, 85.0]
 
     def sweep():
-        return [run_thermal_scenario(ThermalStrategy.CROSS_LAYER, peak_ambient_c=a,
-                                     duration_s=400.0) for a in ambients]
+        return [run_scenario("thermal", strategy="cross_layer", peak_ambient_c=a,
+                             duration_s=400.0) for a in ambients]
 
-    results = benchmark(sweep)
-    rows = [{"peak_ambient_c": a, "peak_temp_c": r.peak_temperature_c,
-             "deadline_miss_intervals": r.deadline_miss_intervals,
-             "final_speed_factor": r.final_speed_factor}
-            for a, r in zip(ambients, results)]
+    records = benchmark(sweep)
+    rows = [{"peak_ambient_c": a, "peak_temp_c": r["peak_temperature_c"],
+             "deadline_miss_intervals": r["deadline_miss_intervals"],
+             "final_speed_factor": r["final_speed_factor"]}
+            for a, r in zip(ambients, records)]
     print_table("E6: cross-layer strategy vs ambient temperature", rows)
-    peaks = [r.peak_temperature_c for r in results]
+    peaks = [r["peak_temperature_c"] for r in records]
     assert peaks == sorted(peaks)
-    assert all(r.deadlines_kept for r in results)
+    assert all(r["deadlines_kept"] for r in records)

@@ -3,6 +3,8 @@
 Regenerates the claim that a fog-impaired vehicle can keep driving at a
 useful speed by joining a platoon of better-equipped vehicles, and that the
 velocity/gap agreement stays safe in the presence of malicious members.
+
+All runs drive through the scenario registry (``repro.experiments``).
 """
 
 from __future__ import annotations
@@ -10,31 +12,34 @@ from __future__ import annotations
 import pytest
 
 from conftest import print_table
-from repro.scenarios.platooning_fog import run_fog_platooning_scenario, sweep_visibility
+from repro.experiments import run_scenario
 
 
 @pytest.mark.benchmark(group="e7-platooning")
 def test_e7_visibility_sweep(benchmark):
+    """Platoon benefit of the fog-impaired ego vehicle vs visibility."""
     visibilities = [30.0, 60.0, 120.0, 250.0, 1000.0]
 
     def sweep():
-        return sweep_visibility(visibilities, num_members=5, num_malicious=1)
+        return [run_scenario("fog_platooning", visibility_m=v, num_members=5,
+                             num_malicious=1)
+                for v in visibilities]
 
-    results = benchmark(sweep)
-    rows = [{"visibility_m": r.visibility_m,
-             "standalone_ego_mps": r.ego_standalone_speed_mps,
-             "platoon_speed_mps": r.agreed_speed_mps,
-             "benefit_mps": r.ego_platoon_benefit_mps,
-             "consensus_rounds": r.rounds,
-             "agreement_error_mps": r.agreement_error_mps}
-            for r in results]
+    records = benchmark(sweep)
+    rows = [{"visibility_m": r["visibility_m"],
+             "standalone_ego_mps": r["ego_standalone_speed_mps"],
+             "platoon_speed_mps": r["agreed_speed_mps"],
+             "benefit_mps": r["ego_platoon_benefit_mps"],
+             "consensus_rounds": r["rounds"],
+             "agreement_error_mps": r["agreement_error_mps"]}
+            for r in records]
     print_table("E7: platoon benefit for a fog-impaired vehicle vs visibility", rows)
     # Shape: the worse the visibility, the larger the benefit of platooning;
     # in (near-)clear conditions the benefit mostly vanishes.
-    benefits = [r.ego_platoon_benefit_mps for r in results]
+    benefits = [r["ego_platoon_benefit_mps"] for r in records]
     assert benefits[0] > benefits[-1]
     assert benefits[0] > 3.0
-    assert all(r.converged for r in results)
+    assert all(r["converged"] for r in records)
 
 
 @pytest.mark.benchmark(group="e7-platooning")
@@ -43,38 +48,39 @@ def test_e7_malicious_member_sweep(benchmark):
     malicious_counts = [0, 1, 2]
 
     def sweep():
-        return [run_fog_platooning_scenario(visibility_m=60.0, num_members=6,
-                                            num_malicious=m)
+        return [run_scenario("fog_platooning", visibility_m=60.0, num_members=6,
+                             num_malicious=m)
                 for m in malicious_counts]
 
-    results = benchmark(sweep)
+    records = benchmark(sweep)
     rows = [{"malicious_members": m,
-             "converged": r.converged,
-             "rounds": r.rounds,
-             "platoon_speed_mps": r.agreed_speed_mps,
-             "agreement_error_mps": r.agreement_error_mps}
-            for m, r in zip(malicious_counts, results)]
+             "converged": r["converged"],
+             "rounds": r["rounds"],
+             "platoon_speed_mps": r["agreed_speed_mps"],
+             "agreement_error_mps": r["agreement_error_mps"]}
+            for m, r in zip(malicious_counts, records)]
     print_table("E7: agreement robustness vs number of malicious members", rows)
-    assert all(r.converged for r in results)
-    assert all(r.agreement_error_mps <= 0.5 for r in results)
+    assert all(r["converged"] for r in records)
+    assert all(r["agreement_error_mps"] <= 0.5 for r in records)
     # Malicious members that broadcast inflated speeds must not raise the
     # agreed speed above the honest-only agreement by any meaningful margin.
-    baseline = results[0].agreed_speed_mps
-    assert all(r.agreed_speed_mps <= baseline + 1.0 for r in results)
+    baseline = records[0]["agreed_speed_mps"]
+    assert all(r["agreed_speed_mps"] <= baseline + 1.0 for r in records)
 
 
 @pytest.mark.benchmark(group="e7-platooning")
 def test_e7_platoon_size_sweep(benchmark):
+    """Consensus effort as the platoon grows."""
     sizes = [2, 4, 6, 8]
 
     def sweep():
-        return [run_fog_platooning_scenario(visibility_m=60.0, num_members=n,
-                                            num_malicious=0)
+        return [run_scenario("fog_platooning", visibility_m=60.0, num_members=n,
+                             num_malicious=0)
                 for n in sizes]
 
-    results = benchmark(sweep)
-    rows = [{"platoon_size": n, "rounds": r.rounds,
-             "platoon_speed_mps": r.agreed_speed_mps}
-            for n, r in zip(sizes, results)]
+    records = benchmark(sweep)
+    rows = [{"platoon_size": n, "rounds": r["rounds"],
+             "platoon_speed_mps": r["agreed_speed_mps"]}
+            for n, r in zip(sizes, records)]
     print_table("E7: consensus effort vs platoon size", rows)
-    assert all(r.converged for r in results)
+    assert all(r["converged"] for r in records)

@@ -4,6 +4,9 @@ Regenerates the alpine-pass-vs-detour decision: the self-aware planner,
 knowing its own degraded capability in snow/fog, abandons the shorter pass
 beyond a crossover forecast severity, while the weather-agnostic baseline
 keeps choosing it.
+
+All runs drive through the scenario registry (``repro.experiments``); the
+crossover search keeps using the scenario module's dedicated helper.
 """
 
 from __future__ import annotations
@@ -11,37 +14,35 @@ from __future__ import annotations
 import pytest
 
 from conftest import print_table
-from repro.scenarios.weather_routing import (
-    crossover_severity,
-    run_weather_routing_scenario,
-    sweep_severity,
-)
+from repro.experiments import run_scenario
+from repro.scenarios.weather_routing import crossover_severity
 
 
 @pytest.mark.benchmark(group="e8-weather-routing")
 def test_e8_severity_sweep(benchmark):
+    """Route choice of the aware vs baseline planner across severities."""
     severities = [0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9]
 
     def sweep():
-        return sweep_severity(severities)
+        return [run_scenario("weather_routing", severity=s) for s in severities]
 
-    results = benchmark(sweep)
-    rows = [{"severity": r.severity,
-             "aware_route_km": r.aware_route.length_km,
-             "aware_detour": r.aware_takes_detour,
-             "baseline_route_km": r.baseline_route.length_km,
-             "baseline_detour": r.baseline_takes_detour,
-             "aware_exposure": r.aware_exposure,
-             "baseline_exposure": r.baseline_exposure}
-            for r in results]
+    records = benchmark(sweep)
+    rows = [{"severity": r["severity"],
+             "aware_route_km": r["aware_route_km"],
+             "aware_detour": r["aware_takes_detour"],
+             "baseline_route_km": r["baseline_route_km"],
+             "baseline_detour": r["baseline_takes_detour"],
+             "aware_exposure": r["aware_exposure"],
+             "baseline_exposure": r["baseline_exposure"]}
+            for r in records]
     print_table("E8: route choice vs forecast severity (self-aware vs baseline)", rows)
     # Shape: a crossover exists; beyond it the aware planner detours while the
     # baseline never does, and the aware planner's adverse-weather exposure is
     # never higher than the baseline's.
-    assert not results[0].aware_takes_detour
-    assert results[-1].aware_takes_detour
-    assert not any(r.baseline_takes_detour for r in results)
-    assert all(r.aware_exposure <= r.baseline_exposure + 1e-9 for r in results)
+    assert not records[0]["aware_takes_detour"]
+    assert records[-1]["aware_takes_detour"]
+    assert not any(r["baseline_takes_detour"] for r in records)
+    assert all(r["aware_exposure"] <= r["baseline_exposure"] + 1e-9 for r in records)
 
 
 @pytest.mark.benchmark(group="e8-weather-routing")
@@ -55,8 +56,9 @@ def test_e8_crossover_depends_on_risk_aversion(benchmark):
             severity = None
             for step in range(0, 21):
                 candidate = step / 20
-                if run_weather_routing_scenario(candidate,
-                                                risk_aversion=aversion).aware_takes_detour:
+                record = run_scenario("weather_routing", severity=candidate,
+                                      risk_aversion=aversion)
+                if record["aware_takes_detour"]:
                     severity = candidate
                     break
             crossovers.append(severity)
@@ -72,6 +74,7 @@ def test_e8_crossover_depends_on_risk_aversion(benchmark):
 
 @pytest.mark.benchmark(group="e8-weather-routing")
 def test_e8_crossover_search(benchmark):
+    """Find the lowest severity at which the aware planner detours."""
     crossover = benchmark(crossover_severity, 0.05)
     print(f"\nE8: the self-aware planner abandons the alpine pass from severity {crossover}")
     assert crossover is not None and 0.05 <= crossover <= 0.8

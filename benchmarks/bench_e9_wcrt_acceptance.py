@@ -9,9 +9,12 @@ runtime that determines how quickly the MCC can evaluate an update.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from conftest import print_table
+from repro.analysis.cache import AnalysisCache
 from repro.analysis.cpa import ResponseTimeAnalysis
 from repro.platform.scheduler import FixedPriorityScheduler
 from repro.platform.tasks import Task, TaskSet
@@ -85,3 +88,56 @@ def test_e9_analysis_runtime_scaling(benchmark):
 
     verdict = benchmark(analyse)
     assert verdict in (True, False)
+
+
+@pytest.mark.benchmark(group="e9-wcrt")
+def test_e9_cached_acceptance_sweep(benchmark):
+    """Repeated acceptance sweep through the memoization cache.
+
+    The same task sets are re-validated 10 times (the pattern of grid
+    repetitions and per-change re-analysis of unchanged processors); the
+    cache answers all but the first validation of each set, and the measured
+    speedup over the uncached path must clear 1.5x.
+    """
+    tasksets = [_taskset(seed, 12, utilization)
+                for seed in range(3) for utilization in (0.6, 0.75, 0.9)]
+    repeats = 10
+
+    def uncached_sweep():
+        return [ResponseTimeAnalysis(taskset).schedulable()
+                for _ in range(repeats) for taskset in tasksets]
+
+    def cached_sweep():
+        cache = AnalysisCache()
+        verdicts = [cache.schedulable(taskset)
+                    for _ in range(repeats) for taskset in tasksets]
+        return cache, verdicts
+
+    # min-of-3 on both sides so a single scheduler stall on a loaded CI
+    # runner cannot flip the speedup assertion.
+    uncached_verdicts = uncached_sweep()
+    uncached_times = []
+    for _ in range(3):
+        started = time.perf_counter()
+        uncached_sweep()
+        uncached_times.append(time.perf_counter() - started)
+    uncached_s = min(uncached_times)
+
+    (cache, cached_verdicts) = benchmark(cached_sweep)
+    cached_times = []
+    for _ in range(3):
+        started = time.perf_counter()
+        cached_sweep()
+        cached_times.append(time.perf_counter() - started)
+    cached_s = min(cached_times)
+
+    speedup = uncached_s / cached_s if cached_s > 0 else float("inf")
+    print_table("E9: CPA memoization on a repeated acceptance sweep", [{
+        "task_sets": len(tasksets), "repeats": repeats,
+        "uncached_s": uncached_s, "cached_s": cached_s, "speedup": speedup,
+        "hits": cache.hits, "misses": cache.misses, "hit_rate": cache.hit_rate,
+    }])
+    assert cached_verdicts == uncached_verdicts
+    assert cache.misses == len(tasksets)
+    assert cache.hits == len(tasksets) * (repeats - 1)
+    assert speedup > 1.5

@@ -12,11 +12,8 @@ Run with::
 """
 
 from repro.contracts import ContractParser
-from repro.scenarios.infield_update import (
-    baseline_contracts,
-    build_baseline_platform,
-    run_infield_update_scenario,
-)
+from repro.experiments import run_scenario
+from repro.scenarios.infield_update import baseline_contracts, build_baseline_platform
 from repro.mcc import MultiChangeController
 from repro.platform import RuntimeEnvironment
 
@@ -62,18 +59,19 @@ def manual_walkthrough() -> None:
 
 
 def campaign() -> None:
-    """A randomized update campaign (the E1 workload)."""
+    """A randomized update campaign (the E1 workload) via the scenario registry."""
     print("\n== randomized update campaign (40 requests, 30% risky) ==")
-    result = run_infield_update_scenario(num_requests=40, seed=7, risky_fraction=0.3)
-    print(f"accepted: {result.accepted}/{result.total_requests} "
-          f"({result.acceptance_rate:.0%})")
-    print(f"rejections by viewpoint: {result.rejected_by_viewpoint}")
-    print(f"final configuration version: {result.final_version}, "
-          f"deployed components: {result.deployed_components}")
-    print(f"unsafe update slipped through: {result.unsafe_update_accepted}")
+    record = run_scenario("infield_update", num_requests=40, seed=7, risky_fraction=0.3)
+    print(f"accepted: {record['accepted']}/{record['total_requests']} "
+          f"({record['acceptance_rate']:.0%})")
+    print(f"rejections by viewpoint: {record['rejected_by_viewpoint']}")
+    print(f"final configuration version: {record['final_version']}, "
+          f"deployed components: {record['deployed_components']}")
+    print(f"unsafe update slipped through: {record['unsafe_update_accepted']}")
 
 
 def main() -> None:
+    """Run the manual walkthrough, then the randomized campaign."""
     manual_walkthrough()
     campaign()
 

@@ -13,41 +13,46 @@ Run with::
     python examples/platoon_and_routing.py
 """
 
-from repro.scenarios.platooning_fog import run_fog_platooning_scenario
-from repro.scenarios.weather_routing import run_weather_routing_scenario, sweep_severity
+from repro.experiments import run_scenario
 
 
 def platooning() -> None:
+    """Platoon agreements at shrinking visibility, via the scenario registry."""
     print("== platooning in dense fog ==")
     for visibility in (200.0, 100.0, 50.0):
-        result = run_fog_platooning_scenario(visibility_m=visibility, num_members=5,
-                                             num_malicious=1)
-        agreed = f"{result.agreed_speed_mps:.1f}" if result.agreed_speed_mps else "n/a"
-        benefit = (f"{result.ego_platoon_benefit_mps:+.1f}"
-                   if result.ego_platoon_benefit_mps is not None else "n/a")
+        record = run_scenario("fog_platooning", visibility_m=visibility,
+                              num_members=5, num_malicious=1)
+        agreed = (f"{record['agreed_speed_mps']:.1f}"
+                  if record["agreed_speed_mps"] else "n/a")
+        benefit = (f"{record['ego_platoon_benefit_mps']:+.1f}"
+                   if record["ego_platoon_benefit_mps"] is not None else "n/a")
         print(f"visibility {visibility:5.0f} m: standalone ego speed "
-              f"{result.ego_standalone_speed_mps:5.1f} m/s, platoon speed {agreed} m/s "
-              f"(benefit {benefit} m/s, {result.rounds} consensus rounds, "
-              f"agreement error {result.agreement_error_mps:.2f} m/s)")
+              f"{record['ego_standalone_speed_mps']:5.1f} m/s, platoon speed {agreed} m/s "
+              f"(benefit {benefit} m/s, {record['rounds']} consensus rounds, "
+              f"agreement error {record['agreement_error_mps']:.2f} m/s)")
     print("(paper: a fog-impaired vehicle can keep driving by joining a platoon, but "
           "agreement must tolerate untrustworthy members)")
 
 
 def routing() -> None:
+    """Severity sweep of the alpine-pass decision, via the scenario registry."""
     print("\n== weather-aware route planning (alpine pass vs detour) ==")
     print(f"{'severity':>9s} {'aware route':>34s} {'km':>6s} {'baseline route':>34s} {'km':>6s}")
-    for result in sweep_severity([0.0, 0.2, 0.4, 0.6, 0.8]):
-        aware = " -> ".join(result.aware_route.nodes)
-        base = " -> ".join(result.baseline_route.nodes)
-        print(f"{result.severity:9.1f} {aware:>34s} {result.aware_route.length_km:6.0f} "
-              f"{base:>34s} {result.baseline_route.length_km:6.0f}")
-    crossover = next((r.severity for r in sweep_severity([i / 20 for i in range(21)])
-                      if r.aware_takes_detour), None)
+    for severity in (0.0, 0.2, 0.4, 0.6, 0.8):
+        record = run_scenario("weather_routing", severity=severity)
+        aware = " -> ".join(record["aware_route"])
+        base = " -> ".join(record["baseline_route"])
+        print(f"{record['severity']:9.1f} {aware:>34s} {record['aware_route_km']:6.0f} "
+              f"{base:>34s} {record['baseline_route_km']:6.0f}")
+    crossover = next((i / 20 for i in range(21)
+                      if run_scenario("weather_routing",
+                                      severity=i / 20)["aware_takes_detour"]), None)
     print(f"\nthe self-aware planner abandons the alpine pass from severity "
           f"{crossover} onwards; the weather-agnostic baseline never does")
 
 
 def main() -> None:
+    """Run both walkthroughs."""
     platooning()
     routing()
 

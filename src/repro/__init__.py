@@ -20,6 +20,9 @@ The package is organized by system layer (see DESIGN.md):
 * ``repro.core`` — the cross-layer self-awareness coordinator and the
   integrated :class:`~repro.core.vehicle_system.SelfAwareVehicle`
 * ``repro.scenarios`` — the paper's worked scenarios as reusable drivers
+* ``repro.experiments`` — experiment orchestration: scenario registry,
+  declarative parameter sweeps, serial/parallel runner, CPA memoization and
+  the ``python -m repro.experiments`` CLI
 """
 
 from repro.core import (

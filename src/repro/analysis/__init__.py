@@ -11,6 +11,9 @@ as acceptance tests during the in-field integration process:
   systems (exposure/reachability of components from external interfaces).
 * :mod:`repro.analysis.safety` — safety viewpoint: ASIL consistency,
   redundancy and fail-operational coverage.
+* :mod:`repro.analysis.cache` — fingerprint-keyed memoization of WCRT
+  analyses, so acceptance-test sweeps stop re-deriving identical busy-window
+  fixpoints.
 """
 
 from repro.analysis.cpa import (
@@ -29,6 +32,11 @@ from repro.analysis.dependency import (
 )
 from repro.analysis.threat import ThreatModel, ThreatAssessment, AttackPath
 from repro.analysis.safety import SafetyAnalysis, SafetyFinding
+from repro.analysis.cache import (
+    AnalysisCache,
+    CachedResponseTimeAnalysis,
+    fingerprint_taskset,
+)
 
 __all__ = [
     "EventModel",
@@ -46,4 +54,7 @@ __all__ = [
     "AttackPath",
     "SafetyAnalysis",
     "SafetyFinding",
+    "AnalysisCache",
+    "CachedResponseTimeAnalysis",
+    "fingerprint_taskset",
 ]

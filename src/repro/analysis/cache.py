@@ -1,0 +1,143 @@
+"""Memoization of busy-window WCRT analyses.
+
+Acceptance-test sweeps (E9, the in-field update campaigns, the experiment
+runner's grids) re-analyse the same per-processor task sets over and over:
+every MCC change request re-runs the timing viewpoint on *all* processors,
+but typically only one processor's task set actually changed.  The busy-window
+fixpoint iteration is the dominant cost, and its result depends only on the
+task-set parameters, the processor speed factor and the event models — so it
+can be memoized on a *fingerprint* of exactly those inputs.
+
+:class:`AnalysisCache` stores whole task-set analyses keyed on
+:func:`fingerprint_taskset`;
+:class:`CachedResponseTimeAnalysis` is a drop-in façade over
+:class:`~repro.analysis.cpa.ResponseTimeAnalysis` that consults a cache
+before iterating.  ``TimingAcceptanceTest`` accepts an optional cache so MCC
+sweeps transparently benefit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.cpa import EventModel, ResponseTimeAnalysis, ResponseTimeResult
+from repro.platform.tasks import TaskSet
+
+
+def fingerprint_taskset(taskset: TaskSet, speed_factor: float = 1.0,
+                        event_models: Optional[Dict[str, EventModel]] = None) -> str:
+    """Stable fingerprint of everything the WCRT analysis depends on.
+
+    Two task sets with identical (name, period, wcet, deadline, priority,
+    jitter) tuples, the same speed factor and the same event-model overrides
+    produce the same fingerprint regardless of insertion order.
+    """
+    parts = []
+    for task in sorted(taskset, key=lambda t: t.name):
+        override = (event_models or {}).get(task.name)
+        model: Tuple[float, float] = ((override.period, override.jitter) if override
+                                      else (task.period, task.jitter))
+        parts.append((task.name, task.period, task.wcet, task.deadline,
+                      task.priority, task.jitter, model))
+    text = repr((round(speed_factor, 12), parts)).encode("utf-8")
+    return hashlib.sha256(text).hexdigest()
+
+
+class AnalysisCache:
+    """Content-addressed store of task-set WCRT analyses.
+
+    The cache is a plain dict fingerprint -> per-task results; it never
+    invalidates (fingerprints are content hashes, so a changed task set is a
+    different key).  ``hits``/``misses`` counters make cache behaviour
+    observable for tests and benchmark tables; ``max_entries`` bounds memory
+    with simple FIFO eviction for very long sweeps.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._store: Dict[str, Dict[str, ResponseTimeResult]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def analyse(self, taskset: TaskSet, speed_factor: float = 1.0,
+                event_models: Optional[Dict[str, EventModel]] = None
+                ) -> Dict[str, ResponseTimeResult]:
+        """Analyse ``taskset``, reusing a memoized result when available.
+
+        Returns the same mapping task name -> :class:`ResponseTimeResult`
+        that :meth:`ResponseTimeAnalysis.analyse` produces.  Callers get a
+        fresh dict per call (so adding/removing entries cannot poison later
+        hits); the :class:`ResponseTimeResult` values themselves are shared
+        and must be treated as read-only.
+        """
+        key = fingerprint_taskset(taskset, speed_factor, event_models)
+        cached = self._store.get(key)
+        if cached is not None:
+            self.hits += 1
+            return dict(cached)
+        self.misses += 1
+        results = ResponseTimeAnalysis(taskset, speed_factor=speed_factor,
+                                       event_models=event_models).analyse()
+        if len(self._store) >= self.max_entries:
+            self._store.pop(next(iter(self._store)))
+        self._store[key] = results
+        return dict(results)
+
+    def schedulable(self, taskset: TaskSet, speed_factor: float = 1.0,
+                    event_models: Optional[Dict[str, EventModel]] = None) -> bool:
+        """Cached schedulability verdict for the whole task set."""
+        return all(result.schedulable
+                   for result in self.analyse(taskset, speed_factor, event_models).values())
+
+
+class CachedResponseTimeAnalysis:
+    """Drop-in replacement for :class:`ResponseTimeAnalysis` backed by a cache.
+
+    Only the whole-task-set entry points (:meth:`analyse`,
+    :meth:`schedulable`, :meth:`utilization`) are offered — single-task
+    queries go through :meth:`analyse` so one fixpoint computation serves
+    every task of the set.
+    """
+
+    def __init__(self, taskset: TaskSet, cache: AnalysisCache,
+                 speed_factor: float = 1.0,
+                 event_models: Optional[Dict[str, EventModel]] = None) -> None:
+        self.taskset = taskset
+        self.cache = cache
+        self.speed_factor = speed_factor
+        self._event_models = dict(event_models or {})
+
+    def analyse(self) -> Dict[str, ResponseTimeResult]:
+        """Per-task WCRT results (memoized)."""
+        return self.cache.analyse(self.taskset, self.speed_factor, self._event_models)
+
+    def response_time(self, task_name: str) -> ResponseTimeResult:
+        """Memoized WCRT result of one task of the set."""
+        return self.analyse()[task_name]
+
+    def schedulable(self) -> bool:
+        """Whether every task meets its deadline (memoized)."""
+        return all(result.schedulable for result in self.analyse().values())
+
+    def utilization(self) -> float:
+        """Speed-adjusted utilization (cheap; computed directly)."""
+        return ResponseTimeAnalysis(self.taskset,
+                                    speed_factor=self.speed_factor).utilization()

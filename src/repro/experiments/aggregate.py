@@ -1,0 +1,131 @@
+"""Aggregation and comparison of experiment results.
+
+Turns lists of :class:`~repro.experiments.runner.RunRecord` into summary
+statistics (mean / p95 / min / max per numeric metric), renders aligned text
+tables for the CLI and the examples, and diffs a result set against a saved
+baseline so regressions in scenario metrics are visible run by run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.experiments.runner import ExperimentResult, RunRecord
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of ``values``."""
+    if not values:
+        raise ValueError("cannot take the percentile of no values")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = (len(ordered) - 1) * q / 100.0
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return float(ordered[low])
+    fraction = position - low
+    return float(ordered[low] * (1.0 - fraction) + ordered[high] * fraction)
+
+
+def _numeric_metrics(records: Iterable[RunRecord]) -> Dict[str, List[float]]:
+    """Collect numeric (non-bool) metric values across successful runs."""
+    collected: Dict[str, List[float]] = {}
+    for record in records:
+        if not record.ok:
+            continue
+        for key, value in record.metrics.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            collected.setdefault(key, []).append(float(value))
+    return collected
+
+
+def summarize(records: Sequence[RunRecord]) -> List[Dict[str, Any]]:
+    """Per-metric summary rows (n, mean, p95, min, max) over ``records``."""
+    rows: List[Dict[str, Any]] = []
+    for key, values in sorted(_numeric_metrics(records).items()):
+        rows.append({
+            "metric": key,
+            "n": len(values),
+            "mean": sum(values) / len(values),
+            "p95": percentile(values, 95.0),
+            "min": min(values),
+            "max": max(values),
+        })
+    return rows
+
+
+def summarize_result(result: ExperimentResult) -> List[Dict[str, Any]]:
+    """Summary rows of one executed spec."""
+    return summarize(result.records)
+
+
+def diff_records(baseline: Sequence[Mapping[str, Any]],
+                 current: Sequence[RunRecord],
+                 tolerance: float = 1e-9) -> List[Dict[str, Any]]:
+    """Compare current records against a baseline (parsed result JSON).
+
+    Matches runs by ``run_id`` and reports rows for every metric whose value
+    changed by more than ``tolerance`` (numerics) or at all (non-numerics),
+    plus runs that appear only on one side.
+    """
+    baseline_by_id = {entry["run_id"]: entry for entry in baseline}
+    rows: List[Dict[str, Any]] = []
+    seen = set()
+    for record in current:
+        seen.add(record.run_id)
+        old = baseline_by_id.get(record.run_id)
+        if old is None:
+            rows.append({"run_id": record.run_id, "metric": "<run>",
+                         "baseline": "<absent>", "current": "<present>"})
+            continue
+        old_metrics = old.get("metrics", {})
+        for key in sorted(set(old_metrics) | set(record.metrics)):
+            old_value = old_metrics.get(key)
+            new_value = record.metrics.get(key)
+            if _metric_equal(old_value, new_value, tolerance):
+                continue
+            rows.append({"run_id": record.run_id, "metric": key,
+                         "baseline": old_value, "current": new_value})
+    for run_id in sorted(set(baseline_by_id) - seen):
+        rows.append({"run_id": run_id, "metric": "<run>",
+                     "baseline": "<present>", "current": "<absent>"})
+    return rows
+
+
+def _metric_equal(old: Any, new: Any, tolerance: float) -> bool:
+    if isinstance(old, (int, float)) and isinstance(new, (int, float)) \
+            and not isinstance(old, bool) and not isinstance(new, bool):
+        return abs(float(old) - float(new)) <= tolerance
+    return old == new
+
+
+def format_table(title: str, rows: Sequence[Mapping[str, Any]],
+                 float_format: str = "{:.3f}") -> str:
+    """Render row dictionaries as an aligned text table (the CLI's output
+    format; mirrors the benchmark harness' tables)."""
+    lines = [f"=== {title} ==="]
+    if not rows:
+        lines.append("(no rows)")
+        return "\n".join(lines)
+    columns = list(rows[0].keys())
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, bool) or value is None:
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    widths = {c: max(len(str(c)), *(len(fmt(r.get(c))) for r in rows)) for c in columns}
+    header = "  ".join(str(c).rjust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(fmt(row.get(c)).rjust(widths[c]) for c in columns))
+    return "\n".join(lines)

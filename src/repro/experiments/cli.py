@@ -1,0 +1,260 @@
+"""Command-line interface: ``python -m repro.experiments <command>``.
+
+Commands
+--------
+``list``
+    Show the registered scenarios (with their knobs and defaults) and the
+    built-in sweep suite.
+``run``
+    Execute the built-in suite or a JSON spec file, serially or in a
+    process pool; print per-experiment summary tables and optionally write
+    the structured results to a JSON file.
+``compare``
+    Diff two result files produced by ``run --output`` and report every
+    metric that changed.
+``cache-bench``
+    Measure the speedup of the CPA memoization cache on a repeated
+    acceptance sweep (the same update campaigns with and without a shared
+    :class:`~repro.analysis.cache.AnalysisCache`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.aggregate import diff_records, format_table, summarize_result
+from repro.experiments.registry import SCENARIOS
+from repro.experiments.runner import ExperimentResult, Runner, RunRecord
+from repro.experiments.spec import ExperimentSpec, SpecError, builtin_specs
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("Registered scenarios:")
+    for scenario in sorted(SCENARIOS, key=lambda s: s.name):
+        print(f"\n  {scenario.name} — {scenario.summary}")
+        for parameter in scenario.parameters:
+            print(f"    {parameter.name:<18} default={parameter.default!r:<16} "
+                  f"{parameter.description}")
+    print("\nBuilt-in sweep suite (run with `python -m repro.experiments run`):")
+    for spec in builtin_specs():
+        print(f"  {spec.name:<20} scenario={spec.scenario:<16} "
+              f"runs={spec.num_runs():<3} {spec.description}")
+    return 0
+
+
+def _load_specs(path: Optional[str]) -> List[ExperimentSpec]:
+    """Load specs from a JSON file (one spec object or a list of them), or
+    fall back to the built-in suite."""
+    if path is None:
+        return builtin_specs()
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    documents = document if isinstance(document, list) else [document]
+    return [ExperimentSpec.from_dict(entry) for entry in documents]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        specs = _load_specs(args.spec)
+        for spec in specs:
+            spec.validate()
+        runner = Runner(parallel=args.parallel, workers=args.workers)
+    except (SpecError, ValueError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    results: List[ExperimentResult] = []
+    total_runs = 0
+    for spec in specs:
+        result = runner.run(spec)
+        results.append(result)
+        total_runs += len(result.records)
+        mode = f"parallel x{result.workers}" if result.parallel else "serial"
+        print(f"\n[{spec.name}] scenario={spec.scenario} runs={len(result.records)} "
+              f"({mode}, {result.wall_time_s:.2f} s wall)")
+        failed = [record for record in result.records if not record.ok]
+        for record in failed:
+            print(f"  FAILED {record.run_id}: {record.error}")
+        print(format_table(f"{spec.name}: metric summary", summarize_result(result)))
+    scenarios = sorted({result.spec.scenario for result in results})
+    print(f"\ntotal: {total_runs} runs over {len(scenarios)} scenarios "
+          f"({', '.join(scenarios)})")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump([result.to_dict() for result in results], handle,
+                      sort_keys=True, indent=2)
+        print(f"results written to {args.output}")
+    return 0 if all(result.ok() for result in results) else 1
+
+
+def _records_from_result_file(path: str) -> List[Dict[str, Any]]:
+    """Flatten a ``run --output`` file into a list of record dictionaries."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    records: List[Dict[str, Any]] = []
+    for result in document:
+        records.extend(result.get("records", []))
+    return records
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    try:
+        baseline = _records_from_result_file(args.baseline)
+        current_dicts = _records_from_result_file(args.current)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    current = [RunRecord(run_id=entry["run_id"], experiment=entry["experiment"],
+                         scenario=entry["scenario"], index=entry["index"],
+                         params=entry.get("params", {}),
+                         metrics=entry.get("metrics", {}),
+                         error=entry.get("error"))
+               for entry in current_dicts]
+    rows = diff_records(baseline, current, tolerance=args.tolerance)
+    if not rows:
+        print(f"no metric differences between {args.baseline} and {args.current} "
+              f"({len(current)} runs compared)")
+        return 0
+    print(format_table(f"differences: {args.baseline} vs {args.current}", rows))
+    return 1
+
+
+def _cmd_cache_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.cache import AnalysisCache
+    from repro.analysis.cpa import ResponseTimeAnalysis
+    from repro.platform.tasks import Task, TaskSet
+    from repro.scenarios.infield_update import run_infield_update_scenario
+    from repro.sim.random import SeededRNG
+
+    rows = []
+
+    # Part 1: the timing acceptance test itself (the paper's archetypal MCC
+    # acceptance test, E9).  An acceptance sweep re-validates the same
+    # candidate task sets over and over (grid repetitions, regression
+    # re-runs, per-change re-analysis of unchanged processors); without a
+    # cache every re-validation re-derives an identical busy-window fixpoint.
+    def make_taskset(seed: int, n: int, utilization: float) -> TaskSet:
+        rng = SeededRNG(seed)
+        utilizations = rng.uunifast(n, utilization)
+        periods = rng.log_uniform_periods(n, 0.005, 0.5)
+        taskset = TaskSet()
+        for index, (u, period) in enumerate(zip(utilizations, periods)):
+            taskset.add(Task(f"t{index}", period=period, wcet=max(1e-6, u * period)))
+        taskset.assign_deadline_monotonic_priorities()
+        return taskset
+
+    tasksets = [make_taskset(seed, args.tasks, utilization)
+                for seed in range(args.distinct)
+                for utilization in (0.6, 0.75, 0.9)]
+
+    def wcrt_sweep(cache: Optional[AnalysisCache]) -> float:
+        started = time.perf_counter()
+        for _ in range(args.repeats):
+            for taskset in tasksets:
+                if cache is not None:
+                    cache.schedulable(taskset)
+                else:
+                    ResponseTimeAnalysis(taskset).schedulable()
+        return time.perf_counter() - started
+
+    wcrt_sweep(None)  # warm-up
+    cold = min(wcrt_sweep(None) for _ in range(3))
+    cache = AnalysisCache()
+    warm_times = []
+    for _ in range(3):
+        cache.clear()
+        warm_times.append(wcrt_sweep(cache))
+    warm = min(warm_times)
+    rows.append({
+        "sweep": f"WCRT acceptance ({len(tasksets)} task sets x {args.repeats})",
+        "uncached_s": cold,
+        "cached_s": warm,
+        "speedup": cold / warm if warm > 0 else float("inf"),
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "hit_rate": cache.hit_rate,
+    })
+
+    # Part 2: full MCC update campaigns sharing one cache — end-to-end
+    # effect when timing is only one of four viewpoints.
+    def campaign_sweep(cache: Optional[AnalysisCache]) -> float:
+        started = time.perf_counter()
+        for index in range(args.campaigns):
+            run_infield_update_scenario(num_requests=args.requests,
+                                        seed=index % args.distinct,
+                                        risky_fraction=0.3, deploy=False,
+                                        analysis_cache=cache)
+        return time.perf_counter() - started
+
+    campaign_sweep(None)  # warm-up
+    cold = min(campaign_sweep(None) for _ in range(3))
+    cache = AnalysisCache()
+    warm_times = []
+    for _ in range(3):
+        cache.clear()
+        warm_times.append(campaign_sweep(cache))
+    warm = min(warm_times)
+    rows.append({
+        "sweep": f"MCC campaigns ({args.campaigns} x {args.requests} requests)",
+        "uncached_s": cold,
+        "cached_s": warm,
+        "speedup": cold / warm if warm > 0 else float("inf"),
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "hit_rate": cache.hit_rate,
+    })
+
+    print(format_table("CPA memoization on repeated acceptance sweeps", rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run, sweep and compare the reproduction's scenarios.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list scenarios and built-in sweeps")
+
+    run_parser = commands.add_parser("run", help="execute a sweep")
+    run_parser.add_argument("--spec", help="JSON spec file (one spec or a list); "
+                                           "defaults to the built-in suite")
+    run_parser.add_argument("--parallel", action="store_true",
+                            help="execute runs on a process pool")
+    run_parser.add_argument("--workers", type=int, default=None,
+                            help="pool size (default: cpu count)")
+    run_parser.add_argument("--output", help="write structured results to this JSON file")
+
+    compare_parser = commands.add_parser("compare",
+                                         help="diff two result files from `run --output`")
+    compare_parser.add_argument("baseline")
+    compare_parser.add_argument("current")
+    compare_parser.add_argument("--tolerance", type=float, default=1e-9,
+                                help="numeric tolerance for metric equality")
+
+    cache_parser = commands.add_parser("cache-bench",
+                                       help="measure the CPA memoization speedup")
+    cache_parser.add_argument("--campaigns", type=int, default=8,
+                              help="number of update campaigns in the MCC sweep")
+    cache_parser.add_argument("--distinct", type=int, default=2,
+                              help="distinct configurations the sweeps cycle over")
+    cache_parser.add_argument("--requests", type=int, default=15,
+                              help="change requests per campaign")
+    cache_parser.add_argument("--tasks", type=int, default=20,
+                              help="tasks per synthetic task set in the WCRT sweep")
+    cache_parser.add_argument("--repeats", type=int, default=25,
+                              help="re-validations of every task set in the WCRT sweep")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run,
+                "compare": _cmd_compare, "cache-bench": _cmd_cache_bench}
+    return handlers[args.command](args)

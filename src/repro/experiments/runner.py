@@ -1,0 +1,163 @@
+"""Serial and process-parallel execution of experiment specs.
+
+The runner turns an :class:`~repro.experiments.spec.ExperimentSpec` into a
+list of structured :class:`RunRecord` objects.  Runs are fully determined by
+their :class:`~repro.experiments.spec.RunSpec` (scenario + bound parameters,
+seeds included), so the parallel path — a ``multiprocessing.Pool`` over the
+expanded runs — produces *byte-identical* metric records to the serial path;
+only the wall-time bookkeeping differs, and it is excluded from the
+canonical serialization for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.registry import SCENARIOS
+from repro.experiments.spec import ExperimentSpec, RunSpec
+
+
+@dataclass
+class RunRecord:
+    """Structured result of one run.
+
+    ``metrics`` carries the scenario's flattened metric record including the
+    ``sim_time_s``/``event_count`` bookkeeping; ``wall_time_s`` is the host
+    execution time of this run (informational — not part of the canonical
+    record, since it varies between executions and machines).
+    """
+
+    run_id: str
+    experiment: str
+    scenario: str
+    index: int
+    params: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run completed without raising."""
+        return self.error is None
+
+    def canonical(self) -> Dict[str, Any]:
+        """The deterministic part of the record (no wall time)."""
+        return {
+            "run_id": self.run_id,
+            "experiment": self.experiment,
+            "scenario": self.scenario,
+            "index": self.index,
+            "params": self.params,
+            "metrics": self.metrics,
+            "error": self.error,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full JSON-serializable form (canonical part + wall time)."""
+        document = self.canonical()
+        document["wall_time_s"] = self.wall_time_s
+        return document
+
+
+@dataclass
+class ExperimentResult:
+    """All records of one executed spec, plus execution metadata."""
+
+    spec: ExperimentSpec
+    records: List[RunRecord] = field(default_factory=list)
+    parallel: bool = False
+    workers: int = 1
+    wall_time_s: float = 0.0
+
+    def ok(self) -> bool:
+        """Whether every run completed without raising."""
+        return all(record.ok for record in self.records)
+
+    def metrics(self, key: str) -> List[Any]:
+        """The value of one metric across all successful runs (missing keys
+        are skipped)."""
+        return [record.metrics[key] for record in self.records
+                if record.ok and key in record.metrics]
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON of all metric records (sorted keys, no wall
+        times) — the byte-identical currency for serial/parallel equivalence
+        and baseline diffing."""
+        return json.dumps([record.canonical() for record in self.records],
+                          sort_keys=True, indent=2)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full JSON-serializable form including execution metadata."""
+        return {
+            "spec": self.spec.to_dict(),
+            "parallel": self.parallel,
+            "workers": self.workers,
+            "wall_time_s": self.wall_time_s,
+            "records": [record.to_dict() for record in self.records],
+        }
+
+
+def execute_run(run: RunSpec) -> RunRecord:
+    """Execute one run in the current process.
+
+    Module-level (not a closure) so it is picklable for the process pool.
+    Scenario exceptions are captured into ``record.error`` instead of
+    aborting the sweep.
+    """
+    started = time.perf_counter()
+    try:
+        metrics = SCENARIOS.get(run.scenario).run_record(run.params)
+        error = None
+    except Exception as exc:  # noqa: BLE001 - a failed run must not kill the sweep
+        metrics = {}
+        error = f"{type(exc).__name__}: {exc}"
+    return RunRecord(run_id=run.run_id(), experiment=run.experiment,
+                     scenario=run.scenario, index=run.index,
+                     params=dict(run.params), metrics=metrics,
+                     wall_time_s=time.perf_counter() - started, error=error)
+
+
+class Runner:
+    """Executes experiment specs serially or on a process pool.
+
+    Parameters
+    ----------
+    parallel:
+        Use a ``multiprocessing.Pool`` over the expanded runs.
+    workers:
+        Pool size; defaults to ``min(cpu_count, number of runs)``.
+    """
+
+    def __init__(self, parallel: bool = False, workers: Optional[int] = None) -> None:
+        if workers is not None and workers <= 0:
+            raise ValueError("workers must be positive")
+        self.parallel = parallel
+        self.workers = workers
+
+    def run(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Execute every run of ``spec`` and collect the records in
+        expansion order (the order is identical for serial and parallel
+        execution)."""
+        runs = spec.expand()
+        started = time.perf_counter()
+        if self.parallel and len(runs) > 1:
+            workers = self.workers or min(multiprocessing.cpu_count(), len(runs))
+            workers = min(workers, len(runs))
+            with multiprocessing.Pool(processes=workers) as pool:
+                records = pool.map(execute_run, runs)
+        else:
+            workers = 1
+            records = [execute_run(run) for run in runs]
+        wall_time = time.perf_counter() - started
+        return ExperimentResult(spec=spec, records=records,
+                                parallel=self.parallel and len(runs) > 1,
+                                workers=workers, wall_time_s=wall_time)
+
+    def run_all(self, specs: List[ExperimentSpec]) -> List[ExperimentResult]:
+        """Execute several specs back to back."""
+        return [self.run(spec) for spec in specs]

@@ -1,0 +1,208 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` names a registered scenario, a parameter grid
+(every combination is one run), and a list of seeds.  ``expand()`` unrolls
+the spec into concrete :class:`RunSpec` objects — plain, picklable records
+the runner can execute serially or in a process pool.  Specs round-trip
+through JSON (``to_dict``/``from_dict``), so sweeps can be stored in files
+and replayed from the CLI.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.registry import SCENARIOS, ScenarioError, ScenarioRegistry
+from repro.sim.random import derive_seed
+
+
+class SpecError(ValueError):
+    """Raised for malformed experiment specifications."""
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One concrete run of a sweep: a scenario plus fully bound parameters.
+
+    ``index`` is the run's position in the expanded sweep and, together with
+    the experiment name, determines the derived per-run seed — so the
+    identity of a run never depends on execution order.
+    """
+
+    experiment: str
+    scenario: str
+    index: int
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def run_id(self) -> str:
+        """Stable identifier of this run within its experiment."""
+        return f"{self.experiment}/{self.scenario}#{self.index:04d}"
+
+
+@dataclass
+class ExperimentSpec:
+    """A named parameter sweep over one registered scenario.
+
+    Parameters
+    ----------
+    name:
+        Experiment name (used in run ids and result files).
+    scenario:
+        Name of a scenario in the registry.
+    grid:
+        Mapping parameter name -> list of values; the cartesian product of
+        all lists is swept.  Scalar values are treated as one-element lists.
+    seeds:
+        Seeds to repeat every grid point with.  For scenarios without a seed
+        parameter the seeds still multiply the runs (useful for wall-time
+        statistics) unless left at the default ``[0]``.
+    base_seed:
+        When set (not None), per-run seeds are *derived* deterministically
+        from ``(base_seed, experiment name, run index)`` via
+        :func:`repro.sim.random.derive_seed` instead of taken from ``seeds``.
+    description:
+        Free-form note carried into result files.
+    """
+
+    name: str
+    scenario: str
+    grid: Dict[str, Any] = field(default_factory=dict)
+    seeds: List[int] = field(default_factory=lambda: [0])
+    base_seed: Optional[int] = None
+    description: str = ""
+
+    def validate(self, registry: Optional[ScenarioRegistry] = None) -> None:
+        """Check the spec against the scenario registry; raise on problems."""
+        registry = registry or SCENARIOS
+        if not self.name or "/" in self.name or "#" in self.name:
+            raise SpecError(f"invalid experiment name {self.name!r} "
+                            "(must be non-empty, without '/' or '#')")
+        if self.scenario not in registry:
+            raise SpecError(f"unknown scenario {self.scenario!r}; "
+                            f"available: {registry.names()}")
+        scenario = registry.get(self.scenario)
+        try:
+            scenario.validate_params(self.grid)
+        except ScenarioError as exc:
+            raise SpecError(str(exc)) from exc
+        if scenario.seed_param is not None and scenario.seed_param in self.grid:
+            raise SpecError(f"parameter {scenario.seed_param!r} is controlled by "
+                            f"the spec's seeds, not the grid")
+        if not self.seeds:
+            raise SpecError("seeds must not be empty")
+        for value in self.grid.values():
+            if isinstance(value, (list, tuple)) and len(value) == 0:
+                raise SpecError("grid axes must not be empty lists")
+
+    def axes(self) -> Dict[str, List[Any]]:
+        """The grid with scalar values normalized to one-element lists."""
+        return {key: (list(value) if isinstance(value, (list, tuple)) else [value])
+                for key, value in self.grid.items()}
+
+    def num_runs(self) -> int:
+        """Number of concrete runs this spec expands to."""
+        count = 1
+        for values in self.axes().values():
+            count *= len(values)
+        return count * len(self.seeds)
+
+    def expand(self, registry: Optional[ScenarioRegistry] = None) -> List[RunSpec]:
+        """Unroll the grid x seeds product into concrete :class:`RunSpec`s.
+
+        Expansion order is deterministic: grid axes in insertion order, seeds
+        innermost.  Per-run seeds are attached via the scenario's declared
+        seed parameter (scenarios without one simply repeat).
+        """
+        registry = registry or SCENARIOS
+        self.validate(registry)
+        scenario = registry.get(self.scenario)
+        axes = self.axes()
+        names = list(axes)
+        combos = itertools.product(*(axes[name] for name in names)) if names else [()]
+        runs: List[RunSpec] = []
+        index = 0
+        for combo in combos:
+            for seed in self.seeds:
+                params = dict(zip(names, combo))
+                if scenario.seed_param is not None:
+                    if self.base_seed is not None:
+                        params[scenario.seed_param] = derive_seed(
+                            self.base_seed, self.name, index)
+                    else:
+                        params[scenario.seed_param] = seed
+                runs.append(RunSpec(experiment=self.name, scenario=self.scenario,
+                                    index=index, params=params))
+                index += 1
+        return runs
+
+    # -- JSON round-trip ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form of the spec."""
+        return {
+            "name": self.name,
+            "scenario": self.scenario,
+            "grid": dict(self.grid),
+            "seeds": list(self.seeds),
+            "base_seed": self.base_seed,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "ExperimentSpec":
+        """Build a spec from a plain dictionary (e.g. parsed JSON)."""
+        unknown = set(document) - {"name", "scenario", "grid", "seeds",
+                                   "base_seed", "description"}
+        if unknown:
+            raise SpecError(f"unknown spec fields {sorted(unknown)}")
+        try:
+            name = document["name"]
+            scenario = document["scenario"]
+        except KeyError as exc:
+            raise SpecError(f"spec is missing required field {exc.args[0]!r}") from exc
+        seeds = document.get("seeds", [0])
+        if not isinstance(seeds, (list, tuple)):
+            raise SpecError("seeds must be a list of integers")
+        return cls(name=name, scenario=scenario,
+                   grid=dict(document.get("grid", {})),
+                   seeds=[int(s) for s in seeds],
+                   base_seed=document.get("base_seed"),
+                   description=document.get("description", ""))
+
+
+def builtin_specs() -> List[ExperimentSpec]:
+    """The built-in sweep suite (what ``python -m repro.experiments run``
+    executes when no spec file is given).
+
+    Spans four of the five scenarios with 21 runs total: the E5 arbitration-
+    policy comparison over three seeds, the E6 strategy comparison, the E8
+    severity sweep and an E1 campaign sweep over the risky-update fraction.
+    """
+    return [
+        ExperimentSpec(
+            name="intrusion-policies",
+            scenario="intrusion",
+            grid={"policy": ["lowest_adequate", "local_only", "always_escalate"],
+                  "attack_time_s": 4.0, "duration_s": 30.0},
+            seeds=[0, 1, 2],
+            description="E5: arbitration-policy comparison, 3 seeds each"),
+        ExperimentSpec(
+            name="thermal-strategies",
+            scenario="thermal",
+            grid={"strategy": ["no_reaction", "platform_only",
+                               "function_only", "cross_layer"],
+                  "peak_ambient_c": 80.0, "duration_s": 400.0},
+            description="E6: reaction-strategy comparison"),
+        ExperimentSpec(
+            name="routing-severity",
+            scenario="weather_routing",
+            grid={"severity": [0.0, 0.2, 0.4, 0.6, 0.8]},
+            description="E8: route choice vs forecast severity"),
+        ExperimentSpec(
+            name="update-campaigns",
+            scenario="infield_update",
+            grid={"num_requests": 20, "risky_fraction": [0.2, 0.4, 0.6]},
+            description="E1: acceptance rate vs risky-update fraction"),
+    ]

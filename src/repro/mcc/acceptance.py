@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol
 
+from repro.analysis.cache import AnalysisCache
 from repro.analysis.cpa import ResponseTimeAnalysis
 from repro.analysis.safety import SafetyAnalysis
 from repro.analysis.threat import ThreatModel
@@ -67,22 +68,33 @@ def _tasksets_from_mapping(contracts: List[Contract], mapping: Dict[str, str],
 
 
 class TimingAcceptanceTest:
-    """Worst-case response-time analysis of every processor."""
+    """Worst-case response-time analysis of every processor.
+
+    When given an :class:`~repro.analysis.cache.AnalysisCache`, the per-
+    processor busy-window analyses are memoized on the task-set fingerprint:
+    in a change campaign only the processor whose task set actually changed
+    is re-analysed, the others are answered from the cache.
+    """
 
     viewpoint = "timing"
 
-    def __init__(self, speed_factor: float = 1.0) -> None:
+    def __init__(self, speed_factor: float = 1.0,
+                 cache: Optional[AnalysisCache] = None) -> None:
         self.speed_factor = speed_factor
+        self.cache = cache
 
     def run(self, contracts: List[Contract], mapping: Dict[str, str],
             priorities: Dict[str, int], platform: Platform) -> AcceptanceResult:
+        """Evaluate the timing viewpoint of a candidate configuration."""
         findings: List[str] = []
         metrics: Dict[str, float] = {}
         tasksets = _tasksets_from_mapping(contracts, mapping, priorities)
         for processor_name, taskset in sorted(tasksets.items()):
             analysis = ResponseTimeAnalysis(taskset, speed_factor=self.speed_factor)
             metrics[f"{processor_name}.utilization"] = analysis.utilization()
-            for task_name, result in analysis.analyse().items():
+            results = (self.cache.analyse(taskset, speed_factor=self.speed_factor)
+                       if self.cache is not None else analysis.analyse())
+            for task_name, result in results.items():
                 if result.wcrt is not None:
                     metrics[f"{task_name}.wcrt"] = result.wcrt
                 if not result.schedulable:
@@ -101,6 +113,7 @@ class SafetyAcceptanceTest:
 
     def run(self, contracts: List[Contract], mapping: Dict[str, str],
             priorities: Dict[str, int], platform: Platform) -> AcceptanceResult:
+        """Evaluate the safety viewpoint of a candidate configuration."""
         analysis = SafetyAnalysis(contracts, mapping)
         findings = analysis.analyse()
         blocking = [str(f) for f in findings if f.blocking]
@@ -118,6 +131,7 @@ class SecurityAcceptanceTest:
 
     def run(self, contracts: List[Contract], mapping: Dict[str, str],
             priorities: Dict[str, int], platform: Platform) -> AcceptanceResult:
+        """Evaluate the security viewpoint of a candidate configuration."""
         model = ThreatModel()
         model.add_components(contracts)
         providers: Dict[str, List[str]] = {}
@@ -147,6 +161,7 @@ class ResourceAcceptanceTest:
 
     def run(self, contracts: List[Contract], mapping: Dict[str, str],
             priorities: Dict[str, int], platform: Platform) -> AcceptanceResult:
+        """Evaluate the resource viewpoint of a candidate configuration."""
         findings: List[str] = []
         metrics: Dict[str, float] = {}
         memory_demand: Dict[str, float] = {}
@@ -175,7 +190,13 @@ class ResourceAcceptanceTest:
                                 findings=findings, metrics=metrics)
 
 
-def default_acceptance_tests() -> List[AcceptanceTest]:
-    """The standard battery of acceptance tests the MCC runs per change."""
-    return [TimingAcceptanceTest(), SafetyAcceptanceTest(),
+def default_acceptance_tests(cache: Optional[AnalysisCache] = None) -> List[AcceptanceTest]:
+    """The standard battery of acceptance tests the MCC runs per change.
+
+    Pass an :class:`AnalysisCache` to memoize the timing viewpoint across
+    change requests — repeated acceptance sweeps (e.g. re-validating the
+    same campaigns, or ``python -m repro.experiments cache-bench``) share
+    one cache this way.
+    """
+    return [TimingAcceptanceTest(cache=cache), SafetyAcceptanceTest(),
             SecurityAcceptanceTest(), ResourceAcceptanceTest()]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.cache import AnalysisCache
 from repro.contracts.model import Contract, RealTimeRequirement
 from repro.mcc.acceptance import AcceptanceTest
 from repro.mcc.configuration import ChangeKind, ChangeRequest, IntegrationReport, SystemModel
@@ -35,16 +36,22 @@ class MultiChangeController:
         are deployed immediately.
     acceptance_tests:
         Override the default battery of viewpoint acceptance tests.
+    analysis_cache:
+        Optional :class:`~repro.analysis.cache.AnalysisCache` that memoizes
+        the timing viewpoint across change requests (ignored when explicit
+        ``acceptance_tests`` are given).
     """
 
     def __init__(self, platform: Platform, rte: Optional[RuntimeEnvironment] = None,
                  acceptance_tests: Optional[List[AcceptanceTest]] = None,
-                 mapping_strategy: MappingStrategy = MappingStrategy.FIRST_FIT) -> None:
+                 mapping_strategy: MappingStrategy = MappingStrategy.FIRST_FIT,
+                 analysis_cache: Optional["AnalysisCache"] = None) -> None:
         self.platform = platform
         self.rte = rte
         self.model = SystemModel()
         self.process = IntegrationProcess(platform, acceptance_tests=acceptance_tests,
-                                          mapping_strategy=mapping_strategy)
+                                          mapping_strategy=mapping_strategy,
+                                          analysis_cache=analysis_cache)
         self.reports: List[IntegrationReport] = []
         self.deployed_configuration: Optional[RteConfiguration] = None
         #: Model-domain expectations derived from the contracts (fed to the

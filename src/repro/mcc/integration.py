@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.analysis.cache import AnalysisCache
 from repro.mcc.acceptance import AcceptanceTest, default_acceptance_tests
 from repro.mcc.configuration import ChangeRequest, IntegrationReport, SystemModel
 from repro.mcc.mapping import MappingEngine, MappingError, MappingStrategy
@@ -36,10 +37,11 @@ class IntegrationProcess:
 
     def __init__(self, platform: Platform,
                  acceptance_tests: Optional[List[AcceptanceTest]] = None,
-                 mapping_strategy: MappingStrategy = MappingStrategy.FIRST_FIT) -> None:
+                 mapping_strategy: MappingStrategy = MappingStrategy.FIRST_FIT,
+                 analysis_cache: Optional[AnalysisCache] = None) -> None:
         self.platform = platform
         self.acceptance_tests = (acceptance_tests if acceptance_tests is not None
-                                 else default_acceptance_tests())
+                                 else default_acceptance_tests(cache=analysis_cache))
         self.mapping_engine = MappingEngine(platform, strategy=mapping_strategy)
 
     def integrate(self, candidate: SystemModel, request: ChangeRequest) -> IntegrationReport:

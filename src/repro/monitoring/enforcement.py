@@ -35,8 +35,13 @@ class _Budget:
     budget: float
     period: float
     consumed: float = 0.0
-    window_start: float = 0.0
+    window_index: int = 0
     suspended: bool = False
+
+    @property
+    def window_start(self) -> float:
+        """Start time of the current replenishment window."""
+        return self.window_index * self.period
 
 
 class BudgetEnforcer:
@@ -67,8 +72,13 @@ class BudgetEnforcer:
         return list(self._budgets)
 
     def _replenish_if_due(self, entry: _Budget, time: float) -> None:
-        while time >= entry.window_start + entry.period:
-            entry.window_start += entry.period
+        # Window boundaries are multiples of the period (with a small
+        # relative tolerance), not accumulated by repeated addition — the
+        # accumulated sum drifts, which can miss a replenishment that is due
+        # exactly at a boundary and then wrongly merge two windows.
+        while time >= (entry.window_index + 1) * entry.period * (1.0 - 1e-12) \
+                - 1e-9 * entry.period:
+            entry.window_index += 1
             entry.consumed = 0.0
             entry.suspended = False
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.analysis.cache import AnalysisCache
 from repro.contracts.language import ContractParser
 from repro.contracts.model import Contract
 from repro.mcc.configuration import ChangeKind, ChangeRequest
@@ -116,11 +117,19 @@ def run_infield_update_scenario(num_requests: int = 30, seed: int = 0,
                                 risky_fraction: float = 0.3,
                                 num_processors: int = 3,
                                 mapping_strategy: MappingStrategy = MappingStrategy.FIRST_FIT,
-                                deploy: bool = True) -> InFieldUpdateResult:
-    """Run one in-field update campaign through the MCC."""
+                                deploy: bool = True,
+                                analysis_cache: Optional["AnalysisCache"] = None
+                                ) -> InFieldUpdateResult:
+    """Run one in-field update campaign through the MCC.
+
+    Pass an :class:`~repro.analysis.cache.AnalysisCache` to memoize the
+    timing acceptance test across the campaign's change requests (and across
+    campaigns, when the same cache is shared by a sweep).
+    """
     platform = build_baseline_platform(num_processors=num_processors)
     rte = RuntimeEnvironment(platform) if deploy else None
-    mcc = MultiChangeController(platform, rte=rte, mapping_strategy=mapping_strategy)
+    mcc = MultiChangeController(platform, rte=rte, mapping_strategy=mapping_strategy,
+                                analysis_cache=analysis_cache)
     for contract in baseline_contracts():
         report = mcc.add_component(contract)
         if not report.accepted:  # pragma: no cover - baseline accepted by construction

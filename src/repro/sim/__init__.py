@@ -9,7 +9,7 @@ clock, and a trace recorder that downstream analyses and benchmarks consume.
 
 from repro.sim.kernel import Event, EventQueue, Simulator, Process
 from repro.sim.trace import Trace, TraceRecord, TraceRecorder
-from repro.sim.random import SeededRNG
+from repro.sim.random import SeededRNG, derive_seed
 
 __all__ = [
     "Event",
@@ -20,4 +20,5 @@ __all__ = [
     "TraceRecord",
     "TraceRecorder",
     "SeededRNG",
+    "derive_seed",
 ]

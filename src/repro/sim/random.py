@@ -7,6 +7,7 @@ so that every experiment is reproducible from a single integer seed.
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Optional, Sequence, TypeVar
 
 import numpy as np
@@ -90,3 +91,17 @@ class SeededRNG:
             raise ValueError("need 0 < low < high")
         lo, hi = np.log(low), np.log(high)
         return [float(np.exp(self._rng.uniform(lo, hi))) for _ in range(n)]
+
+
+def derive_seed(base: int, *components: object) -> int:
+    """Derive a deterministic child seed from a base seed and a run identity.
+
+    The experiment runner uses this to give every run of a sweep its own
+    independent-but-reproducible seed: the derivation depends only on the
+    base seed and the hashable identity components (e.g. the spec name and
+    the run index), never on process or scheduling order, so serial and
+    parallel executions of the same sweep draw identical random streams.
+    """
+    text = repr((int(base),) + components).encode("utf-8")
+    digest = hashlib.sha256(text).digest()
+    return int.from_bytes(digest[:8], "big") % (2**63)

@@ -1,0 +1,158 @@
+"""Tests for the CPA memoization cache (repro.analysis.cache)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cache import (
+    AnalysisCache,
+    CachedResponseTimeAnalysis,
+    fingerprint_taskset,
+)
+from repro.analysis.cpa import EventModel, ResponseTimeAnalysis
+from repro.mcc.acceptance import TimingAcceptanceTest
+from repro.platform.tasks import Task, TaskSet
+from repro.scenarios.infield_update import run_infield_update_scenario
+
+
+def _taskset(wcet_high: float = 0.002) -> TaskSet:
+    return TaskSet([
+        Task("t_high", period=0.01, wcet=wcet_high, priority=0),
+        Task("t_mid", period=0.02, wcet=0.005, priority=1),
+        Task("t_low", period=0.05, wcet=0.010, priority=2),
+    ])
+
+
+class TestFingerprint:
+    """Fingerprints depend on content, not identity or insertion order."""
+
+    def test_identical_content_same_fingerprint(self):
+        assert fingerprint_taskset(_taskset()) == fingerprint_taskset(_taskset())
+
+    def test_insertion_order_is_irrelevant(self):
+        forward = _taskset()
+        backward = TaskSet(list(reversed(forward.tasks())))
+        assert fingerprint_taskset(forward) == fingerprint_taskset(backward)
+
+    def test_parameter_changes_change_fingerprint(self):
+        base = fingerprint_taskset(_taskset())
+        assert fingerprint_taskset(_taskset(wcet_high=0.003)) != base
+        assert fingerprint_taskset(_taskset(), speed_factor=0.5) != base
+        assert fingerprint_taskset(
+            _taskset(), event_models={"t_high": EventModel(0.01, 0.001)}) != base
+
+
+class TestAnalysisCache:
+    """Hit/miss behaviour and correctness of memoized results."""
+
+    def test_miss_then_hit(self):
+        cache = AnalysisCache()
+        taskset = _taskset()
+        first = cache.analyse(taskset)
+        assert (cache.hits, cache.misses) == (0, 1)
+        second = cache.analyse(_taskset())  # equal content, new object
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert second == first
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_hits_are_isolated_from_caller_mutation(self):
+        cache = AnalysisCache()
+        polluted = cache.analyse(_taskset())
+        polluted.pop("t_high")
+        assert "t_high" in cache.analyse(_taskset())
+
+    def test_different_speed_factor_misses(self):
+        cache = AnalysisCache()
+        cache.analyse(_taskset())
+        cache.analyse(_taskset(), speed_factor=0.6)
+        assert (cache.hits, cache.misses) == (0, 2)
+
+    def test_cached_results_equal_uncached(self):
+        cache = AnalysisCache()
+        for speed in (1.0, 0.6):
+            cached = cache.analyse(_taskset(), speed_factor=speed)
+            direct = ResponseTimeAnalysis(_taskset(), speed_factor=speed).analyse()
+            assert set(cached) == set(direct)
+            for name in direct:
+                assert cached[name].wcrt == pytest.approx(direct[name].wcrt)
+                assert cached[name].schedulable == direct[name].schedulable
+
+    def test_schedulable_verdict(self):
+        cache = AnalysisCache()
+        assert cache.schedulable(_taskset())
+        assert not cache.schedulable(_taskset(), speed_factor=0.2)
+
+    def test_eviction_bound(self):
+        cache = AnalysisCache(max_entries=2)
+        for wcet in (0.001, 0.002, 0.003):
+            cache.analyse(_taskset(wcet_high=wcet))
+        assert len(cache) == 2
+        # The first entry was evicted; re-analysing it is a miss again.
+        cache.analyse(_taskset(wcet_high=0.001))
+        assert cache.misses == 4
+
+    def test_clear_resets_counters(self):
+        cache = AnalysisCache()
+        cache.analyse(_taskset())
+        cache.analyse(_taskset())
+        cache.clear()
+        assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            AnalysisCache(max_entries=0)
+
+
+class TestCachedResponseTimeAnalysis:
+    """The drop-in facade matches the plain analysis."""
+
+    def test_matches_plain_analysis(self):
+        cache = AnalysisCache()
+        cached = CachedResponseTimeAnalysis(_taskset(), cache)
+        plain = ResponseTimeAnalysis(_taskset())
+        assert cached.schedulable() == plain.schedulable()
+        assert cached.utilization() == pytest.approx(plain.utilization())
+        result = cached.response_time("t_mid")
+        assert result.wcrt == pytest.approx(plain.response_time(
+            plain.taskset.get("t_mid")).wcrt)
+        # Second facade over an equal task set hits the shared cache.
+        CachedResponseTimeAnalysis(_taskset(), cache).schedulable()
+        assert cache.hits > 0
+
+
+class TestMccIntegration:
+    """The cache plugs into the timing acceptance test and the E1 scenario."""
+
+    def test_timing_acceptance_with_cache_matches_uncached(self, acc_contracts,
+                                                           dual_core_platform):
+        mapping = {"tracker": "cpu0", "controller": "cpu1", "actuator": "cpu1"}
+        priorities = {"tracker.task": 0, "controller.task": 0, "actuator.task": 1}
+        plain = TimingAcceptanceTest().run(acc_contracts, mapping, priorities,
+                                           dual_core_platform)
+        cache = AnalysisCache()
+        cached = TimingAcceptanceTest(cache=cache).run(
+            acc_contracts, mapping, priorities, dual_core_platform)
+        assert cached.passed == plain.passed
+        assert cached.metrics == pytest.approx(plain.metrics)
+        assert cache.misses > 0
+        # Re-running the identical configuration is answered from the cache.
+        TimingAcceptanceTest(cache=cache).run(acc_contracts, mapping, priorities,
+                                              dual_core_platform)
+        assert cache.hits >= cache.misses
+
+    def test_repeated_campaigns_share_cache_and_agree(self):
+        cache = AnalysisCache()
+        baseline = run_infield_update_scenario(num_requests=8, seed=3, deploy=False)
+        first = run_infield_update_scenario(num_requests=8, seed=3, deploy=False,
+                                            analysis_cache=cache)
+        hits_after_first = cache.hits
+        second = run_infield_update_scenario(num_requests=8, seed=3, deploy=False,
+                                             analysis_cache=cache)
+        # Identical campaign, identical acceptance outcome with and without
+        # the cache; the repeat run is served almost entirely from the cache.
+        for result in (first, second):
+            assert result.accepted == baseline.accepted
+            assert result.rejected == baseline.rejected
+            assert result.rejected_by_viewpoint == baseline.rejected_by_viewpoint
+        assert hits_after_first > 0
+        assert cache.hits > hits_after_first

@@ -1,0 +1,64 @@
+"""Export hygiene: every subpackage's ``__all__`` matches what it defines.
+
+This is the automated form of the docs audit: ``__all__`` entries must
+resolve, public imported names must be listed, and every package/module must
+carry a docstring.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+import types
+
+import pytest
+
+import repro
+
+SUBPACKAGES = ["repro"] + [
+    f"repro.{name}" for name in
+    ["analysis", "can", "contracts", "core", "experiments", "mcc", "monitoring",
+     "platform", "platooning", "routing", "scenarios", "security", "sim",
+     "skills", "vehicle", "virtualization"]
+]
+
+
+@pytest.mark.parametrize("package", SUBPACKAGES)
+def test_all_entries_resolve(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", None)
+    assert exported is not None, f"{package} has no __all__"
+    assert len(exported) == len(set(exported)), f"{package}.__all__ has duplicates"
+    for name in exported:
+        assert hasattr(module, name), f"{package}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("package", SUBPACKAGES)
+def test_public_names_are_exported(package):
+    module = importlib.import_module(package)
+    exported = set(getattr(module, "__all__", []))
+    public = {name for name, value in vars(module).items()
+              if not name.startswith("_")
+              and not isinstance(value, types.ModuleType)
+              and name not in ("annotations",)}
+    missing = public - exported
+    assert not missing, f"{package}: public names not in __all__: {sorted(missing)}"
+
+
+def test_every_module_has_a_docstring():
+    packages = [repro]
+    missing = []
+    seen = set()
+    while packages:
+        package = packages.pop()
+        for info in pkgutil.iter_modules(package.__path__,
+                                         prefix=package.__name__ + "."):
+            if info.name in seen or info.name.endswith("__main__"):
+                continue
+            seen.add(info.name)
+            module = importlib.import_module(info.name)
+            if module.__doc__ is None or not module.__doc__.strip():
+                missing.append(info.name)
+            if info.ispkg:
+                packages.append(module)
+    assert not missing, f"modules without docstrings: {missing}"
