@@ -9,9 +9,11 @@ All runs drive through the scenario registry (``repro.experiments``).
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from conftest import print_table
+from conftest import print_table, write_bench_record
 from repro.experiments import run_scenario
 
 
@@ -41,6 +43,13 @@ def test_e6_strategy_comparison(benchmark):
             "deadlines_kept": record["deadlines_kept"],
         })
     print_table("E6: thermal stress, reaction-strategy comparison", rows)
+    sweep_times = []
+    for _ in range(3):
+        started = time.perf_counter()
+        run_all()
+        sweep_times.append(time.perf_counter() - started)
+    write_bench_record("e6_thermal_strategies", {
+        "rows": rows, "sweep_wall_s": min(sweep_times)})
 
     cross = records["cross_layer"]
     assert cross["hardware_protected"] and cross["deadlines_kept"]

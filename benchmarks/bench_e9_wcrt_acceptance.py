@@ -10,12 +10,14 @@ runtime that determines how quickly the MCC can evaluate an update.
 from __future__ import annotations
 
 import time
+from typing import List
 
 import pytest
 
-from conftest import print_table
+from conftest import print_table, quick_mode, write_bench_record
 from repro.analysis.cache import AnalysisCache
-from repro.analysis.cpa import ResponseTimeAnalysis
+from repro.analysis.cpa import _EPS, EventModel, ResponseTimeAnalysis
+from repro.analysis.incremental import IncrementalResponseTimeAnalysis
 from repro.platform.scheduler import FixedPriorityScheduler
 from repro.platform.tasks import Task, TaskSet
 from repro.sim.random import SeededRNG
@@ -103,13 +105,16 @@ def test_e9_cached_acceptance_sweep(benchmark):
                 for seed in range(3) for utilization in (0.6, 0.75, 0.9)]
     repeats = 10
 
+    # Both sides do the work the timing acceptance test needs: a full
+    # per-task analysis (the MCC consumes every WCRT as a metric), not just
+    # an early-exiting verdict.
     def uncached_sweep():
-        return [ResponseTimeAnalysis(taskset).schedulable()
+        return [all(r.schedulable for r in ResponseTimeAnalysis(taskset).analyse().values())
                 for _ in range(repeats) for taskset in tasksets]
 
     def cached_sweep():
         cache = AnalysisCache()
-        verdicts = [cache.schedulable(taskset)
+        verdicts = [all(r.schedulable for r in cache.analyse(taskset).values())
                     for _ in range(repeats) for taskset in tasksets]
         return cache, verdicts
 
@@ -141,3 +146,149 @@ def test_e9_cached_acceptance_sweep(benchmark):
     assert cache.misses == len(tasksets)
     assert cache.hits == len(tasksets) * (repeats - 1)
     assert speedup > 1.5
+    write_bench_record("e9_cached_acceptance_sweep", {
+        "task_sets": len(tasksets), "repeats": repeats,
+        "uncached_s": uncached_s, "cached_s": cached_s, "speedup": speedup,
+        "hits": cache.hits, "misses": cache.misses, "hit_rate": cache.hit_rate,
+    })
+
+
+# ---------------------------------------------------------------------------
+# Incremental engine vs the PR-1 analysis on a realistic acceptance sweep.
+# ---------------------------------------------------------------------------
+
+class _Pr1ReferenceAnalysis:
+    """Faithful port of the PR-1 busy-window analysis, kept as the
+    measurement baseline.
+
+    The production :class:`ResponseTimeAnalysis` has since gained a fast
+    inner loop, so timing it against itself would hide most of this PR's
+    gain.  This reference reproduces the PR-1 formulation exactly: per-task
+    ``analyse()`` over the whole set (no early exit) with the interference
+    sum resolving event models through ``EventModel.from_task`` inside the
+    fixpoint iteration.
+    """
+
+    def __init__(self, taskset: TaskSet, max_iterations: int = 10_000) -> None:
+        self.taskset = taskset
+        self.max_iterations = max_iterations
+
+    def _response_time_schedulable(self, task: Task) -> bool:
+        higher = self.taskset.higher_priority_than(task)
+        own_model = EventModel.from_task(task)
+        wcet = task.wcet
+        deadline = task.deadline if task.deadline is not None else task.period
+        busy_window_limit = max(deadline, task.period) * 64
+        worst = 0.0
+        q = 1
+        while True:
+            completion = q * wcet
+            for _ in range(self.max_iterations):
+                interference = sum(
+                    EventModel.from_task(t).eta_plus(completion) * t.wcet
+                    for t in higher)
+                new_completion = q * wcet + interference
+                if abs(new_completion - completion) <= _EPS:
+                    completion = new_completion
+                    break
+                completion = new_completion
+                if completion > busy_window_limit:
+                    return False
+            release = own_model.delta_min(q)
+            worst = max(worst, completion - release + own_model.jitter)
+            if completion <= own_model.delta_min(q + 1) + _EPS:
+                break
+            q += 1
+            if q * wcet > busy_window_limit:
+                return False
+        return worst <= deadline + _EPS
+
+    def schedulable(self) -> bool:
+        verdicts = [self._response_time_schedulable(task) for task in self.taskset]
+        return all(verdicts)
+
+
+def _clone(tasks) -> TaskSet:
+    return TaskSet([Task(t.name, period=t.period, wcet=t.wcet, deadline=t.deadline,
+                         priority=t.priority, jitter=t.jitter) for t in tasks])
+
+
+def _acceptance_sweep_grids(chains: int, n: int) -> List[TaskSet]:
+    """The E9/in-field sweep shape: per chain, a baseline task set followed
+    by add-component steps (the accepted-update pattern) and a WCET
+    inflation grid over one task (the risky-update pattern)."""
+    grids: List[TaskSet] = []
+    for seed in range(chains):
+        for utilization in (0.6, 0.75, 0.9):
+            base = _taskset(seed, n, utilization)
+            tasks = base.tasks()
+            grids.append(_clone(tasks))
+            rng = SeededRNG(seed + 500)
+            cursor = list(tasks)
+            max_priority = max(t.priority for t in cursor)
+            for step in range(6):
+                period = rng.choice([0.05, 0.1, 0.2])
+                cursor = cursor + [Task(f"add{step}", period=period,
+                                        wcet=period * rng.uniform(0.01, 0.05),
+                                        priority=max_priority + 1 + step)]
+                grids.append(_clone(cursor))
+            victim = tasks[len(tasks) // 2].name
+            for factor in (1.05, 1.1, 1.2, 1.3, 1.5):
+                grids.append(_clone([t.scaled(factor) if t.name == victim else t
+                                     for t in tasks]))
+    return grids
+
+
+@pytest.mark.benchmark(group="e9-wcrt")
+def test_e9_incremental_engine_speedup(benchmark):
+    """Incremental engine vs the PR-1 analysis on the acceptance sweep.
+
+    The sweep walks task-set grids whose neighbours differ in one task —
+    the dominant MCC workload.  The incremental engine must (a) return
+    bit-identical verdicts and (b) clear a 3x speedup over the PR-1
+    baseline; both the intermediate numbers and the final speedup land in
+    ``BENCH_e9_incremental_speedup.json``.
+    """
+    quick = quick_mode()
+    grids = _acceptance_sweep_grids(chains=2 if quick else 6, n=8 if quick else 12)
+
+    def best_of(fn, repeats: int = 3):
+        # min-of-3 in quick mode too: the CI smoke hard-fails on the speedup,
+        # and a single sample is one GC pause away from a spurious failure.
+        best = float("inf")
+        result = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - started)
+        return best, result
+
+    pr1_s, pr1_verdicts = best_of(
+        lambda: [_Pr1ReferenceAnalysis(ts).schedulable() for ts in grids])
+    full_s, full_verdicts = best_of(
+        lambda: [ResponseTimeAnalysis(ts).schedulable() for ts in grids])
+
+    def incremental_sweep():
+        engine = IncrementalResponseTimeAnalysis()
+        return [engine.schedulable(ts) for ts in grids], engine
+
+    inc_s, (inc_verdicts, engine) = best_of(incremental_sweep)
+    benchmark(lambda: incremental_sweep()[0])
+
+    assert inc_verdicts == full_verdicts == pr1_verdicts
+    speedup_vs_pr1 = pr1_s / inc_s if inc_s > 0 else float("inf")
+    speedup_fastpath = pr1_s / full_s if full_s > 0 else float("inf")
+    rows = [{
+        "task_sets": len(grids),
+        "pr1_baseline_s": pr1_s,
+        "fastpath_full_s": full_s,
+        "incremental_s": inc_s,
+        "speedup_vs_pr1": speedup_vs_pr1,
+        "fastpath_only_speedup": speedup_fastpath,
+        "reuse_rate": engine.reuse_rate,
+        "warm_started": engine.tasks_warm_started,
+    }]
+    print_table("E9: incremental CPA engine on the acceptance sweep "
+                "(target: >= 3x vs PR-1)", rows)
+    write_bench_record("e9_incremental_speedup", rows[0])
+    assert speedup_vs_pr1 >= 3.0

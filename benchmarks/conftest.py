@@ -4,11 +4,57 @@ Every benchmark regenerates the rows/series of one experiment from
 DESIGN.md/EXPERIMENTS.md and prints them (run pytest with ``-s`` to see the
 tables).  ``pytest-benchmark`` provides the timing statistics; the printed
 tables carry the reproduced quantities.
+
+Perf records
+------------
+:func:`write_bench_record` additionally emits machine-readable
+``BENCH_<name>.json`` files (default: ``benchmarks/records/``, override with
+``REPRO_BENCH_DIR``) so the performance trajectory — speedups, wall times,
+cache/engine counters — can be tracked and diffed across PRs instead of
+living only in CI logs.  ``quick_mode()`` reflects the ``REPRO_BENCH_QUICK``
+environment variable; benchmarks shrink their grids under it so CI can smoke
+the full path in seconds.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List
+
+
+def quick_mode() -> bool:
+    """Whether benchmarks should run with reduced samples (CI smoke)."""
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def write_bench_record(name: str, payload: Dict[str, Any]) -> Path:
+    """Write one machine-readable perf record as ``BENCH_<name>.json``.
+
+    The record wraps ``payload`` with enough execution metadata (timestamp,
+    interpreter, platform, quick-mode flag) to compare runs across machines
+    and PRs.  Returns the path written.
+    """
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR",
+                                  Path(__file__).resolve().parent / "records"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    document = {
+        "name": name,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "quick_mode": quick_mode(),
+        "payload": payload,
+    }
+    path = out_dir / f"BENCH_{name}.json"
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    return path
 
 
 def print_table(title: str, rows: List[Dict[str, object]]) -> None:

@@ -14,6 +14,10 @@ as acceptance tests during the in-field integration process:
 * :mod:`repro.analysis.cache` — fingerprint-keyed memoization of WCRT
   analyses, so acceptance-test sweeps stop re-deriving identical busy-window
   fixpoints.
+* :mod:`repro.analysis.incremental` — delta-aware incremental WCRT engine:
+  priority-pruned reuse, warm-started fixpoints and shared interference
+  memoization for near-identical task sets (the dominant acceptance-sweep
+  workload).
 """
 
 from repro.analysis.cpa import (
@@ -37,6 +41,10 @@ from repro.analysis.cache import (
     CachedResponseTimeAnalysis,
     fingerprint_taskset,
 )
+from repro.analysis.incremental import (
+    IncrementalResponseTimeAnalysis,
+    InterferenceMemo,
+)
 
 __all__ = [
     "EventModel",
@@ -57,4 +65,6 @@ __all__ = [
     "AnalysisCache",
     "CachedResponseTimeAnalysis",
     "fingerprint_taskset",
+    "IncrementalResponseTimeAnalysis",
+    "InterferenceMemo",
 ]

@@ -9,19 +9,33 @@ task-set parameters, the processor speed factor and the event models — so it
 can be memoized on a *fingerprint* of exactly those inputs.
 
 :class:`AnalysisCache` stores whole task-set analyses keyed on
-:func:`fingerprint_taskset`;
+:func:`fingerprint_taskset` with true LRU eviction;
 :class:`CachedResponseTimeAnalysis` is a drop-in façade over
 :class:`~repro.analysis.cpa.ResponseTimeAnalysis` that consults a cache
 before iterating.  ``TimingAcceptanceTest`` accepts an optional cache so MCC
 sweeps transparently benefit.
+
+Cache misses are computed by an
+:class:`~repro.analysis.incremental.IncrementalResponseTimeAnalysis` engine:
+a miss on a task set that *almost* matches a recently analysed one (the
+dominant change-campaign workload) is answered by delta re-analysis —
+unchanged higher-priority tasks are reused and re-analysed fixpoints are
+warm-started — instead of a from-scratch busy-window derivation.
+
+One process-local default cache (:func:`default_cache`) is shared by the
+in-field scenario and the experiment runner, so every run of a sweep
+executed in the same worker process benefits from previously derived
+analyses.
 """
 
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from repro.analysis.cpa import EventModel, ResponseTimeAnalysis, ResponseTimeResult
+from repro.analysis.incremental import IncrementalResponseTimeAnalysis
 from repro.platform.tasks import TaskSet
 
 
@@ -47,20 +61,29 @@ def fingerprint_taskset(taskset: TaskSet, speed_factor: float = 1.0,
 class AnalysisCache:
     """Content-addressed store of task-set WCRT analyses.
 
-    The cache is a plain dict fingerprint -> per-task results; it never
+    The cache is an LRU mapping fingerprint -> per-task results; it never
     invalidates (fingerprints are content hashes, so a changed task set is a
-    different key).  ``hits``/``misses`` counters make cache behaviour
-    observable for tests and benchmark tables; ``max_entries`` bounds memory
-    with simple FIFO eviction for very long sweeps.
+    different key).  A hit moves the entry to the most-recently-used
+    position; when ``max_entries`` is reached the least-recently-used entry
+    is evicted, so long sweeps that keep cycling over a working set larger
+    than a FIFO window no longer thrash.  ``hits``/``misses``/``evictions``
+    counters make cache behaviour observable for tests and benchmark tables.
+
+    Misses are delegated to an incremental engine (shared across all
+    entries), so even the *first* analysis of a mutated task set reuses the
+    unchanged part of its predecessor.
     """
 
-    def __init__(self, max_entries: int = 4096) -> None:
+    def __init__(self, max_entries: int = 4096,
+                 engine: Optional[IncrementalResponseTimeAnalysis] = None) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
-        self._store: Dict[str, Dict[str, ResponseTimeResult]] = {}
+        self.engine = engine if engine is not None else IncrementalResponseTimeAnalysis()
+        self._store: "OrderedDict[str, Dict[str, ResponseTimeResult]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._store)
@@ -72,10 +95,13 @@ class AnalysisCache:
         return self.hits / total if total else 0.0
 
     def clear(self) -> None:
-        """Drop all entries and reset the hit/miss counters."""
+        """Drop all entries (including the engine's delta history) and reset
+        the counters."""
         self._store.clear()
+        self.engine.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def analyse(self, taskset: TaskSet, speed_factor: float = 1.0,
                 event_models: Optional[Dict[str, EventModel]] = None
@@ -92,12 +118,14 @@ class AnalysisCache:
         cached = self._store.get(key)
         if cached is not None:
             self.hits += 1
+            self._store.move_to_end(key)
             return dict(cached)
         self.misses += 1
-        results = ResponseTimeAnalysis(taskset, speed_factor=speed_factor,
-                                       event_models=event_models).analyse()
+        results = self.engine.analyse(taskset, speed_factor=speed_factor,
+                                      event_models=event_models)
         if len(self._store) >= self.max_entries:
-            self._store.pop(next(iter(self._store)))
+            self._store.popitem(last=False)
+            self.evictions += 1
         self._store[key] = results
         return dict(results)
 
@@ -106,6 +134,26 @@ class AnalysisCache:
         """Cached schedulability verdict for the whole task set."""
         return all(result.schedulable
                    for result in self.analyse(taskset, speed_factor, event_models).values())
+
+
+#: Lazily created process-local cache shared by sweeps that do not manage
+#: their own (the in-field scenario, the experiment runner's workers).
+_DEFAULT_CACHE: Optional[AnalysisCache] = None
+
+
+def default_cache() -> AnalysisCache:
+    """The process-local default :class:`AnalysisCache`.
+
+    Results are content-addressed, so sharing one cache across independent
+    campaigns/runs cannot change any verdict — it only removes repeated
+    busy-window derivations.  Each worker of a multiprocessing sweep gets its
+    own instance (module state is per process), keeping the serial/parallel
+    byte-identical-records guarantee intact.
+    """
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = AnalysisCache()
+    return _DEFAULT_CACHE
 
 
 class CachedResponseTimeAnalysis:

@@ -73,7 +73,7 @@ class CanFrame:
     @property
     def bit_length(self) -> int:
         """Worst-case frame length in bits (including stuff bits)."""
-        return frame_bit_length(self.dlc, extended=self.extended)
+        return _BIT_LENGTHS[(len(self.payload), self.extended)]
 
     def arbitration_key(self) -> Tuple[int, int]:
         """Sort key implementing CAN arbitration.
@@ -84,13 +84,25 @@ class CanFrame:
         """
         return (self.can_id, 1 if self.extended else 0)
 
+    def _copy(self, source: str, timestamp: float) -> "CanFrame":
+        # Clones of an already-validated frame skip __init__/__post_init__:
+        # frames are re-stamped on every controller hop, which makes this the
+        # hottest allocation of the CAN data path.
+        clone = object.__new__(CanFrame)
+        set_attr = object.__setattr__
+        set_attr(clone, "can_id", self.can_id)
+        set_attr(clone, "payload", self.payload)
+        set_attr(clone, "extended", self.extended)
+        set_attr(clone, "frame_type", self.frame_type)
+        set_attr(clone, "source", source)
+        set_attr(clone, "timestamp", timestamp)
+        return clone
+
     def with_timestamp(self, timestamp: float) -> "CanFrame":
-        return CanFrame(can_id=self.can_id, payload=self.payload, extended=self.extended,
-                        frame_type=self.frame_type, source=self.source, timestamp=timestamp)
+        return self._copy(self.source, timestamp)
 
     def with_source(self, source: str) -> "CanFrame":
-        return CanFrame(can_id=self.can_id, payload=self.payload, extended=self.extended,
-                        frame_type=self.frame_type, source=source, timestamp=self.timestamp)
+        return self._copy(source, self.timestamp)
 
 
 def frame_bit_length(dlc: int, extended: bool = False, worst_case_stuffing: bool = True) -> int:
@@ -112,6 +124,14 @@ def frame_bit_length(dlc: int, extended: bool = False, worst_case_stuffing: bool
     fixed = 1 + 2 + 7 + 3  # CRC delimiter + ACK + EOF + interframe space
     stuff_bits = (stuffable - 1) // 4 if worst_case_stuffing else 0
     return stuffable + stuff_bits + fixed
+
+
+#: Worst-case bit lengths for every (dlc, extended) combination, so the hot
+#: transmission-time path is a dictionary lookup instead of re-derived
+#: arithmetic per frame.
+_BIT_LENGTHS = {(dlc, extended): frame_bit_length(dlc, extended=extended)
+                for dlc in range(MAX_PAYLOAD_BYTES + 1)
+                for extended in (False, True)}
 
 
 def transmission_time(dlc: int, bitrate_bps: float, extended: bool = False) -> float:

@@ -186,7 +186,8 @@ def _cmd_cache_bench(args: argparse.Namespace) -> int:
             run_infield_update_scenario(num_requests=args.requests,
                                         seed=index % args.distinct,
                                         risky_fraction=0.3, deploy=False,
-                                        analysis_cache=cache)
+                                        analysis_cache=cache,
+                                        use_analysis_cache=cache is not None)
         return time.perf_counter() - started
 
     campaign_sweep(None)  # warm-up

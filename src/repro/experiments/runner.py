@@ -17,6 +17,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.analysis.cache import default_cache
 from repro.experiments.registry import SCENARIOS
 from repro.experiments.spec import ExperimentSpec, RunSpec
 
@@ -26,9 +27,10 @@ class RunRecord:
     """Structured result of one run.
 
     ``metrics`` carries the scenario's flattened metric record including the
-    ``sim_time_s``/``event_count`` bookkeeping; ``wall_time_s`` is the host
-    execution time of this run (informational — not part of the canonical
-    record, since it varies between executions and machines).
+    ``sim_time_s``/``event_count`` bookkeeping; ``wall_time_s`` and the
+    ``cache_hits``/``cache_misses`` deltas of the process-local analysis
+    cache are informational — not part of the canonical record, since they
+    vary between executions, machines and worker layouts.
     """
 
     run_id: str
@@ -38,6 +40,8 @@ class RunRecord:
     params: Dict[str, Any] = field(default_factory=dict)
     metrics: Dict[str, Any] = field(default_factory=dict)
     wall_time_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
     error: Optional[str] = None
 
     @property
@@ -58,9 +62,11 @@ class RunRecord:
         }
 
     def to_dict(self) -> Dict[str, Any]:
-        """Full JSON-serializable form (canonical part + wall time)."""
+        """Full JSON-serializable form (canonical part + execution info)."""
         document = self.canonical()
         document["wall_time_s"] = self.wall_time_s
+        document["cache_hits"] = self.cache_hits
+        document["cache_misses"] = self.cache_misses
         return document
 
 
@@ -108,7 +114,16 @@ def execute_run(run: RunSpec) -> RunRecord:
     Module-level (not a closure) so it is picklable for the process pool.
     Scenario exceptions are captured into ``record.error`` instead of
     aborting the sweep.
+
+    Runs executing in the same process share the process-local analysis
+    cache (:func:`repro.analysis.cache.default_cache`), so a sweep that
+    revisits near-identical task sets — grid repetitions, seeds over the
+    same campaign shape — answers the repeated busy-window analyses
+    incrementally.  The per-run hit/miss deltas are recorded for
+    observability (non-canonical: worker layout changes them, results not).
     """
+    cache = default_cache()
+    hits_before, misses_before = cache.hits, cache.misses
     started = time.perf_counter()
     try:
         metrics = SCENARIOS.get(run.scenario).run_record(run.params)
@@ -119,7 +134,10 @@ def execute_run(run: RunSpec) -> RunRecord:
     return RunRecord(run_id=run.run_id(), experiment=run.experiment,
                      scenario=run.scenario, index=run.index,
                      params=dict(run.params), metrics=metrics,
-                     wall_time_s=time.perf_counter() - started, error=error)
+                     wall_time_s=time.perf_counter() - started,
+                     cache_hits=cache.hits - hits_before,
+                     cache_misses=cache.misses - misses_before,
+                     error=error)
 
 
 class Runner:

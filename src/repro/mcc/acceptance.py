@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Protocol
 
 from repro.analysis.cache import AnalysisCache
 from repro.analysis.cpa import ResponseTimeAnalysis
+from repro.analysis.incremental import IncrementalResponseTimeAnalysis
 from repro.analysis.safety import SafetyAnalysis
 from repro.analysis.threat import ThreatModel
 from repro.contracts.model import Contract
@@ -73,7 +74,10 @@ class TimingAcceptanceTest:
     When given an :class:`~repro.analysis.cache.AnalysisCache`, the per-
     processor busy-window analyses are memoized on the task-set fingerprint:
     in a change campaign only the processor whose task set actually changed
-    is re-analysed, the others are answered from the cache.
+    is re-analysed, the others are answered from the cache.  Without a
+    cache, a private :class:`IncrementalResponseTimeAnalysis` engine still
+    carries busy-window state across change requests, so the changed
+    processor itself is only re-analysed below the priority of its delta.
     """
 
     viewpoint = "timing"
@@ -82,6 +86,7 @@ class TimingAcceptanceTest:
                  cache: Optional[AnalysisCache] = None) -> None:
         self.speed_factor = speed_factor
         self.cache = cache
+        self._engine = IncrementalResponseTimeAnalysis() if cache is None else None
 
     def run(self, contracts: List[Contract], mapping: Dict[str, str],
             priorities: Dict[str, int], platform: Platform) -> AcceptanceResult:
@@ -92,8 +97,10 @@ class TimingAcceptanceTest:
         for processor_name, taskset in sorted(tasksets.items()):
             analysis = ResponseTimeAnalysis(taskset, speed_factor=self.speed_factor)
             metrics[f"{processor_name}.utilization"] = analysis.utilization()
-            results = (self.cache.analyse(taskset, speed_factor=self.speed_factor)
-                       if self.cache is not None else analysis.analyse())
+            if self.cache is not None:
+                results = self.cache.analyse(taskset, speed_factor=self.speed_factor)
+            else:
+                results = self._engine.analyse(taskset, speed_factor=self.speed_factor)
             for task_name, result in results.items():
                 if result.wcrt is not None:
                     metrics[f"{task_name}.wcrt"] = result.wcrt

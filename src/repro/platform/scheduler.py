@@ -11,6 +11,7 @@ platform monitor in closed-loop scenarios (thermal stress, overload).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -104,46 +105,49 @@ class FixedPriorityScheduler:
 
         stats = SchedulerStats(horizon=horizon)
         releases: List[Tuple[float, Task, int]] = []
-        job_counters: Dict[str, int] = {}
         for task in self.taskset:
             for index, release in enumerate(self._release_times(task, horizon)):
                 releases.append((release, task, index))
         # Deterministic order: by time, then priority, then name.
         releases.sort(key=lambda item: (item[0], item[1].priority, item[1].name))
         stats.jobs_released = len(releases)
+        num_releases = len(releases)
 
-        ready: List[Job] = []
+        # The ready queue is a heap keyed (priority, release_time, name) —
+        # the same ordering the former sort-per-pick used, so the simulated
+        # schedule is identical, but admitting/picking a job is O(log n)
+        # instead of re-sorting the whole queue at every decision point.
+        ready: List[Tuple[int, float, str, Job]] = []
+        heappush = heapq.heappush
+        heappop = heapq.heappop
         self.jobs = []
+        jobs = self.jobs
         current: Optional[Job] = None
         time = 0.0
         release_index = 0
 
-        def pick_next() -> Optional[Job]:
-            if not ready:
-                return None
-            ready.sort(key=lambda j: (j.task.priority, j.release_time, j.task.name))
-            return ready[0]
+        def admit_until(admit_time: float) -> int:
+            index = release_index
+            while index < num_releases and releases[index][0] <= admit_time + _EPS:
+                rel_time, task, idx = releases[index]
+                job = self._make_job(task, rel_time, idx)
+                heappush(ready, (task.priority, rel_time, task.name, job))
+                jobs.append(job)
+                index += 1
+            return index
 
         while time < horizon - _EPS:
             # Next release after the current time.
-            next_release = releases[release_index][0] if release_index < len(releases) else None
+            next_release = releases[release_index][0] if release_index < num_releases else None
 
             if current is None:
-                candidate = pick_next()
-                if candidate is None:
+                if not ready:
                     if next_release is None:
                         break
                     time = next_release
-                    while (release_index < len(releases)
-                           and releases[release_index][0] <= time + _EPS):
-                        rel_time, task, idx = releases[release_index]
-                        job = self._make_job(task, rel_time, idx)
-                        ready.append(job)
-                        self.jobs.append(job)
-                        release_index += 1
+                    release_index = admit_until(time)
                     continue
-                current = candidate
-                ready.remove(candidate)
+                current = heappop(ready)[3]
                 current.state = TaskState.RUNNING
                 if current.start_time is None:
                     current.start_time = time
@@ -156,21 +160,15 @@ class FixedPriorityScheduler:
                 current.remaining -= executed
                 stats.busy_time += executed
                 time = next_release
-                while (release_index < len(releases)
-                       and releases[release_index][0] <= time + _EPS):
-                    rel_time, task, idx = releases[release_index]
-                    job = self._make_job(task, rel_time, idx)
-                    ready.append(job)
-                    self.jobs.append(job)
-                    release_index += 1
-                contender = pick_next()
-                if contender is not None and contender.task.priority < current.task.priority:
+                release_index = admit_until(time)
+                if ready and ready[0][0] < current.task.priority:
                     # Preemption.
+                    contender = heappop(ready)[3]
                     current.state = TaskState.READY
                     current.preemptions += 1
                     stats.preemptions += 1
-                    ready.append(current)
-                    ready.remove(contender)
+                    heappush(ready, (current.task.priority, current.release_time,
+                                     current.task.name, current))
                     contender.state = TaskState.RUNNING
                     if contender.start_time is None:
                         contender.start_time = time

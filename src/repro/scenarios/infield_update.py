@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.analysis.cache import AnalysisCache
+from repro.analysis.cache import AnalysisCache, default_cache
 from repro.contracts.language import ContractParser
 from repro.contracts.model import Contract
 from repro.mcc.configuration import ChangeKind, ChangeRequest
@@ -118,14 +118,21 @@ def run_infield_update_scenario(num_requests: int = 30, seed: int = 0,
                                 num_processors: int = 3,
                                 mapping_strategy: MappingStrategy = MappingStrategy.FIRST_FIT,
                                 deploy: bool = True,
-                                analysis_cache: Optional["AnalysisCache"] = None
+                                analysis_cache: Optional["AnalysisCache"] = None,
+                                use_analysis_cache: bool = True
                                 ) -> InFieldUpdateResult:
     """Run one in-field update campaign through the MCC.
 
     Pass an :class:`~repro.analysis.cache.AnalysisCache` to memoize the
     timing acceptance test across the campaign's change requests (and across
-    campaigns, when the same cache is shared by a sweep).
+    campaigns, when the same cache is shared by a sweep).  When no cache is
+    given the process-local :func:`~repro.analysis.cache.default_cache` is
+    used — WCRT results are content-addressed, so sharing it across
+    campaigns cannot change any verdict, it only removes re-derivations.
+    ``use_analysis_cache=False`` opts out entirely (benchmark baselines).
     """
+    if analysis_cache is None and use_analysis_cache:
+        analysis_cache = default_cache()
     platform = build_baseline_platform(num_processors=num_processors)
     rte = RuntimeEnvironment(platform) if deploy else None
     mcc = MultiChangeController(platform, rte=rte, mapping_strategy=mapping_strategy,

@@ -91,12 +91,58 @@ class TestAnalysisCache:
         cache.analyse(_taskset(wcet_high=0.001))
         assert cache.misses == 4
 
+    def test_lru_hit_refreshes_eviction_order(self):
+        """True LRU: a hit protects the entry, the *least recently used* one
+        is evicted instead (FIFO would evict the oldest insertion)."""
+        cache = AnalysisCache(max_entries=2)
+        cache.analyse(_taskset(wcet_high=0.001))  # A
+        cache.analyse(_taskset(wcet_high=0.002))  # B
+        cache.analyse(_taskset(wcet_high=0.001))  # hit on A -> most recent
+        cache.analyse(_taskset(wcet_high=0.003))  # C evicts B (LRU), not A
+        assert cache.evictions == 1
+        cache.analyse(_taskset(wcet_high=0.001))  # still cached
+        assert (cache.hits, cache.misses) == (2, 3)
+        cache.analyse(_taskset(wcet_high=0.002))  # B was evicted -> miss
+        assert cache.misses == 4
+
+    def test_hit_ratio_under_cycling_working_set(self):
+        """A working set equal to the capacity stays fully resident under
+        LRU (the FIFO predecessor evicted on every insertion while full)."""
+        cache = AnalysisCache(max_entries=3)
+        wcets = (0.001, 0.002, 0.003)
+        for _ in range(4):
+            for wcet in wcets:
+                cache.analyse(_taskset(wcet_high=wcet))
+        assert cache.misses == len(wcets)
+        assert cache.hits == len(wcets) * 3
+        assert cache.evictions == 0
+        assert cache.hit_rate == pytest.approx(0.75)
+
     def test_clear_resets_counters(self):
         cache = AnalysisCache()
         cache.analyse(_taskset())
         cache.analyse(_taskset())
         cache.clear()
         assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)
+        assert cache.engine.tasks_analysed == 0
+
+    def test_misses_run_through_incremental_engine(self):
+        """A miss on a near-identical task set is a delta re-analysis, not a
+        from-scratch derivation: the unchanged higher-priority tasks are
+        answered from the engine's previous snapshot."""
+        def variant(wcet_low: float) -> TaskSet:
+            return TaskSet([
+                Task("t_high", period=0.01, wcet=0.002, priority=0),
+                Task("t_mid", period=0.02, wcet=0.005, priority=1),
+                Task("t_low", period=0.05, wcet=wcet_low, priority=2),
+            ])
+
+        cache = AnalysisCache()
+        cache.analyse(variant(0.010))
+        cache.analyse(variant(0.012))  # same names, lowest-priority task changed
+        assert cache.misses == 2
+        assert cache.engine.delta_analyses == 1
+        assert cache.engine.tasks_reused == 2  # t_high and t_mid untouched
 
     def test_rejects_nonpositive_capacity(self):
         with pytest.raises(ValueError):

@@ -111,6 +111,115 @@ class TestSimulatorScheduling:
         assert sim.stats["events_executed"] == 4
 
 
+class TestRunTruncation:
+    """`run(until=..., max_events=...)` must not let the caller believe the
+    horizon was simulated when the event budget ran out first."""
+
+    def test_truncated_run_is_flagged_and_clock_stays_behind(self, sim):
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda s: None)
+        final = sim.run(until=10.0, max_events=3)
+        assert final == 3.0  # clock did NOT silently jump to `until`
+        assert sim.truncated
+        assert sim.stats["truncated_runs"] == 1
+        assert sim.pending_events == 2
+
+    def test_untruncated_run_with_budget_to_spare(self, sim):
+        sim.schedule(1.0, lambda s: None)
+        final = sim.run(until=5.0, max_events=10)
+        assert final == 5.0
+        assert not sim.truncated
+
+    def test_budget_exhausted_exactly_at_last_event_is_not_truncated(self, sim):
+        for i in range(3):
+            sim.schedule(float(i + 1), lambda s: None)
+        sim.run(until=10.0, max_events=3)
+        # All runnable events executed; nothing was cut off.
+        assert not sim.truncated
+
+    def test_pending_events_beyond_horizon_do_not_count_as_truncation(self, sim):
+        sim.schedule(1.0, lambda s: None)
+        sim.schedule(20.0, lambda s: None)  # outside the horizon
+        sim.run(until=5.0, max_events=1)
+        assert not sim.truncated
+
+    def test_truncation_flag_resets_on_next_run(self, sim):
+        for i in range(3):
+            sim.schedule(float(i + 1), lambda s: None)
+        sim.run(until=10.0, max_events=1)
+        assert sim.truncated
+        sim.run(until=10.0)
+        assert not sim.truncated
+        assert sim.now == 10.0
+
+    def test_max_events_without_until_is_flagged(self, sim):
+        for i in range(4):
+            sim.schedule(float(i + 1), lambda s: None)
+        sim.run(max_events=2)
+        assert sim.truncated
+        assert sim.pending_events == 2
+
+
+class TestScheduleMany:
+    def test_bulk_matches_individual_scheduling(self):
+        a, b = Simulator(), Simulator()
+        order_a, order_b = [], []
+        items = [(2.0, lambda s: order_a.append("late"), 5),
+                 (1.0, lambda s: order_a.append("first")),
+                 (2.0, lambda s: order_a.append("early"), 0),
+                 (2.0, lambda s: order_a.append("late2"), 5)]
+        a.schedule_many(items)
+        b.schedule(2.0, lambda s: order_b.append("late"), priority=5)
+        b.schedule(1.0, lambda s: order_b.append("first"))
+        b.schedule(2.0, lambda s: order_b.append("early"), priority=0)
+        b.schedule(2.0, lambda s: order_b.append("late2"), priority=5)
+        a.run()
+        b.run()
+        assert order_a == order_b == ["first", "early", "late", "late2"]
+
+    def test_bulk_returns_cancellable_events(self, sim):
+        fired = []
+        events = sim.schedule_many([(1.0, lambda s: fired.append(1)),
+                                    (2.0, lambda s: fired.append(2))])
+        assert len(events) == 2
+        sim.cancel(events[0])
+        sim.run()
+        assert fired == [2]
+        assert sim.pending_events == 0
+
+    def test_bulk_into_populated_calendar_keeps_order(self, sim):
+        fired = []
+        sim.schedule(1.5, lambda s: fired.append("mid"))
+        sim.schedule_many([(1.0, lambda s: fired.append("early")),
+                           (2.0, lambda s: fired.append("late"))])
+        sim.run()
+        assert fired == ["early", "mid", "late"]
+
+    def test_bulk_rejects_past_and_nan_times(self, sim):
+        sim.schedule(1.0, lambda s: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_many([(0.5, lambda s: None)])
+        with pytest.raises(SimulationError):
+            sim.schedule_many([(math.nan, lambda s: None)])
+
+    def test_failed_bulk_leaves_queue_untouched(self, sim):
+        """A mid-batch validation failure must not half-insert the batch."""
+        fired = []
+        with pytest.raises(SimulationError):
+            sim.schedule_many([(5.0, lambda s: fired.append(1)),
+                               (math.nan, lambda s: fired.append(2))])
+        assert sim.pending_events == 0
+        sim.run(until=10.0)
+        assert fired == []
+        assert sim.pending_events == 0  # _live bookkeeping intact
+
+    def test_bulk_with_names(self, sim):
+        events = sim.schedule_many([(1.0, lambda s: None, 2, "named")])
+        assert events[0].name == "named"
+        assert events[0].priority == 2
+
+
 class CountingProcess(Process):
     def __init__(self, **kwargs):
         super().__init__("counter", **kwargs)
