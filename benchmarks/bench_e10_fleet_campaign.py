@@ -1,0 +1,187 @@
+"""E10: fleet-scale staged update campaigns through the MCC.
+
+Regenerates the production-scale admission story: one logical update rolled
+out across a heterogeneous fleet in staged waves.  The series reports
+
+* batched admission (shared analysis cache + incremental engine + verdict
+  dedupe across equivalent vehicles) versus per-vehicle sequential
+  admission — verdict parity is asserted and the measured speedup must
+  clear 1.5x (the quantity lands in ``BENCH_e10_fleet_campaign.json``);
+* the staged-rollout safety net: failure injection drives the wave failure
+  rate over the policy threshold, the campaign halts at the canary or an
+  early wave and rolls the wave back, bounding the blast radius.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from conftest import print_table, quick_mode, write_bench_record
+from repro.analysis.cache import AnalysisCache
+from repro.fleet.campaign import Campaign, CampaignResult, WavePolicy
+from repro.fleet.vehicle import FleetSpec, generate_fleet
+from repro.mcc.configuration import ChangeKind, ChangeRequest
+from repro.scenarios.fleet_campaign import (build_update_contract,
+                                            run_fleet_campaign_scenario)
+
+
+def _campaign_run(batched: bool, fleet_size: int, num_variants: int,
+                  failure_injection_rate: float = 0.0
+                  ) -> Tuple[float, CampaignResult]:
+    """Build a fresh fleet and time one campaign run (admission only)."""
+    spec = FleetSpec(size=fleet_size, seed=0, num_variants=num_variants)
+    cache = AnalysisCache() if batched else None
+    fleet = generate_fleet(spec, analysis_cache=cache)
+    contracts: Dict[int, object] = {}
+
+    def factory(vehicle):
+        contract = contracts.get(vehicle.variant.index)
+        if contract is None:
+            contract = build_update_contract(vehicle.wcet_factor)
+            contracts[vehicle.variant.index] = contract
+        return ChangeRequest(kind=ChangeKind.ADD_COMPONENT,
+                             component=contract.component, contract=contract)
+
+    campaign = Campaign(fleet, factory, analysis_cache=cache,
+                        batch_admission=batched,
+                        failure_injection_rate=failure_injection_rate)
+    started = time.perf_counter()
+    result = campaign.run()
+    return time.perf_counter() - started, result
+
+
+def _digest(result: CampaignResult) -> Tuple:
+    return (result.admitted, result.rejected, result.deviating,
+            result.rolled_back, result.halted, result.halted_wave,
+            [record.to_dict() for record in result.waves])
+
+
+@pytest.mark.benchmark(group="e10-fleet")
+def test_e10_batched_vs_sequential_admission(benchmark):
+    """Batched wave admission must beat per-vehicle sequential admission.
+
+    Both sides run the identical staged campaign over the identical fleet;
+    min-of-3 timing on each side so one scheduler stall cannot flip the
+    assertion.  Verdict parity between the modes is asserted wave by wave.
+    """
+    quick = quick_mode()
+    fleet_size = 16 if quick else 50
+    num_variants = 4 if quick else 8
+
+    sequential_s = float("inf")
+    batched_s = float("inf")
+    sequential_result: Optional[CampaignResult] = None
+    batched_result: Optional[CampaignResult] = None
+    for _ in range(3):
+        elapsed, sequential_result = _campaign_run(False, fleet_size, num_variants)
+        sequential_s = min(sequential_s, elapsed)
+        elapsed, batched_result = _campaign_run(True, fleet_size, num_variants)
+        batched_s = min(batched_s, elapsed)
+    benchmark(lambda: _campaign_run(True, fleet_size, num_variants)[1])
+
+    assert _digest(batched_result) == _digest(sequential_result)
+    assert batched_result.admitted == fleet_size  # clean rollout covers the fleet
+    speedup = sequential_s / batched_s if batched_s > 0 else float("inf")
+    row = {
+        "fleet_size": fleet_size,
+        "num_variants": num_variants,
+        "sequential_s": sequential_s,
+        "batched_s": batched_s,
+        "speedup": speedup,
+        "admitted": batched_result.admitted,
+        "waves": len(batched_result.waves),
+        "cache_hits": batched_result.cache_hits,
+        "cache_misses": batched_result.cache_misses,
+        "engine_reuse_rate": batched_result.engine_reuse_rate,
+    }
+    print_table("E10: batched vs sequential fleet admission (target: >= 1.5x)",
+                [row])
+    write_bench_record("e10_fleet_campaign", row)
+    assert speedup >= 1.5
+
+
+@pytest.mark.benchmark(group="e10-fleet")
+def test_e10_failure_injection_bounds_blast_radius(benchmark):
+    """Staged waves contain a bad update: coverage falls with the injected
+    failure rate, and high rates halt at the canary with full rollback."""
+    quick = quick_mode()
+    fleet_size = 16 if quick else 50
+
+    def sweep():
+        rows = []
+        for rate in (0.0, 0.3, 1.0):
+            result = run_fleet_campaign_scenario(
+                fleet_size=fleet_size, seed=0,
+                num_variants=4 if quick else 8,
+                failure_injection_rate=rate)
+            rows.append({
+                "failure_injection_rate": rate,
+                "admitted": result.admitted,
+                "deviating": result.deviating,
+                "rolled_back": result.rolled_back,
+                "halted": result.halted,
+                "halted_wave": result.halted_wave,
+                "update_coverage": result.update_coverage,
+            })
+        return rows
+
+    rows = benchmark(sweep)
+    print_table("E10: staged rollout under failure injection "
+                f"({fleet_size} vehicles)", rows)
+    coverages = [row["update_coverage"] for row in rows]
+    assert coverages == sorted(coverages, reverse=True)
+    assert rows[0]["update_coverage"] == 1.0 and not rows[0]["halted"]
+    worst = rows[-1]
+    assert worst["halted"] and worst["halted_wave"] == 0
+    assert worst["update_coverage"] == 0.0  # canary rolled back, fleet untouched
+
+
+@pytest.mark.benchmark(group="e10-fleet")
+def test_e10_wave_policy_shapes_the_rollout(benchmark):
+    """Conservative staging discovers a bad update earlier (fewer exposed
+    vehicles) than an aggressive single-wave push."""
+    quick = quick_mode()
+    fleet_size = 16 if quick else 50
+
+    def compare():
+        policies = {
+            "canary+staged": WavePolicy(canary_size=2,
+                                        wave_fractions=(0.1, 0.3, 1.0),
+                                        rollback_on_halt=False),
+            "big-bang": WavePolicy(canary_size=0, wave_fractions=(1.0,),
+                                   rollback_on_halt=False),
+        }
+        rows = []
+        for name, policy in policies.items():
+            spec = FleetSpec(size=fleet_size, seed=0,
+                             num_variants=4 if quick else 8)
+            cache = AnalysisCache()
+            fleet = generate_fleet(spec, analysis_cache=cache)
+            contracts: Dict[int, object] = {}
+
+            def factory(vehicle):
+                contract = contracts.get(vehicle.variant.index)
+                if contract is None:
+                    contract = build_update_contract(vehicle.wcet_factor)
+                    contracts[vehicle.variant.index] = contract
+                return ChangeRequest(kind=ChangeKind.ADD_COMPONENT,
+                                     component=contract.component,
+                                     contract=contract)
+
+            result = Campaign(fleet, factory, policy=policy,
+                              analysis_cache=cache,
+                              failure_injection_rate=1.0).run()
+            rows.append({"policy": name, "exposed": result.admitted,
+                         "deviating": result.deviating,
+                         "halted_wave": result.halted_wave})
+        return rows
+
+    rows = benchmark(compare)
+    print_table("E10: blast radius by wave policy (100% failure injection)",
+                rows)
+    staged = next(row for row in rows if row["policy"] == "canary+staged")
+    big_bang = next(row for row in rows if row["policy"] == "big-bang")
+    assert staged["exposed"] < big_bang["exposed"]

@@ -40,6 +40,7 @@ from repro.analysis.cache import (
     AnalysisCache,
     CachedResponseTimeAnalysis,
     fingerprint_taskset,
+    taskset_key,
 )
 from repro.analysis.incremental import (
     IncrementalResponseTimeAnalysis,
@@ -65,6 +66,7 @@ __all__ = [
     "AnalysisCache",
     "CachedResponseTimeAnalysis",
     "fingerprint_taskset",
+    "taskset_key",
     "IncrementalResponseTimeAnalysis",
     "InterferenceMemo",
 ]

@@ -9,7 +9,9 @@ task-set parameters, the processor speed factor and the event models — so it
 can be memoized on a *fingerprint* of exactly those inputs.
 
 :class:`AnalysisCache` stores whole task-set analyses keyed on
-:func:`fingerprint_taskset` with true LRU eviction;
+:func:`taskset_key` (the exact parameter tuple — collision-free and cheap to
+build on the hot admission path; :func:`fingerprint_taskset` offers a hex
+digest of the same identity for logs and records) with true LRU eviction;
 :class:`CachedResponseTimeAnalysis` is a drop-in façade over
 :class:`~repro.analysis.cpa.ResponseTimeAnalysis` that consults a cache
 before iterating.  ``TimingAcceptanceTest`` accepts an optional cache so MCC
@@ -32,29 +34,41 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.cpa import EventModel, ResponseTimeAnalysis, ResponseTimeResult
 from repro.analysis.incremental import IncrementalResponseTimeAnalysis
 from repro.platform.tasks import TaskSet
 
 
-def fingerprint_taskset(taskset: TaskSet, speed_factor: float = 1.0,
-                        event_models: Optional[Dict[str, EventModel]] = None) -> str:
-    """Stable fingerprint of everything the WCRT analysis depends on.
+def taskset_key(taskset: TaskSet, speed_factor: float = 1.0,
+                event_models: Optional[Dict[str, EventModel]] = None) -> Tuple:
+    """Exact, hashable identity of everything the WCRT analysis depends on.
 
     Two task sets with identical (name, period, wcet, deadline, priority,
     jitter) tuples, the same speed factor and the same event-model overrides
-    produce the same fingerprint regardless of insertion order.
+    produce the same key regardless of insertion order.  The key is the
+    parameter tuple itself — dictionary lookups compare it by value, so
+    collisions are impossible and no serialization/digest cost is paid on
+    the hot admission path.
     """
-    parts = []
-    for task in sorted(taskset, key=lambda t: t.name):
-        override = (event_models or {}).get(task.name)
-        model: Tuple[float, float] = ((override.period, override.jitter) if override
-                                      else (task.period, task.jitter))
-        parts.append((task.name, task.period, task.wcet, task.deadline,
-                      task.priority, task.jitter, model))
-    text = repr((round(speed_factor, 12), parts)).encode("utf-8")
+    overrides = event_models or {}
+    parts = tuple(sorted(
+        (task.name, task.period, task.wcet, task.deadline,
+         task.priority, task.jitter,
+         ((override.period, override.jitter) if override is not None
+          else (task.period, task.jitter)))
+        for task in taskset
+        for override in (overrides.get(task.name),)))
+    return (round(speed_factor, 12), parts)
+
+
+def fingerprint_taskset(taskset: TaskSet, speed_factor: float = 1.0,
+                        event_models: Optional[Dict[str, EventModel]] = None) -> str:
+    """Stable hex fingerprint of a task-set analysis input (see
+    :func:`taskset_key`); useful for logs, records and cross-process
+    comparison, where a compact string beats a nested tuple."""
+    text = repr(taskset_key(taskset, speed_factor, event_models)).encode("utf-8")
     return hashlib.sha256(text).hexdigest()
 
 
@@ -80,7 +94,7 @@ class AnalysisCache:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self.engine = engine if engine is not None else IncrementalResponseTimeAnalysis()
-        self._store: "OrderedDict[str, Dict[str, ResponseTimeResult]]" = OrderedDict()
+        self._store: "OrderedDict[Tuple, Dict[str, ResponseTimeResult]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -114,7 +128,7 @@ class AnalysisCache:
         hits); the :class:`ResponseTimeResult` values themselves are shared
         and must be treated as read-only.
         """
-        key = fingerprint_taskset(taskset, speed_factor, event_models)
+        key = taskset_key(taskset, speed_factor, event_models)
         cached = self._store.get(key)
         if cached is not None:
             self.hits += 1
@@ -128,6 +142,56 @@ class AnalysisCache:
             self.evictions += 1
         self._store[key] = results
         return dict(results)
+
+    def analyse_many(self, tasksets: Iterable[TaskSet], speed_factor: float = 1.0,
+                     event_models: Optional[Dict[str, EventModel]] = None
+                     ) -> List[Dict[str, ResponseTimeResult]]:
+        """Batched lookup of a whole admission wave, in input order.
+
+        Hits are answered from the store; all misses are forwarded to the
+        incremental engine as **one**
+        :meth:`~repro.analysis.incremental.IncrementalResponseTimeAnalysis.analyze_many`
+        batch, so near-identical task sets within the batch (the fleet-wave
+        workload: per-vehicle perturbations of a shared baseline) reuse and
+        warm-start each other even on their first analysis.  Results are
+        identical to per-task-set :meth:`analyse` calls in the same order.
+        """
+        ordered = list(tasksets)
+        keys = [taskset_key(taskset, speed_factor, event_models)
+                for taskset in ordered]
+        results: List[Optional[Dict[str, ResponseTimeResult]]] = [None] * len(ordered)
+        misses: List[int] = []
+        seen_missing: Dict[Tuple, int] = {}
+        for position, key in enumerate(keys):
+            cached = self._store.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._store.move_to_end(key)
+                results[position] = dict(cached)
+            elif key in seen_missing:
+                # Duplicate within the batch: one engine analysis serves both.
+                self.hits += 1
+                misses_position = seen_missing[key]
+                results[position] = misses_position  # type: ignore[assignment]
+            else:
+                self.misses += 1
+                seen_missing[key] = position
+                misses.append(position)
+        if misses:
+            computed = self.engine.analyze_many([ordered[i] for i in misses],
+                                                speed_factor=speed_factor,
+                                                event_models=event_models)
+            for position, result in zip(misses, computed):
+                if len(self._store) >= self.max_entries:
+                    self._store.popitem(last=False)
+                    self.evictions += 1
+                self._store[keys[position]] = result
+                results[position] = dict(result)
+        # Resolve intra-batch duplicates recorded as back-references.
+        for position, value in enumerate(results):
+            if isinstance(value, int):
+                results[position] = dict(results[value])
+        return results  # type: ignore[return-value]
 
     def schedulable(self, taskset: TaskSet, speed_factor: float = 1.0,
                     event_models: Optional[Dict[str, EventModel]] = None) -> bool:

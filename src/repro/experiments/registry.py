@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.core.arbitration import ArbitrationPolicy
 from repro.mcc.mapping import MappingStrategy
+from repro.scenarios.fleet_campaign import run_fleet_campaign_scenario
 from repro.scenarios.infield_update import run_infield_update_scenario
 from repro.scenarios.intrusion import run_intrusion_scenario
 from repro.scenarios.platooning_fog import run_fog_platooning_scenario
@@ -222,6 +223,25 @@ def _extract_weather_routing(result: Any) -> Dict[str, Any]:
     }
 
 
+def _extract_fleet_campaign(result: Any) -> Dict[str, Any]:
+    return {
+        "fleet_size": result.fleet_size,
+        "heterogeneity": result.heterogeneity,
+        "batched": result.batched,
+        "admitted": result.admitted,
+        "rejected": result.rejected,
+        "deviating": result.deviating,
+        "refined": result.refined,
+        "rolled_back": result.rolled_back,
+        "halted": result.halted,
+        "halted_wave": result.halted_wave,
+        "vehicles_updated": result.vehicles_updated,
+        "update_coverage": result.update_coverage,
+        "acceptance_rate": result.acceptance_rate,
+        "waves": [dict(wave) for wave in result.waves],
+    }
+
+
 def _extract_infield_update(result: Any) -> Dict[str, Any]:
     return {
         "total_requests": result.total_requests,
@@ -305,6 +325,44 @@ SCENARIOS.register(Scenario(
     ],
     extract=_extract_weather_routing,
     bookkeeping=lambda result, params: {"sim_time_s": None, "event_count": 0},
+))
+
+SCENARIOS.register(Scenario(
+    name="fleet_update_campaign",
+    summary="Staged MCC rollout across a heterogeneous fleet (E10)",
+    run_fn=run_fleet_campaign_scenario,
+    parameters=[
+        Parameter("fleet_size", 50, "number of vehicles in the fleet", coerce=int),
+        Parameter("seed", 0, "fleet/feedback generation seed", coerce=int),
+        Parameter("heterogeneity", 0.15, "relative spread of the variant perturbations"),
+        Parameter("num_variants", 8, "distinct hardware/software builds", coerce=int),
+        Parameter("extra_components", 10, "installed apps per variant beyond the core stack",
+                  coerce=int),
+        Parameter("update_utilization", 0.22, "processor demand of the rolled-out component"),
+        Parameter("canary_size", 2, "vehicles in the canary wave (0 disables it)",
+                  coerce=int),
+        Parameter("wave_fractions", [0.1, 0.3, 1.0],
+                  "cumulative release fractions of the post-canary fleet",
+                  coerce=lambda value: tuple(float(f) for f in value)),
+        Parameter("max_failure_rate", 0.3,
+                  "halt threshold on a wave's rejection+deviation rate"),
+        Parameter("rollback_on_halt", True, "roll the halting wave back", coerce=bool),
+        Parameter("refine_on_deviation", False,
+                  "re-integrate observed WCETs of deviating vehicles", coerce=bool),
+        Parameter("failure_injection_rate", 0.0,
+                  "probability of an injected post-deployment failure per vehicle"),
+        Parameter("batch_admission", True,
+                  "admit waves through the shared cache + incremental engine",
+                  coerce=bool),
+        Parameter("deploy", False, "attach an execution-domain RTE per vehicle",
+                  coerce=bool),
+    ],
+    seed_param="seed",
+    extract=_extract_fleet_campaign,
+    bookkeeping=lambda result, params: {
+        "sim_time_s": None,
+        "event_count": result.admitted + result.rejected,
+    },
 ))
 
 SCENARIOS.register(Scenario(

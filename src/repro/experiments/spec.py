@@ -176,9 +176,10 @@ def builtin_specs() -> List[ExperimentSpec]:
     """The built-in sweep suite (what ``python -m repro.experiments run``
     executes when no spec file is given).
 
-    Spans four of the five scenarios with 21 runs total: the E5 arbitration-
+    Spans five of the six scenarios with 23 runs total: the E5 arbitration-
     policy comparison over three seeds, the E6 strategy comparison, the E8
-    severity sweep and an E1 campaign sweep over the risky-update fraction.
+    severity sweep, an E1 campaign sweep over the risky-update fraction and
+    an E10 fleet-rollout pair (clean vs failure-injected).
     """
     return [
         ExperimentSpec(
@@ -205,4 +206,10 @@ def builtin_specs() -> List[ExperimentSpec]:
             scenario="infield_update",
             grid={"num_requests": 20, "risky_fraction": [0.2, 0.4, 0.6]},
             description="E1: acceptance rate vs risky-update fraction"),
+        ExperimentSpec(
+            name="fleet-campaigns",
+            scenario="fleet_update_campaign",
+            grid={"fleet_size": 24, "num_variants": 6,
+                  "failure_injection_rate": [0.0, 0.5]},
+            description="E10: staged fleet rollout, clean vs failure-injected"),
     ]

@@ -1,0 +1,53 @@
+"""Fleet-scale update campaigns (the MCC at production scale).
+
+The paper's Multi-Change Controller admits in-field updates per vehicle; a
+production deployment serves *fleets* — the same logical update rolled out to
+many vehicles with heterogeneous platform models.  This package provides the
+two halves of that workload:
+
+* :mod:`repro.fleet.vehicle` — deterministic generation of a heterogeneous
+  fleet (variant-clustered platforms, scaled WCETs, differing CAN topologies
+  and baseline component sets), each vehicle with its own MCC.
+* :mod:`repro.fleet.campaign` — the staged rollout engine: canary and
+  percentage waves, batched admission through a shared analysis cache and
+  the incremental CPA engine, per-vehicle monitor/deviation feedback between
+  waves, and halt/rollback when a wave's failure rate crosses the policy
+  threshold.
+
+Scenario E10 (``repro.scenarios.fleet_campaign``) wires both into the
+experiment registry.
+"""
+
+from repro.fleet.vehicle import (
+    FleetSpec,
+    FleetVehicle,
+    VehicleVariant,
+    build_vehicle_platform,
+    generate_fleet,
+    generate_variants,
+    variant_contracts,
+)
+from repro.fleet.campaign import (
+    Campaign,
+    CampaignError,
+    CampaignResult,
+    WavePolicy,
+    WaveRecord,
+    plan_waves,
+)
+
+__all__ = [
+    "FleetSpec",
+    "FleetVehicle",
+    "VehicleVariant",
+    "build_vehicle_platform",
+    "generate_fleet",
+    "generate_variants",
+    "variant_contracts",
+    "Campaign",
+    "CampaignError",
+    "CampaignResult",
+    "WavePolicy",
+    "WaveRecord",
+    "plan_waves",
+]

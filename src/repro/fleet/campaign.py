@@ -1,0 +1,395 @@
+"""Staged update campaigns across a simulated fleet.
+
+The unit of work at production scale is not one change request but a
+*campaign*: the same logical update rolled out to N vehicles in staged waves
+(canary -> percentage waves -> full), with per-vehicle admission through each
+vehicle's own MCC, monitor feedback consumed between waves, and a policy that
+halts — and optionally rolls back — a wave whose rejection/deviation rate
+crosses a threshold.
+
+Admission is *batched* along two axes:
+
+* **Analysis batching.**  Before a wave's vehicles integrate, the campaign
+  previews the distinct candidate task sets
+  (:meth:`~repro.mcc.integration.IntegrationProcess.preview_tasksets`) and
+  pushes them through the shared
+  :class:`~repro.analysis.cache.AnalysisCache` as one
+  :meth:`~repro.analysis.cache.AnalysisCache.analyse_many` batch, so the
+  incremental engine warm-starts near-identical vehicles off each other.
+* **Verdict dedupe.**  Vehicles whose model, platform shape and request are
+  *identical* (same variant, same adopted contract objects, same mapping
+  state) are one integration, not N: the first vehicle of each equivalence
+  group runs the full process, the rest replay its verdict and mapping
+  decision through
+  :meth:`~repro.mcc.controller.MultiChangeController.replay_change`.
+
+Both are exact — the cache is content-addressed, the engine bit-identical,
+and the equivalence grouping keys on object identity of the adopted
+contracts — so batched and sequential admission produce identical wave
+verdicts; only the wall time differs (the differential harness, the fleet
+tests and the E10 benchmark all assert this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.cache import AnalysisCache
+from repro.fleet.vehicle import FleetVehicle
+from repro.mcc.configuration import ChangeRequest, IntegrationReport
+from repro.mcc.controller import MccSnapshot
+from repro.monitoring.deviation import DeviationDetector
+from repro.monitoring.metrics import MetricRegistry
+from repro.sim.random import SeededRNG, derive_seed
+
+#: Builds the per-vehicle change request of the campaign's update.
+UpdateFactory = Callable[[FleetVehicle], ChangeRequest]
+
+
+class CampaignError(ValueError):
+    """Raised for invalid campaign or wave-policy configuration."""
+
+
+@dataclass(frozen=True)
+class WavePolicy:
+    """Staging and halting policy of a campaign.
+
+    ``canary_size`` vehicles go first (0 disables the canary wave); the
+    remainder is released in waves at the cumulative ``wave_fractions`` of
+    the post-canary fleet (a final full wave is implied when the last
+    fraction is below 1).  A wave whose failure rate — rejections plus
+    post-deployment deviations over the wave size — exceeds
+    ``max_failure_rate`` halts the campaign; ``rollback_on_halt`` then rolls
+    the admitted vehicles of the halting wave back to their pre-wave state.
+    """
+
+    canary_size: int = 2
+    wave_fractions: Tuple[float, ...] = (0.1, 0.3, 1.0)
+    max_failure_rate: float = 0.3
+    rollback_on_halt: bool = True
+    refine_on_deviation: bool = False
+
+    def __post_init__(self) -> None:
+        if self.canary_size < 0:
+            raise CampaignError("canary_size must be non-negative")
+        if not 0.0 <= self.max_failure_rate <= 1.0:
+            raise CampaignError("max_failure_rate must be in [0, 1]")
+        previous = 0.0
+        for fraction in self.wave_fractions:
+            if not 0.0 < fraction <= 1.0:
+                raise CampaignError(f"wave fraction {fraction} not in (0, 1]")
+            if fraction < previous:
+                raise CampaignError("wave_fractions must be non-decreasing")
+            previous = fraction
+
+
+@dataclass
+class WaveRecord:
+    """Outcome of one executed wave."""
+
+    index: int
+    kind: str
+    vehicle_ids: List[str]
+    admitted: int = 0
+    rejected: int = 0
+    deviating: int = 0
+    refined: int = 0
+    rolled_back: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.vehicle_ids)
+
+    @property
+    def failure_rate(self) -> float:
+        return (self.rejected + self.deviating) / self.size if self.size else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"index": self.index, "kind": self.kind, "size": self.size,
+                "admitted": self.admitted, "rejected": self.rejected,
+                "deviating": self.deviating, "refined": self.refined,
+                "rolled_back": self.rolled_back,
+                "failure_rate": self.failure_rate}
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of one campaign run."""
+
+    fleet_size: int
+    batched: bool
+    waves: List[WaveRecord] = field(default_factory=list)
+    admitted: int = 0
+    rejected: int = 0
+    deviating: int = 0
+    refined: int = 0
+    rolled_back: int = 0
+    halted: bool = False
+    halted_wave: Optional[int] = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+    engine_reuse_rate: float = 0.0
+
+    @property
+    def completed(self) -> bool:
+        return not self.halted
+
+    @property
+    def vehicles_updated(self) -> int:
+        """Vehicles running the update after the campaign (net of rollback)."""
+        return self.admitted - self.rolled_back
+
+    @property
+    def update_coverage(self) -> float:
+        return self.vehicles_updated / self.fleet_size if self.fleet_size else 0.0
+
+    @property
+    def acceptance_rate(self) -> float:
+        attempted = self.admitted + self.rejected
+        return self.admitted / attempted if attempted else 0.0
+
+
+def plan_waves(vehicles: Sequence[FleetVehicle],
+               policy: WavePolicy) -> List[Tuple[str, List[FleetVehicle]]]:
+    """Deterministic wave partition of a fleet: canary, staged, full.
+
+    Every returned wave is non-empty; an empty fleet yields no waves and a
+    single-vehicle fleet yields exactly one (canary when enabled).  The last
+    wave always covers the remaining fleet even when ``wave_fractions`` stops
+    short of 1.0.
+    """
+    ordered = list(vehicles)
+    if not ordered:
+        return []
+    waves: List[Tuple[str, List[FleetVehicle]]] = []
+    cursor = 0
+    if policy.canary_size > 0:
+        canary = ordered[:policy.canary_size]
+        waves.append(("canary", canary))
+        cursor = len(canary)
+    remainder = ordered[cursor:]
+    released = 0
+    fractions = list(policy.wave_fractions)
+    if not fractions or fractions[-1] < 1.0:
+        fractions.append(1.0)
+    for fraction in fractions:
+        if released >= len(remainder):
+            break
+        target = min(len(remainder), max(released + 1,
+                                         round(fraction * len(remainder))))
+        wave = remainder[released:target]
+        kind = "full" if target == len(remainder) else "wave"
+        waves.append((kind, wave))
+        released = target
+    return waves
+
+
+class Campaign:
+    """Rolls one update out across a fleet in staged waves.
+
+    Parameters
+    ----------
+    vehicles:
+        The fleet, in rollout order.
+    update_factory:
+        Builds the per-vehicle :class:`ChangeRequest` (vehicles of different
+        variants typically get variant-scaled contracts of the same logical
+        update).
+    policy:
+        Staging/halting policy.
+    analysis_cache:
+        The shared cache used for batched admission.  Required when
+        ``batch_admission`` is on; for the full effect the fleet should have
+        been generated with the same cache.
+    batch_admission:
+        Prefetch every wave's candidate task sets through
+        ``analysis_cache.analyse_many`` before the per-vehicle integrations.
+    failure_injection_rate:
+        Probability that an updated vehicle's observed execution time exceeds
+        its contracted budget (simulated field failure).
+    feedback_seed:
+        Seed of the simulated monitor feedback stream; per-vehicle draws are
+        derived from it and the vehicle index, so feedback is identical for
+        batched and sequential admission.
+    """
+
+    def __init__(self, vehicles: Sequence[FleetVehicle],
+                 update_factory: UpdateFactory,
+                 policy: Optional[WavePolicy] = None,
+                 analysis_cache: Optional[AnalysisCache] = None,
+                 batch_admission: bool = True,
+                 failure_injection_rate: float = 0.0,
+                 feedback_seed: int = 0) -> None:
+        if not 0.0 <= failure_injection_rate <= 1.0:
+            raise CampaignError("failure_injection_rate must be in [0, 1]")
+        if batch_admission and analysis_cache is None:
+            raise CampaignError("batched admission needs a shared analysis cache")
+        self.vehicles = list(vehicles)
+        self.update_factory = update_factory
+        self.policy = policy if policy is not None else WavePolicy()
+        self.analysis_cache = analysis_cache
+        self.batch_admission = batch_admission
+        self.failure_injection_rate = failure_injection_rate
+        self.feedback_seed = feedback_seed
+
+    # -- wave internals ----------------------------------------------------
+
+    def _prefetch_wave(self,
+                       representatives: Sequence[Tuple[FleetVehicle,
+                                                       ChangeRequest]]) -> None:
+        """Warm the shared cache with the representatives' candidate analyses.
+
+        Only the vehicles that will actually run a full integration are
+        previewed (one per equivalence group); the batch goes through
+        ``analyse_many`` so representatives of *different* variants
+        warm-start off each other in the incremental engine.  The prefetch is
+        only a warm-up — a skipped preview costs cache misses, never a
+        different verdict.
+        """
+        assert self.analysis_cache is not None
+        tasksets = []
+        for vehicle, request in representatives:
+            preview = vehicle.mcc.process.preview_tasksets(vehicle.mcc.model, request)
+            if preview is None:
+                continue  # rejected before the acceptance phase; nothing to warm
+            tasksets.extend(taskset for _, taskset in sorted(preview.items()))
+        if tasksets:
+            self.analysis_cache.analyse_many(tasksets)
+
+    @staticmethod
+    def _equivalence_key(vehicle: FleetVehicle, request: ChangeRequest) -> Tuple:
+        """Identity of one admission problem, exact within this process.
+
+        Two vehicles with the same platform shape (same variant), the same
+        adopted contract *objects*, the same mapping/priority state and the
+        same request contract object pose the identical integration problem.
+        Diverged vehicles (refined WCETs build fresh contract objects,
+        rollbacks restore the previous model) fall out of the group
+        automatically because their object identities differ.
+
+        Identity-based keys are only sound while the referenced objects stay
+        alive — a recycled ``id`` could alias a stale key — so the campaign
+        pins every object that enters a stored precedent key for the run's
+        lifetime (see :meth:`run`).
+        """
+        model = vehicle.mcc.model
+        return (vehicle.variant.index,
+                tuple(sorted((contract.component, id(contract))
+                             for contract in model.contracts())),
+                tuple(sorted(model.mapping.items())),
+                tuple(sorted(model.priorities.items())),
+                request.kind, request.component, id(request.contract))
+
+    def _feedback(self, vehicle: FleetVehicle, request: ChangeRequest,
+                  wave_index: int, record: WaveRecord) -> None:
+        """Simulate one updated vehicle's monitor feedback and grade it."""
+        contract = vehicle.mcc.model.contract(request.component)
+        timing = contract.timing
+        if timing is None:  # pragma: no cover - campaign updates carry timing
+            return
+        rng = SeededRNG(derive_seed(self.feedback_seed, vehicle.index))
+        injected = rng.uniform() < self.failure_injection_rate
+        factor = rng.uniform(1.25, 1.75) if injected else rng.uniform(0.55, 0.95)
+        observed = timing.wcet * factor
+        registry = MetricRegistry()
+        detector: DeviationDetector = vehicle.mcc.configure_deviation_detector(registry)
+        source = f"{request.component}.task"
+        anomalies = detector.observe(float(wave_index), source,
+                                     "execution_time", observed)
+        if not anomalies:
+            return
+        vehicle.deviating = True
+        record.deviating += 1
+        if self.policy.refine_on_deviation:
+            refinements = vehicle.mcc.incorporate_observed_wcets({source: observed})
+            record.refined += len(refinements)
+
+    def _rollback_wave(self, admitted: List[Tuple[FleetVehicle, MccSnapshot]],
+                       record: WaveRecord) -> None:
+        for vehicle, snapshot in admitted:
+            vehicle.mcc.rollback(snapshot)
+            vehicle.updated = False
+            vehicle.rolled_back = True
+            record.rolled_back += 1
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Execute the campaign and return its aggregate result."""
+        result = CampaignResult(fleet_size=len(self.vehicles),
+                                batched=self.batch_admission)
+        # Counter baseline: the shared cache typically served fleet
+        # provisioning too; the result reports this campaign's traffic only.
+        hits_before = self.analysis_cache.hits if self.analysis_cache else 0
+        misses_before = self.analysis_cache.misses if self.analysis_cache else 0
+        #: request-equivalence key -> (report, mapping, priorities) of the
+        #: vehicle that ran the full integration; kept across waves so later
+        #: waves of unchanged same-variant vehicles replay wave 1's verdicts.
+        precedents: Dict[Tuple, Tuple[IntegrationReport, Dict[str, str],
+                                      Dict[str, int]]] = {}
+        #: Objects whose id() is baked into a stored precedent key.  Holding
+        #: them prevents garbage collection from recycling an id into a new
+        #: contract mid-campaign, which could falsely match a stale key.
+        pinned: List[object] = []
+        for wave_index, (kind, wave) in enumerate(plan_waves(self.vehicles,
+                                                             self.policy)):
+            record = WaveRecord(index=wave_index, kind=kind,
+                                vehicle_ids=[v.vehicle_id for v in wave])
+            requests = [self.update_factory(vehicle) for vehicle in wave]
+            keys: List[Optional[Tuple]] = [None] * len(requests)
+            if self.batch_admission:
+                # Keys are stable for the whole wave: a vehicle's model only
+                # changes when its own request is admitted.
+                representatives = []
+                seen_new = set()
+                for position, (vehicle, request) in enumerate(zip(wave, requests)):
+                    key = self._equivalence_key(vehicle, request)
+                    keys[position] = key
+                    if key not in precedents and key not in seen_new:
+                        seen_new.add(key)
+                        representatives.append((vehicle, request))
+                self._prefetch_wave(representatives)
+            admitted: List[Tuple[FleetVehicle, ChangeRequest, MccSnapshot]] = []
+            for vehicle, request, key in zip(wave, requests, keys):
+                snapshot = vehicle.mcc.snapshot()
+                if self.batch_admission:
+                    precedent = precedents.get(key)
+                    if precedent is None:
+                        pinned.append(request.contract)
+                        pinned.extend(vehicle.mcc.model.contracts())
+                        report = vehicle.mcc.request_change(request)
+                        precedents[key] = (report,
+                                           dict(vehicle.mcc.model.mapping),
+                                           dict(vehicle.mcc.model.priorities))
+                    else:
+                        report = vehicle.mcc.replay_change(request, *precedent)
+                else:
+                    report = vehicle.mcc.request_change(request)
+                if report.accepted:
+                    vehicle.updated = True
+                    record.admitted += 1
+                    admitted.append((vehicle, request, snapshot))
+                else:
+                    record.rejected += 1
+            for vehicle, request, _ in admitted:
+                self._feedback(vehicle, request, wave_index, record)
+            halt = record.failure_rate > self.policy.max_failure_rate
+            if halt and self.policy.rollback_on_halt:
+                self._rollback_wave([(vehicle, snapshot)
+                                     for vehicle, _, snapshot in admitted], record)
+            result.waves.append(record)
+            result.admitted += record.admitted
+            result.rejected += record.rejected
+            result.deviating += record.deviating
+            result.refined += record.refined
+            result.rolled_back += record.rolled_back
+            if halt:
+                result.halted = True
+                result.halted_wave = wave_index
+                break
+        if self.analysis_cache is not None:
+            result.cache_hits = self.analysis_cache.hits - hits_before
+            result.cache_misses = self.analysis_cache.misses - misses_before
+            result.engine_reuse_rate = self.analysis_cache.engine.reuse_rate
+        return result

@@ -1,0 +1,249 @@
+"""Simulated fleet vehicles: perturbed platform models around one baseline.
+
+A production fleet is not a million copies of the reference vehicle: vehicles
+cluster into *variants* (hardware generations, trim levels, regional builds)
+that differ in processor count and capacity, CAN topology, measured WCETs and
+the set of baseline components.  :func:`generate_fleet` instantiates such a
+fleet deterministically from a single seed — every vehicle carries its own
+:class:`~repro.platform.resources.Platform` model and its own
+:class:`~repro.mcc.controller.MultiChangeController`, exactly as the paper's
+in-field update process runs per vehicle.
+
+The variant structure is what makes fleet-scale admission batchable: vehicles
+of the same variant produce identical candidate task sets for the same
+update, so a shared :class:`~repro.analysis.cache.AnalysisCache` answers one
+variant's admission analysis once per wave, and the incremental engine
+warm-starts the remaining variants off each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.cache import AnalysisCache
+from repro.contracts.language import ContractParser
+from repro.contracts.model import Contract
+from repro.mcc.controller import MultiChangeController
+from repro.mcc.mapping import MappingStrategy
+from repro.platform.resources import NetworkResource, Platform, ProcessingResource
+from repro.platform.rte import RuntimeEnvironment
+from repro.sim.random import SeededRNG
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Shape of a simulated fleet.
+
+    ``heterogeneity`` is the relative spread of the per-variant perturbations
+    (WCET scale, processor capacity); ``num_variants`` bounds how many
+    distinct hardware/software builds the fleet contains — vehicle ``i``
+    instantiates variant ``i % num_variants``.
+    """
+
+    size: int = 50
+    seed: int = 0
+    heterogeneity: float = 0.15
+    num_variants: int = 8
+    extra_components: int = 10
+    min_processors: int = 2
+    max_processors: int = 3
+    base_capacity: float = 0.85
+    deploy: bool = False
+    mapping_strategy: MappingStrategy = MappingStrategy.FIRST_FIT
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("fleet size must be non-negative")
+        if not 0.0 <= self.heterogeneity < 1.0:
+            raise ValueError("heterogeneity must be in [0, 1)")
+        if self.num_variants <= 0:
+            raise ValueError("num_variants must be positive")
+        if self.extra_components < 0:
+            raise ValueError("extra_components must be non-negative")
+        if not 1 <= self.min_processors <= self.max_processors:
+            raise ValueError("need 1 <= min_processors <= max_processors")
+
+
+@dataclass(frozen=True)
+class VehicleVariant:
+    """One hardware/software build shared by a slice of the fleet."""
+
+    index: int
+    wcet_factor: float
+    num_processors: int
+    capacity: float
+    can_bandwidth_bps: float
+    has_telematics: bool
+
+
+class FleetVehicle:
+    """One simulated vehicle: platform model plus its own MCC."""
+
+    def __init__(self, index: int, variant: VehicleVariant, platform: Platform,
+                 mcc: MultiChangeController) -> None:
+        self.index = index
+        self.vehicle_id = f"veh{index:04d}"
+        self.variant = variant
+        self.platform = platform
+        self.mcc = mcc
+        #: Rollout bookkeeping maintained by the campaign engine.
+        self.updated = False
+        self.deviating = False
+        self.rolled_back = False
+
+    @property
+    def wcet_factor(self) -> float:
+        return self.variant.wcet_factor
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FleetVehicle({self.vehicle_id}, variant={self.variant.index}, "
+                f"version={self.mcc.version})")
+
+
+_BASELINE_DOCUMENTS: List[Dict[str, Any]] = [
+    {"component": "perception", "timing": {"period": 0.05, "wcet": 0.010},
+     "safety": {"asil": "B"}, "security": {"level": "MEDIUM"},
+     "provides": ["object_list"]},
+    {"component": "planner", "timing": {"period": 0.1, "wcet": 0.020},
+     "safety": {"asil": "B"}, "security": {"level": "MEDIUM"},
+     "requires": [{"service": "object_list"}], "provides": ["trajectory"]},
+    {"component": "actuation", "timing": {"period": 0.01, "wcet": 0.002},
+     "safety": {"asil": "B"}, "security": {"level": "MEDIUM"},
+     "requires": [{"service": "trajectory"}], "provides": ["actuator_commands"]},
+]
+
+#: Components every vehicle must ship; rejecting one of these at fleet
+#: generation time is a bug, rejecting an optional app is a variant trait.
+_CORE_COMPONENTS = frozenset(document["component"] for document in _BASELINE_DOCUMENTS)
+
+_TELEMATICS_DOCUMENT: Dict[str, Any] = {
+    "component": "telematics", "timing": {"period": 0.2, "wcet": 0.012},
+    "safety": {"asil": "A"}, "security": {"level": "MEDIUM"},
+    "provides": ["telemetry"],
+}
+
+
+def variant_contracts(variant: VehicleVariant, spec: FleetSpec) -> List[Contract]:
+    """The baseline contract set of one variant (WCETs scaled to its build).
+
+    Besides the core perception/planner/actuation stack (plus telematics on
+    the variants that ship it), every variant carries
+    ``spec.extra_components`` installed applications with variant-specific
+    periods and budgets — production ECUs host tens of components, and that
+    installed base is what makes fleet admission analysis-heavy.
+    """
+    parser = ContractParser()
+    documents = list(_BASELINE_DOCUMENTS)
+    if variant.has_telematics:
+        documents = documents + [_TELEMATICS_DOCUMENT]
+    rng = SeededRNG(spec.seed).spawn(2_000 + variant.index)
+    extras: List[Dict[str, Any]] = []
+    for index in range(spec.extra_components):
+        # Continuous (non-harmonic) periods: realistic mixed workloads whose
+        # busy windows genuinely iterate, unlike neat harmonic period sets.
+        period = rng.uniform(0.02, 0.2)
+        extras.append({
+            "component": f"app{index:02d}",
+            "timing": {"period": period, "wcet": period * rng.uniform(0.05, 0.11)},
+            "safety": {"asil": rng.choice(["QM", "A", "B"])},
+            "security": {"level": "MEDIUM"},
+            "provides": [f"service_app{index:02d}"],
+        })
+    # Budget the installed base so every variant's baseline is admissible by
+    # construction and headroom for one more update remains: the extras'
+    # utilization is scaled into what the platform can host beyond the core
+    # stack.
+    def util(document: Dict[str, Any]) -> float:
+        timing = document["timing"]
+        return timing["wcet"] * variant.wcet_factor / timing["period"]
+
+    budget = 0.8 * variant.num_processors * variant.capacity
+    core_util = sum(util(document) for document in documents)
+    extra_util = sum(util(document) for document in extras)
+    headroom = max(0.0, budget - core_util)
+    if extra_util > headroom and extra_util > 0.0:
+        shrink = headroom / extra_util
+        for document in extras:
+            document["timing"]["wcet"] *= shrink
+    documents = documents + extras
+    scaled: List[Dict[str, Any]] = []
+    for document in documents:
+        entry = dict(document)
+        timing = dict(entry["timing"])
+        # A variant never ships a baseline that is unschedulable by
+        # construction, so the scaled WCET stays below the implicit deadline.
+        timing["wcet"] = min(timing["wcet"] * variant.wcet_factor,
+                             0.9 * timing["period"])
+        entry["timing"] = timing
+        scaled.append(entry)
+    return parser.parse_many(scaled)
+
+
+def generate_variants(spec: FleetSpec) -> List[VehicleVariant]:
+    """The deterministic variant catalog of a fleet spec."""
+    variants: List[VehicleVariant] = []
+    for index in range(min(spec.num_variants, max(spec.size, 1))):
+        rng = SeededRNG(spec.seed).spawn(1_000 + index)
+        spread = spec.heterogeneity
+        factor = 1.0 + spread * (2.0 * rng.uniform() - 1.0)
+        capacity = min(1.0, max(0.05,
+                                spec.base_capacity * (1.0 + 0.5 * spread
+                                                      * (2.0 * rng.uniform() - 1.0))))
+        variants.append(VehicleVariant(
+            index=index,
+            wcet_factor=factor,
+            num_processors=rng.integer(spec.min_processors, spec.max_processors),
+            capacity=capacity,
+            can_bandwidth_bps=rng.choice([250_000.0, 500_000.0, 1_000_000.0]),
+            has_telematics=rng.bernoulli(0.5)))
+    return variants
+
+
+def build_vehicle_platform(variant: VehicleVariant, name: str) -> Platform:
+    """A fresh platform model for one vehicle of the given variant."""
+    platform = Platform(name=name)
+    for index in range(variant.num_processors):
+        platform.add_processor(ProcessingResource(f"cpu{index}",
+                                                  capacity=variant.capacity))
+    platform.add_network(NetworkResource("can0",
+                                         bandwidth_bps=variant.can_bandwidth_bps))
+    if variant.can_bandwidth_bps >= 1_000_000.0:
+        # High-end builds carry a second bus for telematics/diagnostics.
+        platform.add_network(NetworkResource("can1", bandwidth_bps=500_000.0))
+    return platform
+
+
+def generate_fleet(spec: FleetSpec,
+                   analysis_cache: Optional[AnalysisCache] = None) -> List["FleetVehicle"]:
+    """Instantiate a fleet: per-vehicle platforms and MCCs, baselines deployed.
+
+    Pass a shared :class:`AnalysisCache` to let all vehicles' timing
+    acceptance tests share one content-addressed store plus one incremental
+    engine (the batched-admission mode); without it every vehicle admits in
+    isolation (the sequential baseline).  Either way the fleet is a pure
+    function of ``spec`` — verdicts cannot depend on the cache.
+    """
+    variants = generate_variants(spec)
+    contracts_by_variant = {variant.index: variant_contracts(variant, spec)
+                            for variant in variants}
+    vehicles: List[FleetVehicle] = []
+    for index in range(spec.size):
+        variant = variants[index % len(variants)]
+        platform = build_vehicle_platform(variant, name=f"veh{index:04d}-platform")
+        rte = RuntimeEnvironment(platform) if spec.deploy else None
+        mcc = MultiChangeController(platform, rte=rte,
+                                    mapping_strategy=spec.mapping_strategy,
+                                    analysis_cache=analysis_cache)
+        for contract in contracts_by_variant[variant.index]:
+            report = mcc.add_component(contract)
+            if not report.accepted:
+                if contract.component in _CORE_COMPONENTS:  # pragma: no cover
+                    raise RuntimeError(
+                        f"vehicle {index} rejected its baseline: {report.summary()}")
+                # An optional app that does not fit this build simply is not
+                # installed on it — variants legitimately differ in their
+                # installed base.
+                continue
+        vehicles.append(FleetVehicle(index, variant, platform, mcc))
+    return vehicles

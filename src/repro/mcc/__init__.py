@@ -22,9 +22,10 @@ from repro.mcc.acceptance import (
     SecurityAcceptanceTest,
     ResourceAcceptanceTest,
     default_acceptance_tests,
+    tasksets_from_mapping,
 )
 from repro.mcc.integration import IntegrationProcess, IntegrationError
-from repro.mcc.controller import MultiChangeController
+from repro.mcc.controller import MccSnapshot, MultiChangeController
 
 __all__ = [
     "ChangeRequest",
@@ -41,7 +42,9 @@ __all__ = [
     "SecurityAcceptanceTest",
     "ResourceAcceptanceTest",
     "default_acceptance_tests",
+    "tasksets_from_mapping",
     "IntegrationProcess",
     "IntegrationError",
+    "MccSnapshot",
     "MultiChangeController",
 ]

@@ -48,9 +48,15 @@ class AcceptanceTest(Protocol):
         ...  # pragma: no cover - protocol
 
 
-def _tasksets_from_mapping(contracts: List[Contract], mapping: Dict[str, str],
-                           priorities: Dict[str, int]) -> Dict[str, TaskSet]:
-    """Build per-processor task sets from a candidate configuration."""
+def tasksets_from_mapping(contracts: List[Contract], mapping: Dict[str, str],
+                          priorities: Dict[str, int]) -> Dict[str, TaskSet]:
+    """Build per-processor task sets from a candidate configuration.
+
+    This is exactly the derivation the timing acceptance test performs, so
+    callers that want to *prefetch* analyses (e.g. batched fleet-wave
+    admission) can compute the same task sets — and therefore the same cache
+    fingerprints — ahead of the acceptance run.
+    """
     tasksets: Dict[str, TaskSet] = {}
     for contract in contracts:
         timing = contract.timing
@@ -93,7 +99,7 @@ class TimingAcceptanceTest:
         """Evaluate the timing viewpoint of a candidate configuration."""
         findings: List[str] = []
         metrics: Dict[str, float] = {}
-        tasksets = _tasksets_from_mapping(contracts, mapping, priorities)
+        tasksets = tasksets_from_mapping(contracts, mapping, priorities)
         for processor_name, taskset in sorted(tasksets.items()):
             analysis = ResponseTimeAnalysis(taskset, speed_factor=self.speed_factor)
             metrics[f"{processor_name}.utilization"] = analysis.utilization()

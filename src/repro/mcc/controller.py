@@ -24,6 +24,20 @@ from repro.platform.resources import Platform
 from repro.platform.rte import RteConfiguration, RuntimeEnvironment
 
 
+@dataclass(frozen=True)
+class MccSnapshot:
+    """An adopted MCC state that :meth:`MultiChangeController.rollback` can
+    restore: the system model, the configuration deployed for it and the
+    expectations derived from its contracts."""
+
+    model: SystemModel
+    deployed_configuration: Optional[RteConfiguration]
+    expectations: Tuple[ExpectedBehaviour, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "expectations", tuple(self.expectations))
+
+
 class MultiChangeController:
     """Model-domain controller of the CCC architecture.
 
@@ -91,6 +105,52 @@ class MultiChangeController:
     def request_changes(self, requests: List[ChangeRequest]) -> List[IntegrationReport]:
         return [self.request_change(request) for request in requests]
 
+    def replay_change(self, request: ChangeRequest, precedent: IntegrationReport,
+                      mapping: Dict[str, str],
+                      priorities: Dict[str, int]) -> IntegrationReport:
+        """Adopt or reject ``request`` by replaying a precedent integration.
+
+        Fleet-scale admission dedupe: when another controller with an
+        *identical* model, platform shape and request already ran the full
+        integration, its verdict and mapping decision apply verbatim —
+        integration is deterministic in exactly those inputs.  The caller
+        (e.g. :class:`repro.fleet.campaign.Campaign`) is responsible for that
+        equivalence; this method re-applies the change and the decided
+        mapping without re-running the analyses, then adopts/deploys as
+        :meth:`request_change` would.
+
+        The returned report carries this request's id with the precedent's
+        verdict, per-viewpoint results and findings (copied, never aliased).
+        """
+        candidate = self.model.candidate()
+        try:
+            candidate.apply_change(request)
+        except (ValueError, KeyError) as exc:
+            report = IntegrationReport(request_id=request.request_id, accepted=False)
+            report.findings.append(str(exc))
+            self.reports.append(report)
+            return report
+
+        report = IntegrationReport(request_id=request.request_id,
+                                   accepted=precedent.accepted,
+                                   acceptance_results=dict(precedent.acceptance_results),
+                                   findings=list(precedent.findings))
+        report.add_step("replay", "verdict replayed from an equivalent integration",
+                        precedent_request_id=precedent.request_id)
+        if report.accepted:
+            candidate.mapping = dict(mapping)
+            candidate.priorities = dict(priorities)
+            candidate.version = self.model.version + 1
+            self.model = candidate
+            configuration = self.process.synthesize_configuration(candidate, candidate.version)
+            self.deployed_configuration = configuration
+            report.configuration_version = configuration.version
+            self._refresh_expectations()
+            if self.rte is not None:
+                self.rte.deploy(configuration)
+        self.reports.append(report)
+        return report
+
     def add_component(self, contract: Contract) -> IntegrationReport:
         return self.request_change(ChangeRequest(kind=ChangeKind.ADD_COMPONENT,
                                                  component=contract.component,
@@ -104,6 +164,35 @@ class MultiChangeController:
     def remove_component(self, component: str) -> IntegrationReport:
         return self.request_change(ChangeRequest(kind=ChangeKind.REMOVE_COMPONENT,
                                                  component=component))
+
+    # -- checkpointing --------------------------------------------------------------------
+
+    def snapshot(self) -> "MccSnapshot":
+        """Capture the adopted state (model, configuration, expectations).
+
+        Adoption never mutates a previously adopted :class:`SystemModel`
+        (integration operates on candidates and swaps the reference), so the
+        snapshot is a cheap bundle of references plus a copied expectation
+        list.  Used by staged rollout engines to undo a bad wave.
+        """
+        return MccSnapshot(model=self.model,
+                           deployed_configuration=self.deployed_configuration,
+                           expectations=list(self.expectations))
+
+    def rollback(self, snapshot: "MccSnapshot") -> None:
+        """Restore a previously captured snapshot and redeploy it.
+
+        The integration report history is kept (it is an append-only audit
+        log); only the adopted model, the deployed configuration and the
+        derived expectations are rewound.  When an execution domain is
+        attached and the snapshot carried a configuration, that configuration
+        is deployed again.
+        """
+        self.model = snapshot.model
+        self.deployed_configuration = snapshot.deployed_configuration
+        self.expectations = list(snapshot.expectations)
+        if self.rte is not None and snapshot.deployed_configuration is not None:
+            self.rte.deploy(snapshot.deployed_configuration)
 
     # -- status ---------------------------------------------------------------------------
 

@@ -21,11 +21,13 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.analysis.cache import AnalysisCache
-from repro.mcc.acceptance import AcceptanceTest, default_acceptance_tests
+from repro.mcc.acceptance import (AcceptanceTest, default_acceptance_tests,
+                                  tasksets_from_mapping)
 from repro.mcc.configuration import ChangeRequest, IntegrationReport, SystemModel
 from repro.mcc.mapping import MappingEngine, MappingError, MappingStrategy
 from repro.platform.resources import Platform
 from repro.platform.rte import RteConfiguration
+from repro.platform.tasks import TaskSet
 
 
 class IntegrationError(RuntimeError):
@@ -102,6 +104,38 @@ class IntegrationProcess:
 
         report.accepted = all_passed
         return report
+
+    def preview_tasksets(self, model: SystemModel,
+                         request: ChangeRequest) -> Optional[Dict[str, TaskSet]]:
+        """The per-processor task sets the timing acceptance test *would*
+        analyse for ``request`` applied to ``model``.
+
+        Runs the same candidate construction, validation and mapping steps as
+        :meth:`integrate` on a scratch copy, without any acceptance test.
+        Returns ``None`` when the request would be rejected before the
+        acceptance phase (invalid change, contract problems, mapping
+        failure).  Batched admission uses this to warm a shared
+        :class:`~repro.analysis.cache.AnalysisCache` for a whole wave of
+        requests before the individual integrations run — the fingerprints
+        match because the derivation is identical.
+        """
+        candidate = model.candidate()
+        try:
+            candidate.apply_change(request)
+        except (ValueError, KeyError):
+            return None
+        for contract in candidate.contracts():
+            if contract.validate():
+                return None
+        if candidate.missing_services():
+            return None
+        try:
+            decision = self.mapping_engine.map(candidate.contracts(),
+                                               existing=candidate.mapping)
+        except MappingError:
+            return None
+        return tasksets_from_mapping(candidate.contracts(), decision.placement,
+                                     decision.priorities)
 
     def synthesize_configuration(self, model: SystemModel, version: int) -> RteConfiguration:
         """Produce the deployable configuration from an accepted model."""

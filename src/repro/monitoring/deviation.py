@@ -73,6 +73,18 @@ class DeviationDetector:
 
     # -- detection -----------------------------------------------------------------
 
+    def _anomaly_for(self, expectation: ExpectedBehaviour, metric: str,
+                     value: float, time: float) -> Anomaly:
+        relative = (abs(value - expectation.nominal) / abs(expectation.nominal)
+                    if expectation.nominal else float("inf"))
+        severity = (AnomalySeverity.CRITICAL if relative > 2 * expectation.tolerance
+                    else AnomalySeverity.WARNING)
+        return Anomaly(
+            anomaly_type=expectation.anomaly_type, subject=expectation.source,
+            layer=expectation.layer, severity=severity, time=time,
+            observed=value, expected=expectation.nominal,
+            details={"metric": metric, "tolerance": expectation.tolerance})
+
     def check(self, time: float) -> List[Anomaly]:
         """Compare the latest observation of every expected metric against its
         tolerance band."""
@@ -83,17 +95,27 @@ class DeviationDetector:
                 continue
             value = series.last
             if expectation.violated_by(value):
-                relative = (abs(value - expectation.nominal) / abs(expectation.nominal)
-                            if expectation.nominal else float("inf"))
-                severity = (AnomalySeverity.CRITICAL if relative > 2 * expectation.tolerance
-                            else AnomalySeverity.WARNING)
-                anomalies.append(Anomaly(
-                    anomaly_type=expectation.anomaly_type, subject=source,
-                    layer=expectation.layer, severity=severity, time=time,
-                    observed=value, expected=expectation.nominal,
-                    details={"metric": metric, "tolerance": expectation.tolerance}))
+                anomalies.append(self._anomaly_for(expectation, metric, value, time))
         anomalies.sort(key=lambda a: (-int(a.severity), a.subject))
         return anomalies
+
+    def observe(self, time: float, source: str, metric: str,
+                value: float) -> List[Anomaly]:
+        """Record one observation and evaluate only its expectation.
+
+        One-shot feedback ingestion: the sample lands in the registry (so
+        windowed statistics and refinement suggestions keep working) and the
+        matching expectation — if any — is checked immediately.  Returns the
+        raised anomalies (empty when the value is in band or no expectation
+        covers the pair).  Fleet campaigns use this to grade per-vehicle
+        monitor feedback between rollout waves without re-checking every
+        expectation of the vehicle.
+        """
+        self.registry.sample(time, source, metric, value)
+        expectation = self._expectations.get((source, metric))
+        if expectation is None or not expectation.violated_by(value):
+            return []
+        return [self._anomaly_for(expectation, metric, value, time)]
 
     # -- model refinement ------------------------------------------------------------
 

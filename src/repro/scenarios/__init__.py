@@ -10,6 +10,7 @@ from repro.scenarios.thermal import ThermalScenarioResult, ThermalStrategy, run_
 from repro.scenarios.platooning_fog import FogPlatooningResult, run_fog_platooning_scenario
 from repro.scenarios.weather_routing import WeatherRoutingResult, run_weather_routing_scenario
 from repro.scenarios.infield_update import InFieldUpdateResult, run_infield_update_scenario
+from repro.scenarios.fleet_campaign import FleetCampaignResult, run_fleet_campaign_scenario
 
 __all__ = [
     "IntrusionScenarioResult",
@@ -23,4 +24,6 @@ __all__ = [
     "run_weather_routing_scenario",
     "InFieldUpdateResult",
     "run_infield_update_scenario",
+    "FleetCampaignResult",
+    "run_fleet_campaign_scenario",
 ]

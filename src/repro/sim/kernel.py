@@ -252,11 +252,30 @@ class Simulator:
         (and mirrored into ``stats["truncated_runs"]``): the clock is then
         *behind* ``until`` and the caller must not treat the horizon as
         simulated.
+
+        A horizon in the past (``until < now``) runs nothing and leaves the
+        clock untouched — the clock never rewinds.  A non-positive
+        ``max_events`` budget likewise runs nothing; it still reports
+        truncation when runnable events are pending within the horizon.
         """
         self._running = True
         self._stopped = False
         self.truncated = False
         queue = self._queue
+        if until is not None and until < self._now:
+            self._running = False
+            return self._now
+        if max_events is not None and max_events <= 0:
+            next_time = queue.peek_time()
+            if next_time is not None and (until is None or next_time <= until):
+                self.truncated = True
+                self.stats["truncated_runs"] = self.stats.get("truncated_runs", 0) + 1
+            elif until is not None and self._now < until:
+                # Nothing runnable inside the horizon: the horizon *was*
+                # simulated (same as a plain `run(until)`), advance the clock.
+                self._now = until
+            self._running = False
+            return self._now
         heap = queue._heap
         heappop = heapq.heappop
         executed = 0

@@ -8,6 +8,7 @@ from repro.analysis.cache import (
     AnalysisCache,
     CachedResponseTimeAnalysis,
     fingerprint_taskset,
+    taskset_key,
 )
 from repro.analysis.cpa import EventModel, ResponseTimeAnalysis
 from repro.mcc.acceptance import TimingAcceptanceTest
@@ -40,6 +41,58 @@ class TestFingerprint:
         assert fingerprint_taskset(_taskset(), speed_factor=0.5) != base
         assert fingerprint_taskset(
             _taskset(), event_models={"t_high": EventModel(0.01, 0.001)}) != base
+
+
+class TestTasksetKey:
+    """The exact tuple key underlying the fingerprint."""
+
+    def test_key_matches_for_equal_content(self):
+        assert taskset_key(_taskset()) == taskset_key(_taskset())
+        backward = TaskSet(list(reversed(_taskset().tasks())))
+        assert taskset_key(_taskset()) == taskset_key(backward)
+
+    def test_key_differs_on_any_parameter(self):
+        base = taskset_key(_taskset())
+        assert taskset_key(_taskset(wcet_high=0.003)) != base
+        assert taskset_key(_taskset(), speed_factor=0.5) != base
+        assert taskset_key(
+            _taskset(), event_models={"t_high": EventModel(0.01, 0.001)}) != base
+
+
+class TestAnalyseMany:
+    """Batched lookups: parity with per-set analyse, hit/miss accounting."""
+
+    def test_batch_matches_per_set_calls(self):
+        grids = [_taskset(), _taskset(wcet_high=0.003), _taskset(wcet_high=0.004)]
+        batched = AnalysisCache().analyse_many(grids)
+        reference = AnalysisCache()
+        assert batched == [reference.analyse(taskset) for taskset in grids]
+
+    def test_empty_batch(self):
+        cache = AnalysisCache()
+        assert cache.analyse_many([]) == []
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_intra_batch_duplicates_count_as_hits(self):
+        cache = AnalysisCache()
+        results = cache.analyse_many([_taskset(), _taskset(), _taskset()])
+        assert (cache.hits, cache.misses) == (2, 1)
+        assert results[0] == results[1] == results[2]
+        results[1].clear()  # callers get independent dicts
+        assert results[0] and results[2]
+
+    def test_warm_store_answers_batches(self):
+        cache = AnalysisCache()
+        cache.analyse(_taskset())
+        cache.analyse_many([_taskset(), _taskset(wcet_high=0.003)])
+        assert (cache.hits, cache.misses) == (1, 2)
+
+    def test_eviction_bound_respected_by_batches(self):
+        cache = AnalysisCache(max_entries=2)
+        cache.analyse_many([_taskset(wcet_high=w)
+                            for w in (0.001, 0.002, 0.003, 0.004)])
+        assert len(cache) == 2
+        assert cache.evictions == 2
 
 
 class TestAnalysisCache:

@@ -26,11 +26,12 @@ from repro.sim.random import derive_seed
 
 
 class TestRegistry:
-    """The scenario registry wraps all five scenarios uniformly."""
+    """The scenario registry wraps all six scenarios uniformly."""
 
-    def test_all_five_scenarios_registered(self):
-        assert SCENARIOS.names() == ["fog_platooning", "infield_update",
-                                     "intrusion", "thermal", "weather_routing"]
+    def test_all_six_scenarios_registered(self):
+        assert SCENARIOS.names() == ["fleet_update_campaign", "fog_platooning",
+                                     "infield_update", "intrusion", "thermal",
+                                     "weather_routing"]
 
     def test_unknown_scenario_raises(self):
         with pytest.raises(ScenarioError, match="unknown scenario"):
@@ -53,6 +54,8 @@ class TestRegistry:
             ("fog_platooning", {}),
             ("weather_routing", {"severity": 0.7}),
             ("infield_update", {"num_requests": 5}),
+            ("fleet_update_campaign", {"fleet_size": 6, "num_variants": 3,
+                                       "extra_components": 2}),
         ]:
             record = run_scenario(name, **params)
             json.dumps(record)  # must not raise

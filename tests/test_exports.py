@@ -17,9 +17,9 @@ import repro
 
 SUBPACKAGES = ["repro"] + [
     f"repro.{name}" for name in
-    ["analysis", "can", "contracts", "core", "experiments", "mcc", "monitoring",
-     "platform", "platooning", "routing", "scenarios", "security", "sim",
-     "skills", "vehicle", "virtualization"]
+    ["analysis", "can", "contracts", "core", "experiments", "fleet", "mcc",
+     "monitoring", "platform", "platooning", "routing", "scenarios", "security",
+     "sim", "skills", "vehicle", "virtualization"]
 ]
 
 

@@ -169,6 +169,36 @@ class TestBatchedApi:
             assert_equivalent(results, ResponseTimeAnalysis(taskset).analyse(),
                               "analyze_many")
 
+    def test_empty_batch_returns_empty_list(self):
+        """Edge case pinned for the fleet campaign: an empty wave."""
+        engine = IncrementalResponseTimeAnalysis()
+        assert engine.analyze_many([]) == []
+        assert engine.full_analyses == engine.delta_analyses == 0
+
+    def test_single_element_batch(self):
+        """Edge case: a single-vehicle fleet is a one-element batch."""
+        engine = IncrementalResponseTimeAnalysis()
+        taskset = make_taskset(4, 6, 0.7)
+        batched = engine.analyze_many([taskset])
+        assert len(batched) == 1
+        assert_equivalent(batched[0], ResponseTimeAnalysis(taskset).analyse(),
+                          "single-element batch")
+
+    def test_empty_taskset_analyses_to_empty_results(self):
+        engine = IncrementalResponseTimeAnalysis()
+        assert engine.analyse(TaskSet()) == {}
+        assert engine.schedulable(TaskSet())  # vacuously schedulable
+
+    def test_all_unschedulable_batch(self):
+        """Edge case: an all-rejected wave — every set over-utilized —
+        stays bit-identical to the full analysis."""
+        engine = IncrementalResponseTimeAnalysis()
+        grids = [make_taskset(seed, 6, 1.4) for seed in range(4)]
+        for taskset, results in zip(grids, engine.analyze_many(grids)):
+            full = ResponseTimeAnalysis(taskset).analyse()
+            assert_equivalent(results, full, "all-unschedulable batch")
+            assert not all(r.schedulable for r in results.values())
+
     def test_alias_and_schedulable(self):
         engine = IncrementalResponseTimeAnalysis()
         taskset = make_taskset(2, 6, 0.6)

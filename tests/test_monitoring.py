@@ -211,6 +211,27 @@ class TestDeviationDetector:
             registry.sample(float(i), "task", "execution_time", 0.02)
         assert detector.refinement_suggestions() == {}
 
+    def test_observe_records_and_grades_one_sample(self):
+        registry = MetricRegistry()
+        detector = DeviationDetector(registry)
+        detector.expect(ExpectedBehaviour("task", "execution_time",
+                                          nominal=0.01, tolerance=0.1))
+        assert detector.observe(0.0, "task", "execution_time", 0.0105) == []
+        anomalies = detector.observe(1.0, "task", "execution_time", 0.05)
+        assert len(anomalies) == 1
+        assert anomalies[0].subject == "task"
+        assert anomalies[0].observed == pytest.approx(0.05)
+        # The samples landed in the registry for windowed statistics.
+        assert len(registry.get("task", "execution_time")) == 2
+        # observe() agrees with a full check() over the same state.
+        assert [a.subject for a in detector.check(1.0)] == ["task"]
+
+    def test_observe_without_expectation_only_records(self):
+        registry = MetricRegistry()
+        detector = DeviationDetector(registry)
+        assert detector.observe(0.0, "unknown", "metric", 42.0) == []
+        assert registry.last("unknown", "metric") == 42.0
+
 
 class TestBudgetEnforcer:
     def test_budget_overrun_suspends_task(self):

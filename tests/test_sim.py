@@ -159,6 +159,52 @@ class TestRunTruncation:
         assert sim.truncated
         assert sim.pending_events == 2
 
+    def test_past_horizon_never_rewinds_the_clock(self, sim):
+        """Regression: `run(until=t)` with t < now used to set the clock to
+        `t` when a future event was pending — time ran backwards."""
+        sim.schedule(5.0, lambda s: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        sim.schedule(6.0, lambda s: None)
+        final = sim.run(until=3.0)
+        assert final == 5.0
+        assert sim.now == 5.0  # clock untouched
+        assert sim.pending_events == 1  # nothing executed
+        assert not sim.truncated
+
+    def test_past_horizon_with_empty_queue_is_a_no_op(self, sim):
+        sim.schedule(4.0, lambda s: None)
+        sim.run()
+        assert sim.now == 4.0
+        assert sim.run(until=1.0) == 4.0
+        assert sim.now == 4.0
+
+    def test_zero_event_budget_executes_nothing(self, sim):
+        """Regression: `run(max_events=0)` used to execute one event."""
+        hits = []
+        sim.schedule(1.0, lambda s: hits.append(s.now))
+        final = sim.run(max_events=0)
+        assert hits == []
+        assert final == 0.0
+        assert sim.truncated  # a runnable event was cut off
+        assert sim.stats["events_executed"] == 0
+        sim.run()  # the event is still there and still runs
+        assert hits == [1.0]
+
+    def test_zero_event_budget_with_nothing_runnable_is_not_truncated(self, sim):
+        assert sim.run(max_events=0) == 0.0
+        assert not sim.truncated
+        sim.schedule(9.0, lambda s: None)  # beyond the horizon
+        final = sim.run(until=5.0, max_events=0)
+        assert not sim.truncated
+        # Nothing was cut off, so the horizon counts as simulated — exactly
+        # like `run(until=5.0)` with the same calendar.
+        assert final == 5.0 and sim.now == 5.0
+
+    def test_zero_event_budget_empty_queue_advances_to_horizon(self, sim):
+        assert sim.run(until=3.0, max_events=0) == 3.0
+        assert not sim.truncated
+
 
 class TestScheduleMany:
     def test_bulk_matches_individual_scheduling(self):
