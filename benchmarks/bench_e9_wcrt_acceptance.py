@@ -14,7 +14,7 @@ from typing import List
 
 import pytest
 
-from conftest import print_table, quick_mode, write_bench_record
+from conftest import best_of, print_table, quick_mode, write_bench_record
 from repro.analysis.cache import AnalysisCache
 from repro.analysis.cpa import _EPS, EventModel, ResponseTimeAnalysis
 from repro.analysis.incremental import IncrementalResponseTimeAnalysis
@@ -251,17 +251,6 @@ def test_e9_incremental_engine_speedup(benchmark):
     """
     quick = quick_mode()
     grids = _acceptance_sweep_grids(chains=2 if quick else 6, n=8 if quick else 12)
-
-    def best_of(fn, repeats: int = 3):
-        # min-of-3 in quick mode too: the CI smoke hard-fails on the speedup,
-        # and a single sample is one GC pause away from a spurious failure.
-        best = float("inf")
-        result = None
-        for _ in range(repeats):
-            started = time.perf_counter()
-            result = fn()
-            best = min(best, time.perf_counter() - started)
-        return best, result
 
     pr1_s, pr1_verdicts = best_of(
         lambda: [_Pr1ReferenceAnalysis(ts).schedulable() for ts in grids])

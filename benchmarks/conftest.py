@@ -57,6 +57,24 @@ def write_bench_record(name: str, payload: Dict[str, Any]) -> Path:
     return path
 
 
+def best_of(fn, repeats: int = 3):
+    """Minimum wall time of ``fn()`` over ``repeats`` runs, plus the last
+    result.
+
+    min-of-N on both sides of a speedup comparison keeps a single scheduler
+    stall on a loaded CI runner from flipping a hard speedup assertion; the
+    E9 and E11 speedup benchmarks share this helper so their methodology
+    stays consistent.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
 def print_table(title: str, rows: List[Dict[str, object]]) -> None:
     """Render a list of row dictionaries as an aligned text table."""
     print(f"\n=== {title} ===")

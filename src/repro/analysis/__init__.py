@@ -18,6 +18,9 @@ as acceptance tests during the in-field integration process:
   priority-pruned reuse, warm-started fixpoints and shared interference
   memoization for near-identical task sets (the dominant acceptance-sweep
   workload).
+* :mod:`repro.analysis.compositional` — multi-resource CPA: CAN
+  response-time analysis, the system-level event-model propagation fixpoint
+  and jitter-aware distributed cause-effect-chain latency bounds.
 """
 
 from repro.analysis.cpa import (
@@ -46,6 +49,15 @@ from repro.analysis.incremental import (
     IncrementalResponseTimeAnalysis,
     InterferenceMemo,
 )
+from repro.analysis.compositional import (
+    CanResponseTimeAnalysis,
+    CauseEffectChain,
+    EventLink,
+    FrameSpec,
+    SystemAnalysis,
+    SystemAnalysisResult,
+    distributed_end_to_end_latency,
+)
 
 __all__ = [
     "EventModel",
@@ -69,4 +81,11 @@ __all__ = [
     "taskset_key",
     "IncrementalResponseTimeAnalysis",
     "InterferenceMemo",
+    "CanResponseTimeAnalysis",
+    "CauseEffectChain",
+    "EventLink",
+    "FrameSpec",
+    "SystemAnalysis",
+    "SystemAnalysisResult",
+    "distributed_end_to_end_latency",
 ]

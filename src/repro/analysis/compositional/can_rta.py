@@ -1,0 +1,296 @@
+"""Worst-case response-time analysis for CAN (non-preemptive fixed priority).
+
+The CPU-side busy-window analysis in :mod:`repro.analysis.cpa` bounds what
+happens *on* an ECU; in a distributed update scenario the MCC also has to
+bound what happens *between* ECUs.  This module provides the classical
+response-time analysis for Controller Area Network (Tindell/Davis): frames
+are non-preemptive jobs whose priority is the arbitration identifier, whose
+"execution time" is the bit-accurate transmission time derived from
+:func:`repro.can.frame.frame_bit_length` and the bus bitrate, and whose
+blocking term is the longest lower-priority frame that may already occupy
+the bus when a frame is queued.
+
+The analysis deliberately produces the same
+:class:`~repro.analysis.cpa.ResponseTimeResult` shape as the CPU analysis
+(the ``task`` field carries a synthetic :class:`~repro.platform.tasks.Task`
+whose WCET is the transmission time), so the system-level fixpoint in
+:mod:`repro.analysis.compositional.system` can treat processors and buses
+uniformly.
+
+The bound is validated against the event-driven bus simulation
+(:mod:`repro.can.bus`) by the differential property test in
+``tests/test_can_rta_differential.py``: simulated frame latencies never
+exceed the analytic WCRT.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.analysis.cpa import _EPS, EventModel, ResponseTimeResult
+from repro.can.frame import (MAX_EXTENDED_ID, MAX_PAYLOAD_BYTES,
+                             MAX_STANDARD_ID, frame_bit_length)
+from repro.platform.tasks import Task
+
+
+class CanAnalysisError(ValueError):
+    """Raised for invalid frame sets or analysis parameters."""
+
+
+@dataclass(frozen=True)
+class FrameSpec:
+    """The analysable parameters of one periodic CAN frame stream.
+
+    Attributes
+    ----------
+    name:
+        Unique stream name (used as the result key and in event links).
+    can_id:
+        Arbitration identifier; lower wins, exactly as on the bus.
+    period:
+        Activation period (sporadic: minimum inter-arrival) in seconds.
+    dlc:
+        Payload length in bytes (0-8); the worst-case stuffed bit length
+        follows from it via :func:`~repro.can.frame.frame_bit_length`.
+    extended:
+        29-bit identifier if True.
+    jitter:
+        Queuing jitter bound of the stream at the sender, in seconds.
+    deadline:
+        Relative deadline of the frame's delivery; defaults to the period.
+    sender:
+        Optional name of the sending component/ECU (bookkeeping only).
+    """
+
+    name: str
+    can_id: int
+    period: float
+    dlc: int = 8
+    extended: bool = False
+    jitter: float = 0.0
+    deadline: Optional[float] = None
+    sender: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CanAnalysisError("frame stream needs a name")
+        limit = MAX_EXTENDED_ID if self.extended else MAX_STANDARD_ID
+        if not 0 <= self.can_id <= limit:
+            raise CanAnalysisError(
+                f"frame {self.name}: CAN id {self.can_id:#x} out of range")
+        if not 0 <= self.dlc <= MAX_PAYLOAD_BYTES:
+            raise CanAnalysisError(
+                f"frame {self.name}: invalid DLC {self.dlc} "
+                f"(classical CAN carries 0-{MAX_PAYLOAD_BYTES} bytes)")
+        if self.period <= 0:
+            raise CanAnalysisError(f"frame {self.name}: period must be positive")
+        if self.jitter < 0:
+            raise CanAnalysisError(f"frame {self.name}: jitter must be non-negative")
+        if self.deadline is not None and self.deadline <= 0:
+            raise CanAnalysisError(f"frame {self.name}: deadline must be positive")
+
+    @property
+    def bit_length(self) -> int:
+        """Worst-case stuffed frame length in bits (including IFS)."""
+        return frame_bit_length(self.dlc, extended=self.extended)
+
+    def transmission_time(self, bitrate_bps: float) -> float:
+        """Time the frame occupies the bus at the given bitrate."""
+        return self.bit_length / bitrate_bps
+
+    def arbitration_key(self) -> Tuple[int, int]:
+        """Bus arbitration order (mirrors :meth:`CanFrame.arbitration_key`)."""
+        return (self.can_id, 1 if self.extended else 0)
+
+
+class CanResponseTimeAnalysis:
+    """Non-preemptive fixed-priority WCRT analysis of one CAN segment.
+
+    Parameters
+    ----------
+    frames:
+        Frame streams sharing the bus.  Arbitration keys must be unique
+        (identical identifiers from two nodes are a protocol violation).
+    bitrate_bps:
+        Nominal bus bitrate.
+    event_models:
+        Optional per-stream :class:`EventModel` overrides — this is how the
+        system-level fixpoint injects propagated activation jitter.
+    max_iterations:
+        Safety bound on each queueing-delay fixpoint.
+    memo:
+        Optional mapping shared across analyses; whole-segment results are
+        memoized on the exact parameter tuple (see :meth:`analysis_key`), so
+        re-analysing an unchanged bus during an update sweep or a system
+        fixpoint is a dictionary lookup.
+    """
+
+    def __init__(self, frames: List[FrameSpec], bitrate_bps: float,
+                 event_models: Optional[Mapping[str, EventModel]] = None,
+                 max_iterations: int = 10_000,
+                 memo: Optional[Dict] = None) -> None:
+        if bitrate_bps <= 0:
+            raise CanAnalysisError("bitrate must be positive")
+        seen_names = set()
+        seen_keys = set()
+        for frame in frames:
+            if frame.name in seen_names:
+                raise CanAnalysisError(f"duplicate frame stream name {frame.name!r}")
+            key = frame.arbitration_key()
+            if key in seen_keys:
+                raise CanAnalysisError(
+                    f"duplicate arbitration id {frame.can_id:#x}: identical "
+                    "identifiers from two streams are a protocol violation")
+            seen_names.add(frame.name)
+            seen_keys.add(key)
+        #: Streams in arbitration order (highest priority first).
+        self.frames = sorted(frames, key=FrameSpec.arbitration_key)
+        self.bitrate_bps = bitrate_bps
+        self.max_iterations = max_iterations
+        self._event_models = dict(event_models or {})
+        self._memo = memo
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _model_params(self, frame: FrameSpec) -> Tuple[float, float]:
+        override = self._event_models.get(frame.name)
+        if override is not None:
+            return override.period, override.jitter
+        return frame.period, frame.jitter
+
+    def transmission_time(self, name: str) -> float:
+        """Transmission time of the named stream's frames."""
+        for frame in self.frames:
+            if frame.name == name:
+                return frame.transmission_time(self.bitrate_bps)
+        raise CanAnalysisError(f"unknown frame stream {name!r}")
+
+    def utilization(self) -> float:
+        """Bus utilization of the analysed streams (worst-case bit lengths)."""
+        return sum(frame.transmission_time(self.bitrate_bps)
+                   / self._model_params(frame)[0]
+                   for frame in self.frames)
+
+    def analysis_key(self) -> Tuple:
+        """Exact identity of everything the segment analysis depends on."""
+        return (round(self.bitrate_bps, 6), tuple(
+            (f.name, f.can_id, f.extended, f.dlc, f.period, f.jitter, f.deadline)
+            + self._model_params(f)
+            for f in self.frames))
+
+    # -- single-stream analysis --------------------------------------------
+
+    def response_time(self, frame: FrameSpec) -> ResponseTimeResult:
+        """WCRT of one frame stream (queueing + transmission).
+
+        Multiple-activation busy-window formulation of the non-preemptive
+        analysis: the queueing delay of instance ``q`` solves
+
+            w = B + (q - 1) * C + sum_hp ceil((w + J_j + tau_bit) / T_j) * C_j
+
+        where ``B`` is the longest lower-priority frame (non-preemptive
+        blocking) and ``tau_bit`` accounts for a higher-priority frame that
+        is queued in the same bit time the arbitration decision falls.
+        The response of instance ``q`` is ``w + C`` measured from the
+        stream's periodic reference, i.e. including the release jitter.
+        """
+        bitrate = self.bitrate_bps
+        tau_bit = 1.0 / bitrate
+        wcet = frame.transmission_time(bitrate)
+        own_key = frame.arbitration_key()
+        own_period, own_jitter = self._model_params(frame)
+        deadline = frame.deadline if frame.deadline is not None else frame.period
+
+        blocking = 0.0
+        hp_params: List[Tuple[float, float, float]] = []
+        for other in self.frames:
+            if other.name == frame.name:
+                continue
+            if other.arbitration_key() < own_key:
+                period, jitter = self._model_params(other)
+                hp_params.append((period, jitter, other.transmission_time(bitrate)))
+            else:
+                blocking = max(blocking, other.transmission_time(bitrate))
+
+        task = Task(name=frame.name, period=own_period, wcet=wcet,
+                    deadline=deadline, priority=frame.can_id, jitter=own_jitter,
+                    component=frame.sender, criticality="QM")
+
+        ceil = math.ceil
+        busy_window_limit = max(deadline, own_period) * 64
+        worst_response = 0.0
+        iterations_total = 0
+        q = 1
+        busy_window = 0.0
+        completions: List[float] = []
+        while True:
+            queueing = blocking + (q - 1) * wcet
+            fixpoint_reached = False
+            for _ in range(self.max_iterations):
+                interference = sum(
+                    int(ceil((queueing + jitter + tau_bit) / period - _EPS)) * hp_wcet
+                    for period, jitter, hp_wcet in hp_params)
+                new_queueing = blocking + (q - 1) * wcet + interference
+                if abs(new_queueing - queueing) <= _EPS:
+                    queueing = new_queueing
+                    fixpoint_reached = True
+                    break
+                queueing = new_queueing
+                iterations_total += 1
+                if queueing > busy_window_limit:
+                    return ResponseTimeResult(task=task, wcrt=None, converged=False,
+                                              schedulable=False, busy_window=queueing,
+                                              iterations=iterations_total)
+            if not fixpoint_reached:
+                # The iteration budget ran out below the divergence bound;
+                # the candidate queueing delay is a lower bound only, so no
+                # sound WCRT can be claimed.
+                return ResponseTimeResult(task=task, wcrt=None, converged=False,
+                                          schedulable=False, busy_window=queueing,
+                                          iterations=iterations_total)
+            completion = queueing + wcet
+            release = max(0.0, (q - 1) * own_period - own_jitter) if q > 1 else 0.0
+            response = completion - release + own_jitter
+            worst_response = max(worst_response, response)
+            busy_window = completion
+            completions.append(completion)
+            if completion <= max(0.0, q * own_period - own_jitter) + _EPS:
+                break
+            q += 1
+            if blocking + q * wcet > busy_window_limit:
+                return ResponseTimeResult(task=task, wcrt=None, converged=False,
+                                          schedulable=False, busy_window=busy_window,
+                                          iterations=iterations_total)
+
+        schedulable = worst_response <= deadline + _EPS
+        return ResponseTimeResult(task=task, wcrt=worst_response, converged=True,
+                                  schedulable=schedulable, busy_window=busy_window,
+                                  iterations=iterations_total,
+                                  completions=tuple(completions))
+
+    # -- whole segment -----------------------------------------------------
+
+    def analyse(self) -> Dict[str, ResponseTimeResult]:
+        """Analyse every stream; returns a mapping stream name -> result.
+
+        When a shared ``memo`` was given, the whole-segment result is
+        memoized on :meth:`analysis_key`; callers receive a fresh dict, the
+        :class:`ResponseTimeResult` values are shared and read-only.
+        """
+        memo = self._memo
+        key = None
+        if memo is not None:
+            key = self.analysis_key()
+            cached = memo.get(key)
+            if cached is not None:
+                return dict(cached)
+        results = {frame.name: self.response_time(frame) for frame in self.frames}
+        if memo is not None:
+            memo[key] = results
+        return dict(results)
+
+    def schedulable(self) -> bool:
+        """Whether every frame stream meets its deadline."""
+        return all(result.schedulable for result in self.analyse().values())

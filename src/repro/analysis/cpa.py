@@ -260,7 +260,11 @@ class EndToEndPath:
     communication_delays: List[float] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        if self.communication_delays and len(self.communication_delays) != max(0, len(self.tasks) - 1):
+        if not self.tasks:
+            # An empty chain has no latency to bound; silently reporting 0.0
+            # (and therefore "schedulable") hid configuration errors.
+            raise ValueError(f"path {self.name!r}: task chain must not be empty")
+        if self.communication_delays and len(self.communication_delays) != len(self.tasks) - 1:
             raise ValueError("need exactly one communication delay per hop")
 
 
@@ -269,8 +273,17 @@ def end_to_end_latency(path: EndToEndPath,
     """Compose a worst-case end-to-end latency along a task chain.
 
     Uses the simple (pessimistic) summation of per-task WCRTs plus
-    communication delays, which corresponds to an asynchronous
-    register-sampling chain.  Returns ``None`` if any hop is unschedulable.
+    caller-supplied communication delays, which corresponds to an
+    asynchronous register-sampling chain.  Returns ``None`` if any hop is
+    unschedulable.
+
+    This helper is kept as the *pessimistic fallback* for chains whose
+    resources were analysed in isolation.  For distributed chains, prefer
+    the jitter-aware bound of
+    :meth:`repro.analysis.compositional.SystemAnalysisResult.chain_latency`:
+    it derives the communication hop from the CAN response-time analysis
+    instead of a constant and does not re-pay the upstream jitter at every
+    hop, so it is never larger than this summation.
     """
     total = 0.0
     for index, task in enumerate(path.tasks):

@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.core.arbitration import ArbitrationPolicy
 from repro.mcc.mapping import MappingStrategy
+from repro.scenarios.distributed_e2e import run_distributed_e2e_scenario
 from repro.scenarios.fleet_campaign import run_fleet_campaign_scenario
 from repro.scenarios.infield_update import run_infield_update_scenario
 from repro.scenarios.intrusion import run_intrusion_scenario
@@ -242,6 +243,28 @@ def _extract_fleet_campaign(result: Any) -> Dict[str, Any]:
     }
 
 
+def _extract_distributed_e2e(result: Any) -> Dict[str, Any]:
+    return {
+        "total_requests": result.total_requests,
+        "accepted": result.accepted,
+        "rejected": result.rejected,
+        "acceptance_rate": result.acceptance_rate,
+        "rejected_by_viewpoint": dict(result.rejected_by_viewpoint),
+        "rejected_distributed_only": result.rejected_distributed_only,
+        "baseline_latency_s": result.baseline_latency_s,
+        "final_latency_s": result.final_latency_s,
+        "worst_accepted_latency_s": result.worst_accepted_latency_s,
+        "chain_deadline_s": result.chain_deadline_s,
+        "deadline_held": result.deadline_held,
+        "fixpoint_iterations": result.fixpoint_iterations,
+        "bus_utilization": result.bus_utilization,
+        "final_version": result.final_version,
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
+        "baseline_rejected": result.baseline_rejected,
+    }
+
+
 def _extract_infield_update(result: Any) -> Dict[str, Any]:
     return {
         "total_requests": result.total_requests,
@@ -362,6 +385,33 @@ SCENARIOS.register(Scenario(
     bookkeeping=lambda result, params: {
         "sim_time_s": None,
         "event_count": result.admitted + result.rejected,
+    },
+))
+
+SCENARIOS.register(Scenario(
+    name="distributed_e2e_update",
+    summary="Cross-ECU update admission with end-to-end deadlines (E11)",
+    run_fn=run_distributed_e2e_scenario,
+    parameters=[
+        Parameter("num_updates", 12, "length of the update campaign", coerce=int),
+        Parameter("seed", 0, "campaign/background-traffic generation seed", coerce=int),
+        Parameter("update_utilization", 0.06, "mean processor demand per added app"),
+        Parameter("risky_fraction", 0.25,
+                  "fraction of updates that inflate the control WCET"),
+        Parameter("bitrate_bps", 500_000.0, "CAN segment bitrate"),
+        Parameter("num_background_frames", 4,
+                  "unmanaged frame streams sharing the bus", coerce=int),
+        Parameter("chain_deadline_s", 0.035,
+                  "end-to-end deadline of the sensor->control->actuator chain"),
+        Parameter("use_cache", True,
+                  "share one AnalysisCache across the campaign's analyses",
+                  coerce=bool),
+    ],
+    seed_param="seed",
+    extract=_extract_distributed_e2e,
+    bookkeeping=lambda result, params: {
+        "sim_time_s": None,
+        "event_count": result.total_requests,
     },
 ))
 

@@ -176,10 +176,11 @@ def builtin_specs() -> List[ExperimentSpec]:
     """The built-in sweep suite (what ``python -m repro.experiments run``
     executes when no spec file is given).
 
-    Spans five of the six scenarios with 23 runs total: the E5 arbitration-
+    Spans six of the seven scenarios with 25 runs total: the E5 arbitration-
     policy comparison over three seeds, the E6 strategy comparison, the E8
-    severity sweep, an E1 campaign sweep over the risky-update fraction and
-    an E10 fleet-rollout pair (clean vs failure-injected).
+    severity sweep, an E1 campaign sweep over the risky-update fraction, an
+    E10 fleet-rollout pair (clean vs failure-injected) and an E11
+    distributed-admission pair over the end-to-end deadline.
     """
     return [
         ExperimentSpec(
@@ -212,4 +213,10 @@ def builtin_specs() -> List[ExperimentSpec]:
             grid={"fleet_size": 24, "num_variants": 6,
                   "failure_injection_rate": [0.0, 0.5]},
             description="E10: staged fleet rollout, clean vs failure-injected"),
+        ExperimentSpec(
+            name="distributed-e2e",
+            scenario="distributed_e2e_update",
+            grid={"num_updates": 10, "chain_deadline_s": [0.03, 0.04]},
+            description="E11: cross-ECU admission, tight vs relaxed "
+                        "end-to-end deadline"),
     ]

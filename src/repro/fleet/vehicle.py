@@ -19,11 +19,12 @@ warm-starts the remaining variants off each other.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.analysis.cache import AnalysisCache
 from repro.contracts.language import ContractParser
 from repro.contracts.model import Contract
+from repro.mcc.acceptance import AcceptanceTest, default_acceptance_tests
 from repro.mcc.controller import MultiChangeController
 from repro.mcc.mapping import MappingStrategy
 from repro.platform.resources import NetworkResource, Platform, ProcessingResource
@@ -215,7 +216,11 @@ def build_vehicle_platform(variant: VehicleVariant, name: str) -> Platform:
 
 
 def generate_fleet(spec: FleetSpec,
-                   analysis_cache: Optional[AnalysisCache] = None) -> List["FleetVehicle"]:
+                   analysis_cache: Optional[AnalysisCache] = None,
+                   extra_acceptance_tests: Optional[
+                       Callable[["VehicleVariant", Platform],
+                                List[AcceptanceTest]]] = None
+                   ) -> List["FleetVehicle"]:
     """Instantiate a fleet: per-vehicle platforms and MCCs, baselines deployed.
 
     Pass a shared :class:`AnalysisCache` to let all vehicles' timing
@@ -223,6 +228,12 @@ def generate_fleet(spec: FleetSpec,
     engine (the batched-admission mode); without it every vehicle admits in
     isolation (the sequential baseline).  Either way the fleet is a pure
     function of ``spec`` — verdicts cannot depend on the cache.
+
+    ``extra_acceptance_tests`` optionally extends every vehicle's default
+    viewpoint battery: the factory is called once per vehicle with its
+    variant and platform and returns additional tests (e.g. a
+    :class:`~repro.mcc.acceptance.DistributedTimingAcceptanceTest` checking
+    cross-ECU end-to-end deadlines during campaign admission).
     """
     variants = generate_variants(spec)
     contracts_by_variant = {variant.index: variant_contracts(variant, spec)
@@ -232,13 +243,18 @@ def generate_fleet(spec: FleetSpec,
         variant = variants[index % len(variants)]
         platform = build_vehicle_platform(variant, name=f"veh{index:04d}-platform")
         rte = RuntimeEnvironment(platform) if spec.deploy else None
+        acceptance_tests = None
+        if extra_acceptance_tests is not None:
+            acceptance_tests = (default_acceptance_tests(cache=analysis_cache)
+                                + list(extra_acceptance_tests(variant, platform)))
         mcc = MultiChangeController(platform, rte=rte,
+                                    acceptance_tests=acceptance_tests,
                                     mapping_strategy=spec.mapping_strategy,
                                     analysis_cache=analysis_cache)
         for contract in contracts_by_variant[variant.index]:
             report = mcc.add_component(contract)
             if not report.accepted:
-                if contract.component in _CORE_COMPONENTS:  # pragma: no cover
+                if contract.component in _CORE_COMPONENTS:
                     raise RuntimeError(
                         f"vehicle {index} rejected its baseline: {report.summary()}")
                 # An optional app that does not fit this build simply is not

@@ -18,6 +18,9 @@ from repro.mcc.acceptance import (
     AcceptanceResult,
     AcceptanceTest,
     TimingAcceptanceTest,
+    DistributedTimingAcceptanceTest,
+    DistributedChainSpec,
+    MessageSpec,
     SafetyAcceptanceTest,
     SecurityAcceptanceTest,
     ResourceAcceptanceTest,
@@ -38,6 +41,9 @@ __all__ = [
     "AcceptanceResult",
     "AcceptanceTest",
     "TimingAcceptanceTest",
+    "DistributedTimingAcceptanceTest",
+    "DistributedChainSpec",
+    "MessageSpec",
     "SafetyAcceptanceTest",
     "SecurityAcceptanceTest",
     "ResourceAcceptanceTest",

@@ -12,15 +12,20 @@ collect a per-viewpoint verdict.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol
+from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
 
 from repro.analysis.cache import AnalysisCache
+from repro.analysis.compositional import (CanAnalysisError, CauseEffectChain,
+                                          FrameSpec, SystemAnalysis,
+                                          SystemAnalysisResult,
+                                          SystemConfigurationError)
+from repro.analysis.compositional import SystemModel as AnalysisSystemModel
 from repro.analysis.cpa import ResponseTimeAnalysis
 from repro.analysis.incremental import IncrementalResponseTimeAnalysis
 from repro.analysis.safety import SafetyAnalysis
 from repro.analysis.threat import ThreatModel
 from repro.contracts.model import Contract
-from repro.platform.resources import Platform
+from repro.platform.resources import Platform, ResourceError
 from repro.platform.tasks import Task, TaskSet
 
 
@@ -115,6 +120,310 @@ class TimingAcceptanceTest:
                     findings.append(
                         f"{task_name} on {processor_name}: WCRT {wcrt} exceeds "
                         f"deadline {result.task.deadline:.4f}s")
+        return AcceptanceResult(viewpoint=self.viewpoint, passed=not findings,
+                                findings=findings, metrics=metrics)
+
+
+@dataclass(frozen=True)
+class MessageSpec:
+    """One CAN message stream of the distributed wiring.
+
+    ``sender``/``receiver`` are component names; the frame's activation rate
+    is the sender's contract period, its identifier decides bus arbitration.
+    The message is *active* only while both endpoints are deployed and
+    mapped — a partially deployed chain simply is not checked yet.
+    """
+
+    name: str
+    sender: str
+    receiver: str
+    can_id: int
+    dlc: int = 8
+    bus: str = "can0"
+    extended: bool = False
+
+
+@dataclass(frozen=True)
+class DistributedChainSpec:
+    """An end-to-end deadline over a chain of components and messages.
+
+    ``stages`` interleaves component names and :class:`MessageSpec` names
+    (e.g. ``("sensor", "sensor_data", "control", "actuator")``); consecutive
+    component stages are treated as a direct activation dependency on their
+    processors.  ``deadline`` bounds the latency from the first stage's
+    activation to the last stage's completion.
+    """
+
+    name: str
+    stages: Tuple[str, ...]
+    deadline: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stages", tuple(self.stages))
+        if not self.stages:
+            raise ValueError(f"chain {self.name!r}: stages must not be empty")
+        if self.deadline <= 0:
+            raise ValueError(f"chain {self.name!r}: deadline must be positive")
+
+
+class DistributedTimingAcceptanceTest:
+    """System-level timing viewpoint: CPUs, buses and end-to-end deadlines.
+
+    Where :class:`TimingAcceptanceTest` checks every processor in isolation,
+    this test builds a compositional system model from the candidate
+    configuration — per-processor task sets, CAN segments carrying the
+    declared :class:`MessageSpec` streams (plus any background frames), and
+    the activation links between them — runs the event-model propagation
+    fixpoint of :class:`~repro.analysis.compositional.SystemAnalysis`, and
+    verdicts a) per-item schedulability *under propagated jitter* and b) the
+    jitter-aware latency of every active :class:`DistributedChainSpec`
+    against its end-to-end deadline.  An update that keeps every ECU locally
+    schedulable can therefore still be rejected for breaking a distributed
+    cause-effect deadline — the case the per-processor test cannot see.
+
+    One :class:`SystemAnalysis` instance (optionally backed by a shared
+    :class:`AnalysisCache`) is reused across change requests, so acceptance
+    sweeps benefit from memoized/incrementally re-derived busy windows.
+    """
+
+    viewpoint = "distributed-timing"
+
+    def __init__(self, messages: Sequence[MessageSpec],
+                 chains: Sequence[DistributedChainSpec] = (),
+                 background_frames: Optional[Mapping[str, Sequence[FrameSpec]]] = None,
+                 speed_factor: float = 1.0,
+                 cache: Optional[AnalysisCache] = None,
+                 max_iterations: int = 64) -> None:
+        self.messages = list(messages)
+        self.chains = list(chains)
+        self._validate_messages()
+        self._validate_chain_stages()
+        self.background_frames = {bus: list(frames)
+                                  for bus, frames in (background_frames or {}).items()}
+        self.speed_factor = speed_factor
+        self.analysis = SystemAnalysis(cache=cache, max_iterations=max_iterations)
+        #: The most recent fixpoint result, for scenario/report introspection.
+        self.last_result: Optional[SystemAnalysisResult] = None
+        #: Chain name -> jitter-aware latency of the last evaluated candidate
+        #: (``None`` while a chain is partially deployed or unbounded).
+        self.last_chain_latencies: Dict[str, Optional[float]] = {}
+        #: Metrics of the last evaluated candidate.
+        self.last_metrics: Dict[str, float] = {}
+
+    def _validate_messages(self) -> None:
+        """Fail loudly at construction on message sets the activation-link
+        model cannot express.
+
+        Each receiver task is *activated* by its incoming message stream, so
+        it can have at most one activating message; a second message to the
+        same receiver would otherwise surface, much later, as a permanent
+        per-candidate rejection with a model-internal error.  Additional
+        traffic a component merely consumes belongs in ``background_frames``.
+        """
+        seen: Dict[str, str] = {}
+        for message in self.messages:
+            previous = seen.get(message.receiver)
+            if previous is not None:
+                raise ValueError(
+                    f"component {message.receiver!r} receives both "
+                    f"{previous!r} and {message.name!r}; the activation-link "
+                    "model supports one activating message per receiver — "
+                    "model additional consumed traffic as background frames")
+            seen[message.receiver] = message.name
+
+    def _validate_chain_stages(self) -> None:
+        """Reject chains whose stages contradict the declared message wiring.
+
+        A component stage next to a message stage must be that message's
+        endpoint — this catches the typo'd stage name that would otherwise
+        keep the chain permanently dormant (it would look like a component
+        that is simply never deployed, silently disabling the deadline
+        check).
+        """
+        by_name = {message.name: message for message in self.messages}
+        for chain in self.chains:
+            stages = chain.stages
+            for index, stage in enumerate(stages):
+                message = by_name.get(stage)
+                if message is None:
+                    continue
+                if index > 0 and stages[index - 1] not in by_name \
+                        and stages[index - 1] != message.sender:
+                    raise ValueError(
+                        f"chain {chain.name!r}: stage {stages[index - 1]!r} "
+                        f"precedes message {stage!r} but its sender is "
+                        f"{message.sender!r}")
+                if index + 1 < len(stages) and stages[index + 1] not in by_name \
+                        and stages[index + 1] != message.receiver:
+                    raise ValueError(
+                        f"chain {chain.name!r}: stage {stages[index + 1]!r} "
+                        f"follows message {stage!r} but its receiver is "
+                        f"{message.receiver!r}")
+
+    # -- model construction ------------------------------------------------
+
+    def _active_messages(self, components: Dict[str, Contract],
+                         mapping: Dict[str, str]) -> List[MessageSpec]:
+        active = []
+        for message in self.messages:
+            sender = components.get(message.sender)
+            receiver = components.get(message.receiver)
+            if sender is None or receiver is None:
+                continue  # endpoint not deployed yet
+            if sender.timing is None or receiver.timing is None:
+                continue
+            if message.sender not in mapping or message.receiver not in mapping:
+                continue
+            active.append(message)
+        return active
+
+    def _chain_hops(self, chain: DistributedChainSpec,
+                    components: Dict[str, Contract], mapping: Dict[str, str],
+                    active_messages: Dict[str, MessageSpec]
+                    ) -> Optional[List[Tuple[str, str]]]:
+        """Resource/item hops of a chain, or ``None`` while partially deployed."""
+        hops: List[Tuple[str, str]] = []
+        for stage in chain.stages:
+            if stage in active_messages:
+                hops.append((active_messages[stage].bus, stage))
+            elif any(message.name == stage for message in self.messages):
+                return None  # message exists but is not active yet
+            elif (stage in components and stage in mapping
+                  and components[stage].timing is not None):
+                # Components without a timing contract have no task to
+                # analyse; like an undeclared endpoint, they keep the chain
+                # dormant rather than rejecting every candidate.
+                hops.append((mapping[stage], f"{stage}.task"))
+            else:
+                return None
+        return hops
+
+    def _build_model(self, contracts: List[Contract], mapping: Dict[str, str],
+                     priorities: Dict[str, int], platform: Platform,
+                     findings: List[str]
+                     ) -> Tuple[Optional[AnalysisSystemModel],
+                                Dict[str, List[Tuple[str, str]]]]:
+        components = {contract.component: contract for contract in contracts}
+        tasksets = tasksets_from_mapping(contracts, mapping, priorities)
+        model = AnalysisSystemModel()
+        for processor_name, taskset in sorted(tasksets.items()):
+            model.add_processor(processor_name, taskset,
+                                speed_factor=self.speed_factor)
+
+        active = self._active_messages(components, mapping)
+        frames_by_bus: Dict[str, List[FrameSpec]] = {
+            bus: list(frames) for bus, frames in self.background_frames.items()}
+        for message in active:
+            sender = components[message.sender]
+            try:
+                frames_by_bus.setdefault(message.bus, []).append(FrameSpec(
+                    name=message.name, can_id=message.can_id,
+                    period=sender.timing.period, dlc=message.dlc,
+                    extended=message.extended, sender=message.sender))
+            except CanAnalysisError as exc:
+                findings.append(f"message {message.name}: {exc}")
+                return None, {}
+        for bus_name, frames in sorted(frames_by_bus.items()):
+            try:
+                bitrate = platform.network(bus_name).bandwidth_bps
+            except ResourceError:
+                findings.append(f"bus {bus_name!r} is not a network of the platform")
+                return None, {}
+            try:
+                model.add_bus(bus_name, frames, bitrate)
+            except (SystemConfigurationError, CanAnalysisError) as exc:
+                # Duplicate stream names/identifiers (e.g. a message colliding
+                # with background traffic) reject the candidate, they must
+                # not abort the admission process.
+                findings.append(str(exc))
+                return None, {}
+
+        for message in active:
+            sender_task = (mapping[message.sender], f"{message.sender}.task")
+            receiver_task = (mapping[message.receiver], f"{message.receiver}.task")
+            try:
+                if not model.has_link(*sender_task, message.bus, message.name):
+                    model.connect(*sender_task, message.bus, message.name)
+                if not model.has_link(message.bus, message.name, *receiver_task):
+                    model.connect(message.bus, message.name, *receiver_task)
+            except SystemConfigurationError as exc:
+                findings.append(f"message {message.name}: {exc}")
+                return None, {}
+
+        active_by_name = {message.name: message for message in active}
+        chain_hops: Dict[str, List[Tuple[str, str]]] = {}
+        for chain in self.chains:
+            hops = self._chain_hops(chain, components, mapping, active_by_name)
+            if hops is None:
+                continue  # chain not fully deployed yet
+            for (src_res, src), (dst_res, dst) in zip(hops, hops[1:]):
+                if model.has_link(src_res, src, dst_res, dst):
+                    continue
+                try:
+                    model.connect(src_res, src, dst_res, dst)
+                except SystemConfigurationError as exc:
+                    findings.append(f"chain {chain.name}: {exc}")
+                    return None, {}
+            chain_hops[chain.name] = hops
+        return model, chain_hops
+
+    # -- the acceptance run ------------------------------------------------
+
+    def run(self, contracts: List[Contract], mapping: Dict[str, str],
+            priorities: Dict[str, int], platform: Platform) -> AcceptanceResult:
+        """Evaluate the distributed timing viewpoint of a candidate."""
+        findings: List[str] = []
+        metrics: Dict[str, float] = {}
+        self.last_chain_latencies = {}
+        self.last_metrics = metrics
+        self.last_result = None
+        model, chain_hops = self._build_model(contracts, mapping, priorities,
+                                              platform, findings)
+        if model is None:
+            return AcceptanceResult(viewpoint=self.viewpoint, passed=False,
+                                    findings=findings, metrics=metrics)
+
+        result = self.analysis.analyse(model)
+        self.last_result = result
+        metrics["system.iterations"] = float(result.iterations)
+        for bus_name, bus in model.buses.items():
+            busy = sum(frame.transmission_time(bus.bitrate_bps) / frame.period
+                       for frame in bus.frames)
+            metrics[f"{bus_name}.utilization"] = busy
+        if result.diverged or not result.converged:
+            findings.append("event-model propagation diverged: no bounded "
+                            "system-level fixpoint exists for this candidate")
+        else:
+            for resource_name, per_item in sorted(result.results.items()):
+                for item_name, item_result in per_item.items():
+                    if item_result.schedulable:
+                        continue
+                    wcrt = (f"{item_result.wcrt:.4f}s" if item_result.wcrt is not None
+                            else "unbounded")
+                    findings.append(
+                        f"{item_name} on {resource_name}: WCRT {wcrt} exceeds "
+                        f"deadline {item_result.task.deadline:.4f}s under "
+                        "propagated jitter")
+        for chain in self.chains:
+            hops = chain_hops.get(chain.name)
+            # A dormant chain (some component not deployed yet) is skipped,
+            # but observably so.
+            metrics[f"{chain.name}.active"] = float(hops is not None)
+            if hops is None:
+                continue
+            latency = result.chain_latency(
+                CauseEffectChain(chain.name, hops=tuple(hops),
+                                 deadline=chain.deadline))
+            self.last_chain_latencies[chain.name] = latency
+            if latency is None:
+                findings.append(f"chain {chain.name}: end-to-end latency is "
+                                "unbounded")
+                continue
+            metrics[f"{chain.name}.latency_s"] = latency
+            if latency > chain.deadline:
+                findings.append(
+                    f"chain {chain.name}: end-to-end latency {latency:.4f}s "
+                    f"exceeds deadline {chain.deadline:.4f}s")
         return AcceptanceResult(viewpoint=self.viewpoint, passed=not findings,
                                 findings=findings, metrics=metrics)
 

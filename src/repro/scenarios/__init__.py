@@ -11,6 +11,7 @@ from repro.scenarios.platooning_fog import FogPlatooningResult, run_fog_platooni
 from repro.scenarios.weather_routing import WeatherRoutingResult, run_weather_routing_scenario
 from repro.scenarios.infield_update import InFieldUpdateResult, run_infield_update_scenario
 from repro.scenarios.fleet_campaign import FleetCampaignResult, run_fleet_campaign_scenario
+from repro.scenarios.distributed_e2e import DistributedE2EResult, run_distributed_e2e_scenario
 
 __all__ = [
     "IntrusionScenarioResult",
@@ -26,4 +27,6 @@ __all__ = [
     "run_infield_update_scenario",
     "FleetCampaignResult",
     "run_fleet_campaign_scenario",
+    "DistributedE2EResult",
+    "run_distributed_e2e_scenario",
 ]

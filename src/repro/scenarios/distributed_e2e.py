@@ -1,0 +1,271 @@
+"""Scenario: distributed end-to-end admission under in-field updates (E11).
+
+The paper's integration story targets *distributed* automotive systems —
+ECUs communicating over CAN.  This scenario exercises the compositional
+analysis subsystem on the canonical distributed control function:
+
+    sensor (ECU1) --[sensor_data frame]--> control (ECU2)
+                  --[actuator_cmd frame]--> actuator (ECU1)
+
+A cause-effect deadline spans the whole chain.  The MCC admits a stream of
+in-field updates — well-behaved apps that load the ECUs plus risky control
+re-deployments that inflate the control WCET — through the default
+viewpoint battery *extended by* a
+:class:`~repro.mcc.acceptance.DistributedTimingAcceptanceTest`.  The
+interesting verdicts are the ones the per-processor timing test cannot
+produce: candidates whose every ECU stays locally schedulable but whose
+propagated jitter pushes the chain past its end-to-end deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.compositional import FrameSpec
+from repro.contracts.language import ContractParser
+from repro.contracts.model import Contract
+from repro.mcc.acceptance import (DistributedChainSpec,
+                                  DistributedTimingAcceptanceTest, MessageSpec,
+                                  default_acceptance_tests)
+from repro.mcc.configuration import ChangeKind, ChangeRequest
+from repro.mcc.controller import MultiChangeController
+from repro.platform.resources import NetworkResource, Platform, ProcessingResource
+from repro.sim.random import SeededRNG
+
+#: The end-to-end chain the scenario admits against.
+CHAIN_NAME = "sense-control-actuate"
+
+
+@dataclass
+class DistributedE2EResult:
+    """Metrics of one distributed update-admission campaign."""
+
+    total_requests: int
+    accepted: int
+    rejected: int
+    rejected_by_viewpoint: Dict[str, int] = field(default_factory=dict)
+    #: Rejections only the system-level analysis could produce: the
+    #: distributed-timing viewpoint failed while the per-processor timing
+    #: viewpoint passed.
+    rejected_distributed_only: int = 0
+    baseline_latency_s: Optional[float] = None
+    final_latency_s: Optional[float] = None
+    worst_accepted_latency_s: Optional[float] = None
+    chain_deadline_s: float = 0.0
+    fixpoint_iterations: int = 0
+    bus_utilization: float = 0.0
+    final_version: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: True when the sensor/control/actuator baseline itself was rejected
+    #: (extreme knob values, e.g. a bus saturated by background traffic);
+    #: the campaign then never ran and all other metrics are degenerate.
+    baseline_rejected: bool = False
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.total_requests if self.total_requests else 0.0
+
+    @property
+    def deadline_held(self) -> bool:
+        """Whether every *adopted* configuration kept the chain deadline."""
+        return (self.worst_accepted_latency_s is not None
+                and self.worst_accepted_latency_s <= self.chain_deadline_s)
+
+
+def build_distributed_platform(bitrate_bps: float = 500_000.0,
+                               ecu_capacity: float = 0.85) -> Platform:
+    """Two ECUs joined by one CAN segment.
+
+    The capacities are sized so the first-fit mapper *distributes* the
+    baseline: sensor and actuator fit ECU1, the control task spills to ECU2
+    — which is what makes the chain cross the bus.
+    """
+    platform = Platform(name="distributed-platform")
+    platform.add_processor(ProcessingResource("ecu1", capacity=ecu_capacity))
+    platform.add_processor(ProcessingResource("ecu2", capacity=ecu_capacity))
+    platform.add_network(NetworkResource("can0", bandwidth_bps=bitrate_bps))
+    return platform
+
+
+def baseline_contracts() -> List[Contract]:
+    """Sensor/control/actuator components of the distributed function."""
+    parser = ContractParser()
+    documents = [
+        {"component": "sensor", "timing": {"period": 0.02, "wcet": 0.009},
+         "safety": {"asil": "B"}, "security": {"level": "MEDIUM"},
+         "provides": ["samples"]},
+        {"component": "control", "timing": {"period": 0.02, "wcet": 0.010},
+         "safety": {"asil": "B"}, "security": {"level": "MEDIUM"},
+         "requires": [{"service": "samples"}], "provides": ["commands"]},
+        {"component": "actuator", "timing": {"period": 0.02, "wcet": 0.002},
+         "safety": {"asil": "B"}, "security": {"level": "MEDIUM"},
+         "requires": [{"service": "commands"}]},
+    ]
+    return parser.parse_many(documents)
+
+
+def chain_messages() -> List[MessageSpec]:
+    """The two CAN hops of the cause-effect chain."""
+    return [
+        MessageSpec("sensor_data", sender="sensor", receiver="control",
+                    can_id=0x100, dlc=8),
+        MessageSpec("actuator_cmd", sender="control", receiver="actuator",
+                    can_id=0x110, dlc=4),
+    ]
+
+
+def background_traffic(count: int, seed: int) -> List[FrameSpec]:
+    """Unmanaged bus traffic (diagnostics, body electronics) the chain
+    shares the segment with; roughly half of it out-arbitrates the chain
+    frames."""
+    rng = SeededRNG(seed)
+    frames: List[FrameSpec] = []
+    for index in range(count):
+        high_priority = index % 2 == 0
+        can_id = (0x060 + index) if high_priority else (0x200 + index)
+        frames.append(FrameSpec(
+            name=f"bg{index:02d}", can_id=can_id,
+            period=rng.choice([0.005, 0.01, 0.02, 0.05]),
+            dlc=rng.choice([2, 4, 8])))
+    return frames
+
+
+def generate_update_requests(count: int, seed: int, update_utilization: float,
+                             risky_fraction: float) -> List[ChangeRequest]:
+    """The in-field campaign: app additions plus risky control inflations.
+
+    App additions load whichever ECU the mapper picks (raising local
+    interference and, through jitter propagation, the chain latency);
+    risky requests re-deploy the ``control`` component with an inflated
+    WCET — individually admissible per ECU, but eventually fatal for the
+    end-to-end deadline.
+    """
+    rng = SeededRNG(seed)
+    parser = ContractParser()
+    requests: List[ChangeRequest] = []
+    control_wcet = 0.010
+    for index in range(count):
+        if rng.uniform() < risky_fraction:
+            control_wcet *= rng.uniform(1.15, 1.4)
+            document = {
+                "component": "control",
+                "timing": {"period": 0.02, "wcet": min(control_wcet, 0.018)},
+                "safety": {"asil": "B"}, "security": {"level": "MEDIUM"},
+                "requires": [{"service": "samples"}], "provides": ["commands"]}
+            requests.append(ChangeRequest(kind=ChangeKind.UPDATE_COMPONENT,
+                                          component="control",
+                                          contract=parser.parse(document)))
+            continue
+        name = f"app{index:03d}"
+        period = rng.choice([0.01, 0.02, 0.05])
+        utilization = update_utilization * rng.uniform(0.6, 1.4)
+        document = {
+            "component": name,
+            "timing": {"period": period,
+                       "wcet": max(1e-6, min(utilization, 0.9) * period)},
+            "safety": {"asil": rng.choice(["QM", "A", "B"])},
+            "security": {"level": "MEDIUM"},
+            "provides": [f"service_{name}"]}
+        requests.append(ChangeRequest(kind=ChangeKind.ADD_COMPONENT,
+                                      component=name,
+                                      contract=parser.parse(document)))
+    return requests
+
+
+def run_distributed_e2e_scenario(num_updates: int = 12, seed: int = 0,
+                                 update_utilization: float = 0.06,
+                                 risky_fraction: float = 0.25,
+                                 bitrate_bps: float = 500_000.0,
+                                 num_background_frames: int = 4,
+                                 chain_deadline_s: float = 0.035,
+                                 use_cache: bool = True
+                                 ) -> DistributedE2EResult:
+    """Run one distributed update-admission campaign (E11).
+
+    Deploys the sensor/control/actuator baseline across two ECUs, then
+    admits ``num_updates`` change requests through the MCC whose battery
+    includes the system-level :class:`DistributedTimingAcceptanceTest`.
+    """
+    cache = AnalysisCache() if use_cache else None
+    platform = build_distributed_platform(bitrate_bps=bitrate_bps)
+    distributed = DistributedTimingAcceptanceTest(
+        messages=chain_messages(),
+        chains=[DistributedChainSpec(
+            CHAIN_NAME,
+            stages=("sensor", "sensor_data", "control", "actuator_cmd", "actuator"),
+            deadline=chain_deadline_s)],
+        background_frames={"can0": background_traffic(num_background_frames,
+                                                      seed=seed + 17)},
+        cache=cache)
+    tests = default_acceptance_tests(cache=cache) + [distributed]
+    mcc = MultiChangeController(platform, acceptance_tests=tests)
+    for contract in baseline_contracts():
+        report = mcc.add_component(contract)
+        if not report.accepted:
+            # Extreme knob values (e.g. background traffic saturating the
+            # bus) can make the baseline itself inadmissible; that is a
+            # legitimate sweep outcome, not a crash.
+            return DistributedE2EResult(
+                total_requests=0, accepted=0, rejected=0,
+                chain_deadline_s=chain_deadline_s, baseline_rejected=True,
+                cache_hits=cache.hits if cache is not None else 0,
+                cache_misses=cache.misses if cache is not None else 0)
+    baseline_latency = distributed.last_chain_latencies.get(CHAIN_NAME)
+
+    requests = generate_update_requests(num_updates, seed=seed,
+                                        update_utilization=update_utilization,
+                                        risky_fraction=risky_fraction)
+    rejected_by_viewpoint: Dict[str, int] = {}
+    rejected_distributed_only = 0
+    accepted = 0
+    final_latency = baseline_latency
+    worst_latency = baseline_latency
+    # Metrics of the last *adopted* configuration (a rejected final candidate
+    # must not leak its system model into the campaign record).
+    adopted_result = distributed.last_result
+    adopted_metrics = dict(distributed.last_metrics)
+    for request in requests:
+        report = mcc.request_change(request)
+        if report.accepted:
+            accepted += 1
+            adopted_result = distributed.last_result
+            adopted_metrics = dict(distributed.last_metrics)
+            latency = distributed.last_chain_latencies.get(CHAIN_NAME)
+            if latency is not None:
+                final_latency = latency
+                worst_latency = (latency if worst_latency is None
+                                 else max(worst_latency, latency))
+            continue
+        for viewpoint in report.failed_viewpoints():
+            rejected_by_viewpoint[viewpoint] = rejected_by_viewpoint.get(viewpoint, 0) + 1
+        if not report.acceptance_results and report.findings:
+            # Rejected before the acceptance phase (mapping/contract stage).
+            bucket = ("mapping" if any("no processor can host" in finding
+                                       for finding in report.findings)
+                      else "functional")
+            rejected_by_viewpoint[bucket] = rejected_by_viewpoint.get(bucket, 0) + 1
+        failed = set(report.failed_viewpoints())
+        if (distributed.viewpoint in failed
+                and report.acceptance_results.get("timing", False)):
+            rejected_distributed_only += 1
+
+    result = adopted_result
+    metrics = adopted_metrics
+    return DistributedE2EResult(
+        total_requests=len(requests),
+        accepted=accepted,
+        rejected=len(requests) - accepted,
+        rejected_by_viewpoint=rejected_by_viewpoint,
+        rejected_distributed_only=rejected_distributed_only,
+        baseline_latency_s=baseline_latency,
+        final_latency_s=final_latency,
+        worst_accepted_latency_s=worst_latency,
+        chain_deadline_s=chain_deadline_s,
+        fixpoint_iterations=result.iterations if result is not None else 0,
+        bus_utilization=metrics.get("can0.utilization", 0.0),
+        final_version=mcc.version,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0)

@@ -1,0 +1,102 @@
+"""Tests for the E11 distributed end-to-end update-admission scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import SCENARIOS, run_scenario
+from repro.experiments.spec import builtin_specs
+from repro.scenarios.distributed_e2e import (CHAIN_NAME,
+                                             build_distributed_platform,
+                                             baseline_contracts,
+                                             generate_update_requests,
+                                             run_distributed_e2e_scenario)
+
+
+class TestScenario:
+    def test_baseline_is_distributed_and_measured(self):
+        result = run_distributed_e2e_scenario(num_updates=0)
+        assert result.total_requests == 0
+        assert result.baseline_latency_s is not None
+        assert 0 < result.baseline_latency_s < result.chain_deadline_s
+        assert result.fixpoint_iterations > 1
+        assert result.bus_utilization > 0
+
+    def test_campaign_produces_distributed_only_rejections(self):
+        """The scenario's raison d'etre: candidates every local analysis
+        accepts are rejected by the system-level viewpoint."""
+        result = run_distributed_e2e_scenario(seed=1)
+        assert result.rejected_distributed_only > 0
+        assert result.rejected_by_viewpoint.get("distributed-timing", 0) > 0
+
+    def test_every_adopted_configuration_keeps_the_deadline(self):
+        for seed in range(3):
+            result = run_distributed_e2e_scenario(seed=seed)
+            assert result.deadline_held
+            assert result.worst_accepted_latency_s <= result.chain_deadline_s
+
+    def test_deterministic_per_seed(self):
+        first = run_distributed_e2e_scenario(seed=3)
+        second = run_distributed_e2e_scenario(seed=3)
+        assert first == second
+
+    def test_cache_is_exercised_but_verdict_invisible(self):
+        cached = run_distributed_e2e_scenario(seed=2, use_cache=True)
+        uncached = run_distributed_e2e_scenario(seed=2, use_cache=False)
+        assert cached.cache_hits > 0
+        assert uncached.cache_hits == 0
+        assert (cached.accepted, cached.rejected, cached.final_latency_s) == \
+            (uncached.accepted, uncached.rejected, uncached.final_latency_s)
+
+    def test_relaxed_deadline_admits_more(self):
+        tight = run_distributed_e2e_scenario(seed=1, chain_deadline_s=0.03)
+        relaxed = run_distributed_e2e_scenario(seed=1, chain_deadline_s=0.06)
+        assert relaxed.accepted >= tight.accepted
+        assert relaxed.rejected_distributed_only <= tight.rejected_distributed_only
+
+    def test_saturating_background_traffic_is_a_result_not_a_crash(self):
+        """Regression: a bus saturated by the sweepable background-traffic
+        knob used to raise RuntimeError and kill the whole sweep."""
+        result = run_distributed_e2e_scenario(num_updates=2,
+                                              num_background_frames=30)
+        assert result.baseline_rejected
+        assert result.total_requests == 0
+        clean = run_distributed_e2e_scenario(num_updates=2)
+        assert not clean.baseline_rejected
+
+    def test_update_generator_mixes_apps_and_control_inflations(self):
+        requests = generate_update_requests(30, seed=0, update_utilization=0.06,
+                                            risky_fraction=0.3)
+        components = [request.component for request in requests]
+        assert "control" in components
+        assert any(component.startswith("app") for component in components)
+
+    def test_platform_shape(self):
+        platform = build_distributed_platform()
+        assert [p.name for p in platform.processors()] == ["ecu1", "ecu2"]
+        assert platform.network("can0").bandwidth_bps == 500_000.0
+        assert len(baseline_contracts()) == 3
+
+
+class TestRegistryIntegration:
+    def test_registered_with_seed_param(self):
+        scenario = SCENARIOS.get("distributed_e2e_update")
+        assert scenario.seed_param == "seed"
+        assert "chain_deadline_s" in scenario.parameter_names()
+
+    def test_run_record_is_flat_and_json_ready(self):
+        record = run_scenario("distributed_e2e_update", num_updates=4, seed=5)
+        assert record["total_requests"] == 4
+        assert record["accepted"] + record["rejected"] == 4
+        assert 0.0 <= record["acceptance_rate"] <= 1.0
+        assert record["chain_deadline_s"] == pytest.approx(0.035)
+        assert record["event_count"] == 4
+        assert isinstance(record["rejected_by_viewpoint"], dict)
+        assert CHAIN_NAME  # the chain the latencies in the record refer to
+
+    def test_builtin_suite_includes_the_e11_pair(self):
+        specs = {spec.name: spec for spec in builtin_specs()}
+        assert "distributed-e2e" in specs
+        spec = specs["distributed-e2e"]
+        assert spec.scenario == "distributed_e2e_update"
+        assert spec.num_runs() == 2

@@ -1,0 +1,55 @@
+"""Registry <-> documentation consistency.
+
+Every scenario registered in the experiment registry must be documented in
+``docs/SCENARIOS.md`` (a ``### `name` ...`` section) and appear in the
+README's capability table or scenario docs link path; every documented
+scenario section must correspond to a registered scenario.  This keeps the
+catalog from silently drifting as scenarios are added.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import SCENARIOS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCENARIOS_MD = REPO_ROOT / "docs" / "SCENARIOS.md"
+
+
+def documented_scenario_names() -> set:
+    text = SCENARIOS_MD.read_text(encoding="utf-8")
+    return set(re.findall(r"^### `([a-z0-9_]+)`", text, flags=re.MULTILINE))
+
+
+@pytest.mark.parametrize("name", sorted(s.name for s in SCENARIOS))
+def test_every_registered_scenario_is_documented(name):
+    assert name in documented_scenario_names(), (
+        f"scenario {name!r} is registered but has no '### `{name}`' section "
+        f"in docs/SCENARIOS.md")
+
+
+def test_every_documented_scenario_is_registered():
+    unknown = documented_scenario_names() - set(SCENARIOS.names())
+    assert not unknown, (
+        f"docs/SCENARIOS.md documents unregistered scenarios: {sorted(unknown)}")
+
+
+def test_scenario_knob_tables_cover_all_parameters():
+    """Each scenario section's knob table lists every registry parameter."""
+    text = SCENARIOS_MD.read_text(encoding="utf-8")
+    sections = re.split(r"^### ", text, flags=re.MULTILINE)
+    by_name = {}
+    for section in sections[1:]:
+        match = re.match(r"`([a-z0-9_]+)`", section)
+        if match:
+            by_name[match.group(1)] = section
+    for scenario in SCENARIOS:
+        section = by_name[scenario.name]
+        for parameter in scenario.parameters:
+            assert f"`{parameter.name}`" in section, (
+                f"docs/SCENARIOS.md section for {scenario.name!r} does not "
+                f"mention parameter `{parameter.name}`")

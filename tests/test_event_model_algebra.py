@@ -1,0 +1,90 @@
+"""Property tests for the periodic-with-jitter event-model algebra.
+
+``eta_plus`` (max activations per window) and ``delta_min`` (min distance
+over n activations) are pseudo-inverses; the system-level fixpoint leans on
+their consistency and on jitter monotonicity (wider jitter can only mean
+more activations per window and shorter minimum distances), so both are
+pinned here over randomized models.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cpa import EventModel
+
+periods = st.floats(min_value=1e-3, max_value=10.0,
+                    allow_nan=False, allow_infinity=False)
+jitters = st.floats(min_value=0.0, max_value=20.0,
+                    allow_nan=False, allow_infinity=False)
+windows = st.floats(min_value=0.0, max_value=100.0,
+                    allow_nan=False, allow_infinity=False)
+counts = st.integers(min_value=1, max_value=200)
+
+
+class TestPseudoInverseConsistency:
+    @settings(max_examples=200, deadline=None)
+    @given(period=periods, jitter=jitters, n=counts)
+    def test_window_spanning_delta_min_contains_n_events(self, period, jitter, n):
+        """A window strictly longer than delta_min(n) holds >= n activations."""
+        model = EventModel(period=period, jitter=jitter)
+        window = model.delta_min(n) + period / 2
+        assert model.eta_plus(window) >= n
+
+    @settings(max_examples=200, deadline=None)
+    @given(period=periods, jitter=jitters, dt=windows)
+    def test_events_of_a_window_fit_into_it(self, period, jitter, dt):
+        """The eta_plus(dt) activations of a window span at most dt."""
+        model = EventModel(period=period, jitter=jitter)
+        count = model.eta_plus(dt)
+        if count >= 1:
+            assert model.delta_min(count) <= dt + 1e-9 * max(1.0, dt)
+
+    @settings(max_examples=200, deadline=None)
+    @given(period=periods, jitter=jitters, n=counts)
+    def test_delta_min_is_superadditively_monotone(self, period, jitter, n):
+        model = EventModel(period=period, jitter=jitter)
+        assert model.delta_min(n + 1) >= model.delta_min(n)
+        assert model.delta_min(1) == 0.0
+
+    @settings(max_examples=200, deadline=None)
+    @given(period=periods, jitter=jitters, dt=windows)
+    def test_eta_plus_is_monotone_in_the_window(self, period, jitter, dt):
+        model = EventModel(period=period, jitter=jitter)
+        assert model.eta_plus(dt) <= model.eta_plus(dt + period)
+        assert model.eta_plus(0.0) == 0
+
+
+class TestJitterPropagationMonotonicity:
+    """The fixpoint only ever widens jitter; both curves must respond
+    monotonically or the iteration could oscillate."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(period=periods, jitter=jitters, extra=jitters, dt=windows, n=counts)
+    def test_wider_jitter_never_decreases_eta_nor_increases_delta(
+            self, period, jitter, extra, dt, n):
+        narrow = EventModel(period=period, jitter=jitter)
+        wide = narrow.with_jitter(jitter + extra)
+        assert wide.eta_plus(dt) >= narrow.eta_plus(dt)
+        assert wide.delta_min(n) <= narrow.delta_min(n)
+
+    @settings(max_examples=100, deadline=None)
+    @given(period=periods, jitter=jitters, extra=jitters)
+    def test_with_jitter_preserves_the_period(self, period, jitter, extra):
+        model = EventModel(period=period, jitter=jitter)
+        assert model.with_jitter(extra).period == period
+        assert model.with_jitter(extra).jitter == extra
+
+    def test_zero_jitter_is_strictly_periodic(self):
+        model = EventModel(period=2.0)
+        assert [model.eta_plus(dt) for dt in (0.5, 2.0, 4.0, 6.0)] == [1, 1, 2, 3]
+        assert model.delta_min(3) == pytest.approx(4.0)
+
+    def test_jitter_compresses_consecutive_activations(self):
+        model = EventModel(period=2.0, jitter=3.0)
+        # Two activations may arrive back-to-back, three within one period.
+        assert model.delta_min(2) == 0.0
+        assert model.delta_min(3) == pytest.approx(1.0)
+        assert model.eta_plus(1.0) == 2

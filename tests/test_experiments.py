@@ -26,10 +26,11 @@ from repro.sim.random import derive_seed
 
 
 class TestRegistry:
-    """The scenario registry wraps all six scenarios uniformly."""
+    """The scenario registry wraps all seven scenarios uniformly."""
 
-    def test_all_six_scenarios_registered(self):
-        assert SCENARIOS.names() == ["fleet_update_campaign", "fog_platooning",
+    def test_all_seven_scenarios_registered(self):
+        assert SCENARIOS.names() == ["distributed_e2e_update",
+                                     "fleet_update_campaign", "fog_platooning",
                                      "infield_update", "intrusion", "thermal",
                                      "weather_routing"]
 

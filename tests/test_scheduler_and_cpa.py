@@ -98,6 +98,19 @@ class TestResponseTimeAnalysis:
         path = EndToEndPath("chain", tasks=[taskset.get("b")])
         assert end_to_end_latency(path, [results]) is None
 
+    def test_empty_task_chain_is_rejected(self):
+        """Regression: an empty chain used to report 0.0 latency — silently
+        'schedulable' — instead of surfacing the configuration error."""
+        with pytest.raises(ValueError, match="must not be empty"):
+            EndToEndPath("chain")
+        with pytest.raises(ValueError, match="must not be empty"):
+            EndToEndPath("chain", tasks=[])
+
+    def test_communication_delay_count_still_validated(self, simple_taskset):
+        with pytest.raises(ValueError, match="one communication delay per hop"):
+            EndToEndPath("chain", tasks=[simple_taskset.get("t_high")],
+                         communication_delays=[0.001, 0.002])
+
 
 class TestFixedPriorityScheduler:
     def test_simulation_matches_analysis_on_classic_set(self, simple_taskset):
