@@ -1,0 +1,208 @@
+"""E10 (parallel): the sharded campaign engine at a 500-vehicle fleet.
+
+Three claims of the sharded engine are regenerated and asserted:
+
+* **Speedup with identical verdicts.**  The sharded engine (equivalence
+  dedupe, shared cache with persistent snapshot, worker pool sized to the
+  machine) must admit a 500-vehicle campaign at least 2x faster than the
+  sequential per-vehicle baseline, wave records byte-identical.  A forced
+  ``workers=4`` multiprocess run is verdict-checked as well on every
+  machine (it is only *timed into the assertion* where real cores back it —
+  on a single-core runner a process pool cannot beat in-process execution,
+  so the timed configuration sizes its pool to ``cpu_count``).
+* **Persistent warm-start.**  A re-run over the same fleet warm-starts
+  from the previous run's on-disk snapshot: fewer busy-window derivations,
+  identical records.
+* **Checkpoint/resume.**  A campaign halted mid-rollout by its wave policy
+  resumes — after the policy is remediated — from the written checkpoint to
+  the exact final result of an uninterrupted campaign.
+
+The measured quantities land in ``BENCH_e10_parallel_campaign.json``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from conftest import print_table, quick_mode, write_bench_record
+from repro.analysis.cache import AnalysisCache
+from repro.fleet.campaign import (Campaign, CampaignCheckpoint,
+                                  CampaignResult, WavePolicy)
+from repro.fleet.vehicle import FleetSpec, generate_fleet
+from repro.mcc.configuration import ChangeKind, ChangeRequest
+from repro.scenarios.fleet_campaign import build_update_contract
+
+SEED = 1  # halts at wave >= 1 under the strict policy, at both bench sizes
+
+
+def _factory():
+    contracts: Dict[int, object] = {}
+
+    def factory(vehicle):
+        contract = contracts.get(vehicle.variant.index)
+        if contract is None:
+            contract = build_update_contract(vehicle.wcet_factor)
+            contracts[vehicle.variant.index] = contract
+        return ChangeRequest(kind=ChangeKind.ADD_COMPONENT,
+                             component=contract.component, contract=contract)
+
+    return factory
+
+
+def _digest(result: CampaignResult) -> Tuple:
+    return (result.fleet_size, result.admitted, result.rejected,
+            result.deviating, result.refined, result.rolled_back,
+            result.halted, result.halted_wave,
+            [record.to_dict() for record in result.waves])
+
+
+def _dimensions() -> Tuple[int, int]:
+    quick = quick_mode()
+    return (60 if quick else 500), (4 if quick else 8)
+
+
+def _run(workers: int, batched: bool, cache_path: Optional[str] = None,
+         failure_rate: float = 0.0, policy: Optional[WavePolicy] = None,
+         checkpoint_path: Optional[str] = None
+         ) -> Tuple[float, CampaignResult]:
+    """Fresh fleet, one timed campaign run (admission only)."""
+    fleet_size, num_variants = _dimensions()
+    spec = FleetSpec(size=fleet_size, seed=SEED, num_variants=num_variants)
+    cache = AnalysisCache(max_entries=16384) if batched else None
+    fleet = generate_fleet(spec, analysis_cache=cache)
+    campaign = Campaign(fleet, _factory(), policy=policy,
+                        analysis_cache=cache, batch_admission=batched,
+                        workers=workers, cache_path=cache_path,
+                        failure_injection_rate=failure_rate,
+                        feedback_seed=SEED, checkpoint_path=checkpoint_path)
+    started = time.perf_counter()
+    result = campaign.run()
+    return time.perf_counter() - started, result
+
+
+def _auto_workers() -> int:
+    """Pool size of the timed sharded configuration: match the machine.
+
+    Multiprocess sharding pays off when representative integrations can
+    run on real parallel cores; on a single-core runner the engine's wins
+    come from dedupe and the warm cache, and a pool would only add fork
+    and serialization overhead to the measurement.
+    """
+    return min(4, multiprocessing.cpu_count())
+
+
+@pytest.mark.benchmark(group="e10-parallel")
+def test_e10_sharded_engine_speedup_and_parity(benchmark, tmp_path):
+    """Sharded engine >= 2x over sequential admission, verdicts identical.
+
+    min-of-2 timing on both sides; the forced 4-worker multiprocess run is
+    verdict-checked against the same digest regardless of core count.
+    """
+    fleet_size, num_variants = _dimensions()
+    workers = _auto_workers()
+
+    sequential_s = float("inf")
+    sharded_s = float("inf")
+    sequential_result: Optional[CampaignResult] = None
+    sharded_result: Optional[CampaignResult] = None
+    for repeat in range(2):
+        elapsed, sequential_result = _run(workers=1, batched=False)
+        sequential_s = min(sequential_s, elapsed)
+        cache_path = str(tmp_path / f"timed-{repeat}.pkl")
+        elapsed, sharded_result = _run(workers=workers, batched=True,
+                                       cache_path=cache_path)
+        sharded_s = min(sharded_s, elapsed)
+    multiprocess_s, multiprocess_result = _run(
+        workers=4, batched=True, cache_path=str(tmp_path / "mp.pkl"))
+    benchmark(lambda: _run(workers=workers, batched=True)[1])
+
+    assert _digest(sharded_result) == _digest(sequential_result)
+    assert _digest(multiprocess_result) == _digest(sequential_result)
+    assert sharded_result.admitted == fleet_size  # clean rollout, whole fleet
+    speedup = sequential_s / sharded_s if sharded_s > 0 else float("inf")
+    row = {
+        "fleet_size": fleet_size,
+        "num_variants": num_variants,
+        "cpu_count": multiprocessing.cpu_count(),
+        "workers_timed": workers,
+        "sequential_s": sequential_s,
+        "sharded_s": sharded_s,
+        "speedup": speedup,
+        "multiprocess_workers": 4,
+        "multiprocess_s": multiprocess_s,
+        "admitted": sharded_result.admitted,
+        "waves": len(sharded_result.waves),
+    }
+    print_table("E10: sharded campaign engine vs sequential admission "
+                "(target: >= 2x)", [row])
+    write_bench_record("e10_parallel_campaign", row)
+    assert speedup >= 2.0
+
+
+@pytest.mark.benchmark(group="e10-parallel")
+def test_e10_persistent_cache_warm_start(benchmark, tmp_path):
+    """A re-run over the same fleet warm-starts from the saved snapshot:
+    strictly fewer analysis misses, identical campaign records."""
+    cache_path = str(tmp_path / "warm.pkl")
+    cold_s, cold = _run(workers=1, batched=True, cache_path=cache_path)
+    warm_s, warm = _run(workers=1, batched=True, cache_path=cache_path)
+    benchmark(lambda: _run(workers=1, batched=True, cache_path=cache_path)[1])
+
+    assert _digest(warm) == _digest(cold)
+    assert warm.cache_misses < cold.cache_misses
+    assert warm.cache_hits > 0
+    rows = [{"run": "cold", "wall_s": cold_s, "cache_hits": cold.cache_hits,
+             "cache_misses": cold.cache_misses},
+            {"run": "warm", "wall_s": warm_s, "cache_hits": warm.cache_hits,
+             "cache_misses": warm.cache_misses}]
+    print_table("E10: persistent snapshot warm-start (identical records)",
+                rows)
+
+
+@pytest.mark.benchmark(group="e10-parallel")
+def test_e10_checkpoint_resume_roundtrip(benchmark, tmp_path):
+    """A halted campaign resumes from its checkpoint — remediated — to the
+    same final result as an uninterrupted campaign."""
+    fleet_size, num_variants = _dimensions()
+    strict = WavePolicy(canary_size=2, wave_fractions=(0.1, 0.3, 1.0),
+                        max_failure_rate=0.1)
+    tolerant = WavePolicy(canary_size=2, wave_fractions=(0.1, 0.3, 1.0),
+                          max_failure_rate=1.0)
+    checkpoint_path = str(tmp_path / "halted.ckpt")
+
+    halted_s, halted = _run(workers=1, batched=True, failure_rate=0.3,
+                            policy=strict, checkpoint_path=checkpoint_path)
+    assert halted.halted and halted.halted_wave >= 1  # a mid-campaign halt
+    assert os.path.exists(checkpoint_path)
+
+    _, reference = _run(workers=1, batched=True, failure_rate=0.3,
+                        policy=tolerant)
+
+    def resume() -> CampaignResult:
+        spec = FleetSpec(size=fleet_size, seed=SEED,
+                         num_variants=num_variants)
+        cache = AnalysisCache(max_entries=16384)
+        fleet = generate_fleet(spec, analysis_cache=cache)
+        campaign = Campaign(fleet, _factory(), policy=tolerant,
+                            analysis_cache=cache, failure_injection_rate=0.3,
+                            feedback_seed=SEED)
+        return campaign.run(
+            resume_from=CampaignCheckpoint.load(checkpoint_path))
+
+    started = time.perf_counter()
+    resumed = resume()
+    resume_s = time.perf_counter() - started
+    benchmark(resume)
+
+    assert _digest(resumed) == _digest(reference)
+    rows = [{"fleet_size": fleet_size, "halted_wave": halted.halted_wave,
+             "halted_s": halted_s, "resume_s": resume_s,
+             "resumed_admitted": resumed.admitted,
+             "reference_admitted": reference.admitted,
+             "identical": _digest(resumed) == _digest(reference)}]
+    print_table("E10: checkpoint/resume after remediation", rows)

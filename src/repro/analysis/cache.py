@@ -33,6 +33,9 @@ analyses.
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
+import tempfile
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -86,6 +89,13 @@ class AnalysisCache:
     Misses are delegated to an incremental engine (shared across all
     entries), so even the *first* analysis of a mutated task set reuses the
     unchanged part of its predecessor.
+
+    Because entries are content-addressed they are also *portable*:
+    :meth:`save_snapshot` / :meth:`load_snapshot` persist them across
+    processes and runs (the sharded campaign engine warm-starts its workers
+    and its re-runs this way), and :meth:`export_entries` /
+    :meth:`merge_entries` move them between live caches.  Pickling a cache
+    object itself deliberately ships it *empty* (see :meth:`__getstate__`).
     """
 
     def __init__(self, max_entries: int = 4096,
@@ -198,6 +208,115 @@ class AnalysisCache:
         """Cached schedulability verdict for the whole task set."""
         return all(result.schedulable
                    for result in self.analyse(taskset, speed_factor, event_models).values())
+
+    # -- cross-process / cross-run persistence -----------------------------
+    #
+    # Entries are content-addressed on :func:`taskset_key`, so a snapshot is
+    # valid in any process and at any later time: a key either describes the
+    # exact same analysis input (same memoized result) or it will simply
+    # never be looked up.  Snapshots carry *entries only* — counters and the
+    # incremental engine's delta history are execution state, not content.
+
+    _SNAPSHOT_FORMAT = 1
+
+    def keys(self) -> List[Tuple]:
+        """The stored :func:`taskset_key` tuples in LRU order.
+
+        A cheap enumeration (no result copies) for callers that only need
+        to know *what* is cached — e.g. a shard worker snapshotting its
+        warm-start set before a wave so it can export the delta afterwards.
+        """
+        return list(self._store.keys())
+
+    def export_entries(self, exclude: Optional[Iterable[Tuple]] = None
+                       ) -> List[Tuple[Tuple, Dict[str, ResponseTimeResult]]]:
+        """The stored entries as ``(taskset_key, results)`` pairs in LRU
+        order (least recently used first), minus the keys in ``exclude``.
+
+        Shard workers use the ``exclude`` filter to return only the analyses
+        they actually derived (everything beyond the warm-start snapshot
+        they were seeded with), keeping the fan-in payload proportional to
+        the new work instead of the whole store.
+        """
+        excluded = set(exclude) if exclude is not None else ()
+        return [(key, dict(results)) for key, results in self._store.items()
+                if key not in excluded]
+
+    def merge_entries(self, entries: Iterable[Tuple[Tuple, Dict[str, ResponseTimeResult]]]
+                      ) -> int:
+        """Absorb externally computed entries (e.g. a shard worker's fan-in).
+
+        Already-present keys keep their stored results (content-addressing
+        makes both sides identical anyway) but are refreshed to
+        most-recently-used; new keys are inserted subject to the LRU bound.
+        Merging is not a lookup: ``hits``/``misses`` are untouched, only
+        ``evictions`` can grow.  Returns the number of *new* keys inserted.
+        """
+        inserted = 0
+        for key, results in entries:
+            if key in self._store:
+                self._store.move_to_end(key)
+                continue
+            if len(self._store) >= self.max_entries:
+                self._store.popitem(last=False)
+                self.evictions += 1
+            self._store[key] = dict(results)
+            inserted += 1
+        return inserted
+
+    def save_snapshot(self, path: str) -> int:
+        """Persist the current entries to ``path`` (atomic replace).
+
+        The snapshot is a pickle of the content-addressed entries; loading
+        it can never change a verdict, only skip busy-window derivations.
+        Returns the number of entries written.
+        """
+        entries = self.export_entries()
+        payload = {"format": self._SNAPSHOT_FORMAT, "entries": entries}
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        handle, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        return len(entries)
+
+    def load_snapshot(self, path: str, missing_ok: bool = False) -> int:
+        """Merge a :meth:`save_snapshot` file into this cache.
+
+        Loaded entries warm-start later lookups exactly like
+        :meth:`merge_entries` (no hit/miss accounting, LRU bound respected).
+        Returns the number of new entries absorbed; with ``missing_ok`` a
+        missing file is an empty warm-start instead of an error.
+        """
+        if missing_ok and not os.path.exists(path):
+            return 0
+        with open(path, "rb") as stream:
+            payload = pickle.load(stream)
+        if not isinstance(payload, dict) \
+                or payload.get("format") != self._SNAPSHOT_FORMAT:
+            raise ValueError(f"{path!r} is not an AnalysisCache snapshot")
+        return self.merge_entries(payload["entries"])
+
+    def __getstate__(self) -> Dict[str, int]:
+        """Pickle travel-light: capacity only, no entries, no engine state.
+
+        A cache is pickled when it rides along inside a bigger object graph
+        (a fleet vehicle's acceptance tests crossing into a shard worker);
+        shipping the whole store with every such payload would dwarf the
+        actual work item.  Cross-process warm-starts are explicit instead —
+        :meth:`save_snapshot` / :meth:`load_snapshot`.  Verdicts never
+        depend on cache contents, so an empty arrival is always sound.
+        """
+        return {"max_entries": self.max_entries}
+
+    def __setstate__(self, state: Dict[str, int]) -> None:
+        self.__init__(max_entries=state["max_entries"])
 
 
 #: Lazily created process-local cache shared by sweeps that do not manage

@@ -46,7 +46,12 @@ def _numeric_metrics(records: Iterable[RunRecord]) -> Dict[str, List[float]]:
 
 
 def summarize(records: Sequence[RunRecord]) -> List[Dict[str, Any]]:
-    """Per-metric summary rows (n, mean, p95, min, max) over ``records``."""
+    """Per-metric summary rows (n, mean, p95, min, max) over ``records``.
+
+    Zero records — an empty grid's clean no-op result — summarize to zero
+    rows rather than tripping the percentile/mean math; the same holds for
+    records whose runs all failed (no metrics to collect).
+    """
     rows: List[Dict[str, Any]] = []
     for key, values in sorted(_numeric_metrics(records).items()):
         rows.append({

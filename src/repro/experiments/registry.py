@@ -379,6 +379,12 @@ SCENARIOS.register(Scenario(
                   coerce=bool),
         Parameter("deploy", False, "attach an execution-domain RTE per vehicle",
                   coerce=bool),
+        Parameter("workers", 1,
+                  "sharded-admission pool size (1 = in-process execution)",
+                  coerce=int),
+        Parameter("cache_path", None,
+                  "on-disk analysis-cache snapshot for cross-run warm-starts",
+                  coerce=lambda value: None if value is None else str(value)),
     ],
     seed_param="seed",
     extract=_extract_fleet_campaign,

@@ -152,19 +152,37 @@ class Runner:
     """
 
     def __init__(self, parallel: bool = False, workers: Optional[int] = None) -> None:
-        if workers is not None and workers <= 0:
-            raise ValueError("workers must be positive")
+        self._validate_workers(workers)
         self.parallel = parallel
         self.workers = workers
+
+    @staticmethod
+    def _validate_workers(workers: Optional[int]) -> None:
+        """``None`` means auto-size; an explicit count must be >= 1.
+
+        In particular ``workers=0`` is rejected rather than silently
+        treated as "auto" — a falsy-``or`` default would conflate the two.
+        """
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
 
     def run(self, spec: ExperimentSpec) -> ExperimentResult:
         """Execute every run of ``spec`` and collect the records in
         expansion order (the order is identical for serial and parallel
-        execution)."""
+        execution).
+
+        An empty run grid (an axis bound to zero values) is a clean no-op:
+        no pool is sized over it and the result carries zero records.
+        """
+        self._validate_workers(self.workers)
         runs = spec.expand()
+        if not runs:
+            return ExperimentResult(spec=spec, records=[], parallel=False,
+                                    workers=1, wall_time_s=0.0)
         started = time.perf_counter()
         if self.parallel and len(runs) > 1:
-            workers = self.workers or min(multiprocessing.cpu_count(), len(runs))
+            workers = (self.workers if self.workers is not None
+                       else multiprocessing.cpu_count())
             workers = min(workers, len(runs))
             with multiprocessing.Pool(processes=workers) as pool:
                 records = pool.map(execute_run, runs)

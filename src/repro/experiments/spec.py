@@ -54,6 +54,10 @@ class ExperimentSpec:
     grid:
         Mapping parameter name -> list of values; the cartesian product of
         all lists is swept.  Scalar values are treated as one-element lists.
+        An *empty* axis makes the product — and therefore the spec — a
+        clean zero-run no-op (programmatically built grids legitimately
+        filter an axis down to nothing); the runner returns an empty record
+        set for it.
     seeds:
         Seeds to repeat every grid point with.  For scenarios without a seed
         parameter the seeds still multiply the runs (useful for wall-time
@@ -92,9 +96,6 @@ class ExperimentSpec:
                             f"the spec's seeds, not the grid")
         if not self.seeds:
             raise SpecError("seeds must not be empty")
-        for value in self.grid.values():
-            if isinstance(value, (list, tuple)) and len(value) == 0:
-                raise SpecError("grid axes must not be empty lists")
 
     def axes(self) -> Dict[str, List[Any]]:
         """The grid with scalar values normalized to one-element lists."""

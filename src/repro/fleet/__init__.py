@@ -21,6 +21,7 @@ experiment registry.
 from repro.fleet.vehicle import (
     FleetSpec,
     FleetVehicle,
+    VehicleState,
     VehicleVariant,
     build_vehicle_platform,
     generate_fleet,
@@ -29,25 +30,42 @@ from repro.fleet.vehicle import (
 )
 from repro.fleet.campaign import (
     Campaign,
+    CampaignCheckpoint,
     CampaignError,
     CampaignResult,
     WavePolicy,
     WaveRecord,
     plan_waves,
 )
+from repro.fleet.shard import (
+    ShardItem,
+    ShardResult,
+    ShardTask,
+    ShardVerdict,
+    execute_shard,
+    plan_shards,
+)
 
 __all__ = [
     "FleetSpec",
     "FleetVehicle",
+    "VehicleState",
     "VehicleVariant",
     "build_vehicle_platform",
     "generate_fleet",
     "generate_variants",
     "variant_contracts",
     "Campaign",
+    "CampaignCheckpoint",
     "CampaignError",
     "CampaignResult",
     "WavePolicy",
     "WaveRecord",
     "plan_waves",
+    "ShardItem",
+    "ShardResult",
+    "ShardTask",
+    "ShardVerdict",
+    "execute_shard",
+    "plan_shards",
 ]

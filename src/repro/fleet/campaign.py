@@ -5,7 +5,7 @@ The unit of work at production scale is not one change request but a
 (canary -> percentage waves -> full), with per-vehicle admission through each
 vehicle's own MCC, monitor feedback consumed between waves, and a policy that
 halts — and optionally rolls back — a wave whose rejection/deviation rate
-crosses a threshold.
+exceeds the tolerated threshold.
 
 Admission is *batched* along two axes:
 
@@ -27,16 +27,51 @@ Both are exact — the cache is content-addressed, the engine bit-identical,
 and the equivalence grouping keys on object identity of the adopted
 contracts — so batched and sequential admission produce identical wave
 verdicts; only the wall time differs (the differential harness, the fleet
-tests and the E10 benchmark all assert this).
+tests and the E10 benchmarks all assert this).
+
+Sharded parallel execution
+--------------------------
+
+``workers > 1`` turns the wave core into a sharded engine: each wave's *new*
+representative integrations (one per equivalence group, deduped **pre-fork**)
+are partitioned into :class:`~repro.fleet.shard.ShardTask` slices and run on
+a ``multiprocessing`` pool; the returned
+:class:`~repro.fleet.shard.ShardVerdict` objects are fanned back out
+**post-join** across every group member via ``replay_change`` in the parent.
+Because integration is deterministic in exactly the shipped inputs, and
+because all adoption, deviation feedback (in wave order), halt checks and
+rollbacks stay in the parent, the parallel path produces byte-identical
+wave records, verdicts and per-vehicle rollout state to ``workers=1`` —
+everything except the informational ``cache_hits``/``cache_misses``
+counters, which describe the *parent process's* cache traffic and so
+legitimately vary with the worker layout.
+
+``cache_path`` adds a persistent on-disk
+:meth:`~repro.analysis.cache.AnalysisCache.save_snapshot` of the shared
+cache: loaded at run start, rewritten at run end (halts included), with
+fork-started workers inheriting the live cache copy-on-write and
+spawn-started workers reading the snapshot — so wave N+1 reuses wave N's
+analyses in memory, and an entirely new campaign run over the same fleet
+warm-starts from the previous run on disk.  ``checkpoint_path`` (or the
+in-memory :attr:`Campaign.last_checkpoint`) captures a halted campaign —
+aggregate result plus per-vehicle MCC snapshots at the halting wave's start
+— so a remediated campaign can :meth:`Campaign.run` with ``resume_from=``
+and continue where it stopped.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import multiprocessing
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.cache import AnalysisCache
-from repro.fleet.vehicle import FleetVehicle
+from repro.fleet.shard import (ShardItem, ShardTask, execute_shard,
+                               initialize_worker, plan_shards)
+from repro.fleet.vehicle import FleetVehicle, VehicleState
 from repro.mcc.configuration import ChangeRequest, IntegrationReport
 from repro.mcc.controller import MccSnapshot
 from repro.monitoring.deviation import DeviationDetector
@@ -45,6 +80,14 @@ from repro.sim.random import SeededRNG, derive_seed
 
 #: Builds the per-vehicle change request of the campaign's update.
 UpdateFactory = Callable[[FleetVehicle], ChangeRequest]
+
+#: Absolute slack on the halt threshold comparison, in *vehicles*.  The
+#: failure count is an integer but the tolerated count is a float product
+#: (``max_failure_rate * size``) that can round below the mathematically
+#: equal integer (``(1/49) * 49 == 0.9999...``); the slack keeps an
+#: exactly-at-threshold wave tolerated for any fleet far below a billion
+#: vehicles.
+_HALT_SLACK = 1e-9
 
 
 class CampaignError(ValueError):
@@ -58,10 +101,20 @@ class WavePolicy:
     ``canary_size`` vehicles go first (0 disables the canary wave); the
     remainder is released in waves at the cumulative ``wave_fractions`` of
     the post-canary fleet (a final full wave is implied when the last
-    fraction is below 1).  A wave whose failure rate — rejections plus
-    post-deployment deviations over the wave size — exceeds
-    ``max_failure_rate`` halts the campaign; ``rollback_on_halt`` then rolls
-    the admitted vehicles of the halting wave back to their pre-wave state.
+    fraction is below 1).
+
+    ``max_failure_rate`` is the highest **tolerated** failure rate of one
+    wave — failures being rejections plus post-deployment deviations.  The
+    halt comparison is strict (*exceeds*, not *reaches*): a wave at exactly
+    the threshold passes, ``max_failure_rate=1.0`` never halts.  Two edge
+    semantics are pinned explicitly (see :meth:`halts`): a zero threshold is
+    zero tolerance — **any** failed vehicle halts, without relying on
+    floating-point strictness — and the exactly-at-threshold comparison is
+    performed on integer failure counts with an absolute slack, so binary
+    rounding of the tolerated count (``(1/49) * 49 < 1``) cannot turn a
+    tolerated wave into a halt.
+    ``rollback_on_halt`` then rolls the admitted vehicles of the halting
+    wave back to their pre-wave state.
     """
 
     canary_size: int = 2
@@ -83,6 +136,22 @@ class WavePolicy:
                 raise CampaignError("wave_fractions must be non-decreasing")
             previous = fraction
 
+    def halts(self, failures: int, size: int) -> bool:
+        """Whether a wave with ``failures`` failed vehicles of ``size`` halts.
+
+        A clean wave never halts (even at a zero threshold); a zero
+        threshold halts on any failure; otherwise the integer failure count
+        must strictly exceed the tolerated count ``max_failure_rate * size``
+        beyond float rounding slack.  Empty waves are never planned, but a
+        ``size <= 0`` input degrades to "no halt" rather than dividing by
+        zero.
+        """
+        if failures <= 0 or size <= 0:
+            return False
+        if self.max_failure_rate == 0.0:
+            return True
+        return failures > self.max_failure_rate * size + _HALT_SLACK
+
 
 @dataclass
 class WaveRecord:
@@ -102,8 +171,14 @@ class WaveRecord:
         return len(self.vehicle_ids)
 
     @property
+    def failures(self) -> int:
+        """Failed vehicles of the wave: rejections plus deviations."""
+        return self.rejected + self.deviating
+
+    @property
     def failure_rate(self) -> float:
-        return (self.rejected + self.deviating) / self.size if self.size else 0.0
+        """Failures over wave size (0.0 for a degenerate empty wave)."""
+        return self.failures / self.size if self.size else 0.0
 
     def to_dict(self) -> Dict[str, object]:
         return {"index": self.index, "kind": self.kind, "size": self.size,
@@ -133,7 +208,14 @@ class CampaignResult:
 
     @property
     def completed(self) -> bool:
-        return not self.halted
+        """Whether the campaign ran its staged rollout to the end.
+
+        Requires at least one executed wave and no halt: a degenerate
+        campaign over an empty fleet (zero waves planned) reports neither
+        ``completed`` nor ``halted`` — it did not successfully roll anything
+        out, it had nothing to do.
+        """
+        return bool(self.waves) and not self.halted
 
     @property
     def vehicles_updated(self) -> int:
@@ -142,22 +224,72 @@ class CampaignResult:
 
     @property
     def update_coverage(self) -> float:
+        """Updated fraction of the fleet (0.0, not NaN, for an empty fleet)."""
         return self.vehicles_updated / self.fleet_size if self.fleet_size else 0.0
 
     @property
     def acceptance_rate(self) -> float:
+        """Admitted fraction of attempted admissions (0.0 when none ran)."""
         attempted = self.admitted + self.rejected
         return self.admitted / attempted if attempted else 0.0
+
+
+@dataclass
+class CampaignCheckpoint:
+    """A halted campaign, frozen at the start of its halting wave.
+
+    ``result`` aggregates the waves executed *before* the halting wave;
+    ``vehicle_states`` captures every fleet vehicle's portable MCC snapshot
+    and rollout flags at that point (halting-wave members at their pre-wave
+    state regardless of the rollback policy).  The checkpoint pickles
+    cleanly — :meth:`save`/:meth:`load` move it across processes and runs —
+    and :meth:`Campaign.run` with ``resume_from=`` re-executes the halting
+    wave (remediated or not) and everything after it.
+    """
+
+    next_wave: int
+    result: CampaignResult
+    vehicle_states: List[VehicleState]
+
+    def save(self, path: str) -> None:
+        """Pickle this checkpoint to ``path`` (atomic replace).
+
+        The checkpoint is the recovery artifact of a halted campaign, so a
+        crash mid-write must never leave a truncated file where a valid
+        earlier checkpoint used to be: the pickle lands in a temp file that
+        replaces ``path`` only once fully written.
+        """
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        handle, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump(self, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+
+    @staticmethod
+    def load(path: str) -> "CampaignCheckpoint":
+        """Load a checkpoint previously written by :meth:`save`."""
+        with open(path, "rb") as stream:
+            checkpoint = pickle.load(stream)
+        if not isinstance(checkpoint, CampaignCheckpoint):
+            raise CampaignError(f"{path!r} is not a campaign checkpoint")
+        return checkpoint
 
 
 def plan_waves(vehicles: Sequence[FleetVehicle],
                policy: WavePolicy) -> List[Tuple[str, List[FleetVehicle]]]:
     """Deterministic wave partition of a fleet: canary, staged, full.
 
-    Every returned wave is non-empty; an empty fleet yields no waves and a
-    single-vehicle fleet yields exactly one (canary when enabled).  The last
-    wave always covers the remaining fleet even when ``wave_fractions`` stops
-    short of 1.0.
+    Every returned wave is non-empty; an empty fleet yields no waves (the
+    degenerate campaign executes nothing) and a single-vehicle fleet yields
+    exactly one (canary when enabled).  The last wave always covers the
+    remaining fleet even when ``wave_fractions`` stops short of 1.0, and a
+    canary at least as large as the fleet simply is the whole rollout.
     """
     ordered = list(vehicles)
     if not ordered:
@@ -212,6 +344,28 @@ class Campaign:
         Seed of the simulated monitor feedback stream; per-vehicle draws are
         derived from it and the vehicle index, so feedback is identical for
         batched and sequential admission.
+    workers:
+        Size of the sharded execution pool.  ``1`` (the default) runs
+        everything in-process; ``> 1`` ships each wave's new representative
+        integrations to a ``multiprocessing`` pool (requires
+        ``batch_admission`` — sharding *is* the deduped admission path) and
+        produces byte-identical wave records, verdicts and vehicle state
+        (only the informational parent-side cache counters vary with the
+        worker layout).  When the campaign itself runs
+        inside a daemonic pool worker (which may not fork children, e.g.
+        under the parallel experiment runner), shard execution transparently
+        falls back to in-process — same verdicts, only wall time differs.
+    cache_path:
+        Optional on-disk snapshot of the shared analysis cache.  Loaded (if
+        present) at run start and rewritten when the run ends — halt
+        included — so whole re-runs and resumed campaigns warm-start from
+        every previously derived analysis.  (Within a run, wave N+1
+        warm-starts from wave N through the live caches: the parent's, and
+        each worker's fork-inherited or snapshot-seeded copy.)  Requires an
+        ``analysis_cache``.
+    checkpoint_path:
+        Where to write a :class:`CampaignCheckpoint` when the campaign
+        halts (also kept in memory as :attr:`last_checkpoint`).
     """
 
     def __init__(self, vehicles: Sequence[FleetVehicle],
@@ -220,11 +374,22 @@ class Campaign:
                  analysis_cache: Optional[AnalysisCache] = None,
                  batch_admission: bool = True,
                  failure_injection_rate: float = 0.0,
-                 feedback_seed: int = 0) -> None:
+                 feedback_seed: int = 0,
+                 workers: int = 1,
+                 cache_path: Optional[str] = None,
+                 checkpoint_path: Optional[str] = None) -> None:
         if not 0.0 <= failure_injection_rate <= 1.0:
             raise CampaignError("failure_injection_rate must be in [0, 1]")
         if batch_admission and analysis_cache is None:
             raise CampaignError("batched admission needs a shared analysis cache")
+        if workers < 1:
+            raise CampaignError("workers must be at least 1")
+        if workers > 1 and not batch_admission:
+            raise CampaignError("sharded execution (workers > 1) requires "
+                                "batched admission — sharding runs one "
+                                "integration per equivalence group")
+        if cache_path is not None and analysis_cache is None:
+            raise CampaignError("cache_path needs an analysis cache to snapshot")
         self.vehicles = list(vehicles)
         self.update_factory = update_factory
         self.policy = policy if policy is not None else WavePolicy()
@@ -232,6 +397,11 @@ class Campaign:
         self.batch_admission = batch_admission
         self.failure_injection_rate = failure_injection_rate
         self.feedback_seed = feedback_seed
+        self.workers = workers
+        self.cache_path = cache_path
+        self.checkpoint_path = checkpoint_path
+        #: The checkpoint written at the most recent halt (None before).
+        self.last_checkpoint: Optional[CampaignCheckpoint] = None
 
     # -- wave internals ----------------------------------------------------
 
@@ -271,7 +441,8 @@ class Campaign:
         Identity-based keys are only sound while the referenced objects stay
         alive — a recycled ``id`` could alias a stale key — so the campaign
         pins every object that enters a stored precedent key for the run's
-        lifetime (see :meth:`run`).
+        lifetime (see :meth:`run`).  For the same reason keys never cross a
+        process boundary: shard workers receive wave positions, not keys.
         """
         model = vehicle.mcc.model
         return (vehicle.variant.index,
@@ -280,6 +451,39 @@ class Campaign:
                 tuple(sorted(model.mapping.items())),
                 tuple(sorted(model.priorities.items())),
                 request.kind, request.component, id(request.contract))
+
+    def _admit_shards(self, wave: Sequence[FleetVehicle],
+                      requests: Sequence[ChangeRequest],
+                      keys: Sequence[Tuple], rep_positions: Sequence[int],
+                      precedents: Dict[Tuple, Tuple[IntegrationReport,
+                                                    Dict[str, str],
+                                                    Dict[str, int]]],
+                      pinned: List[object], pool) -> None:
+        """Run the wave's new representative integrations on the pool.
+
+        The representatives were deduped pre-fork (one wave position per new
+        equivalence key); their verdicts land in ``precedents`` post-join so
+        the parent's adoption loop replays every group member — including
+        the representative itself — without re-analysing anything.
+        """
+        shards = plan_shards(len(rep_positions), self.workers)
+        tasks = [ShardTask(shard_index=shard_index,
+                           items=[ShardItem(position=item,
+                                            vehicle=wave[rep_positions[item]],
+                                            request=requests[rep_positions[item]])
+                                  for item in shard],
+                           cache_path=self.cache_path)
+                 for shard_index, shard in enumerate(shards)]
+        for shard_result in pool.map(execute_shard, tasks):
+            if self.analysis_cache is not None:
+                self.analysis_cache.merge_entries(shard_result.cache_entries)
+            for verdict in shard_result.verdicts:
+                position = rep_positions[verdict.position]
+                vehicle, request = wave[position], requests[position]
+                pinned.append(request.contract)
+                pinned.extend(vehicle.mcc.model.contracts())
+                precedents[keys[position]] = (verdict.report, verdict.mapping,
+                                              verdict.priorities)
 
     def _feedback(self, vehicle: FleetVehicle, request: ChangeRequest,
                   wave_index: int, record: WaveRecord) -> None:
@@ -313,14 +517,115 @@ class Campaign:
             vehicle.rolled_back = True
             record.rolled_back += 1
 
+    # -- checkpoint/resume -------------------------------------------------
+
+    @staticmethod
+    def _copy_result(source: CampaignResult) -> CampaignResult:
+        """An independent copy of a result (fresh wave records/lists)."""
+        return replace(source,
+                       waves=[replace(record,
+                                      vehicle_ids=list(record.vehicle_ids))
+                              for record in source.waves])
+
+    def _build_checkpoint(self, halted_wave: int, result: CampaignResult,
+                          wave: Sequence[FleetVehicle],
+                          pre_wave: Dict[str, MccSnapshot]
+                          ) -> CampaignCheckpoint:
+        """Freeze the campaign at the start of its halting wave.
+
+        The checkpointed result excludes the halting wave's record (the
+        wave re-runs on resume); halting-wave members are stored at their
+        pre-wave snapshot with clean flags even when ``rollback_on_halt`` is
+        off, so a resume always re-admits the remediated wave from scratch.
+        """
+        prefix = self._copy_result(result)
+        prefix.waves = prefix.waves[:-1]
+        prefix.halted = False
+        prefix.halted_wave = None
+        for attribute in ("admitted", "rejected", "deviating", "refined",
+                          "rolled_back"):
+            setattr(prefix, attribute,
+                    sum(getattr(record, attribute) for record in prefix.waves))
+        halting = {vehicle.vehicle_id for vehicle in wave}
+        states = []
+        for vehicle in self.vehicles:
+            if vehicle.vehicle_id in halting:
+                states.append(VehicleState(vehicle_id=vehicle.vehicle_id,
+                                           snapshot=pre_wave[vehicle.vehicle_id],
+                                           updated=False, deviating=False,
+                                           rolled_back=False))
+            else:
+                states.append(vehicle.capture_state())
+        return CampaignCheckpoint(next_wave=halted_wave, result=prefix,
+                                  vehicle_states=states)
+
+    def _restore_checkpoint(self, checkpoint: CampaignCheckpoint,
+                            plan: Sequence[Tuple[str, List[FleetVehicle]]],
+                            result: CampaignResult) -> int:
+        """Rewind the fleet and seed ``result`` from ``checkpoint``.
+
+        Validates that the resumed campaign stages the same fleet the same
+        way (the executed waves' vehicle ids must match the plan — policy
+        remediation may change thresholds, not the staging of already
+        executed waves).  Returns the wave index to continue from.
+        """
+        checkpointed = {state.vehicle_id for state in checkpoint.vehicle_states}
+        current = {vehicle.vehicle_id for vehicle in self.vehicles}
+        if checkpointed != current:
+            raise CampaignError(
+                f"checkpoint covers a {len(checkpointed)}-vehicle fleet, the "
+                f"resumed campaign stages {len(current)} vehicles; resume "
+                "needs the exact fleet the campaign halted on")
+        if checkpoint.next_wave > len(plan):
+            raise CampaignError(
+                f"checkpoint expects wave {checkpoint.next_wave} but the "
+                f"resumed campaign plans only {len(plan)} waves")
+        for index, record in enumerate(checkpoint.result.waves):
+            planned = [vehicle.vehicle_id for vehicle in plan[index][1]]
+            if planned != list(record.vehicle_ids):
+                raise CampaignError(
+                    f"resumed staging diverges at wave {index}: checkpoint "
+                    f"executed {record.vehicle_ids}, plan stages {planned}")
+        states = {state.vehicle_id: state for state in checkpoint.vehicle_states}
+        for vehicle in self.vehicles:
+            vehicle.restore_state(states[vehicle.vehicle_id])
+        seeded = self._copy_result(checkpoint.result)
+        result.waves = seeded.waves
+        # Cache counters are deliberately not carried over: they describe
+        # one process's cache traffic and the resumed run reports its own.
+        for attribute in ("admitted", "rejected", "deviating", "refined",
+                          "rolled_back"):
+            setattr(result, attribute, getattr(seeded, attribute))
+        return checkpoint.next_wave
+
     # -- execution ---------------------------------------------------------
 
-    def run(self) -> CampaignResult:
-        """Execute the campaign and return its aggregate result."""
+    def run(self, resume_from: Optional[CampaignCheckpoint] = None
+            ) -> CampaignResult:
+        """Execute the campaign and return its aggregate result.
+
+        With ``resume_from`` the fleet is first rewound to the checkpoint
+        (halting-wave members to their pre-wave state) and execution
+        continues at the checkpointed wave; the returned result aggregates
+        the checkpointed waves plus everything executed now.
+        """
         result = CampaignResult(fleet_size=len(self.vehicles),
                                 batched=self.batch_admission)
+        plan = plan_waves(self.vehicles, self.policy)
+        start_wave = 0
+        if resume_from is not None:
+            start_wave = self._restore_checkpoint(resume_from, plan, result)
+        if self.analysis_cache is not None and self.cache_path is not None:
+            # Warm-start this run from the previous run's snapshot.
+            self.analysis_cache.load_snapshot(self.cache_path, missing_ok=True)
+            if self.workers > 1:
+                # Refresh the snapshot so spawn-method workers (which cannot
+                # inherit the parent cache at fork) warm-start from the
+                # provisioning analyses; fork-method workers ignore the file.
+                self.analysis_cache.save_snapshot(self.cache_path)
         # Counter baseline: the shared cache typically served fleet
-        # provisioning too; the result reports this campaign's traffic only.
+        # provisioning too; the result reports this run's traffic only (a
+        # resumed run reports the resumed waves', not the halted run's).
         hits_before = self.analysis_cache.hits if self.analysis_cache else 0
         misses_before = self.analysis_cache.misses if self.analysis_cache else 0
         #: request-equivalence key -> (report, mapping, priorities) of the
@@ -332,62 +637,103 @@ class Campaign:
         #: them prevents garbage collection from recycling an id into a new
         #: contract mid-campaign, which could falsely match a stale key.
         pinned: List[object] = []
-        for wave_index, (kind, wave) in enumerate(plan_waves(self.vehicles,
-                                                             self.policy)):
-            record = WaveRecord(index=wave_index, kind=kind,
-                                vehicle_ids=[v.vehicle_id for v in wave])
-            requests = [self.update_factory(vehicle) for vehicle in wave]
-            keys: List[Optional[Tuple]] = [None] * len(requests)
-            if self.batch_admission:
-                # Keys are stable for the whole wave: a vehicle's model only
-                # changes when its own request is admitted.
-                representatives = []
-                seen_new = set()
-                for position, (vehicle, request) in enumerate(zip(wave, requests)):
-                    key = self._equivalence_key(vehicle, request)
-                    keys[position] = key
-                    if key not in precedents and key not in seen_new:
-                        seen_new.add(key)
-                        representatives.append((vehicle, request))
-                self._prefetch_wave(representatives)
-            admitted: List[Tuple[FleetVehicle, ChangeRequest, MccSnapshot]] = []
-            for vehicle, request, key in zip(wave, requests, keys):
-                snapshot = vehicle.mcc.snapshot()
+        pool = None
+        if self.workers > 1 and not multiprocessing.current_process().daemon:
+            # Workers inherit the parent's warm cache copy-on-write at fork
+            # (or load the snapshot once, under spawn) and keep it for the
+            # whole campaign — see initialize_worker.  Inside a *daemonic*
+            # worker (e.g. an experiment runner's pool) children are not
+            # allowed; shard execution then stays in-process, which changes
+            # wall time only — verdicts are worker-layout-independent.
+            import repro.fleet.shard as shard_module
+            shard_module._FORK_SEED = self.analysis_cache
+            try:
+                pool = multiprocessing.get_context().Pool(
+                    processes=self.workers, initializer=initialize_worker,
+                    initargs=(self.cache_path,))
+            finally:
+                shard_module._FORK_SEED = None
+        try:
+            for wave_index, (kind, wave) in enumerate(plan):
+                if wave_index < start_wave:
+                    continue
+                record = WaveRecord(index=wave_index, kind=kind,
+                                    vehicle_ids=[v.vehicle_id for v in wave])
+                requests = [self.update_factory(vehicle) for vehicle in wave]
+                keys: List[Optional[Tuple]] = [None] * len(requests)
+                rep_positions: List[int] = []
                 if self.batch_admission:
-                    precedent = precedents.get(key)
-                    if precedent is None:
-                        pinned.append(request.contract)
-                        pinned.extend(vehicle.mcc.model.contracts())
-                        report = vehicle.mcc.request_change(request)
-                        precedents[key] = (report,
-                                           dict(vehicle.mcc.model.mapping),
-                                           dict(vehicle.mcc.model.priorities))
+                    # Keys are stable for the whole wave: a vehicle's model
+                    # only changes when its own request is admitted, and
+                    # adoption happens strictly after the dedupe pass.
+                    seen_new = set()
+                    for position, (vehicle, request) in enumerate(zip(wave,
+                                                                      requests)):
+                        key = self._equivalence_key(vehicle, request)
+                        keys[position] = key
+                        if key not in precedents and key not in seen_new:
+                            seen_new.add(key)
+                            rep_positions.append(position)
+                    if pool is not None:
+                        self._admit_shards(wave, requests, keys, rep_positions,
+                                           precedents, pinned, pool)
                     else:
-                        report = vehicle.mcc.replay_change(request, *precedent)
-                else:
-                    report = vehicle.mcc.request_change(request)
-                if report.accepted:
-                    vehicle.updated = True
-                    record.admitted += 1
-                    admitted.append((vehicle, request, snapshot))
-                else:
-                    record.rejected += 1
-            for vehicle, request, _ in admitted:
-                self._feedback(vehicle, request, wave_index, record)
-            halt = record.failure_rate > self.policy.max_failure_rate
-            if halt and self.policy.rollback_on_halt:
-                self._rollback_wave([(vehicle, snapshot)
-                                     for vehicle, _, snapshot in admitted], record)
-            result.waves.append(record)
-            result.admitted += record.admitted
-            result.rejected += record.rejected
-            result.deviating += record.deviating
-            result.refined += record.refined
-            result.rolled_back += record.rolled_back
-            if halt:
-                result.halted = True
-                result.halted_wave = wave_index
-                break
+                        self._prefetch_wave([(wave[p], requests[p])
+                                             for p in rep_positions])
+                admitted: List[Tuple[FleetVehicle, ChangeRequest,
+                                     MccSnapshot]] = []
+                pre_wave: Dict[str, MccSnapshot] = {}
+                for vehicle, request, key in zip(wave, requests, keys):
+                    snapshot = vehicle.mcc.snapshot()
+                    pre_wave[vehicle.vehicle_id] = snapshot
+                    if self.batch_admission:
+                        precedent = precedents.get(key)
+                        if precedent is None:
+                            pinned.append(request.contract)
+                            pinned.extend(vehicle.mcc.model.contracts())
+                            report = vehicle.mcc.request_change(request)
+                            precedents[key] = (report,
+                                               dict(vehicle.mcc.model.mapping),
+                                               dict(vehicle.mcc.model.priorities))
+                        else:
+                            report = vehicle.mcc.replay_change(request, *precedent)
+                    else:
+                        report = vehicle.mcc.request_change(request)
+                    if report.accepted:
+                        vehicle.updated = True
+                        record.admitted += 1
+                        admitted.append((vehicle, request, snapshot))
+                    else:
+                        record.rejected += 1
+                for vehicle, request, _ in admitted:
+                    self._feedback(vehicle, request, wave_index, record)
+                halt = self.policy.halts(record.failures, record.size)
+                if halt and self.policy.rollback_on_halt:
+                    self._rollback_wave([(vehicle, snapshot)
+                                         for vehicle, _, snapshot in admitted],
+                                        record)
+                result.waves.append(record)
+                result.admitted += record.admitted
+                result.rejected += record.rejected
+                result.deviating += record.deviating
+                result.refined += record.refined
+                result.rolled_back += record.rolled_back
+                if halt:
+                    result.halted = True
+                    result.halted_wave = wave_index
+                    self.last_checkpoint = self._build_checkpoint(
+                        wave_index, result, wave, pre_wave)
+                    if self.checkpoint_path is not None:
+                        self.last_checkpoint.save(self.checkpoint_path)
+                    break
+        finally:
+            if pool is not None:
+                pool.close()
+                pool.join()
+        if self.analysis_cache is not None and self.cache_path is not None:
+            # Persist everything this run derived (shard fan-ins included)
+            # so re-runs — and a resume after a halt — warm-start from it.
+            self.analysis_cache.save_snapshot(self.cache_path)
         if self.analysis_cache is not None:
             result.cache_hits = self.analysis_cache.hits - hits_before
             result.cache_misses = self.analysis_cache.misses - misses_before

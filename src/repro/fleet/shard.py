@@ -1,0 +1,177 @@
+"""Picklable shard protocol of the parallel campaign engine.
+
+One wave of a sharded campaign ships only its *representatives* — the first
+vehicle of every new request-equivalence group (see
+:meth:`repro.fleet.campaign.Campaign._equivalence_key`) — to a
+``multiprocessing`` pool.  A :class:`ShardTask` bundles a slice of those
+representatives; the worker (:func:`execute_shard`, module-level so the pool
+can pickle it) runs each one's full MCC integration and returns a
+:class:`ShardVerdict` per item plus the analysis-cache entries it derived.
+The parent fans every verdict back out across the whole equivalence group
+through :meth:`~repro.mcc.controller.MultiChangeController.replay_change`,
+so non-representative vehicles never cross a process boundary at all.
+
+Two properties keep the parallel path byte-identical to sequential
+admission:
+
+* Integration is deterministic in (model state, platform shape, request) —
+  the exact inputs a representative carries — so where the verdict is
+  computed cannot change it.
+* Pickled :class:`~repro.analysis.cache.AnalysisCache` objects travel
+  *empty* by design; workers warm-start from an on-disk snapshot instead
+  (:meth:`~repro.analysis.cache.AnalysisCache.load_snapshot`) and verdicts
+  never depend on cache contents, only wall time does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.cpa import ResponseTimeResult
+from repro.fleet.vehicle import FleetVehicle
+from repro.mcc.configuration import ChangeRequest, IntegrationReport
+
+#: One persisted cache entry: ``(taskset_key, per-task results)``.
+CacheEntry = Tuple[Tuple, Dict[str, ResponseTimeResult]]
+
+
+@dataclass
+class ShardItem:
+    """One representative admission problem inside a shard.
+
+    ``position`` is the representative's index in the wave's representative
+    list — the parent uses it to map the verdict back to the equivalence
+    key (keys themselves are id()-based and deliberately never cross the
+    process boundary).
+    """
+
+    position: int
+    vehicle: FleetVehicle
+    request: ChangeRequest
+
+
+@dataclass
+class ShardTask:
+    """A picklable slice of one wave's representative integrations."""
+
+    shard_index: int
+    items: List[ShardItem]
+    #: Warm-start snapshot for the worker's local cache (optional).
+    cache_path: Optional[str] = None
+
+
+@dataclass
+class ShardVerdict:
+    """The outcome of one representative integration, ready to replay.
+
+    Carries exactly what
+    :meth:`~repro.mcc.controller.MultiChangeController.replay_change` needs
+    to re-apply the decision on an equivalent vehicle: the report plus the
+    decided mapping and priorities (empty for rejections — a rejection
+    replays without touching the model).
+    """
+
+    position: int
+    report: IntegrationReport
+    mapping: Dict[str, str] = field(default_factory=dict)
+    priorities: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ShardResult:
+    """Everything a shard worker sends back to the campaign parent."""
+
+    shard_index: int
+    verdicts: List[ShardVerdict]
+    #: Cache entries the worker derived beyond its warm-start snapshot; the
+    #: parent merges them so later waves (and the next snapshot) reuse them.
+    cache_entries: List[CacheEntry] = field(default_factory=list)
+
+
+#: Worker-process-local cache, installed by :func:`initialize_worker` when
+#: the campaign pool starts.  It outlives individual shard tasks, so a
+#: worker accumulates every analysis it ever derived across all waves of
+#: the campaign — the in-process complement of the on-disk snapshot.
+_WORKER_CACHE: Optional[AnalysisCache] = None
+
+#: Set by the campaign parent immediately before it forks its pool.  Under
+#: the ``fork`` start method the child inherits the parent's heap
+#: copy-on-write, so this reference hands every worker a private, fully
+#: warm copy of the shared cache at zero serialization cost.  Under
+#: ``spawn`` the child starts from a fresh interpreter, the seed is
+#: ``None`` there, and :func:`initialize_worker` falls back to loading the
+#: on-disk snapshot.
+_FORK_SEED: Optional[AnalysisCache] = None
+
+
+def initialize_worker(cache_path: Optional[str],
+                      max_entries: int = 16384) -> None:
+    """Pool initializer: install this worker's long-lived analysis cache.
+
+    Prefers the fork-inherited copy of the parent's cache (free and fully
+    warm); otherwise builds a fresh cache and warm-starts it from
+    ``cache_path``.  Either way the load happens once per worker process,
+    at pool creation — not per shard task, where re-reading a multi-
+    megabyte snapshot would dwarf the analyses themselves.
+    """
+    global _WORKER_CACHE
+    if _FORK_SEED is not None:
+        _WORKER_CACHE = _FORK_SEED
+        return
+    cache = AnalysisCache(max_entries=max_entries)
+    if cache_path is not None:
+        cache.load_snapshot(cache_path, missing_ok=True)
+    _WORKER_CACHE = cache
+
+
+def execute_shard(task: ShardTask) -> ShardResult:
+    """Run every representative integration of ``task`` in this process.
+
+    Uses the worker's long-lived cache when :func:`initialize_worker` set
+    one up (the pooled campaign path); otherwise — direct in-process calls,
+    e.g. from tests — builds a task-local cache warm-started from
+    ``task.cache_path``.  Either way the cache is attached to each
+    vehicle's acceptance tests (their pickled caches arrived empty) and the
+    full ``request_change`` integration runs per item, in list order,
+    sharing the cache and its incremental engine exactly like a sequential
+    batched wave would.
+    """
+    cache = _WORKER_CACHE
+    if cache is None:
+        cache = AnalysisCache()
+        if task.cache_path is not None:
+            cache.load_snapshot(task.cache_path, missing_ok=True)
+    preloaded = set(cache.keys())
+    verdicts: List[ShardVerdict] = []
+    for item in task.items:
+        item.vehicle.mcc.attach_analysis_cache(cache)
+        report = item.vehicle.mcc.request_change(item.request)
+        model = item.vehicle.mcc.model
+        verdicts.append(ShardVerdict(
+            position=item.position, report=report,
+            mapping=dict(model.mapping) if report.accepted else {},
+            priorities=dict(model.priorities) if report.accepted else {}))
+    return ShardResult(shard_index=task.shard_index, verdicts=verdicts,
+                       cache_entries=cache.export_entries(exclude=preloaded))
+
+
+def plan_shards(item_count: int, workers: int) -> List[List[int]]:
+    """Deterministic round-robin partition of item positions into shards.
+
+    Returns at most ``workers`` non-empty shards; item ``i`` lands in shard
+    ``i % shards``.  Round-robin keeps shard sizes within one of each other
+    for any item count, which matters when representatives have similar
+    cost.  The partition affects wall time only — verdicts are independent
+    of which worker computes them.
+    """
+    if item_count <= 0:
+        return []
+    if workers <= 1:
+        return [list(range(item_count))]
+    shard_count = min(workers, item_count)
+    shards: List[List[int]] = [[] for _ in range(shard_count)]
+    for position in range(item_count):
+        shards[position % shard_count].append(position)
+    return shards

@@ -25,7 +25,7 @@ from repro.analysis.cache import AnalysisCache
 from repro.contracts.language import ContractParser
 from repro.contracts.model import Contract
 from repro.mcc.acceptance import AcceptanceTest, default_acceptance_tests
-from repro.mcc.controller import MultiChangeController
+from repro.mcc.controller import MccSnapshot, MultiChangeController
 from repro.mcc.mapping import MappingStrategy
 from repro.platform.resources import NetworkResource, Platform, ProcessingResource
 from repro.platform.rte import RuntimeEnvironment
@@ -78,6 +78,25 @@ class VehicleVariant:
     has_telematics: bool
 
 
+@dataclass(frozen=True)
+class VehicleState:
+    """Checkpointable state of one fleet vehicle.
+
+    Bundles the vehicle's adopted MCC snapshot (model, deployed
+    configuration, expectations — all portable, see
+    :meth:`~repro.mcc.controller.MultiChangeController.snapshot`) with the
+    campaign's rollout flags.  Campaign checkpoints pickle a list of these
+    so a halted campaign can be resumed in a fresh process over a
+    regenerated fleet.
+    """
+
+    vehicle_id: str
+    snapshot: MccSnapshot
+    updated: bool
+    deviating: bool
+    rolled_back: bool
+
+
 class FleetVehicle:
     """One simulated vehicle: platform model plus its own MCC."""
 
@@ -96,6 +115,24 @@ class FleetVehicle:
     @property
     def wcet_factor(self) -> float:
         return self.variant.wcet_factor
+
+    def capture_state(self) -> VehicleState:
+        """This vehicle's current :class:`VehicleState` (for checkpoints)."""
+        return VehicleState(vehicle_id=self.vehicle_id,
+                            snapshot=self.mcc.snapshot(),
+                            updated=self.updated,
+                            deviating=self.deviating,
+                            rolled_back=self.rolled_back)
+
+    def restore_state(self, state: VehicleState) -> None:
+        """Roll this vehicle back to a captured :class:`VehicleState`."""
+        if state.vehicle_id != self.vehicle_id:
+            raise ValueError(f"state of {state.vehicle_id!r} cannot restore "
+                             f"{self.vehicle_id!r}")
+        self.mcc.rollback(state.snapshot)
+        self.updated = state.updated
+        self.deviating = state.deviating
+        self.rolled_back = state.rolled_back
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"FleetVehicle({self.vehicle_id}, variant={self.variant.index}, "

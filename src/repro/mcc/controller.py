@@ -165,6 +165,31 @@ class MultiChangeController:
         return self.request_change(ChangeRequest(kind=ChangeKind.REMOVE_COMPONENT,
                                                  component=component))
 
+    def attach_analysis_cache(self, cache: "AnalysisCache") -> int:
+        """Rewire every cache-capable acceptance test to ``cache``.
+
+        Shard workers of the parallel campaign engine use this after
+        unpickling a vehicle: pickled caches deliberately travel empty (see
+        :meth:`repro.analysis.cache.AnalysisCache.__getstate__`), so the
+        worker builds one warm-started local cache and points the vehicle's
+        tests at it.  Covers tests holding a cache directly (``cache``
+        attribute, e.g. :class:`~repro.mcc.acceptance.TimingAcceptanceTest`)
+        and tests delegating to an analysis engine with a cache (e.g.
+        :class:`~repro.mcc.acceptance.DistributedTimingAcceptanceTest`).
+        Verdicts are cache-independent; only wall time changes.  Returns the
+        number of tests rewired.
+        """
+        rewired = 0
+        for test in self.process.acceptance_tests:
+            if hasattr(test, "cache"):
+                test.cache = cache
+                rewired += 1
+            analysis = getattr(test, "analysis", None)
+            if analysis is not None and hasattr(analysis, "cache"):
+                analysis.cache = cache
+                rewired += 1
+        return rewired
+
     # -- checkpointing --------------------------------------------------------------------
 
     def snapshot(self) -> "MccSnapshot":
@@ -174,6 +199,12 @@ class MultiChangeController:
         (integration operates on candidates and swaps the reference), so the
         snapshot is a cheap bundle of references plus a copied expectation
         list.  Used by staged rollout engines to undo a bad wave.
+
+        Snapshots are *portable*: they reference only model-domain state
+        (contracts, mapping, configuration, expectations — no platform,
+        process or cache handles), so a pickled snapshot restored in another
+        process or a later run rolls a controller back to byte-equivalent
+        behaviour.  Campaign checkpoints rely on exactly this.
         """
         return MccSnapshot(model=self.model,
                            deployed_configuration=self.deployed_configuration,

@@ -52,7 +52,9 @@ class FleetCampaignResult:
 
     @property
     def completed(self) -> bool:
-        return not self.halted
+        """Mirrors :attr:`repro.fleet.campaign.CampaignResult.completed`:
+        a degenerate campaign that executed no wave completed nothing."""
+        return bool(self.waves) and not self.halted
 
 
 def build_update_contract(wcet_factor: float, utilization: float = 0.22,
@@ -82,12 +84,17 @@ def run_fleet_campaign_scenario(fleet_size: int = 50, seed: int = 0,
                                 refine_on_deviation: bool = False,
                                 failure_injection_rate: float = 0.0,
                                 batch_admission: bool = True,
-                                deploy: bool = False) -> FleetCampaignResult:
+                                deploy: bool = False,
+                                workers: int = 1,
+                                cache_path: Optional[str] = None
+                                ) -> FleetCampaignResult:
     """Run one staged fleet campaign end-to-end.
 
     The fleet, the per-variant update contracts and the simulated monitor
     feedback are all derived from ``seed``, so the result is a pure function
-    of the parameters — batched and sequential admission included.
+    of the parameters — batched, sequential and sharded (``workers > 1``)
+    admission included; ``cache_path`` warm-starts the analysis cache from a
+    previous run's persisted snapshot without changing any verdict.
     """
     spec = FleetSpec(size=fleet_size, seed=seed, heterogeneity=heterogeneity,
                      num_variants=num_variants, extra_components=extra_components,
@@ -115,7 +122,8 @@ def run_fleet_campaign_scenario(fleet_size: int = 50, seed: int = 0,
     campaign = Campaign(vehicles, update_factory, policy=policy,
                         analysis_cache=cache, batch_admission=batch_admission,
                         failure_injection_rate=failure_injection_rate,
-                        feedback_seed=seed)
+                        feedback_seed=seed, workers=workers,
+                        cache_path=cache_path)
     outcome: CampaignResult = campaign.run()
     return FleetCampaignResult(
         fleet_size=outcome.fleet_size,

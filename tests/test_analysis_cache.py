@@ -94,6 +94,45 @@ class TestAnalyseMany:
         assert len(cache) == 2
         assert cache.evictions == 2
 
+    def test_duplicates_do_not_inflate_misses_or_engine_work(self):
+        """A batch with duplicate keys runs the engine once per distinct
+        key: misses count distinct keys only, duplicates are hits."""
+        cache = AnalysisCache()
+        grids = [_taskset(), _taskset(wcet_high=0.003), _taskset(),
+                 _taskset(wcet_high=0.003), _taskset()]
+        results = cache.analyse_many(grids)
+        assert (cache.hits, cache.misses) == (3, 2)
+        assert results[0] == results[2] == results[4]
+        assert results[1] == results[3]
+        # Counters and engine work match the per-set analyse() sequence:
+        # the duplicates trigger no extra engine traffic at all.
+        reference = AnalysisCache()
+        for taskset in grids:
+            reference.analyse(taskset)
+        assert (cache.hits, cache.misses) == (reference.hits, reference.misses)
+        assert cache.engine.tasks_analysed <= reference.engine.tasks_analysed
+
+    def test_duplicates_do_not_inflate_evictions(self):
+        """Duplicate keys insert one store entry, so a tight capacity sees
+        one insertion per distinct key — not one per occurrence."""
+        cache = AnalysisCache(max_entries=1)
+        cache.analyse_many([_taskset(), _taskset(), _taskset()])
+        assert len(cache) == 1
+        assert cache.evictions == 0
+        cache.analyse_many([_taskset(wcet_high=0.003),
+                            _taskset(wcet_high=0.003)])
+        assert cache.evictions == 1  # one distinct new key, one eviction
+
+    def test_duplicate_of_an_evicted_key_within_one_batch(self):
+        """Capacity smaller than the batch's distinct keys: back-references
+        still resolve to correct results after the first key was evicted."""
+        cache = AnalysisCache(max_entries=1)
+        grids = [_taskset(), _taskset(wcet_high=0.003), _taskset()]
+        results = cache.analyse_many(grids)
+        reference = AnalysisCache()
+        assert results == [reference.analyse(taskset) for taskset in grids]
+        assert cache.evictions == 1
+
 
 class TestAnalysisCache:
     """Hit/miss behaviour and correctness of memoized results."""
@@ -200,6 +239,86 @@ class TestAnalysisCache:
     def test_rejects_nonpositive_capacity(self):
         with pytest.raises(ValueError):
             AnalysisCache(max_entries=0)
+
+
+class TestSnapshotPersistence:
+    """On-disk snapshots and cross-cache entry movement."""
+
+    def test_snapshot_roundtrip(self, tmp_path):
+        cache = AnalysisCache()
+        expected = {w: cache.analyse(_taskset(wcet_high=w))
+                    for w in (0.001, 0.002, 0.003)}
+        path = str(tmp_path / "cache.pkl")
+        assert cache.save_snapshot(path) == 3
+        warm = AnalysisCache()
+        assert warm.load_snapshot(path) == 3
+        for w, results in expected.items():
+            assert warm.analyse(_taskset(wcet_high=w)) == results
+        # Every lookup was answered from the snapshot: no engine traffic.
+        assert (warm.hits, warm.misses) == (3, 0)
+        assert warm.engine.tasks_analysed == 0
+
+    def test_load_merges_and_respects_capacity(self, tmp_path):
+        cache = AnalysisCache()
+        for w in (0.001, 0.002, 0.003):
+            cache.analyse(_taskset(wcet_high=w))
+        path = str(tmp_path / "cache.pkl")
+        cache.save_snapshot(path)
+        small = AnalysisCache(max_entries=2)
+        loaded = small.load_snapshot(path)
+        assert loaded == 3
+        assert len(small) == 2  # LRU bound holds under loading too
+        assert small.evictions == 1
+        # Loading is not a lookup.
+        assert (small.hits, small.misses) == (0, 0)
+
+    def test_load_missing_snapshot(self, tmp_path):
+        cache = AnalysisCache()
+        missing = str(tmp_path / "absent.pkl")
+        assert cache.load_snapshot(missing, missing_ok=True) == 0
+        with pytest.raises(FileNotFoundError):
+            cache.load_snapshot(missing)
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "bogus.pkl"
+        import pickle
+        path.write_bytes(pickle.dumps({"something": "else"}))
+        with pytest.raises(ValueError):
+            AnalysisCache().load_snapshot(str(path))
+
+    def test_merge_entries_refreshes_and_counts_inserts(self):
+        source = AnalysisCache()
+        source.analyse(_taskset(wcet_high=0.001))
+        source.analyse(_taskset(wcet_high=0.002))
+        target = AnalysisCache()
+        target.analyse(_taskset(wcet_high=0.001))
+        inserted = target.merge_entries(source.export_entries())
+        assert inserted == 1  # the shared key already existed
+        assert len(target) == 2
+        assert (target.hits, target.misses) == (0, 1)  # merging is no lookup
+
+    def test_export_entries_excludes_keys(self):
+        cache = AnalysisCache()
+        cache.analyse(_taskset(wcet_high=0.001))
+        baseline = {key for key, _ in cache.export_entries()}
+        cache.analyse(_taskset(wcet_high=0.002))
+        fresh = cache.export_entries(exclude=baseline)
+        assert len(fresh) == 1
+
+    def test_pickled_cache_travels_empty(self):
+        """Pickling a cache object (as a rider inside a shard payload)
+        deliberately ships capacity only — warm-starts are explicit via
+        snapshots, and verdicts never depend on cache contents."""
+        import pickle
+        cache = AnalysisCache(max_entries=7)
+        cache.analyse(_taskset())
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.max_entries == 7
+        assert len(clone) == 0
+        assert (clone.hits, clone.misses) == (0, 0)
+        # The clone still works as a cache afterwards.
+        clone.analyse(_taskset())
+        assert clone.misses == 1
 
 
 class TestCachedResponseTimeAnalysis:

@@ -21,6 +21,7 @@ from repro.experiments import (
     run_scenario,
     summarize,
 )
+from repro.experiments.aggregate import summarize_result
 from repro.experiments.cli import main as cli_main
 from repro.sim.random import derive_seed
 
@@ -108,9 +109,15 @@ class TestSpec:
         with pytest.raises(SpecError, match="controlled by"):
             ExperimentSpec(name="s", scenario="intrusion",
                            grid={"seed": [1, 2]}).validate()
-        with pytest.raises(SpecError, match="empty lists"):
-            ExperimentSpec(name="s", scenario="thermal",
-                           grid={"strategy": []}).validate()
+
+    def test_empty_axis_expands_to_zero_runs(self):
+        """An empty grid axis is a degenerate-but-valid sweep: zero runs,
+        zero num_runs, no error (programmatic grids filter axes empty)."""
+        spec = ExperimentSpec(name="s", scenario="thermal",
+                              grid={"strategy": []})
+        spec.validate()
+        assert spec.num_runs() == 0
+        assert spec.expand() == []
 
     def test_json_round_trip(self):
         spec = ExperimentSpec(name="s", scenario="thermal",
@@ -167,8 +174,34 @@ class TestRunner:
         assert record.metrics == {}
 
     def test_runner_rejects_nonpositive_workers(self):
+        """``workers=0`` is an error, not a silent "auto" (a falsy-or
+        default would conflate the two); ``None`` is the explicit auto."""
         with pytest.raises(ValueError):
             Runner(workers=0)
+        with pytest.raises(ValueError):
+            Runner(workers=-2)
+        assert Runner(workers=None).workers is None  # auto-sizing survives
+
+    def test_runner_revalidates_mutated_workers(self):
+        runner = Runner(parallel=True, workers=2)
+        runner.workers = 0  # post-construction mutation must not sneak by
+        with pytest.raises(ValueError):
+            runner.run(self._spec())
+
+    def test_empty_grid_is_a_clean_noop(self):
+        """An axis bound to zero values expands to zero runs: both the
+        serial and the parallel runner return an empty, well-formed result
+        instead of sizing a pool over ``len(runs) == 0``."""
+        spec = ExperimentSpec(name="empty", scenario="weather_routing",
+                              grid={"severity": []})
+        assert spec.expand() == []
+        for runner in (Runner(), Runner(parallel=True, workers=4)):
+            result = runner.run(spec)
+            assert result.records == []
+            assert result.ok()
+            assert not result.parallel
+            assert result.workers == 1
+            json.dumps(result.to_dict())
 
 
 class TestAggregate:
@@ -195,6 +228,18 @@ class TestAggregate:
         severity_row = next(row for row in rows if row["metric"] == "severity")
         assert severity_row["n"] == 2
         assert severity_row["mean"] == pytest.approx(0.45)
+
+    def test_aggregation_over_zero_records(self):
+        """Empty grids produce zero records; every aggregation entry point
+        must degrade to empty output instead of hitting the percentile/mean
+        math on empty sequences."""
+        empty_result = Runner().run(ExperimentSpec(
+            name="empty", scenario="weather_routing", grid={"severity": []}))
+        assert summarize(empty_result.records) == []
+        assert summarize_result(empty_result) == []
+        assert diff_records([], empty_result.records) == []
+        table = format_table("empty", summarize(empty_result.records))
+        assert "(no rows)" in table
 
     def test_diff_records_reports_changes_and_missing_runs(self):
         result = Runner().run(ExperimentSpec(

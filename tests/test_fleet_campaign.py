@@ -8,7 +8,8 @@ import pytest
 
 from repro.analysis.cache import AnalysisCache
 from repro.experiments.registry import run_scenario
-from repro.fleet.campaign import (Campaign, CampaignError, WavePolicy, plan_waves)
+from repro.fleet.campaign import (Campaign, CampaignError, WavePolicy,
+                                  WaveRecord, plan_waves)
 from repro.fleet.vehicle import (FleetSpec, FleetVehicle, generate_fleet,
                                  generate_variants, variant_contracts)
 from repro.mcc.configuration import ChangeKind, ChangeRequest
@@ -127,6 +128,75 @@ class TestWavePlanning:
         with pytest.raises(CampaignError):
             WavePolicy(max_failure_rate=1.5)
 
+    def test_canary_at_least_fleet_size_is_the_whole_rollout(self):
+        fleet = generate_fleet(small_spec(size=3))
+        waves = plan_waves(fleet, WavePolicy(canary_size=5))
+        assert [(kind, len(wave)) for kind, wave in waves] == [("canary", 3)]
+
+
+class TestHaltSemantics:
+    """The halt boundary: strict tolerance, zero tolerance, float safety.
+
+    ``max_failure_rate`` is the highest *tolerated* wave failure rate: a
+    wave exactly at the threshold passes, one vehicle beyond it halts, a
+    zero threshold halts on any failure and a threshold of 1.0 never halts.
+    All four corners are pinned here because the campaign's whole point is
+    sound accept/reject decisions.
+    """
+
+    def test_exact_threshold_wave_is_tolerated(self):
+        policy = WavePolicy(max_failure_rate=0.3)
+        assert not policy.halts(failures=3, size=10)
+        assert policy.halts(failures=4, size=10)
+
+    def test_exact_threshold_survives_float_rounding(self):
+        """The tolerated count ``max_failure_rate * size`` can round *below*
+        the mathematically equal integer (e.g. ``(1/49) * 49 < 1``), so a
+        bare ``failures > rate * size`` comparison would halt an
+        exactly-at-threshold wave; the comparison slack must absorb it."""
+        rate = 1 / 49
+        assert rate * 49 < 1  # the trap the implementation must dodge
+        assert not WavePolicy(max_failure_rate=rate).halts(failures=1, size=49)
+        assert not WavePolicy(max_failure_rate=rate).halts(failures=3, size=147)
+        assert WavePolicy(max_failure_rate=rate).halts(failures=2, size=49)
+        assert not WavePolicy(max_failure_rate=0.3).halts(failures=3, size=10)
+        assert not WavePolicy(max_failure_rate=0.2).halts(failures=1, size=5)
+        assert not WavePolicy(max_failure_rate=0.1).halts(failures=10, size=100)
+
+    def test_zero_tolerance_halts_on_any_failure(self):
+        policy = WavePolicy(max_failure_rate=0.0)
+        assert policy.halts(failures=1, size=1000)
+        assert policy.halts(failures=1, size=1)
+        assert not policy.halts(failures=0, size=1000)  # clean wave passes
+
+    def test_full_tolerance_never_halts(self):
+        policy = WavePolicy(max_failure_rate=1.0)
+        assert not policy.halts(failures=10, size=10)
+        assert not policy.halts(failures=1, size=1)
+
+    def test_degenerate_sizes_never_halt(self):
+        policy = WavePolicy(max_failure_rate=0.5)
+        assert not policy.halts(failures=0, size=0)
+        assert not policy.halts(failures=0, size=10)
+
+    def test_empty_wave_record_failure_rate_is_zero(self):
+        record = WaveRecord(index=0, kind="wave", vehicle_ids=[])
+        assert record.size == 0
+        assert record.failures == 0
+        assert record.failure_rate == 0.0
+
+    def test_campaign_halts_at_exact_threshold_plus_one(self):
+        """End-to-end: with 100% injection a zero-tolerance canary halts at
+        its very first deviating vehicle."""
+        spec = small_spec()
+        cache = AnalysisCache()
+        fleet = generate_fleet(spec, analysis_cache=cache)
+        result = Campaign(fleet, update_factory_for(), analysis_cache=cache,
+                          policy=WavePolicy(canary_size=2, max_failure_rate=0.0),
+                          failure_injection_rate=1.0).run()
+        assert result.halted and result.halted_wave == 0
+        assert result.waves[0].failures >= 1
+
 
 class TestCampaign:
     """The staged rollout engine."""
@@ -149,14 +219,19 @@ class TestCampaign:
         assert all(vehicle.updated for vehicle in fleet)
         assert all("nav_assist" in vehicle.mcc.model for vehicle in fleet)
 
-    def test_empty_fleet_campaign(self):
+    def test_empty_fleet_campaign_is_neither_completed_nor_halted(self):
+        """A zero-vehicle campaign plans no waves: it must not report a
+        "completed" rollout (it rolled nothing out), must not divide by
+        zero anywhere, and must not halt either."""
         cache = AnalysisCache()
         result = Campaign([], update_factory_for(), analysis_cache=cache).run()
         assert result.fleet_size == 0
         assert result.waves == []
-        assert result.completed
+        assert not result.completed
+        assert not result.halted and result.halted_wave is None
         assert result.update_coverage == 0.0
         assert result.acceptance_rate == 0.0
+        assert result.vehicles_updated == 0
 
     def test_single_vehicle_campaign(self):
         fleet, result = self.run_campaign(fleet_kwargs={"size": 1})
@@ -250,6 +325,18 @@ class TestCampaign:
         with pytest.raises(CampaignError):
             Campaign([], update_factory_for(), analysis_cache=AnalysisCache(),
                      failure_injection_rate=2.0)
+        with pytest.raises(CampaignError):
+            Campaign([], update_factory_for(), analysis_cache=AnalysisCache(),
+                     workers=0)
+        with pytest.raises(CampaignError):
+            # Sharding runs one integration per equivalence group; it cannot
+            # reproduce the unbatched per-vehicle baseline.
+            Campaign([], update_factory_for(), analysis_cache=AnalysisCache(),
+                     batch_admission=False, workers=2)
+        with pytest.raises(CampaignError):
+            # A cache snapshot path without a cache to snapshot is a typo.
+            Campaign([], update_factory_for(), analysis_cache=None,
+                     batch_admission=False, cache_path="cache.pkl")
 
 
 class TestFleetScenario:

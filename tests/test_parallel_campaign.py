@@ -1,0 +1,377 @@
+"""Sharded campaign engine: parallel/sequential equivalence, shard protocol,
+persistent cache warm-starts and checkpoint/resume.
+
+The load-bearing guarantee of the parallel engine is *byte-identical
+results*: for any fleet, any staging policy and any failure injection,
+``workers=4`` must produce the same :class:`CampaignResult`, the same wave
+records and the same per-vehicle rollout state as ``workers=1`` — including
+campaigns that halt mid-rollout.  A hypothesis-seeded differential harness
+pins that; deterministic tests cover the shard partition, snapshot
+portability and resume-after-remediation.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.fleet.shard as shard_module
+from repro.analysis.cache import AnalysisCache
+from repro.fleet.campaign import (Campaign, CampaignCheckpoint, CampaignError,
+                                  CampaignResult, WavePolicy)
+from repro.fleet.shard import (ShardItem, ShardTask, execute_shard,
+                               plan_shards)
+from repro.fleet.vehicle import FleetSpec, generate_fleet
+from repro.mcc.configuration import ChangeKind, ChangeRequest
+from repro.scenarios.fleet_campaign import build_update_contract
+
+
+def make_factory():
+    """Per-variant ADD update factory (one shared contract per variant)."""
+    contracts = {}
+
+    def factory(vehicle):
+        contract = contracts.get(vehicle.variant.index)
+        if contract is None:
+            contract = build_update_contract(vehicle.wcet_factor)
+            contracts[vehicle.variant.index] = contract
+        return ChangeRequest(kind=ChangeKind.ADD_COMPONENT,
+                             component=contract.component, contract=contract)
+
+    return factory
+
+
+def campaign_digest(result: CampaignResult):
+    """Everything deterministic about a result (no cache/engine counters —
+    those legitimately differ between worker layouts)."""
+    return (result.fleet_size, result.batched, result.admitted,
+            result.rejected, result.deviating, result.refined,
+            result.rolled_back, result.halted, result.halted_wave,
+            result.completed,
+            [record.to_dict() for record in result.waves])
+
+
+def fleet_digest(fleet):
+    """Per-vehicle rollout state: flags, model version, installed set."""
+    return [(vehicle.vehicle_id, vehicle.updated, vehicle.deviating,
+             vehicle.rolled_back, vehicle.mcc.version,
+             sorted(vehicle.mcc.model.components()),
+             sorted(vehicle.mcc.model.mapping.items()))
+            for vehicle in fleet]
+
+
+def run_campaign(size, seed, workers, *, failure_rate=0.0, policy=None,
+                 cache_path=None, checkpoint_path=None, num_variants=4):
+    spec = FleetSpec(size=size, seed=seed, num_variants=num_variants,
+                     extra_components=2)
+    cache = AnalysisCache()
+    fleet = generate_fleet(spec, analysis_cache=cache)
+    campaign = Campaign(fleet, make_factory(), policy=policy,
+                        analysis_cache=cache, workers=workers,
+                        failure_injection_rate=failure_rate,
+                        feedback_seed=seed, cache_path=cache_path,
+                        checkpoint_path=checkpoint_path)
+    return fleet, campaign, campaign.run()
+
+
+class TestShardPlanning:
+    """The deterministic round-robin partition."""
+
+    def test_round_robin_partition(self):
+        assert plan_shards(5, 2) == [[0, 2, 4], [1, 3]]
+        assert plan_shards(4, 4) == [[0], [1], [2], [3]]
+
+    def test_fewer_items_than_workers(self):
+        assert plan_shards(2, 8) == [[0], [1]]
+
+    def test_degenerate_inputs(self):
+        assert plan_shards(0, 4) == []
+        assert plan_shards(3, 1) == [[0, 1, 2]]
+        assert plan_shards(3, 0) == [[0, 1, 2]]
+
+    def test_every_item_lands_exactly_once(self):
+        shards = plan_shards(17, 5)
+        flat = sorted(position for shard in shards for position in shard)
+        assert flat == list(range(17))
+        assert max(len(s) for s in shards) - min(len(s) for s in shards) <= 1
+
+
+class TestShardExecution:
+    """execute_shard run in-process: the worker path without the pool."""
+
+    def test_shard_verdicts_match_direct_integration(self, tmp_path):
+        cache = AnalysisCache()
+        fleet = generate_fleet(FleetSpec(size=2, seed=5, num_variants=2,
+                                         extra_components=2),
+                               analysis_cache=cache)
+        factory = make_factory()
+        requests = [factory(vehicle) for vehicle in fleet]
+        snapshot_path = os.path.join(tmp_path, "cache.pkl")
+        cache.save_snapshot(snapshot_path)
+        # Pickle-roundtrip the task exactly as the pool would.
+        task = pickle.loads(pickle.dumps(ShardTask(
+            shard_index=0,
+            items=[ShardItem(position=i, vehicle=vehicle, request=request)
+                   for i, (vehicle, request) in enumerate(zip(fleet, requests))],
+            cache_path=snapshot_path)))
+        shard_result = execute_shard(task)
+        # Reference: the same integrations on the original (unpickled) fleet.
+        accepted = 0
+        for verdict, vehicle, request in zip(shard_result.verdicts, fleet,
+                                             requests):
+            reference = vehicle.mcc.request_change(request)
+            assert verdict.report.accepted == reference.accepted
+            assert verdict.report.acceptance_results == \
+                reference.acceptance_results
+            if reference.accepted:
+                accepted += 1
+                assert verdict.mapping == dict(vehicle.mcc.model.mapping)
+                assert verdict.priorities == dict(vehicle.mcc.model.priorities)
+        assert accepted > 0  # the baseline fleet hosts this update
+
+    def test_shard_returns_only_new_cache_entries(self, tmp_path):
+        cache = AnalysisCache()
+        fleet = generate_fleet(FleetSpec(size=1, seed=5, num_variants=1,
+                                         extra_components=2),
+                               analysis_cache=cache)
+        factory = make_factory()
+        snapshot_path = os.path.join(tmp_path, "cache.pkl")
+        preloaded = cache.save_snapshot(snapshot_path)
+        assert preloaded > 0  # provisioning analyses are in the snapshot
+        task = pickle.loads(pickle.dumps(ShardTask(
+            shard_index=0,
+            items=[ShardItem(position=0, vehicle=fleet[0],
+                             request=factory(fleet[0]))],
+            cache_path=snapshot_path)))
+        shard_result = execute_shard(task)
+        assert shard_result.cache_entries  # the candidate analyses are new
+        returned = {key for key, _ in shard_result.cache_entries}
+        warm = AnalysisCache()
+        warm.load_snapshot(snapshot_path)
+        preloaded_keys = {key for key, _ in warm.export_entries()}
+        assert not returned & preloaded_keys  # fan-in excludes the warm-start
+
+
+class TestWorkerInitializer:
+    """initialize_worker: fork-seed preferred, snapshot fallback."""
+
+    def teardown_method(self):
+        shard_module._WORKER_CACHE = None
+        shard_module._FORK_SEED = None
+
+    def test_fork_seed_wins(self, tmp_path):
+        seed_cache = AnalysisCache(max_entries=5)
+        shard_module._FORK_SEED = seed_cache
+        shard_module.initialize_worker(str(tmp_path / "ignored.pkl"))
+        assert shard_module._WORKER_CACHE is seed_cache
+
+    def test_snapshot_fallback_without_seed(self, tmp_path):
+        source = AnalysisCache()
+        fleet = generate_fleet(FleetSpec(size=1, seed=5, num_variants=1,
+                                         extra_components=1),
+                               analysis_cache=source)
+        path = str(tmp_path / "snap.pkl")
+        entries = source.save_snapshot(path)
+        shard_module._FORK_SEED = None
+        shard_module.initialize_worker(path)
+        assert shard_module._WORKER_CACHE is not None
+        assert len(shard_module._WORKER_CACHE) == entries
+
+    def test_no_seed_no_snapshot(self):
+        shard_module.initialize_worker(None)
+        assert shard_module._WORKER_CACHE is not None
+        assert len(shard_module._WORKER_CACHE) == 0
+
+
+class TestParallelSequentialEquivalence:
+    """workers=1 vs workers=4 must be byte-identical, halt included."""
+
+    def test_clean_rollout_equivalence(self):
+        fleet_seq, _, sequential = run_campaign(12, seed=1, workers=1)
+        fleet_par, _, parallel = run_campaign(12, seed=1, workers=4)
+        assert campaign_digest(parallel) == campaign_digest(sequential)
+        assert fleet_digest(fleet_par) == fleet_digest(fleet_seq)
+
+    def test_mid_campaign_halt_equivalence(self):
+        """A failure-injected campaign that halts mid-rollout: identical
+        halted wave, identical rollback set, identical per-vehicle state."""
+        policy = WavePolicy(canary_size=2, wave_fractions=(0.3, 1.0),
+                            max_failure_rate=0.2)
+        fleet_seq, _, sequential = run_campaign(16, seed=1, workers=1,
+                                                failure_rate=0.5, policy=policy)
+        fleet_par, _, parallel = run_campaign(16, seed=1, workers=4,
+                                              failure_rate=0.5, policy=policy)
+        # The scenario must actually exercise a *mid-campaign* halt.
+        assert sequential.halted and sequential.halted_wave >= 1
+        assert campaign_digest(parallel) == campaign_digest(sequential)
+        assert fleet_digest(fleet_par) == fleet_digest(fleet_seq)
+        rollback_seq = [v.vehicle_id for v in fleet_seq if v.rolled_back]
+        rollback_par = [v.vehicle_id for v in fleet_par if v.rolled_back]
+        assert rollback_par == rollback_seq
+
+    def test_workers_knob_survives_daemonic_runner_workers(self):
+        """The E10 scenario's `workers` knob inside the *parallel*
+        experiment runner: a daemonic pool worker may not fork children, so
+        the campaign must fall back to in-process sharding — identical
+        records, no 'daemonic processes are not allowed to have children'."""
+        from repro.experiments import ExperimentSpec, Runner
+        spec = ExperimentSpec(
+            name="nested", scenario="fleet_update_campaign",
+            grid={"fleet_size": 6, "num_variants": 2, "extra_components": 2,
+                  "workers": [1, 2]})
+        parallel = Runner(parallel=True, workers=2).run(spec)
+        assert parallel.ok(), [r.error for r in parallel.records]
+        serial = Runner(parallel=False).run(spec)
+        assert parallel.canonical_json() == serial.canonical_json()
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           failure_rate=st.sampled_from([0.0, 0.3, 0.8]),
+           size=st.integers(min_value=4, max_value=14))
+    def test_differential_random_fleets(self, seed, failure_rate, size):
+        """Hypothesis-seeded fleets: the parallel engine may never diverge
+        from sequential admission, whatever the fleet or failure pattern."""
+        policy = WavePolicy(canary_size=1, wave_fractions=(0.5, 1.0),
+                            max_failure_rate=0.25)
+        fleet_seq, _, sequential = run_campaign(size, seed=seed, workers=1,
+                                                failure_rate=failure_rate,
+                                                policy=policy)
+        fleet_par, _, parallel = run_campaign(size, seed=seed, workers=4,
+                                              failure_rate=failure_rate,
+                                              policy=policy)
+        assert campaign_digest(parallel) == campaign_digest(sequential)
+        assert fleet_digest(fleet_par) == fleet_digest(fleet_seq)
+
+
+class TestPersistentCache:
+    """On-disk snapshots: warm-starts change wall time, never results."""
+
+    def test_rerun_warm_starts_from_snapshot(self, tmp_path):
+        cache_path = os.path.join(tmp_path, "analyses.pkl")
+        _, _, first = run_campaign(10, seed=4, workers=1,
+                                   cache_path=cache_path)
+        assert os.path.exists(cache_path)
+        assert first.cache_misses > 0
+        _, _, second = run_campaign(10, seed=4, workers=1,
+                                    cache_path=cache_path)
+        assert campaign_digest(second) == campaign_digest(first)
+        # The repeat run's wave analyses are answered from the snapshot.
+        assert second.cache_misses < first.cache_misses
+        assert second.cache_hits > 0
+
+    def test_snapshot_roundtrip_under_parallel_run(self, tmp_path):
+        cache_path = os.path.join(tmp_path, "analyses.pkl")
+        _, _, parallel = run_campaign(10, seed=4, workers=3,
+                                      cache_path=cache_path)
+        _, _, sequential = run_campaign(10, seed=4, workers=1)
+        assert campaign_digest(parallel) == campaign_digest(sequential)
+        restored = AnalysisCache()
+        assert restored.load_snapshot(cache_path) > 0
+
+
+class TestCheckpointResume:
+    """A halted campaign resumes — remediated — to the reference result."""
+
+    POLICY_STRICT = WavePolicy(canary_size=2, wave_fractions=(0.4, 1.0),
+                               max_failure_rate=0.1)
+    POLICY_TOLERANT = WavePolicy(canary_size=2, wave_fractions=(0.4, 1.0),
+                                 max_failure_rate=1.0)
+
+    def _halting_setup(self, tmp_path, workers=1):
+        checkpoint_path = os.path.join(tmp_path, "campaign.ckpt")
+        fleet, campaign, halted = run_campaign(
+            18, seed=1, workers=workers, failure_rate=0.4,
+            policy=self.POLICY_STRICT, checkpoint_path=checkpoint_path)
+        assert halted.halted
+        assert os.path.exists(checkpoint_path)
+        assert campaign.last_checkpoint is not None
+        return fleet, halted, checkpoint_path
+
+    def test_resume_reaches_reference_result(self, tmp_path):
+        fleet, halted, checkpoint_path = self._halting_setup(tmp_path)
+        _, _, reference = run_campaign(18, seed=1, workers=1, failure_rate=0.4,
+                                       policy=self.POLICY_TOLERANT)
+        # Remediation: the operator raises the tolerance and resumes the
+        # SAME fleet from the checkpoint (live objects, same process).
+        cache = AnalysisCache()
+        resumed = Campaign(fleet, make_factory(), policy=self.POLICY_TOLERANT,
+                           analysis_cache=cache, failure_injection_rate=0.4,
+                           feedback_seed=1).run(
+            resume_from=CampaignCheckpoint.load(checkpoint_path))
+        assert campaign_digest(resumed) == campaign_digest(reference)
+
+    def test_resume_on_regenerated_fleet(self, tmp_path):
+        """The checkpoint restores vehicles of a *freshly generated* fleet —
+        the cross-process story (pickled MCC snapshots are portable)."""
+        _, halted, checkpoint_path = self._halting_setup(tmp_path)
+        _, _, reference = run_campaign(18, seed=1, workers=1, failure_rate=0.4,
+                                       policy=self.POLICY_TOLERANT)
+        spec = FleetSpec(size=18, seed=1, num_variants=4, extra_components=2)
+        cache = AnalysisCache()
+        fresh_fleet = generate_fleet(spec, analysis_cache=cache)
+        resumed = Campaign(fresh_fleet, make_factory(),
+                           policy=self.POLICY_TOLERANT, analysis_cache=cache,
+                           failure_injection_rate=0.4, feedback_seed=1).run(
+            resume_from=CampaignCheckpoint.load(checkpoint_path))
+        assert campaign_digest(resumed) == campaign_digest(reference)
+
+    def test_resume_with_parallel_workers(self, tmp_path):
+        _, halted, checkpoint_path = self._halting_setup(tmp_path, workers=4)
+        _, _, reference = run_campaign(18, seed=1, workers=1, failure_rate=0.4,
+                                       policy=self.POLICY_TOLERANT)
+        spec = FleetSpec(size=18, seed=1, num_variants=4, extra_components=2)
+        cache = AnalysisCache()
+        fresh_fleet = generate_fleet(spec, analysis_cache=cache)
+        resumed = Campaign(fresh_fleet, make_factory(),
+                           policy=self.POLICY_TOLERANT, analysis_cache=cache,
+                           failure_injection_rate=0.4, feedback_seed=1,
+                           workers=4).run(
+            resume_from=CampaignCheckpoint.load(checkpoint_path))
+        assert campaign_digest(resumed) == campaign_digest(reference)
+
+    def test_checkpoint_excludes_the_halting_wave(self, tmp_path):
+        _, halted, checkpoint_path = self._halting_setup(tmp_path)
+        checkpoint = CampaignCheckpoint.load(checkpoint_path)
+        assert checkpoint.next_wave == halted.halted_wave
+        assert len(checkpoint.result.waves) == halted.halted_wave
+        assert not checkpoint.result.halted
+        # Halting-wave members are stored pre-wave: clean flags.
+        halting_ids = set(halted.waves[-1].vehicle_ids)
+        for state in checkpoint.vehicle_states:
+            if state.vehicle_id in halting_ids:
+                assert not (state.updated or state.deviating
+                            or state.rolled_back)
+
+    def test_resume_rejects_diverging_fleet(self, tmp_path):
+        _, _, checkpoint_path = self._halting_setup(tmp_path)
+        checkpoint = CampaignCheckpoint.load(checkpoint_path)
+        spec = FleetSpec(size=5, seed=1, num_variants=4, extra_components=2)
+        cache = AnalysisCache()
+        wrong_fleet = generate_fleet(spec, analysis_cache=cache)
+        with pytest.raises(CampaignError):
+            Campaign(wrong_fleet, make_factory(), policy=self.POLICY_TOLERANT,
+                     analysis_cache=cache).run(resume_from=checkpoint)
+
+    def test_resume_rejects_diverging_staging(self, tmp_path):
+        _, _, checkpoint_path = self._halting_setup(tmp_path)
+        checkpoint = CampaignCheckpoint.load(checkpoint_path)
+        spec = FleetSpec(size=18, seed=1, num_variants=4, extra_components=2)
+        cache = AnalysisCache()
+        fleet = generate_fleet(spec, analysis_cache=cache)
+        reshaped = WavePolicy(canary_size=5, wave_fractions=(1.0,),
+                              max_failure_rate=1.0)
+        with pytest.raises(CampaignError):
+            Campaign(fleet, make_factory(), policy=reshaped,
+                     analysis_cache=cache).run(resume_from=checkpoint)
+
+    def test_checkpoint_file_validation(self, tmp_path):
+        bogus = os.path.join(tmp_path, "bogus.ckpt")
+        with open(bogus, "wb") as stream:
+            pickle.dump({"not": "a checkpoint"}, stream)
+        with pytest.raises(CampaignError):
+            CampaignCheckpoint.load(bogus)
