@@ -1,0 +1,165 @@
+"""E12: vectorized lockstep batch busy-window kernel on the acceptance grid.
+
+The fleet/acceptance workload hands the analysis stack whole grids of
+congruent task sets (per-vehicle WCET perturbations of a few shared bases).
+This benchmark measures the batch kernel against the scalar
+``analyze_many`` path on exactly that workload and enforces the kernel's
+two contracts at once:
+
+* **speed** — >= 5x over the scalar engine on the full grid (>= 2x in
+  ``REPRO_BENCH_QUICK`` CI smoke, where the grid is too small to amortize
+  the lockstep setup);
+* **exactness** — byte-identical results (every field, including iteration
+  counts and completion traces) versus a cold from-scratch
+  :class:`~repro.analysis.cpa.ResponseTimeAnalysis` per lane, and identical
+  verdicts versus the scalar engine.
+
+Timings are *interleaved* min-of-N: baseline and batch trials alternate so
+a load spike on a busy CI runner degrades both sides instead of flipping
+the ratio.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+import pytest
+
+from conftest import print_table, quick_mode, write_bench_record
+from repro.analysis.batch import BatchResponseTimeAnalysis, numpy_available
+from repro.analysis.cpa import ResponseTimeAnalysis
+from repro.analysis.incremental import IncrementalResponseTimeAnalysis
+from repro.platform.tasks import Task, TaskSet
+from repro.sim.random import SeededRNG
+
+
+def _taskset(seed: int, n: int, utilization: float) -> TaskSet:
+    rng = SeededRNG(seed)
+    utilizations = rng.uunifast(n, utilization)
+    periods = rng.log_uniform_periods(n, 0.005, 0.5)
+    taskset = TaskSet()
+    for index, (u, period) in enumerate(zip(utilizations, periods)):
+        taskset.add(Task(f"t{index}", period=period, wcet=max(1e-6, u * period)))
+    taskset.assign_deadline_monotonic_priorities()
+    return taskset
+
+
+def _rebuild(tasks) -> TaskSet:
+    return TaskSet([Task(t.name, period=t.period, wcet=t.wcet, deadline=t.deadline,
+                         priority=t.priority, jitter=t.jitter) for t in tasks])
+
+
+def _acceptance_grid(bases: int, variants: int, n: int,
+                     utilization: float) -> List[TaskSet]:
+    """``bases`` congruence groups of ``variants`` WCET-perturbed lanes each
+    — the per-vehicle spread of a fleet admission wave."""
+    grid: List[TaskSet] = []
+    for seed in range(bases):
+        base = _taskset(seed, n, utilization).tasks()
+        rng = SeededRNG(seed + 5_000)
+        grid.append(_rebuild(base))
+        for _ in range(variants - 1):
+            grid.append(_rebuild([t.scaled(rng.uniform(0.85, 1.2))
+                                  for t in base]))
+    return grid
+
+
+def _interleaved_best_of(baseline_fn, batch_fn, repeats: int = 3):
+    """Alternate baseline/batch trials; min wall time per side plus the last
+    results.  Interleaving is what makes the ratio robust: a transient
+    stall lands on whichever side is running, not systematically on one."""
+    best_baseline = best_batch = float("inf")
+    baseline_result = batch_result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        baseline_result = baseline_fn()
+        best_baseline = min(best_baseline, time.perf_counter() - started)
+        started = time.perf_counter()
+        batch_result = batch_fn()
+        best_batch = min(best_batch, time.perf_counter() - started)
+    return best_baseline, best_batch, baseline_result, batch_result
+
+
+def _verdicts(results):
+    return [(r.wcrt, r.schedulable, r.converged, r.busy_window)
+            for lane in results for r in lane.values()]
+
+
+@pytest.mark.benchmark(group="e12-batch-kernel")
+def test_e12_batch_kernel_speedup(benchmark):
+    quick = quick_mode()
+    if quick:
+        grid = (_acceptance_grid(1, 80, 10, 0.7)
+                + _acceptance_grid(1, 80, 12, 0.7))
+        floor = 2.0
+    else:
+        grid = _acceptance_grid(4, 200, 16, 0.80)
+        floor = 5.0
+
+    def baseline_run():
+        return IncrementalResponseTimeAnalysis().analyze_many(grid)
+
+    def batch_run():
+        return IncrementalResponseTimeAnalysis(batch_kernel=True).analyze_many(grid)
+
+    baseline_s, batch_s, baseline_results, batch_results = \
+        _interleaved_best_of(baseline_run, batch_run)
+    benchmark(lambda: BatchResponseTimeAnalysis().analyse_many(grid[:20]))
+
+    # Exactness first: the speedup is worthless if a single bit moved.
+    # (a) byte-identical to the cold oracle, completions included;
+    for lane, taskset in enumerate(grid):
+        cold = ResponseTimeAnalysis(taskset).analyse()
+        got = batch_results[lane]
+        assert set(got) == set(cold), lane
+        for name in cold:
+            assert got[name] == cold[name], f"lane={lane} task={name}"
+            assert got[name].completions == cold[name].completions, \
+                f"lane={lane} task={name} completions"
+    # (b) verdict-identical to the scalar engine (iteration counts may
+    # differ: the scalar path warm-starts within the grid).
+    assert _verdicts(batch_results) == _verdicts(baseline_results)
+
+    speedup = baseline_s / batch_s if batch_s > 0 else float("inf")
+    rows = [{
+        "lanes": len(grid),
+        "tasks_per_lane": len(grid[0].tasks()),
+        "numpy": numpy_available(),
+        "scalar_s": baseline_s,
+        "batch_s": batch_s,
+        "speedup": speedup,
+    }]
+    print_table(f"E12: batch kernel vs scalar analyze_many "
+                f"(target: >= {floor}x)", rows)
+    write_bench_record("e12_batch_kernel", rows[0])
+    assert speedup >= floor
+
+
+@pytest.mark.benchmark(group="e12-batch-kernel")
+def test_e12_pure_python_path_parity(benchmark):
+    """The pure-Python fallback is slower but just as exact; its timing is
+    recorded so the no-numpy deployment cost stays visible."""
+    grid = (_acceptance_grid(1, 40, 10, 0.7)
+            + _acceptance_grid(1, 40, 12, 0.7))
+    pure = BatchResponseTimeAnalysis(use_numpy=False)
+
+    started = time.perf_counter()
+    pure_results = pure.analyse_many(grid)
+    pure_s = time.perf_counter() - started
+    benchmark(lambda: BatchResponseTimeAnalysis(use_numpy=False)
+              .analyse_many(grid[:20]))
+
+    for lane, taskset in enumerate(grid):
+        cold = ResponseTimeAnalysis(taskset).analyse()
+        for name in cold:
+            assert pure_results[lane][name] == cold[name], \
+                f"lane={lane} task={name}"
+            assert pure_results[lane][name].completions == cold[name].completions
+
+    rows = [{"lanes": len(grid), "numpy": False, "pure_python_s": pure_s,
+             "groups_solved": pure.groups_solved,
+             "lanes_solved": pure.lanes_solved}]
+    print_table("E12: pure-Python lockstep path (exactness + cost)", rows)
+    write_bench_record("e12_pure_path", rows[0])
+    assert pure.lanes_solved == len(grid)

@@ -21,8 +21,16 @@ as acceptance tests during the in-field integration process:
 * :mod:`repro.analysis.compositional` — multi-resource CPA: CAN
   response-time analysis, the system-level event-model propagation fixpoint
   and jitter-aware distributed cause-effect-chain latency bounds.
+* :mod:`repro.analysis.batch` — vectorized batch busy-window kernel: solves
+  whole congruence groups of task sets in lockstep (numpy or pure-Python),
+  bit-identical to the scalar engine.
 """
 
+from repro.analysis.batch import (
+    BatchResponseTimeAnalysis,
+    congruence_signature,
+    numpy_available,
+)
 from repro.analysis.cpa import (
     EventModel,
     ResponseTimeResult,
@@ -60,6 +68,9 @@ from repro.analysis.compositional import (
 )
 
 __all__ = [
+    "BatchResponseTimeAnalysis",
+    "congruence_signature",
+    "numpy_available",
     "EventModel",
     "ResponseTimeResult",
     "ResponseTimeAnalysis",

@@ -1,0 +1,560 @@
+"""Vectorized batch busy-window kernel for congruent task-set grids.
+
+Fleet-scale admission (the E10/E11 campaigns) solves thousands of
+*structurally congruent* task sets — per-vehicle perturbations of a shared
+baseline that agree on task count and priority structure while differing
+only in WCET/period/jitter/deadline values.  The scalar engines iterate one
+busy-window fixpoint at a time; this module lays the parameters of a whole
+congruence group out as arrays (one *lane* per task set) and iterates all
+fixpoints in lockstep:
+
+* **Congruence grouping.**  :func:`congruence_signature` maps a task set to
+  the dense rank of each task's priority in insertion order.  Two task sets
+  with the same signature have identical interference structure (who
+  preempts whom, including equal-priority ties), so their busy windows can
+  share one control flow.
+* **Lane layout.**  Per task position, the group's speed-scaled WCETs,
+  event-model periods/jitters, deadlines and divergence bounds become
+  parallel arrays indexed by lane.
+* **Lockstep fixpoints.**  Every (task set, task position) pair is one
+  *column* of a single flat working set; all columns take fixpoint passes
+  together while each tracks its own activation index ``q``.  Settled
+  columns are compressed out of the working arrays (early exit), diverging
+  columns are retired exactly where
+  :class:`~repro.analysis.cpa.ResponseTimeAnalysis` would retire them, and
+  the last few stragglers are finished by the scalar continuation.
+* **Dual path.**  A numpy path vectorizes across lanes when numpy is
+  importable; a tight pure-Python path (no per-iteration allocations) is
+  used otherwise.  Setting ``REPRO_FORCE_PURE_BATCH=1`` before import forces
+  the pure path even when numpy is present (the CI fallback leg).
+
+The contract is *bit-identical verdicts*: every floating-point operation is
+performed in the same order as the scalar engine — interference sums
+accumulate left-to-right over higher-priority tasks in insertion order, and
+the numpy path only vectorizes across lanes (elementwise IEEE-754 double
+ops, identical to CPython float arithmetic).  The differential oracle in
+``tests/test_batch_kernel.py`` pins batch == incremental == cold full
+analysis on both paths.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.cpa import _EPS, EventModel, ResponseTimeResult
+from repro.platform.tasks import TaskSet
+
+
+def _import_numpy():
+    """Numpy, unless it is missing or ``REPRO_FORCE_PURE_BATCH`` disables it."""
+    if os.environ.get("REPRO_FORCE_PURE_BATCH", "0") not in ("", "0"):
+        return None
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - exercised via the env-var gate
+        return None
+    return numpy
+
+
+_np = _import_numpy()
+
+_RUNNING = 0
+_CONVERGED = 1
+_DIVERGED = 2
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized numpy path is usable in this process."""
+    return _np is not None
+
+
+def congruence_signature(taskset: TaskSet) -> Tuple[int, ...]:
+    """Dense priority-rank signature of a task set, in insertion order.
+
+    Two task sets are *congruent* — solvable in lockstep by the batch
+    kernel — iff their signatures are equal: same task count and the same
+    relative priority structure (strict ``<`` relations and equal-priority
+    ties), regardless of the absolute priority values, task names or
+    numeric parameters.
+    """
+    priorities = [task.priority for task in taskset]
+    rank_of = {priority: rank
+               for rank, priority in enumerate(sorted(set(priorities)))}
+    return tuple(rank_of[priority] for priority in priorities)
+
+
+def _solve_lane(wcet: float, own_period: float, own_jitter: float,
+                deadline: float, limit: float,
+                hp_params: Tuple[Tuple[float, float, float], ...],
+                max_iterations: int, q: int = 1, worst: float = 0.0,
+                iterations_total: int = 0, busy_window: float = 0.0,
+                completions: Optional[List[float]] = None,
+                completion: Optional[float] = None, inner_done: int = 0):
+    """Scalar busy window of one lane/task, allocation-free in the hot loop.
+
+    Mirrors :meth:`ResponseTimeAnalysis.response_time` operation-for-
+    operation (cold start, no memo) so results are bit-identical.  The
+    optional state arguments continue a busy window mid-stream (the numpy
+    path hands its last few straggler lanes over here once vectorizing
+    across them stops paying): from activation ``q`` onward, and — when
+    ``completion``/``inner_done`` are given — from that iterate of the
+    current activation's fixpoint.  The lockstep state at a pass boundary is
+    exactly the scalar state at that point, so the continuation stays
+    bit-identical.  Returns ``(wcrt, converged, schedulable, busy_window,
+    iterations, completions)``.
+    """
+    ceil = math.ceil
+    if completions is None:
+        completions = []
+    while True:
+        if completion is None:
+            completion = q * wcet
+            budget = max_iterations
+        else:
+            budget = max_iterations - inner_done
+        for _ in range(budget):
+            interference = 0
+            for period, jitter, hp_wcet in hp_params:
+                interference += int(ceil((completion + jitter) / period - _EPS)) * hp_wcet
+            new_completion = q * wcet + interference
+            if abs(new_completion - completion) <= _EPS:
+                completion = new_completion
+                break
+            completion = new_completion
+            iterations_total += 1
+            if completion > limit:
+                return (None, False, False, completion, iterations_total, ())
+        release = max(0.0, (q - 1) * own_period - own_jitter) if q > 1 else 0.0
+        response = completion - release + own_jitter
+        worst = max(worst, response)
+        busy_window = completion
+        completions.append(completion)
+        if completion <= max(0.0, q * own_period - own_jitter) + _EPS:
+            break
+        q += 1
+        if q * wcet > limit:
+            return (None, False, False, busy_window, iterations_total, ())
+        completion = None
+    return (worst, True, worst <= deadline + _EPS, busy_window,
+            iterations_total, tuple(completions))
+
+
+class BatchResponseTimeAnalysis:
+    """Lockstep busy-window WCRT analysis of congruent task-set groups.
+
+    Parameters
+    ----------
+    max_iterations:
+        Safety bound on each fixpoint iteration (matches the scalar engine).
+    use_numpy:
+        ``None`` auto-selects the vectorized path when numpy is importable
+        (and not disabled via ``REPRO_FORCE_PURE_BATCH``); ``True`` requires
+        it; ``False`` forces the pure-Python array path.
+    """
+
+    def __init__(self, max_iterations: int = 10_000,
+                 use_numpy: Optional[bool] = None) -> None:
+        if use_numpy and _np is None:
+            raise RuntimeError("numpy path requested but numpy is unavailable "
+                               "(not installed, or REPRO_FORCE_PURE_BATCH set)")
+        self.max_iterations = max_iterations
+        self.use_numpy = (_np is not None) if use_numpy is None else bool(use_numpy)
+        #: Once at most this many lanes are still iterating a task
+        #: position, the numpy path finishes them with the scalar
+        #: continuation — vector-op overhead on tiny arrays would otherwise
+        #: dominate the long-busy-window stragglers.
+        self.numpy_tail_lanes = 64
+        #: Large groups are solved in blocks of at most this many flat
+        #: columns so the padded interference matrices stay cache-resident;
+        #: lanes are independent, so blocking cannot change results.
+        self.numpy_block_columns = 4096
+        #: Observability counters for tests and benchmark tables.
+        self.groups_solved = 0
+        self.lanes_solved = 0
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether this kernel instance runs the numpy path."""
+        return self.use_numpy
+
+    # -- entry points ------------------------------------------------------
+
+    def analyse_many(self, tasksets: Iterable[TaskSet],
+                     speed_factor: float = 1.0,
+                     event_models: Optional[Dict[str, EventModel]] = None
+                     ) -> List[Dict[str, ResponseTimeResult]]:
+        """Analyse a mixed grid: group by congruence, solve groups in
+        lockstep, scatter results back into input order."""
+        ordered = list(tasksets)
+        results: List[Optional[Dict[str, ResponseTimeResult]]] = [None] * len(ordered)
+        groups: Dict[Tuple[int, ...], List[int]] = {}
+        for position, taskset in enumerate(ordered):
+            groups.setdefault(congruence_signature(taskset), []).append(position)
+        for signature, positions in groups.items():
+            solved = self._solve_group([ordered[p] for p in positions],
+                                       signature, speed_factor, event_models)
+            for position, lane_results in zip(positions, solved):
+                results[position] = lane_results
+        return results  # type: ignore[return-value]
+
+    def analyse_group(self, tasksets: Iterable[TaskSet],
+                      speed_factor: float = 1.0,
+                      event_models: Optional[Dict[str, EventModel]] = None,
+                      signature: Optional[Tuple[int, ...]] = None
+                      ) -> List[Dict[str, ResponseTimeResult]]:
+        """Analyse one already-congruent group, in input order.
+
+        Congruence is validated unless the caller passes the group's
+        ``signature`` (trusted — callers that grouped by
+        :func:`congruence_signature` themselves skip the re-computation).
+        """
+        ordered = list(tasksets)
+        if not ordered:
+            return []
+        if signature is None:
+            signature = congruence_signature(ordered[0])
+            for taskset in ordered[1:]:
+                if congruence_signature(taskset) != signature:
+                    raise ValueError("analyse_group requires congruent task "
+                                     "sets; use analyse_many for mixed grids")
+        return self._solve_group(ordered, signature, speed_factor, event_models)
+
+    # -- group solver ------------------------------------------------------
+
+    def _solve_group(self, lanes: List[TaskSet], signature: Tuple[int, ...],
+                     speed_factor: float,
+                     event_models: Optional[Dict[str, EventModel]]
+                     ) -> List[Dict[str, ResponseTimeResult]]:
+        if speed_factor <= 0:
+            raise ValueError("speed factor must be positive")
+        task_count = len(signature)
+        lane_count = len(lanes)
+        if task_count == 0:
+            return [{} for _ in lanes]
+        overrides = event_models or {}
+        lane_tasks = [taskset.tasks() for taskset in lanes]
+        # Lane-major parameter rows: rows_x[l][i] = value for task position i
+        # of lane l.  Periods/jitters are the *event-model* values (override
+        # or task), exactly as the scalar engine resolves them.
+        rows_wcet: List[List[float]] = []
+        rows_period: List[List[float]] = []
+        rows_jitter: List[List[float]] = []
+        rows_deadline: List[List[float]] = []
+        rows_limit: List[List[float]] = []
+        for tasks in lane_tasks:
+            rows_wcet.append([task.wcet / speed_factor for task in tasks])
+            if overrides:
+                models = [overrides.get(task.name) for task in tasks]
+                rows_period.append([task.period if model is None else model.period
+                                    for task, model in zip(tasks, models)])
+                rows_jitter.append([task.jitter if model is None else model.jitter
+                                    for task, model in zip(tasks, models)])
+            else:
+                rows_period.append([task.period for task in tasks])
+                rows_jitter.append([task.jitter for task in tasks])
+            row_d = [task.period if task.deadline is None else task.deadline
+                     for task in tasks]
+            rows_deadline.append(row_d)
+            rows_limit.append([(d if d > task.period else task.period) * 64
+                               for d, task in zip(row_d, tasks)])
+        hp_of = [tuple(j for j in range(task_count) if signature[j] < signature[i])
+                 for i in range(task_count)]
+        self.groups_solved += 1
+        self.lanes_solved += lane_count
+        solver = self._solve_numpy if self.use_numpy else self._solve_pure
+        solved = solver(task_count, lane_count, rows_wcet, rows_period,
+                        rows_jitter, rows_deadline, rows_limit, hp_of)
+        # Positional construction: solved tuples are laid out in
+        # ResponseTimeResult field order (after ``task``).
+        return [{task.name: ResponseTimeResult(task, *solved[i][lane])
+                 for i, task in enumerate(tasks)}
+                for lane, tasks in enumerate(lane_tasks)]
+
+    # -- pure-Python path --------------------------------------------------
+
+    def _solve_pure(self, task_count, lane_count, rows_wcet, rows_period,
+                    rows_jitter, rows_deadline, rows_limit, hp_of):
+        max_iterations = self.max_iterations
+        solved = [[None] * lane_count for _ in range(task_count)]
+        for lane in range(lane_count):
+            row_w = rows_wcet[lane]
+            row_p = rows_period[lane]
+            row_j = rows_jitter[lane]
+            row_d = rows_deadline[lane]
+            row_l = rows_limit[lane]
+            for i in range(task_count):
+                hp_params = tuple((row_p[j], row_j[j], row_w[j])
+                                  for j in hp_of[i])
+                solved[i][lane] = _solve_lane(row_w[i], row_p[i], row_j[i],
+                                              row_d[i], row_l[i], hp_params,
+                                              max_iterations)
+        return solved
+
+    # -- numpy path --------------------------------------------------------
+
+    def _solve_numpy(self, task_count, lane_count, rows_wcet, rows_period,
+                     rows_jitter, rows_deadline, rows_limit, hp_of):
+        """Numpy path: flat lockstep solve, blocked to stay cache-resident."""
+        block = max(1, self.numpy_block_columns // task_count)
+        if lane_count <= block:
+            return self._solve_numpy_block(task_count, lane_count, rows_wcet,
+                                           rows_period, rows_jitter,
+                                           rows_deadline, rows_limit, hp_of)
+        solved = [[None] * lane_count for _ in range(task_count)]
+        for start in range(0, lane_count, block):
+            stop = min(start + block, lane_count)
+            sub = self._solve_numpy_block(
+                task_count, stop - start, rows_wcet[start:stop],
+                rows_period[start:stop], rows_jitter[start:stop],
+                rows_deadline[start:stop], rows_limit[start:stop], hp_of)
+            for i in range(task_count):
+                solved[i][start:stop] = sub[i]
+        return solved
+
+    def _solve_numpy_block(self, task_count, lane_count, rows_wcet,
+                           rows_period, rows_jitter, rows_deadline,
+                           rows_limit, hp_of):
+        """Flat lockstep solve: one column per (lane, task position) pair.
+
+        Flat column ``g = lane * task_count + i`` carries its own activation
+        index ``q``; all working columns take fixpoint passes together.
+        Interference term arrays are zero-padded to the deepest
+        higher-priority set — a padded term contributes exactly ``+0.0``
+        *after* the real left-to-right sum, so values stay bit-identical to
+        the scalar engine.  Settled columns record their activation and
+        either converge or restart at ``q + 1``; finished columns are
+        compressed out; the last few stragglers go to the scalar
+        continuation.
+        """
+        np = _np
+        n = task_count
+        flat = n * lane_count
+        max_iterations = self.max_iterations
+        # Flat own-task parameters (lane-major: row-major reshape of the
+        # (lanes, tasks) rows gives exactly g = lane * n + i).
+        w = np.array(rows_wcet).reshape(flat)
+        p_own = np.array(rows_period).reshape(flat)
+        j_own = np.array(rows_jitter).reshape(flat)
+        dl = np.array(rows_deadline).reshape(flat)
+        lim = np.array(rows_limit).reshape(flat)
+        # Padded higher-priority term matrices, term-major: row k holds the
+        # k-th interference term of every column (period 1 / jitter 0 /
+        # wcet 0 beyond a column's real depth).
+        depth = max(len(hp) for hp in hp_of)
+        hpP = np.ones((depth, flat))
+        hpJ = np.zeros((depth, flat))
+        hpW = np.zeros((depth, flat))
+        Wm = w.reshape(lane_count, n)
+        Pm = p_own.reshape(lane_count, n)
+        Jm = j_own.reshape(lane_count, n)
+        for i, hp in enumerate(hp_of):
+            for k, j in enumerate(hp):
+                hpP[k, i::n] = Pm[:, j]
+                hpJ[k, i::n] = Jm[:, j]
+                hpW[k, i::n] = Wm[:, j]
+        # Global result state (indexed by flat column id).
+        status = np.zeros(flat, dtype=np.int8)
+        worst = np.zeros(flat)
+        busy = np.zeros(flat)
+        iterations = np.zeros(flat, dtype=np.int64)
+        completions_log = []
+        scalar_done = {}
+        # Working-set state (compressed as columns finish).
+        idx = np.arange(flat)
+        q = np.ones(flat, dtype=np.int64)
+        comp = w.copy()
+        qw = w.copy()
+        inner = np.zeros(flat, dtype=np.int64)
+        done = np.zeros(flat, dtype=bool)
+        w_cur, p_cur, j_cur, lim_cur = w, p_own, j_own, lim
+        size = flat
+        tmp = np.empty(size)
+        acc = np.empty(size)
+        scratch = np.empty(size)
+        diff = np.empty(size)
+        live = flat
+        with np.errstate(over="ignore", invalid="ignore"):
+            while live:
+                if live <= self.numpy_tail_lanes:
+                    self._hand_off_numpy(np, n, rows_wcet, rows_period,
+                                         rows_jitter, rows_deadline,
+                                         rows_limit, hp_of, idx, done, q,
+                                         comp, inner, worst, busy, iterations,
+                                         completions_log, scalar_done)
+                    break
+                # One fixpoint pass over every working column.  Finished
+                # columns ride along (their values are never read again);
+                # the in-place accumulation keeps the scalar engine's
+                # left-to-right summation order, so values stay
+                # bit-identical — only allocations are saved.
+                if depth:
+                    acc.fill(0.0)
+                    for k in range(depth):
+                        np.add(comp, hpJ[k], out=tmp)
+                        np.divide(tmp, hpP[k], out=tmp)
+                        np.subtract(tmp, _EPS, out=tmp)
+                        np.ceil(tmp, out=tmp)
+                        np.multiply(tmp, hpW[k], out=tmp)
+                        np.add(acc, tmp, out=acc)
+                    np.add(qw, acc, out=scratch)
+                else:
+                    scratch[...] = qw
+                np.subtract(scratch, comp, out=diff)
+                np.abs(diff, out=diff)
+                alive = ~done
+                settled = (diff <= _EPS) & alive
+                pending = alive & (diff > _EPS)
+                comp, scratch = scratch, comp
+                if pending.any():
+                    iterations[idx[pending]] += 1
+                    inner[pending] += 1
+                    over = pending & (comp > lim_cur)
+                    if over.any():
+                        dead = idx[over]
+                        status[dead] = _DIVERGED
+                        busy[dead] = comp[over]
+                        done |= over
+                        live -= int(over.sum())
+                        pending &= ~over
+                    # Iteration cap: a column that exhausts max_iterations
+                    # keeps its last iterate, exactly like the scalar
+                    # fall-through.
+                    capped = pending & (inner >= max_iterations)
+                    if capped.any():
+                        settled |= capped
+                if settled.any():
+                    sl = np.nonzero(settled)[0]
+                    g = idx[sl]
+                    comp_s = comp[sl]
+                    q_s = q[sl]
+                    p_s = p_cur[sl]
+                    j_s = j_cur[sl]
+                    release = np.maximum(0.0, (q_s - 1) * p_s - j_s)
+                    response = comp_s - release + j_s
+                    worst[g] = np.maximum(worst[g], response)
+                    busy[g] = comp_s
+                    completions_log.append((g, comp_s))
+                    closing = comp_s <= np.maximum(0.0, q_s * p_s - j_s) + _EPS
+                    closed = sl[closing]
+                    done[closed] = True
+                    status[idx[closed]] = _CONVERGED
+                    live -= int(closing.sum())
+                    open_sl = sl[~closing]
+                    if open_sl.size:
+                        q_next = q[open_sl] + 1
+                        w_o = w_cur[open_sl]
+                        over_q = q_next * w_o > lim_cur[open_sl]
+                        if over_q.any():
+                            dead = open_sl[over_q]
+                            status[idx[dead]] = _DIVERGED
+                            done[dead] = True
+                            live -= int(over_q.sum())
+                            open_sl = open_sl[~over_q]
+                            q_next = q_next[~over_q]
+                            w_o = w_o[~over_q]
+                        if open_sl.size:
+                            q[open_sl] = q_next
+                            start = q_next * w_o
+                            qw[open_sl] = start
+                            comp[open_sl] = start
+                            inner[open_sl] = 0
+                if live and live * 8 <= size * 5:
+                    keep = ~done
+                    idx = idx[keep]
+                    q = q[keep]
+                    comp = comp[keep]
+                    qw = qw[keep]
+                    inner = inner[keep]
+                    w_cur = w_cur[keep]
+                    p_cur = p_cur[keep]
+                    j_cur = j_cur[keep]
+                    lim_cur = lim_cur[keep]
+                    hpP = hpP[:, keep]
+                    hpJ = hpJ[:, keep]
+                    hpW = hpW[:, keep]
+                    size = live
+                    done = np.zeros(size, dtype=bool)
+                    tmp = np.empty(size)
+                    acc = np.empty(size)
+                    scratch = np.empty(size)
+                    diff = np.empty(size)
+        schedulable = worst <= dl + _EPS
+        # Most columns close after a single activation; store the first
+        # completion flat and only allocate a list for multi-activation
+        # columns.
+        first_completion = [None] * flat
+        extra_completions: Dict[int, List[float]] = {}
+        for column_ids, values in completions_log:
+            for g, value in zip(column_ids.tolist(), values.tolist()):
+                if first_completion[g] is None:
+                    first_completion[g] = value
+                elif g in extra_completions:
+                    extra_completions[g].append(value)
+                else:
+                    extra_completions[g] = [first_completion[g], value]
+        status_list = status.tolist()
+        worst_list = worst.tolist()
+        busy_list = busy.tolist()
+        iterations_list = iterations.tolist()
+        schedulable_list = schedulable.tolist()
+        solved = [[None] * lane_count for _ in range(task_count)]
+        g = 0
+        for lane in range(lane_count):
+            for i in range(task_count):
+                if g in scalar_done:
+                    solved[i][lane] = scalar_done[g]
+                elif status_list[g] == _CONVERGED:
+                    if g in extra_completions:
+                        completions = tuple(extra_completions[g])
+                    else:
+                        completions = (first_completion[g],)
+                    solved[i][lane] = (worst_list[g], True,
+                                       bool(schedulable_list[g]),
+                                       busy_list[g], iterations_list[g],
+                                       completions)
+                else:
+                    solved[i][lane] = (None, False, False, busy_list[g],
+                                       iterations_list[g], ())
+                g += 1
+        return solved
+
+    def _hand_off_numpy(self, np, n, rows_wcet, rows_period, rows_jitter,
+                        rows_deadline, rows_limit, hp_of, idx, done, q, comp,
+                        inner, worst, busy, iterations, completions_log,
+                        scalar_done):
+        """Finish the last straggler columns with the scalar continuation.
+
+        Vector-op overhead on a handful of columns would dominate their long
+        busy windows; the lockstep state at a pass boundary is exactly the
+        scalar state at that point, so continuing each column scalar keeps
+        results bit-identical.
+        """
+        for pos in np.nonzero(~done)[0].tolist():
+            g = int(idx[pos])
+            lane, i = divmod(g, n)
+            row_w = rows_wcet[lane]
+            row_p = rows_period[lane]
+            row_j = rows_jitter[lane]
+            hp_params = tuple((row_p[j], row_j[j], row_w[j])
+                              for j in hp_of[i])
+            column_completions = []
+            for column_ids, values in completions_log:
+                mask = column_ids == g
+                if mask.any():
+                    column_completions.append(float(values[mask][0]))
+            scalar_done[g] = _solve_lane(
+                row_w[i], row_p[i], row_j[i], rows_deadline[lane][i],
+                rows_limit[lane][i], hp_params, self.max_iterations,
+                q=int(q[pos]), worst=float(worst[g]),
+                iterations_total=int(iterations[g]),
+                busy_window=float(busy[g]), completions=column_completions,
+                completion=float(comp[pos]), inner_done=int(inner[pos]))
+
+
+__all__ = [
+    "BatchResponseTimeAnalysis",
+    "congruence_signature",
+    "numpy_available",
+]

@@ -99,15 +99,23 @@ class AnalysisCache:
     """
 
     def __init__(self, max_entries: int = 4096,
-                 engine: Optional[IncrementalResponseTimeAnalysis] = None) -> None:
+                 engine: Optional[IncrementalResponseTimeAnalysis] = None,
+                 batch_kernel: bool = False) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self.engine = engine if engine is not None else IncrementalResponseTimeAnalysis()
+        if batch_kernel:
+            self.engine.batch_kernel = True
         self._store: "OrderedDict[Tuple, Dict[str, ResponseTimeResult]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    @property
+    def batch_kernel(self) -> bool:
+        """Whether cold miss batches go through the lockstep batch kernel."""
+        return self.engine.batch_kernel
 
     def __len__(self) -> int:
         return len(self._store)
@@ -313,10 +321,12 @@ class AnalysisCache:
         :meth:`save_snapshot` / :meth:`load_snapshot`.  Verdicts never
         depend on cache contents, so an empty arrival is always sound.
         """
-        return {"max_entries": self.max_entries}
+        return {"max_entries": self.max_entries,
+                "batch_kernel": self.engine.batch_kernel}
 
     def __setstate__(self, state: Dict[str, int]) -> None:
-        self.__init__(max_entries=state["max_entries"])
+        self.__init__(max_entries=state["max_entries"],
+                      batch_kernel=bool(state.get("batch_kernel", False)))
 
 
 #: Lazily created process-local cache shared by sweeps that do not manage

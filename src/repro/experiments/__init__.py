@@ -15,8 +15,10 @@ hand-rolled script re-invents:
   metric records to serial runs.
 * :mod:`repro.experiments.aggregate` — mean/p95 summaries, text tables and
   baseline diffing.
+* :mod:`repro.experiments.bench_history` — tabulation of the benchmark
+  suite's machine-readable ``BENCH_*.json`` perf records.
 * :mod:`repro.experiments.cli` — ``python -m repro.experiments
-  run | list | compare | cache-bench``.
+  run | list | compare | cache-bench | bench-history``.
 
 Repeated CPA invocations inside acceptance sweeps are memoized by
 :class:`repro.analysis.cache.AnalysisCache` (see ``cache-bench``).

@@ -1,0 +1,74 @@
+"""Tabulation of the machine-readable benchmark records.
+
+Every benchmark writes a ``BENCH_<name>.json`` record (see
+``benchmarks/conftest.py``) so the performance trajectory — speedups, wall
+times, engine counters — survives outside CI logs.  This module loads a
+directory of those records and renders them as one table per run:
+
+``python -m repro.experiments bench-history [--dir benchmarks/records]``
+
+Corrupt or foreign JSON files are skipped (reported, not fatal): the
+records directory accumulates across branches and interrupted runs, and a
+history tool that dies on the first bad file is useless exactly when the
+history is interesting.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+#: Payload keys promoted to their own table column when present.
+HEADLINE_KEYS = ("speedup", "speedup_vs_pr1", "admission_speedup")
+
+
+def load_bench_records(directory: str) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Load every ``BENCH_*.json`` under ``directory``.
+
+    Returns ``(records, skipped)``: parsed record documents sorted by name,
+    and the file names that could not be parsed (corrupt JSON, non-dict
+    top level, or a missing ``name``/``payload`` envelope).
+    """
+    records: List[Dict[str, Any]] = []
+    skipped: List[str] = []
+    for path in sorted(Path(directory).glob("BENCH_*.json")):
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            skipped.append(path.name)
+            continue
+        if (not isinstance(document, dict) or "name" not in document
+                or not isinstance(document.get("payload"), dict)):
+            skipped.append(path.name)
+            continue
+        records.append(document)
+    records.sort(key=lambda document: str(document["name"]))
+    return records, skipped
+
+
+def bench_history_rows(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """One table row per record: identity, provenance, headline speedup and
+    a compact rendering of the remaining numeric payload metrics."""
+    rows: List[Dict[str, Any]] = []
+    for document in records:
+        payload = document["payload"]
+        headline = next((payload[key] for key in HEADLINE_KEYS
+                         if isinstance(payload.get(key), (int, float))), None)
+        metrics = "  ".join(
+            f"{key}={value:.4g}" if isinstance(value, float) else f"{key}={value}"
+            for key, value in sorted(payload.items())
+            if key not in HEADLINE_KEYS
+            and isinstance(value, (int, float)) and not isinstance(value, bool))
+        rows.append({
+            "bench": document["name"],
+            "created_utc": document.get("created_utc", "?"),
+            "quick": bool(document.get("quick_mode", False)),
+            "speedup": "-" if headline is None else f"{headline:.2f}x",
+            "metrics": metrics or "-",
+        })
+    return rows
+
+
+__all__ = ["HEADLINE_KEYS", "bench_history_rows", "load_bench_records"]

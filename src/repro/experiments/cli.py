@@ -16,6 +16,9 @@ Commands
     Measure the speedup of the CPA memoization cache on a repeated
     acceptance sweep (the same update campaigns with and without a shared
     :class:`~repro.analysis.cache.AnalysisCache`).
+``bench-history``
+    Tabulate the machine-readable ``BENCH_*.json`` records the benchmark
+    suite writes (speedups, wall times, counters) across runs.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.experiments.aggregate import diff_records, format_table, summarize_result
@@ -212,6 +216,24 @@ def _cmd_cache_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    from repro.experiments.bench_history import bench_history_rows, load_bench_records
+
+    directory = Path(args.dir)
+    if not directory.is_dir():
+        print(f"error: {directory} is not a directory", file=sys.stderr)
+        return 2
+    records, skipped = load_bench_records(str(directory))
+    for name in skipped:
+        print(f"warning: skipping unparseable record {name}", file=sys.stderr)
+    if not records:
+        print(f"no BENCH_*.json records under {directory}")
+        return 0
+    print(format_table(f"benchmark history ({directory})",
+                       bench_history_rows(records)))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -250,6 +272,11 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument("--repeats", type=int, default=25,
                               help="re-validations of every task set in the WCRT sweep")
 
+    history_parser = commands.add_parser(
+        "bench-history", help="tabulate the benchmark perf records")
+    history_parser.add_argument("--dir", default="benchmarks/records",
+                                help="directory holding BENCH_*.json records")
+
     return parser
 
 
@@ -257,5 +284,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run,
-                "compare": _cmd_compare, "cache-bench": _cmd_cache_bench}
+                "compare": _cmd_compare, "cache-bench": _cmd_cache_bench,
+                "bench-history": _cmd_bench_history}
     return handlers[args.command](args)

@@ -385,6 +385,10 @@ SCENARIOS.register(Scenario(
         Parameter("cache_path", None,
                   "on-disk analysis-cache snapshot for cross-run warm-starts",
                   coerce=lambda value: None if value is None else str(value)),
+        Parameter("batch_kernel", False,
+                  "solve cold admission batches with the vectorized lockstep "
+                  "busy-window kernel (bit-identical verdicts)",
+                  coerce=bool),
     ],
     seed_param="seed",
     extract=_extract_fleet_campaign,
@@ -434,6 +438,10 @@ SCENARIOS.register(Scenario(
                   "component placement heuristic (first_fit | worst_fit | best_fit)",
                   coerce=MappingStrategy),
         Parameter("deploy", True, "deploy accepted configurations to the RTE"),
+        Parameter("batch_kernel", False,
+                  "run the campaign on a fresh analysis cache whose cold "
+                  "batches use the vectorized lockstep busy-window kernel",
+                  coerce=bool),
     ],
     seed_param="seed",
     extract=_extract_infield_update,

@@ -366,6 +366,12 @@ class Campaign:
     checkpoint_path:
         Where to write a :class:`CampaignCheckpoint` when the campaign
         halts (also kept in memory as :attr:`last_checkpoint`).
+    batch_kernel:
+        Route the shared cache's cold-miss batches through the vectorized
+        lockstep busy-window kernel
+        (:class:`~repro.analysis.batch.BatchResponseTimeAnalysis`).
+        Verdicts are bit-identical either way; only the wave-prefetch wall
+        time changes.  Requires an ``analysis_cache``.
     """
 
     def __init__(self, vehicles: Sequence[FleetVehicle],
@@ -377,7 +383,8 @@ class Campaign:
                  feedback_seed: int = 0,
                  workers: int = 1,
                  cache_path: Optional[str] = None,
-                 checkpoint_path: Optional[str] = None) -> None:
+                 checkpoint_path: Optional[str] = None,
+                 batch_kernel: bool = False) -> None:
         if not 0.0 <= failure_injection_rate <= 1.0:
             raise CampaignError("failure_injection_rate must be in [0, 1]")
         if batch_admission and analysis_cache is None:
@@ -390,6 +397,11 @@ class Campaign:
                                 "integration per equivalence group")
         if cache_path is not None and analysis_cache is None:
             raise CampaignError("cache_path needs an analysis cache to snapshot")
+        if batch_kernel and analysis_cache is None:
+            raise CampaignError("batch_kernel needs a shared analysis cache")
+        if batch_kernel:
+            analysis_cache.engine.batch_kernel = True
+        self.batch_kernel = batch_kernel
         self.vehicles = list(vehicles)
         self.update_factory = update_factory
         self.policy = policy if policy is not None else WavePolicy()

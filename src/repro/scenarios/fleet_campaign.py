@@ -86,7 +86,8 @@ def run_fleet_campaign_scenario(fleet_size: int = 50, seed: int = 0,
                                 batch_admission: bool = True,
                                 deploy: bool = False,
                                 workers: int = 1,
-                                cache_path: Optional[str] = None
+                                cache_path: Optional[str] = None,
+                                batch_kernel: bool = False
                                 ) -> FleetCampaignResult:
     """Run one staged fleet campaign end-to-end.
 
@@ -94,12 +95,17 @@ def run_fleet_campaign_scenario(fleet_size: int = 50, seed: int = 0,
     feedback are all derived from ``seed``, so the result is a pure function
     of the parameters — batched, sequential and sharded (``workers > 1``)
     admission included; ``cache_path`` warm-starts the analysis cache from a
-    previous run's persisted snapshot without changing any verdict.
+    previous run's persisted snapshot without changing any verdict, and
+    ``batch_kernel`` (requires ``batch_admission``) solves the admission
+    waves' cold analyses with the vectorized lockstep kernel — bit-identical
+    verdicts, lower prefetch wall time.
     """
     spec = FleetSpec(size=fleet_size, seed=seed, heterogeneity=heterogeneity,
                      num_variants=num_variants, extra_components=extra_components,
                      deploy=deploy)
-    cache = AnalysisCache() if batch_admission else None
+    cache = AnalysisCache(batch_kernel=batch_kernel) if batch_admission else None
+    if batch_kernel and not batch_admission:
+        raise ValueError("batch_kernel requires batch_admission")
     vehicles = generate_fleet(spec, analysis_cache=cache)
 
     update_contracts: Dict[int, Contract] = {}
@@ -123,7 +129,7 @@ def run_fleet_campaign_scenario(fleet_size: int = 50, seed: int = 0,
                         analysis_cache=cache, batch_admission=batch_admission,
                         failure_injection_rate=failure_injection_rate,
                         feedback_seed=seed, workers=workers,
-                        cache_path=cache_path)
+                        cache_path=cache_path, batch_kernel=batch_kernel)
     outcome: CampaignResult = campaign.run()
     return FleetCampaignResult(
         fleet_size=outcome.fleet_size,

@@ -374,3 +374,60 @@ class TestMccIntegration:
             assert result.rejected_by_viewpoint == baseline.rejected_by_viewpoint
         assert hits_after_first > 0
         assert cache.hits > hits_after_first
+
+
+class TestBatchKernelOrderPreservation:
+    """Regression: `analyse_many` must return results in input order even
+    when cold misses are re-batched by congruence group inside the
+    batch-kernel engine (which solves groups out of input order)."""
+
+    @staticmethod
+    def _grid():
+        from harness import make_taskset, rebuild
+        from repro.sim.random import SeededRNG
+        rng = SeededRNG(31)
+        sets = []
+        for seed in range(3):  # three congruence groups ...
+            base = make_taskset(seed + 40, 5 + seed, 0.7).tasks()
+            for _ in range(3):  # ... of three perturbed members each
+                sets.append(rebuild([t.scaled(rng.uniform(0.8, 1.25))
+                                     for t in base]))
+        return sets
+
+    def test_interleaved_hits_misses_and_duplicates(self):
+        from harness import assert_equivalent, cold_results
+        sets = self._grid()
+        cache = AnalysisCache(batch_kernel=True)
+        assert cache.batch_kernel
+        # Warm three entries so the wave below interleaves hits with misses.
+        cache.analyse_many([sets[0], sets[4], sets[8]])
+        # Hit, miss, duplicate-miss, hit, miss — deliberately shuffled across
+        # congruence groups so the engine regroups them internally.
+        wave = [sets[4], sets[1], sets[5], sets[1], sets[0],
+                sets[7], sets[2], sets[8], sets[5], sets[6]]
+        results = cache.analyse_many(wave)
+        assert len(results) == len(wave)
+        for position, taskset in enumerate(wave):
+            assert set(results[position]) == {t.name for t in taskset}, position
+            assert_equivalent(results[position], cold_results(taskset),
+                              f"wave position={position}")
+        # Duplicates within the wave are answered by the batch, not re-analysed.
+        assert cache.hits >= 2
+
+    def test_batched_wave_equals_sequential_lookups(self):
+        from harness import assert_equivalent
+        sets = self._grid()
+        batched_cache = AnalysisCache(batch_kernel=True)
+        sequential_cache = AnalysisCache()
+        batched = batched_cache.analyse_many(sets)
+        sequential = [sequential_cache.analyse(taskset) for taskset in sets]
+        for position in range(len(sets)):
+            assert_equivalent(batched[position], sequential[position],
+                              f"position={position}")
+
+    def test_pickle_roundtrip_keeps_batch_kernel(self):
+        import pickle
+        cache = AnalysisCache(batch_kernel=True)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.batch_kernel
+        assert not pickle.loads(pickle.dumps(AnalysisCache())).batch_kernel

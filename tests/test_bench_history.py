@@ -1,0 +1,105 @@
+"""Tests for the benchmark perf-record history tool (`bench-history`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.bench_history import bench_history_rows, load_bench_records
+from repro.experiments.cli import main
+
+
+def _write_record(directory, name, payload, quick=False, **extra):
+    document = {"name": name, "created_utc": "2026-08-08T12:00:00Z",
+                "python": "3.x", "platform": "test", "quick_mode": quick,
+                "payload": payload}
+    document.update(extra)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def records_dir(tmp_path):
+    _write_record(tmp_path, "e12_batch_kernel",
+                  {"lanes": 800, "tasks_per_lane": 16, "numpy": True,
+                   "scalar_s": 0.30, "batch_s": 0.05, "speedup": 6.0})
+    _write_record(tmp_path, "e9_incremental_speedup",
+                  {"task_sets": 66, "pr1_baseline_s": 1.2, "incremental_s": 0.2,
+                   "speedup_vs_pr1": 6.0, "reuse_rate": 0.8}, quick=True)
+    _write_record(tmp_path, "e12_pure_path",
+                  {"lanes": 80, "pure_python_s": 0.02, "groups_solved": 2})
+    return tmp_path
+
+
+class TestLoadBenchRecords:
+    def test_loads_and_sorts_by_name(self, records_dir):
+        records, skipped = load_bench_records(str(records_dir))
+        assert [r["name"] for r in records] == [
+            "e12_batch_kernel", "e12_pure_path", "e9_incremental_speedup"]
+        assert skipped == []
+
+    def test_corrupt_and_foreign_files_are_skipped_not_fatal(self, records_dir):
+        (records_dir / "BENCH_broken.json").write_text("{not json", encoding="utf-8")
+        (records_dir / "BENCH_list.json").write_text("[1, 2]", encoding="utf-8")
+        (records_dir / "BENCH_noenvelope.json").write_text(
+            json.dumps({"speedup": 2.0}), encoding="utf-8")
+        (records_dir / "unrelated.json").write_text("0", encoding="utf-8")
+        records, skipped = load_bench_records(str(records_dir))
+        assert len(records) == 3
+        assert sorted(skipped) == ["BENCH_broken.json", "BENCH_list.json",
+                                   "BENCH_noenvelope.json"]
+
+    def test_empty_directory(self, tmp_path):
+        assert load_bench_records(str(tmp_path)) == ([], [])
+
+
+class TestBenchHistoryRows:
+    def test_headline_speedup_is_promoted(self, records_dir):
+        records, _ = load_bench_records(str(records_dir))
+        rows = bench_history_rows(records)
+        by_bench = {row["bench"]: row for row in rows}
+        assert by_bench["e12_batch_kernel"]["speedup"] == "6.00x"
+        assert by_bench["e9_incremental_speedup"]["speedup"] == "6.00x"
+        assert by_bench["e12_pure_path"]["speedup"] == "-"
+
+    def test_rows_carry_provenance_and_metrics(self, records_dir):
+        records, _ = load_bench_records(str(records_dir))
+        rows = bench_history_rows(records)
+        by_bench = {row["bench"]: row for row in rows}
+        assert by_bench["e9_incremental_speedup"]["quick"] is True
+        assert by_bench["e12_batch_kernel"]["quick"] is False
+        assert "lanes=800" in by_bench["e12_batch_kernel"]["metrics"]
+        assert "batch_s=0.05" in by_bench["e12_batch_kernel"]["metrics"]
+        # The headline key stays out of the catch-all metrics column.
+        assert "speedup=" not in by_bench["e12_batch_kernel"]["metrics"]
+
+    def test_booleans_are_not_mistaken_for_metrics(self, records_dir):
+        records, _ = load_bench_records(str(records_dir))
+        row = next(r for r in bench_history_rows(records)
+                   if r["bench"] == "e12_batch_kernel")
+        assert "numpy=" not in row["metrics"]
+
+
+class TestCli:
+    def test_bench_history_command(self, records_dir, capsys):
+        assert main(["bench-history", "--dir", str(records_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "e12_batch_kernel" in out
+        assert "6.00x" in out
+
+    def test_bench_history_warns_on_corrupt_records(self, records_dir, capsys):
+        (records_dir / "BENCH_broken.json").write_text("{", encoding="utf-8")
+        assert main(["bench-history", "--dir", str(records_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "BENCH_broken.json" in captured.err
+        assert "e12_pure_path" in captured.out
+
+    def test_bench_history_missing_directory(self, tmp_path, capsys):
+        assert main(["bench-history", "--dir", str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_bench_history_empty_directory(self, tmp_path, capsys):
+        assert main(["bench-history", "--dir", str(tmp_path)]) == 0
+        assert "no BENCH_*.json records" in capsys.readouterr().out

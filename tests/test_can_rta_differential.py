@@ -12,63 +12,11 @@ ground truth the bound must be sound against.
 
 from __future__ import annotations
 
-from typing import List, Tuple
-
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
+from harness import BITRATE, frame_workloads, simulate_latencies
 from repro.analysis.compositional import CanResponseTimeAnalysis, FrameSpec
-from repro.can.bus import CanBus
-from repro.can.controller import CanController
-from repro.can.frame import CanFrame
-from repro.sim.kernel import Simulator
-
-BITRATE = 500_000.0
-PERIODS = (0.002, 0.005, 0.01, 0.02)
-
-
-@st.composite
-def frame_workloads(draw) -> List[Tuple[FrameSpec, float]]:
-    """Random frame streams with unique identifiers plus release offsets."""
-    count = draw(st.integers(min_value=2, max_value=5))
-    can_ids = draw(st.lists(st.integers(min_value=0, max_value=0x7FF),
-                            min_size=count, max_size=count, unique=True))
-    streams: List[Tuple[FrameSpec, float]] = []
-    for index, can_id in enumerate(can_ids):
-        period = draw(st.sampled_from(PERIODS))
-        dlc = draw(st.integers(min_value=0, max_value=8))
-        offset = draw(st.floats(min_value=0.0, max_value=period,
-                                allow_nan=False, allow_infinity=False))
-        spec = FrameSpec(f"s{index:02d}", can_id=can_id, period=period, dlc=dlc)
-        streams.append((spec, offset))
-    return streams
-
-
-def simulate_latencies(streams: List[Tuple[FrameSpec, float]],
-                       horizon: float) -> dict:
-    """Drive periodic senders over one bus; per-stream observed latencies."""
-    sim = Simulator()
-    bus = CanBus(sim, bitrate_bps=BITRATE)
-    controllers = {}
-    for spec, offset in streams:
-        controller = CanController(sim, name=spec.name, tx_access_latency=0.0,
-                                   rx_access_latency=0.0, tx_queue_depth=1024)
-        bus.attach(controller)
-        controllers[spec.name] = controller
-        frame = CanFrame(can_id=spec.can_id, payload=b"\0" * spec.dlc,
-                         source=spec.name)
-
-        def send(sim_, controller=controller, frame=frame):
-            controller.send(frame)
-
-        release = offset
-        while release < horizon:
-            sim.schedule(release, send, name=f"{spec.name}.release")
-            release += spec.period
-    sim.run(until=horizon + 1.0)
-    return {name: controller.tx_latencies()
-            for name, controller in controllers.items()}
 
 
 @settings(max_examples=60, deadline=None)

@@ -13,36 +13,11 @@ from __future__ import annotations
 
 import pytest
 
+from harness import assert_equivalent, make_taskset, rebuild
 from repro.analysis.cpa import EventModel, ResponseTimeAnalysis
 from repro.analysis.incremental import IncrementalResponseTimeAnalysis
 from repro.platform.tasks import Task, TaskSet
 from repro.sim.random import SeededRNG
-
-
-def make_taskset(seed: int, n: int, utilization: float) -> TaskSet:
-    rng = SeededRNG(seed)
-    utilizations = rng.uunifast(n, utilization)
-    periods = rng.log_uniform_periods(n, 0.005, 0.5)
-    taskset = TaskSet()
-    for index, (u, period) in enumerate(zip(utilizations, periods)):
-        taskset.add(Task(f"t{index}", period=period, wcet=max(1e-6, u * period)))
-    taskset.assign_deadline_monotonic_priorities()
-    return taskset
-
-
-def rebuild(tasks) -> TaskSet:
-    """A fresh TaskSet with fresh Task objects (same insertion order)."""
-    return TaskSet([Task(t.name, period=t.period, wcet=t.wcet, deadline=t.deadline,
-                         priority=t.priority, jitter=t.jitter) for t in tasks])
-
-
-def assert_equivalent(incremental, full, context: str) -> None:
-    assert set(incremental) == set(full), context
-    for name in full:
-        a, b = incremental[name], full[name]
-        assert a.wcrt == b.wcrt, f"{context}: {name} wcrt {a.wcrt} != {b.wcrt}"
-        assert a.schedulable == b.schedulable, f"{context}: {name} schedulable"
-        assert a.converged == b.converged, f"{context}: {name} converged"
 
 
 class TestFreshTaskSetEquivalence:

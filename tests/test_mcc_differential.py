@@ -15,102 +15,15 @@ result or failed-viewpoint list.
 
 from __future__ import annotations
 
-from typing import Dict, List
-
 import pytest
 
+from harness import (ColdTimingAcceptanceTest, build_platform, clone_request,
+                     make_contract, random_chain)
 from repro.analysis.cache import AnalysisCache
-from repro.analysis.cpa import ResponseTimeAnalysis
-from repro.contracts.model import (Contract, RealTimeRequirement,
-                                   SafetyRequirement, SecurityRequirement)
-from repro.mcc.acceptance import (AcceptanceResult, ResourceAcceptanceTest,
-                                  SafetyAcceptanceTest, SecurityAcceptanceTest,
-                                  tasksets_from_mapping)
-from repro.mcc.configuration import ChangeKind, ChangeRequest
+from repro.mcc.acceptance import (ResourceAcceptanceTest, SafetyAcceptanceTest,
+                                  SecurityAcceptanceTest)
 from repro.mcc.controller import MultiChangeController
-from repro.platform.resources import NetworkResource, Platform, ProcessingResource
 from repro.sim.random import SeededRNG
-
-
-class ColdTimingAcceptanceTest:
-    """Reference timing viewpoint: from-scratch busy windows, no state."""
-
-    viewpoint = "timing"
-
-    def run(self, contracts, mapping, priorities, platform) -> AcceptanceResult:
-        findings: List[str] = []
-        metrics: Dict[str, float] = {}
-        tasksets = tasksets_from_mapping(contracts, mapping, priorities)
-        for processor_name, taskset in sorted(tasksets.items()):
-            analysis = ResponseTimeAnalysis(taskset)
-            metrics[f"{processor_name}.utilization"] = analysis.utilization()
-            for task_name, result in analysis.analyse().items():
-                if result.wcrt is not None:
-                    metrics[f"{task_name}.wcrt"] = result.wcrt
-                if not result.schedulable:
-                    findings.append(f"{task_name} on {processor_name}")
-        return AcceptanceResult(viewpoint=self.viewpoint, passed=not findings,
-                                findings=findings, metrics=metrics)
-
-
-def build_platform(num_processors: int) -> Platform:
-    platform = Platform(name="diff-platform")
-    for index in range(num_processors):
-        platform.add_processor(ProcessingResource(f"cpu{index}", capacity=0.9))
-    platform.add_network(NetworkResource("can0", bandwidth_bps=500_000.0))
-    return platform
-
-
-def make_contract(name: str, period: float, wcet: float) -> Contract:
-    contract = Contract(component=name)
-    contract.add_requirement(RealTimeRequirement(
-        period=period, wcet=min(wcet, 0.9 * period)))
-    contract.add_requirement(SafetyRequirement(asil="B"))
-    contract.add_requirement(SecurityRequirement(level="MEDIUM"))
-    contract.add_provided_service(f"service_{name}")
-    return contract
-
-
-def random_chain(rng: SeededRNG, pool_size: int,
-                 length: int) -> List[ChangeRequest]:
-    """A random add/update/remove chain over a component pool.
-
-    Initial parameters come from a UUniFast draw (the standard schedulability
-    workload); updates rescale WCETs up and down so chains cross the
-    schedulable/unschedulable boundary in both directions.
-    """
-    utilizations = rng.uunifast(pool_size, rng.uniform(0.8, 1.8))
-    periods = rng.log_uniform_periods(pool_size, 0.01, 0.25)
-    params = {f"c{index:02d}": [periods[index],
-                                max(1e-6, utilizations[index] * periods[index])]
-              for index in range(pool_size)}
-    deployed: set = set()
-    chain: List[ChangeRequest] = []
-    for _ in range(length):
-        name = rng.choice(sorted(params))
-        period, wcet = params[name]
-        if name not in deployed:
-            chain.append(ChangeRequest(kind=ChangeKind.ADD_COMPONENT,
-                                       component=name,
-                                       contract=make_contract(name, period, wcet)))
-            deployed.add(name)
-        elif rng.uniform() < 0.3:
-            chain.append(ChangeRequest(kind=ChangeKind.REMOVE_COMPONENT,
-                                       component=name))
-            deployed.discard(name)
-        else:
-            wcet = max(1e-6, wcet * rng.uniform(0.4, 1.8))
-            params[name][1] = wcet
-            chain.append(ChangeRequest(kind=ChangeKind.UPDATE_COMPONENT,
-                                       component=name,
-                                       contract=make_contract(name, period, wcet)))
-    return chain
-
-
-def clone_request(request: ChangeRequest) -> ChangeRequest:
-    """A fresh request (own id) targeting the same contract object."""
-    return ChangeRequest(kind=request.kind, component=request.component,
-                         contract=request.contract)
 
 
 def assert_chain_equivalent(seed: int, pool_size: int, length: int,
