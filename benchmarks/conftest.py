@@ -38,19 +38,27 @@ def write_bench_record(name: str, payload: Dict[str, Any]) -> Path:
     The record wraps ``payload`` with enough execution metadata (timestamp,
     interpreter, platform, quick-mode flag) to compare runs across machines
     and PRs.  Returns the path written.
+
+    Quick-mode records land as ``BENCH_<name>.quick.json`` so a CI smoke run
+    never overwrites a committed full-fidelity record — and so the
+    regression gate (``bench-history --baseline --fail-on-regression``)
+    only ever compares records of the same mode against each other.
     """
     out_dir = Path(os.environ.get("REPRO_BENCH_DIR",
                                   Path(__file__).resolve().parent / "records"))
     out_dir.mkdir(parents=True, exist_ok=True)
+    quick = quick_mode()
     document = {
         "name": name,
         "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
-        "quick_mode": quick_mode(),
+        "quick_mode": quick,
+        "mode": "quick" if quick else "full",
         "payload": payload,
     }
-    path = out_dir / f"BENCH_{name}.json"
+    path = out_dir / (f"BENCH_{name}.quick.json" if quick
+                      else f"BENCH_{name}.json")
     with path.open("w", encoding="utf-8") as handle:
         json.dump(document, handle, sort_keys=True, indent=2)
         handle.write("\n")

@@ -50,8 +50,14 @@ from repro.analysis.safety import SafetyAnalysis, SafetyFinding
 from repro.analysis.cache import (
     AnalysisCache,
     CachedResponseTimeAnalysis,
+    SnapshotError,
     fingerprint_taskset,
     taskset_key,
+)
+from repro.analysis.cache_store import (
+    SegmentStore,
+    StoreCorruptionError,
+    is_segment_store,
 )
 from repro.analysis.incremental import (
     IncrementalResponseTimeAnalysis,
@@ -88,6 +94,10 @@ __all__ = [
     "SafetyFinding",
     "AnalysisCache",
     "CachedResponseTimeAnalysis",
+    "SnapshotError",
+    "SegmentStore",
+    "StoreCorruptionError",
+    "is_segment_store",
     "fingerprint_taskset",
     "taskset_key",
     "IncrementalResponseTimeAnalysis",

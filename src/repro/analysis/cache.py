@@ -33,15 +33,30 @@ analyses.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.analysis.cache_store import SegmentStore, is_segment_store
 from repro.analysis.cpa import EventModel, ResponseTimeAnalysis, ResponseTimeResult
 from repro.analysis.incremental import IncrementalResponseTimeAnalysis
 from repro.platform.tasks import TaskSet
+
+logger = logging.getLogger(__name__)
+
+
+class SnapshotError(ValueError):
+    """A cache snapshot exists but cannot be read (corrupt or foreign).
+
+    Deliberately distinct from a *missing* snapshot: a missing file is the
+    normal cold-start case (``missing_ok=True`` covers it), while a corrupt
+    one means previously persisted analyses are being silently lost — that
+    must surface loudly unless the caller explicitly opts into
+    ``repair=True``.
+    """
 
 
 def taskset_key(taskset: TaskSet, speed_factor: float = 1.0,
@@ -294,21 +309,62 @@ class AnalysisCache:
             raise
         return len(entries)
 
-    def load_snapshot(self, path: str, missing_ok: bool = False) -> int:
-        """Merge a :meth:`save_snapshot` file into this cache.
+    def load_snapshot(self, path: str, missing_ok: bool = False,
+                      repair: bool = False) -> int:
+        """Merge a persisted snapshot — pickle file or segment store — into
+        this cache.
 
         Loaded entries warm-start later lookups exactly like
         :meth:`merge_entries` (no hit/miss accounting, LRU bound respected).
-        Returns the number of new entries absorbed; with ``missing_ok`` a
-        missing file is an empty warm-start instead of an error.
+        Returns the number of new entries absorbed.
+
+        *Missing* and *corrupt* are different situations and are treated
+        differently: with ``missing_ok`` a missing path is the normal
+        cold-start (0 entries, no error), but a snapshot that exists and
+        fails to parse raises :class:`SnapshotError` — silently treating it
+        as empty would throw persisted analyses away without a trace.
+        ``repair=True`` is the explicit escape hatch: damaged segments (or
+        the whole pickle snapshot) are skipped, a warning logs how much was
+        dropped, and the readable remainder still warm-starts the cache.
+
+        A directory at ``path`` is read as a
+        :class:`~repro.analysis.cache_store.SegmentStore` (the concurrent-
+        writer format of the sharded engine); anything else as a
+        :meth:`save_snapshot` pickle.
         """
-        if missing_ok and not os.path.exists(path):
-            return 0
-        with open(path, "rb") as stream:
-            payload = pickle.load(stream)
+        if not os.path.exists(path):
+            if missing_ok:
+                return 0
+            raise FileNotFoundError(f"no cache snapshot at {path!r}")
+        if os.path.isdir(path):
+            if not is_segment_store(path):
+                raise SnapshotError(f"{path!r} is a directory but not an "
+                                    "AnalysisCache segment store (no "
+                                    "manifest)")
+            store = SegmentStore(path)
+            return self.merge_entries(store.read_entries(repair=repair))
+        try:
+            with open(path, "rb") as stream:
+                payload = pickle.load(stream)
+        except Exception as exc:
+            if repair:
+                logger.warning("cache snapshot %r is corrupt (%s: %s) — "
+                               "repair skipped 1 snapshot, warm-starting "
+                               "empty", path, type(exc).__name__, exc)
+                return 0
+            raise SnapshotError(
+                f"cache snapshot {path!r} exists but cannot be unpickled "
+                f"({type(exc).__name__}: {exc}); a missing snapshot would "
+                "be fine, a corrupt one is not — pass repair=True to "
+                "discard it deliberately") from exc
         if not isinstance(payload, dict) \
                 or payload.get("format") != self._SNAPSHOT_FORMAT:
-            raise ValueError(f"{path!r} is not an AnalysisCache snapshot")
+            if repair:
+                logger.warning("cache snapshot %r has a foreign format — "
+                               "repair skipped 1 snapshot, warm-starting "
+                               "empty", path)
+                return 0
+            raise SnapshotError(f"{path!r} is not an AnalysisCache snapshot")
         return self.merge_entries(payload["entries"])
 
     def __getstate__(self) -> Dict[str, int]:

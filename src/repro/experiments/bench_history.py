@@ -7,6 +7,15 @@ directory of those records and renders them as one table per run:
 
 ``python -m repro.experiments bench-history [--dir benchmarks/records]``
 
+It is also the CI regression gate: with ``--baseline <dir>`` the current
+records are compared against a baseline set (typically the committed
+records of the previous PR) and ``--fail-on-regression`` exits non-zero
+when any headline speedup dropped more than ``--tolerance`` (default 30%)
+below its baseline — a perf regression then fails loud instead of scrolling
+past in a log.  Only records of the same ``(name, mode)`` are compared:
+quick-mode smoke records (``BENCH_<name>.quick.json``) never gate against
+full-fidelity runs, whose grids and absolute numbers are incomparable.
+
 Corrupt or foreign JSON files are skipped (reported, not fatal): the
 records directory accumulates across branches and interrupted runs, and a
 history tool that dies on the first bad file is useless exactly when the
@@ -33,6 +42,7 @@ def load_bench_records(directory: str) -> Tuple[List[Dict[str, Any]], List[str]]
     records: List[Dict[str, Any]] = []
     skipped: List[str] = []
     for path in sorted(Path(directory).glob("BENCH_*.json")):
+        # (BENCH_x.quick.json matches the same glob — both modes load.)
         try:
             with path.open("r", encoding="utf-8") as handle:
                 document = json.load(handle)
@@ -71,4 +81,60 @@ def bench_history_rows(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     return rows
 
 
-__all__ = ["HEADLINE_KEYS", "bench_history_rows", "load_bench_records"]
+def record_mode(document: Dict[str, Any]) -> str:
+    """Fidelity mode of one record: ``"quick"`` (CI smoke) or ``"full"``.
+
+    New records carry an explicit ``mode`` field; older ones predate it and
+    are classified by their ``quick_mode`` flag.
+    """
+    mode = document.get("mode")
+    if isinstance(mode, str):
+        return mode
+    return "quick" if document.get("quick_mode") else "full"
+
+
+def compare_bench_records(current: List[Dict[str, Any]],
+                          baseline: List[Dict[str, Any]],
+                          tolerance: float = 0.3) -> List[Dict[str, Any]]:
+    """Headline-metric regressions of ``current`` against ``baseline``.
+
+    Records pair up on ``(name, mode)`` — quick smoke records gate against
+    quick baselines, full records against full; unpaired records on either
+    side are ignored (a new benchmark has no baseline yet, a retired one no
+    current run).  For every :data:`HEADLINE_KEYS` metric present and
+    numeric on both sides, a drop of more than ``tolerance`` (relative,
+    e.g. ``0.3`` = 30%) below the baseline value is reported.  Higher is
+    better for every headline metric (they are all speedups), so only
+    drops regress.  Returns one dict per regression — empty means the gate
+    passes.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError("tolerance must be in [0, 1)")
+    baselines = {(str(document["name"]), record_mode(document)): document
+                 for document in baseline}
+    regressions: List[Dict[str, Any]] = []
+    for document in current:
+        reference = baselines.get((str(document["name"]), record_mode(document)))
+        if reference is None:
+            continue
+        payload, reference_payload = document["payload"], reference["payload"]
+        for key in HEADLINE_KEYS:
+            value, expected = payload.get(key), reference_payload.get(key)
+            if not isinstance(value, (int, float)) \
+                    or not isinstance(expected, (int, float)) \
+                    or isinstance(value, bool) or isinstance(expected, bool):
+                continue
+            if value < expected * (1.0 - tolerance):
+                regressions.append({
+                    "bench": str(document["name"]),
+                    "mode": record_mode(document),
+                    "metric": key,
+                    "baseline": float(expected),
+                    "current": float(value),
+                    "drop": 1.0 - (value / expected if expected else 0.0),
+                })
+    return regressions
+
+
+__all__ = ["HEADLINE_KEYS", "bench_history_rows", "compare_bench_records",
+           "load_bench_records", "record_mode"]

@@ -217,7 +217,9 @@ def _cmd_cache_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_history(args: argparse.Namespace) -> int:
-    from repro.experiments.bench_history import bench_history_rows, load_bench_records
+    from repro.experiments.bench_history import (bench_history_rows,
+                                                 compare_bench_records,
+                                                 load_bench_records)
 
     directory = Path(args.dir)
     if not directory.is_dir():
@@ -231,6 +233,30 @@ def _cmd_bench_history(args: argparse.Namespace) -> int:
         return 0
     print(format_table(f"benchmark history ({directory})",
                        bench_history_rows(records)))
+    if args.baseline is not None:
+        baseline_dir = Path(args.baseline)
+        if not baseline_dir.is_dir():
+            print(f"error: baseline {baseline_dir} is not a directory",
+                  file=sys.stderr)
+            return 2
+        baseline, baseline_skipped = load_bench_records(str(baseline_dir))
+        for name in baseline_skipped:
+            print(f"warning: skipping unparseable baseline record {name}",
+                  file=sys.stderr)
+        regressions = compare_bench_records(records, baseline,
+                                            tolerance=args.tolerance)
+        if regressions:
+            print(format_table(
+                f"headline regressions vs {baseline_dir} "
+                f"(tolerance {args.tolerance:.0%})", regressions))
+            if args.fail_on_regression:
+                print(f"error: {len(regressions)} headline metric(s) "
+                      f"regressed more than {args.tolerance:.0%} below the "
+                      "baseline", file=sys.stderr)
+                return 1
+        else:
+            print(f"no headline regressions vs {baseline_dir} "
+                  f"(tolerance {args.tolerance:.0%})")
     return 0
 
 
@@ -276,6 +302,16 @@ def build_parser() -> argparse.ArgumentParser:
         "bench-history", help="tabulate the benchmark perf records")
     history_parser.add_argument("--dir", default="benchmarks/records",
                                 help="directory holding BENCH_*.json records")
+    history_parser.add_argument("--baseline", default=None,
+                                help="baseline records directory to compare "
+                                     "headline speedups against")
+    history_parser.add_argument("--fail-on-regression", action="store_true",
+                                help="exit non-zero when a headline metric "
+                                     "drops more than --tolerance below its "
+                                     "baseline (same benchmark, same mode)")
+    history_parser.add_argument("--tolerance", type=float, default=0.3,
+                                help="relative headline drop tolerated by "
+                                     "--fail-on-regression (default 0.3)")
 
     return parser
 

@@ -389,6 +389,21 @@ SCENARIOS.register(Scenario(
                   "solve cold admission batches with the vectorized lockstep "
                   "busy-window kernel (bit-identical verdicts)",
                   coerce=bool),
+        Parameter("shard_planner", "cost",
+                  "pooled-wave partition: 'cost' (congruence-co-located, "
+                  "cost-balanced chunks) or 'round_robin' (static fallback)"),
+        Parameter("steal", True,
+                  "completion-driven chunk dispatch (idle workers pull the "
+                  "next chunk) instead of a static shard per worker",
+                  coerce=bool),
+        Parameter("start_method", None,
+                  "multiprocessing start method of the shard pool "
+                  "(fork | spawn | forkserver | None = platform default)",
+                  coerce=lambda value: None if value is None else str(value)),
+        Parameter("cache_store", None,
+                  "append-only segment-store directory shared by parent and "
+                  "workers for mid-wave analysis publication",
+                  coerce=lambda value: None if value is None else str(value)),
     ],
     seed_param="seed",
     extract=_extract_fleet_campaign,

@@ -46,13 +46,32 @@ everything except the informational ``cache_hits``/``cache_misses``
 counters, which describe the *parent process's* cache traffic and so
 legitimately vary with the worker layout.
 
+By default the pool is fed *work-stealing style*: the wave's representatives
+are partitioned into more chunks than workers by the cost-model planner
+(:func:`~repro.fleet.shard.plan_chunks` — congruence-structure co-location,
+chunk costs balanced on measured per-group integration times from prior
+waves, heavy chunks dispatched first) and pushed through
+``Pool.imap_unordered``, so an idle worker pulls the next chunk off the
+shared queue instead of waiting behind a straggler shard.  ``steal=False``
+restores the static one-shard-per-worker round-robin layout
+(:func:`~repro.fleet.shard.plan_shards`), which remains the measured
+baseline of the E13 benchmark and the deterministic fallback when costs are
+unknown.  Either way the layout moves wall time only — the differential
+harness pins byte-identical verdicts across layouts.
+
 ``cache_path`` adds a persistent on-disk
 :meth:`~repro.analysis.cache.AnalysisCache.save_snapshot` of the shared
 cache: loaded at run start, rewritten at run end (halts included), with
 fork-started workers inheriting the live cache copy-on-write and
 spawn-started workers reading the snapshot — so wave N+1 reuses wave N's
 analyses in memory, and an entirely new campaign run over the same fleet
-warm-starts from the previous run on disk.  ``checkpoint_path`` (or the
+warm-starts from the previous run on disk.  ``cache_store`` is the
+concurrent-writer alternative: an append-only
+:class:`~repro.analysis.cache_store.SegmentStore` directory that every
+worker appends its newly derived analyses to *mid-wave* (lock-free, each
+writer owns its segment) and polls between chunks, so siblings reuse each
+other's busy-window fixpoints before the wave has even joined — not just at
+the next run's warm start.  ``checkpoint_path`` (or the
 in-memory :attr:`Campaign.last_checkpoint`) captures a halted campaign —
 aggregate result plus per-vehicle MCC snapshots at the halting wave's start
 — so a remediated campaign can :meth:`Campaign.run` with ``resume_from=``
@@ -66,11 +85,12 @@ import os
 import pickle
 import tempfile
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.analysis.cache import AnalysisCache
+from repro.analysis.cache_store import SegmentStore
 from repro.fleet.shard import (ShardItem, ShardTask, execute_shard,
-                               initialize_worker, plan_shards)
+                               initialize_worker, plan_chunks, plan_shards)
 from repro.fleet.vehicle import FleetVehicle, VehicleState
 from repro.mcc.configuration import ChangeRequest, IntegrationReport
 from repro.mcc.controller import MccSnapshot
@@ -205,6 +225,12 @@ class CampaignResult:
     cache_hits: int = 0
     cache_misses: int = 0
     engine_reuse_rate: float = 0.0
+    #: Per-shard execution telemetry of the pooled waves (one dict per
+    #: executed shard: wave/shard indices, item count, worker pid, wall
+    #: time, cache hit/miss deltas, store publish/absorb counts).  Purely
+    #: informational — like the cache counters it varies with the worker
+    #: layout and is excluded from canonical records and byte-parity.
+    shard_telemetry: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def completed(self) -> bool:
@@ -372,6 +398,33 @@ class Campaign:
         (:class:`~repro.analysis.batch.BatchResponseTimeAnalysis`).
         Verdicts are bit-identical either way; only the wave-prefetch wall
         time changes.  Requires an ``analysis_cache``.
+    shard_planner:
+        ``"cost"`` (the default) partitions pooled waves with the
+        cost-model planner (:func:`~repro.fleet.shard.plan_chunks`):
+        congruence-structure co-location, chunk costs balanced on measured
+        per-group integration times from prior waves.  ``"round_robin"``
+        uses the deterministic :func:`~repro.fleet.shard.plan_shards`
+        fallback.  Layout moves wall time only, never verdicts.
+    steal:
+        Dispatch shard tasks through ``Pool.imap_unordered`` so idle
+        workers pull the next chunk the moment they finish (work
+        stealing).  ``False`` restores the barrier-style ``Pool.map``
+        dispatch of one static shard per worker.
+    start_method:
+        ``multiprocessing`` start method of the shard pool (``"fork"``,
+        ``"spawn"``, ``"forkserver"`` or ``None`` for the platform
+        default).  Spawn-started workers cannot inherit the parent cache
+        copy-on-write; they warm-start from ``cache_path`` and/or
+        ``cache_store`` instead — verdicts are identical either way.
+    cache_store:
+        Directory of an append-only
+        :class:`~repro.analysis.cache_store.SegmentStore` shared by the
+        parent and every worker.  Workers publish their newly derived
+        analyses to it mid-wave and absorb their siblings' between chunks;
+        the parent seeds it with the provisioning analyses before the pool
+        starts and folds everything back at run end.  Mutually exclusive
+        with ``cache_path`` (one durable warm-start medium per campaign);
+        requires an ``analysis_cache``.
     """
 
     def __init__(self, vehicles: Sequence[FleetVehicle],
@@ -384,7 +437,11 @@ class Campaign:
                  workers: int = 1,
                  cache_path: Optional[str] = None,
                  checkpoint_path: Optional[str] = None,
-                 batch_kernel: bool = False) -> None:
+                 batch_kernel: bool = False,
+                 shard_planner: str = "cost",
+                 steal: bool = True,
+                 start_method: Optional[str] = None,
+                 cache_store: Optional[str] = None) -> None:
         if not 0.0 <= failure_injection_rate <= 1.0:
             raise CampaignError("failure_injection_rate must be in [0, 1]")
         if batch_admission and analysis_cache is None:
@@ -399,6 +456,16 @@ class Campaign:
             raise CampaignError("cache_path needs an analysis cache to snapshot")
         if batch_kernel and analysis_cache is None:
             raise CampaignError("batch_kernel needs a shared analysis cache")
+        if shard_planner not in ("cost", "round_robin"):
+            raise CampaignError("shard_planner must be 'cost' or "
+                                f"'round_robin', not {shard_planner!r}")
+        if start_method not in (None, "fork", "spawn", "forkserver"):
+            raise CampaignError(f"unknown start_method {start_method!r}")
+        if cache_store is not None and analysis_cache is None:
+            raise CampaignError("cache_store needs an analysis cache to share")
+        if cache_store is not None and cache_path is not None:
+            raise CampaignError("cache_path and cache_store are mutually "
+                                "exclusive — pick one warm-start medium")
         if batch_kernel:
             analysis_cache.engine.batch_kernel = True
         self.batch_kernel = batch_kernel
@@ -412,8 +479,20 @@ class Campaign:
         self.workers = workers
         self.cache_path = cache_path
         self.checkpoint_path = checkpoint_path
+        self.shard_planner = shard_planner
+        self.steal = steal
+        self.start_method = start_method
+        self.cache_store = cache_store
         #: The checkpoint written at the most recent halt (None before).
         self.last_checkpoint: Optional[CampaignCheckpoint] = None
+        #: EWMA of measured integration seconds per shard-group label,
+        #: carried across waves and runs of this campaign object.  Seeds
+        #: the cost-model planner; wall-time-only by construction.
+        self._cost_model: Dict[Hashable, float] = {}
+        #: Parent-side handle on ``cache_store`` plus the keys known to be
+        #: durable there (so run-end publication ships only the delta).
+        self._parent_store: Optional[SegmentStore] = None
+        self._store_keys: set = set()
 
     # -- wave internals ----------------------------------------------------
 
@@ -464,29 +543,85 @@ class Campaign:
                 tuple(sorted(model.priorities.items())),
                 request.kind, request.component, id(request.contract))
 
+    @staticmethod
+    def _group_label(vehicle: FleetVehicle, request: ChangeRequest) -> Tuple:
+        """Coarse congruence label of one representative integration.
+
+        Representatives of the same fleet variant receiving the same logical
+        request share platform shape, contract structure and therefore
+        congruence signature — their analyses dedupe against each other, so
+        the chunk planner co-locates them in one shard and the cost model
+        aggregates their measured integration times under one key.  Unlike
+        :meth:`_equivalence_key` this label is value-based (no object
+        identities), so it is stable across waves and runs.
+        """
+        return (vehicle.variant.index, request.kind, request.component)
+
+    def _estimate_costs(self, labels: Sequence[Tuple]) -> List[float]:
+        """Per-representative cost estimates from the prior-wave EWMA model.
+
+        Labels never measured yet (wave 1, or a variant first reaching a
+        later wave) are priced at the mean of the known costs — neutral
+        weight — or 1.0 on a completely cold model (uniform partition).
+        """
+        known = self._cost_model
+        fallback = (sum(known.values()) / len(known)) if known else 1.0
+        return [known.get(label, fallback) for label in labels]
+
+    def _record_cost(self, label: Tuple, elapsed_s: float) -> None:
+        """Fold one measured integration time into the EWMA cost model."""
+        previous = self._cost_model.get(label)
+        self._cost_model[label] = elapsed_s if previous is None \
+            else 0.5 * previous + 0.5 * elapsed_s
+
     def _admit_shards(self, wave: Sequence[FleetVehicle],
                       requests: Sequence[ChangeRequest],
                       keys: Sequence[Tuple], rep_positions: Sequence[int],
                       precedents: Dict[Tuple, Tuple[IntegrationReport,
                                                     Dict[str, str],
                                                     Dict[str, int]]],
-                      pinned: List[object], pool) -> None:
+                      pinned: List[object], pool,
+                      wave_index: int, result: CampaignResult) -> None:
         """Run the wave's new representative integrations on the pool.
 
         The representatives were deduped pre-fork (one wave position per new
         equivalence key); their verdicts land in ``precedents`` post-join so
         the parent's adoption loop replays every group member — including
         the representative itself — without re-analysing anything.
+
+        Layout and dispatch follow the campaign's ``shard_planner`` and
+        ``steal`` knobs: cost-model chunks pulled completion-driven off the
+        pool's shared queue by default, static round-robin shards behind a
+        ``Pool.map`` barrier otherwise.  Fan-in order is nondeterministic
+        under stealing, but each verdict updates exactly one equivalence
+        key, so ``precedents`` — and every wave verdict derived from it —
+        is independent of arrival order; only the telemetry rows and the
+        cost model see the completion order.
         """
-        shards = plan_shards(len(rep_positions), self.workers)
+        labels = [self._group_label(wave[position], requests[position])
+                  for position in rep_positions]
+        if self.shard_planner == "cost":
+            shards = plan_chunks(len(rep_positions), self.workers,
+                                 costs=self._estimate_costs(labels),
+                                 groups=labels)
+        else:
+            shards = plan_shards(len(rep_positions), self.workers)
         tasks = [ShardTask(shard_index=shard_index,
                            items=[ShardItem(position=item,
                                             vehicle=wave[rep_positions[item]],
                                             request=requests[rep_positions[item]])
                                   for item in shard],
-                           cache_path=self.cache_path)
+                           cache_path=self.cache_path,
+                           store_path=self.cache_store)
                  for shard_index, shard in enumerate(shards)]
-        for shard_result in pool.map(execute_shard, tasks):
+        if self.steal:
+            # Completion-driven dispatch: the pool's shared task queue is
+            # the steal target — an idle worker takes the next chunk
+            # immediately, and results fan in as they finish.
+            completed = pool.imap_unordered(execute_shard, tasks, chunksize=1)
+        else:
+            completed = pool.map(execute_shard, tasks)
+        for shard_result in completed:
             if self.analysis_cache is not None:
                 self.analysis_cache.merge_entries(shard_result.cache_entries)
             for verdict in shard_result.verdicts:
@@ -496,6 +631,18 @@ class Campaign:
                 pinned.extend(vehicle.mcc.model.contracts())
                 precedents[keys[position]] = (verdict.report, verdict.mapping,
                                               verdict.priorities)
+                self._record_cost(labels[verdict.position], verdict.elapsed_s)
+            result.shard_telemetry.append({
+                "wave": wave_index,
+                "shard": shard_result.shard_index,
+                "items": len(shard_result.verdicts),
+                "worker_pid": shard_result.worker_pid,
+                "elapsed_s": shard_result.elapsed_s,
+                "cache_hits": shard_result.cache_hits,
+                "cache_misses": shard_result.cache_misses,
+                "published_entries": shard_result.published_entries,
+                "absorbed_entries": shard_result.absorbed_entries,
+            })
 
     def _feedback(self, vehicle: FleetVehicle, request: ChangeRequest,
                   wave_index: int, record: WaveRecord) -> None:
@@ -537,7 +684,9 @@ class Campaign:
         return replace(source,
                        waves=[replace(record,
                                       vehicle_ids=list(record.vehicle_ids))
-                              for record in source.waves])
+                              for record in source.waves],
+                       shard_telemetry=[dict(row)
+                                        for row in source.shard_telemetry])
 
     def _build_checkpoint(self, halted_wave: int, result: CampaignResult,
                           wave: Sequence[FleetVehicle],
@@ -554,6 +703,9 @@ class Campaign:
         prefix.waves = prefix.waves[:-1]
         prefix.halted = False
         prefix.halted_wave = None
+        # Telemetry, like the cache counters, describes one process's
+        # execution; a resumed run reports its own.
+        prefix.shard_telemetry = []
         for attribute in ("admitted", "rejected", "deviating", "refined",
                           "rolled_back"):
             setattr(prefix, attribute,
@@ -610,6 +762,25 @@ class Campaign:
             setattr(result, attribute, getattr(seeded, attribute))
         return checkpoint.next_wave
 
+    # -- segment-store plumbing --------------------------------------------
+
+    def _absorb_store(self) -> int:
+        """Merge everything newly durable in ``cache_store`` into the
+        parent cache; returns the number of new entries absorbed."""
+        assert self._parent_store is not None and self.analysis_cache is not None
+        entries = self._parent_store.read_new()
+        self._store_keys.update(key for key, _ in entries)
+        return self.analysis_cache.merge_entries(entries)
+
+    def _publish_store(self) -> int:
+        """Append the parent cache's not-yet-durable entries to the store."""
+        assert self._parent_store is not None and self.analysis_cache is not None
+        fresh = self.analysis_cache.export_entries(exclude=self._store_keys)
+        if fresh:
+            self._parent_store.append(fresh)
+            self._store_keys.update(key for key, _ in fresh)
+        return len(fresh)
+
     # -- execution ---------------------------------------------------------
 
     def run(self, resume_from: Optional[CampaignCheckpoint] = None
@@ -635,6 +806,14 @@ class Campaign:
                 # inherit the parent cache at fork) warm-start from the
                 # provisioning analyses; fork-method workers ignore the file.
                 self.analysis_cache.save_snapshot(self.cache_path)
+        if self.analysis_cache is not None and self.cache_store is not None:
+            # Warm-start from the shared store, then make this run's
+            # pre-pool entries (fleet provisioning analyses) durable so
+            # even spawn-started workers begin warm.
+            if self._parent_store is None:
+                self._parent_store = SegmentStore(self.cache_store)
+            self._absorb_store()
+            self._publish_store()
         # Counter baseline: the shared cache typically served fleet
         # provisioning too; the result reports this run's traffic only (a
         # resumed run reports the resumed waves', not the halted run's).
@@ -658,11 +837,17 @@ class Campaign:
             # allowed; shard execution then stays in-process, which changes
             # wall time only — verdicts are worker-layout-independent.
             import repro.fleet.shard as shard_module
+            context = multiprocessing.get_context(self.start_method)
+            worker_max_entries = self.analysis_cache.max_entries \
+                if self.analysis_cache is not None else 16384
+            worker_batch_kernel = self.analysis_cache.batch_kernel \
+                if self.analysis_cache is not None else False
             shard_module._FORK_SEED = self.analysis_cache
             try:
-                pool = multiprocessing.get_context().Pool(
+                pool = context.Pool(
                     processes=self.workers, initializer=initialize_worker,
-                    initargs=(self.cache_path,))
+                    initargs=(self.cache_path, worker_max_entries,
+                              worker_batch_kernel, self.cache_store))
             finally:
                 shard_module._FORK_SEED = None
         try:
@@ -688,7 +873,8 @@ class Campaign:
                             rep_positions.append(position)
                     if pool is not None:
                         self._admit_shards(wave, requests, keys, rep_positions,
-                                           precedents, pinned, pool)
+                                           precedents, pinned, pool,
+                                           wave_index, result)
                     else:
                         self._prefetch_wave([(wave[p], requests[p])
                                              for p in rep_positions])
@@ -746,6 +932,12 @@ class Campaign:
             # Persist everything this run derived (shard fan-ins included)
             # so re-runs — and a resume after a halt — warm-start from it.
             self.analysis_cache.save_snapshot(self.cache_path)
+        if self.analysis_cache is not None and self._parent_store is not None:
+            # Workers made their own derivations durable mid-wave; absorb
+            # any last publications, then append what only the parent
+            # derived (prefetch path, in-process fallback waves).
+            self._absorb_store()
+            self._publish_store()
         if self.analysis_cache is not None:
             result.cache_hits = self.analysis_cache.hits - hits_before
             result.cache_misses = self.analysis_cache.misses - misses_before

@@ -6,10 +6,11 @@ vehicle of every new request-equivalence group (see
 ``multiprocessing`` pool.  A :class:`ShardTask` bundles a slice of those
 representatives; the worker (:func:`execute_shard`, module-level so the pool
 can pickle it) runs each one's full MCC integration and returns a
-:class:`ShardVerdict` per item plus the analysis-cache entries it derived.
-The parent fans every verdict back out across the whole equivalence group
-through :meth:`~repro.mcc.controller.MultiChangeController.replay_change`,
-so non-representative vehicles never cross a process boundary at all.
+:class:`ShardVerdict` per item plus the analysis-cache entries it derived
+and the timing telemetry of the slice.  The parent fans every verdict back
+out across the whole equivalence group through
+:meth:`~repro.mcc.controller.MultiChangeController.replay_change`, so
+non-representative vehicles never cross a process boundary at all.
 
 Two properties keep the parallel path byte-identical to sequential
 admission:
@@ -18,17 +19,38 @@ admission:
   the exact inputs a representative carries — so where the verdict is
   computed cannot change it.
 * Pickled :class:`~repro.analysis.cache.AnalysisCache` objects travel
-  *empty* by design; workers warm-start from an on-disk snapshot instead
-  (:meth:`~repro.analysis.cache.AnalysisCache.load_snapshot`) and verdicts
-  never depend on cache contents, only wall time does.
+  *empty* by design; workers warm-start from an on-disk snapshot or
+  segment store instead and verdicts never depend on cache contents, only
+  wall time does.
+
+Shard planning
+--------------
+Two planners partition a wave's representatives:
+
+* :func:`plan_shards` — the deterministic round-robin fallback: exactly one
+  shard per worker, sizes within one of each other.  It is the right
+  partition when per-item costs are uniform or unknown and it is what
+  ``workers=1``, ``steal=False`` campaigns and the unit tests use.
+* :func:`plan_chunks` — the cost-model planner of the work-stealing engine:
+  *more* chunks than workers (idle workers pull the next chunk off the
+  pool's shared queue instead of waiting behind a straggler), representatives
+  of the same congruence/equivalence structure co-located in the same chunk
+  (so the analysis cache dedupe and the lockstep batch kernel fire *inside*
+  a shard), chunk sizes balanced on per-key cost estimates from prior
+  waves, and deliberately small tail chunks so the last pulls cannot
+  re-create a straggler.  The partition affects wall time only — verdicts
+  are independent of which worker computes what.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.analysis.cache import AnalysisCache
+from repro.analysis.cache_store import SegmentStore
 from repro.analysis.cpa import ResponseTimeResult
 from repro.fleet.vehicle import FleetVehicle
 from repro.mcc.configuration import ChangeRequest, IntegrationReport
@@ -60,6 +82,8 @@ class ShardTask:
     items: List[ShardItem]
     #: Warm-start snapshot for the worker's local cache (optional).
     cache_path: Optional[str] = None
+    #: Segment-store directory for mid-wave entry publication (optional).
+    store_path: Optional[str] = None
 
 
 @dataclass
@@ -70,13 +94,16 @@ class ShardVerdict:
     :meth:`~repro.mcc.controller.MultiChangeController.replay_change` needs
     to re-apply the decision on an equivalent vehicle: the report plus the
     decided mapping and priorities (empty for rejections — a rejection
-    replays without touching the model).
+    replays without touching the model).  ``elapsed_s`` is the measured
+    integration wall time — telemetry that seeds the next wave's cost
+    model; it never influences the verdict.
     """
 
     position: int
     report: IntegrationReport
     mapping: Dict[str, str] = field(default_factory=dict)
     priorities: Dict[str, int] = field(default_factory=dict)
+    elapsed_s: float = 0.0
 
 
 @dataclass
@@ -85,9 +112,19 @@ class ShardResult:
 
     shard_index: int
     verdicts: List[ShardVerdict]
-    #: Cache entries the worker derived beyond its warm-start snapshot; the
+    #: Cache entries the worker derived beyond its warm-start set; the
     #: parent merges them so later waves (and the next snapshot) reuse them.
     cache_entries: List[CacheEntry] = field(default_factory=list)
+    #: -- telemetry (informational; excluded from result byte-parity) -----
+    worker_pid: int = 0
+    elapsed_s: float = 0.0
+    #: Cache hit/miss deltas of the worker cache over this shard.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Entries published to the segment store by this shard.
+    published_entries: int = 0
+    #: Entries absorbed from siblings via the segment store before running.
+    absorbed_entries: int = 0
 
 
 #: Worker-process-local cache, installed by :func:`initialize_worker` when
@@ -96,33 +133,54 @@ class ShardResult:
 #: the campaign — the in-process complement of the on-disk snapshot.
 _WORKER_CACHE: Optional[AnalysisCache] = None
 
+#: Worker-process-local segment-store handle (same lifetime as the cache).
+#: Each worker is its own store *writer* — appends are lock-free — and its
+#: own incremental *reader*, so between chunks it absorbs exactly what its
+#: siblings published in the meantime.
+_WORKER_STORE: Optional[SegmentStore] = None
+
 #: Set by the campaign parent immediately before it forks its pool.  Under
 #: the ``fork`` start method the child inherits the parent's heap
 #: copy-on-write, so this reference hands every worker a private, fully
 #: warm copy of the shared cache at zero serialization cost.  Under
 #: ``spawn`` the child starts from a fresh interpreter, the seed is
 #: ``None`` there, and :func:`initialize_worker` falls back to loading the
-#: on-disk snapshot.
+#: on-disk snapshot and/or segment store.
 _FORK_SEED: Optional[AnalysisCache] = None
 
 
 def initialize_worker(cache_path: Optional[str],
-                      max_entries: int = 16384) -> None:
+                      max_entries: int = 16384,
+                      batch_kernel: bool = False,
+                      store_path: Optional[str] = None) -> None:
     """Pool initializer: install this worker's long-lived analysis cache.
 
-    Prefers the fork-inherited copy of the parent's cache (free and fully
-    warm); otherwise builds a fresh cache and warm-starts it from
-    ``cache_path``.  Either way the load happens once per worker process,
-    at pool creation — not per shard task, where re-reading a multi-
-    megabyte snapshot would dwarf the analyses themselves.
+    Prefers the fork-inherited copy of the parent's cache (free, fully warm
+    and already carrying the parent's configuration); otherwise builds a
+    fresh cache **with the parent's configuration** — ``max_entries`` and
+    ``batch_kernel`` are forwarded from the parent cache through the pool
+    initargs, so a spawn-started worker analyses exactly like its parent
+    would — and warm-starts it from ``cache_path`` and/or the segment store
+    at ``store_path``.  Either way the load happens once per worker
+    process, at pool creation — not per shard task, where re-reading a
+    multi-megabyte snapshot would dwarf the analyses themselves.
     """
-    global _WORKER_CACHE
+    global _WORKER_CACHE, _WORKER_STORE
+    _WORKER_STORE = SegmentStore(store_path) if store_path is not None else None
     if _FORK_SEED is not None:
         _WORKER_CACHE = _FORK_SEED
+        if _WORKER_STORE is not None:
+            # Skip re-absorbing what the parent already published: the
+            # fork seed is the parent cache, so everything durable at pool
+            # creation is in memory already.  Advancing the read offsets
+            # keeps the first chunk's poll proportional to *new* entries.
+            _WORKER_STORE.read_new()
         return
-    cache = AnalysisCache(max_entries=max_entries)
+    cache = AnalysisCache(max_entries=max_entries, batch_kernel=batch_kernel)
     if cache_path is not None:
         cache.load_snapshot(cache_path, missing_ok=True)
+    if _WORKER_STORE is not None:
+        cache.merge_entries(_WORKER_STORE.read_new())
     _WORKER_CACHE = cache
 
 
@@ -132,39 +190,72 @@ def execute_shard(task: ShardTask) -> ShardResult:
     Uses the worker's long-lived cache when :func:`initialize_worker` set
     one up (the pooled campaign path); otherwise — direct in-process calls,
     e.g. from tests — builds a task-local cache warm-started from
-    ``task.cache_path``.  Either way the cache is attached to each
-    vehicle's acceptance tests (their pickled caches arrived empty) and the
-    full ``request_change`` integration runs per item, in list order,
-    sharing the cache and its incremental engine exactly like a sequential
-    batched wave would.
+    ``task.cache_path``/``task.store_path``.  Either way the cache is
+    attached to each vehicle's acceptance tests (their pickled caches
+    arrived empty) and the full ``request_change`` integration runs per
+    item, in list order, sharing the cache and its incremental engine
+    exactly like a sequential batched wave would.
+
+    With a segment store the shard first absorbs everything its sibling
+    workers published since the last chunk (mid-wave reuse — a steal of
+    *analyses*, not just of work), and afterwards publishes its own newly
+    derived entries so the siblings can return the favour.
     """
+    started = time.perf_counter()
     cache = _WORKER_CACHE
+    store = _WORKER_STORE
     if cache is None:
         cache = AnalysisCache()
         if task.cache_path is not None:
             cache.load_snapshot(task.cache_path, missing_ok=True)
+        if task.store_path is not None:
+            store = SegmentStore(task.store_path)
+    absorbed = 0
+    if store is not None:
+        absorbed = cache.merge_entries(store.read_new())
+    hits_before, misses_before = cache.hits, cache.misses
     preloaded = set(cache.keys())
     verdicts: List[ShardVerdict] = []
     for item in task.items:
+        item_started = time.perf_counter()
         item.vehicle.mcc.attach_analysis_cache(cache)
         report = item.vehicle.mcc.request_change(item.request)
         model = item.vehicle.mcc.model
         verdicts.append(ShardVerdict(
             position=item.position, report=report,
             mapping=dict(model.mapping) if report.accepted else {},
-            priorities=dict(model.priorities) if report.accepted else {}))
+            priorities=dict(model.priorities) if report.accepted else {},
+            elapsed_s=time.perf_counter() - item_started))
+    new_entries = cache.export_entries(exclude=preloaded)
+    published = 0
+    if store is not None:
+        published = store.append(new_entries)
+        # Advance past our own publication (already in memory — merging it
+        # is a no-op) and absorb anything siblings published meanwhile.
+        cache.merge_entries(store.read_new())
     return ShardResult(shard_index=task.shard_index, verdicts=verdicts,
-                       cache_entries=cache.export_entries(exclude=preloaded))
+                       cache_entries=new_entries,
+                       worker_pid=os.getpid(),
+                       elapsed_s=time.perf_counter() - started,
+                       cache_hits=cache.hits - hits_before,
+                       cache_misses=cache.misses - misses_before,
+                       published_entries=published,
+                       absorbed_entries=absorbed)
 
 
 def plan_shards(item_count: int, workers: int) -> List[List[int]]:
     """Deterministic round-robin partition of item positions into shards.
 
-    Returns at most ``workers`` non-empty shards; item ``i`` lands in shard
-    ``i % shards``.  Round-robin keeps shard sizes within one of each other
-    for any item count, which matters when representatives have similar
-    cost.  The partition affects wall time only — verdicts are independent
-    of which worker computes them.
+    This is the *static fallback planner*: it is used by ``workers=1``
+    campaigns, by ``steal=False``/``shard_planner="round_robin"``
+    configurations (the measured baseline of the E13 benchmark) and by the
+    shard-protocol unit tests, while pooled campaigns default to the
+    cost-model :func:`plan_chunks` partition.  Returns at most ``workers``
+    non-empty shards; item ``i`` lands in shard ``i % shards``.  Round-robin
+    keeps shard sizes within one of each other for any item count, which
+    matters when representatives have similar cost.  The partition affects
+    wall time only — verdicts are independent of which worker computes
+    them.
     """
     if item_count <= 0:
         return []
@@ -175,3 +266,103 @@ def plan_shards(item_count: int, workers: int) -> List[List[int]]:
     for position in range(item_count):
         shards[position % shard_count].append(position)
     return shards
+
+
+def plan_chunks(item_count: int, workers: int,
+                costs: Optional[Sequence[float]] = None,
+                groups: Optional[Sequence[Hashable]] = None,
+                chunks_per_worker: int = 4) -> List[List[int]]:
+    """Cost-balanced, group-co-located chunk partition for dynamic dispatch.
+
+    The work-stealing engine dispatches *chunks* onto the pool's shared
+    queue: an idle worker pulls the next chunk the moment it finishes its
+    current one, so the partition does not need to predict the makespan —
+    it only needs to (a) keep chunks small enough that stealing can smooth
+    cost skew and (b) keep them *structured*: items of the same ``groups``
+    label (same congruence/equivalence structure — e.g. one fleet variant's
+    representatives) stay in the same chunk wherever possible, so the
+    worker-local analysis cache dedupe and the lockstep batch kernel fire
+    inside a single shard instead of being split across processes.
+
+    ``costs`` are per-item cost estimates (seconds, or any proportional
+    unit) — typically the campaign's measured per-key integration times
+    from prior waves; uniform cost is assumed where ``None``.  Chunks are
+    packed greedily in descending group-cost order up to a target of
+    ``total_cost / (workers * chunks_per_worker)`` per chunk, oversized
+    groups are split, and the dispatch list is ordered by descending chunk
+    cost (longest-processing-time first), which leaves the naturally small
+    leftover chunks at the tail where they cannot re-create a straggler.
+
+    Like every planner here, the output affects wall time only.  The
+    partition is deterministic in its inputs; feeding it *measured* costs
+    makes the layout vary run to run, which is exactly as sound as the
+    pool's nondeterministic completion order.
+    """
+    if item_count <= 0:
+        return []
+    if workers <= 1:
+        return [list(range(item_count))]
+    if chunks_per_worker < 1:
+        raise ValueError("chunks_per_worker must be at least 1")
+    if costs is not None and len(costs) != item_count:
+        raise ValueError("costs must cover every item")
+    if groups is not None and len(groups) != item_count:
+        raise ValueError("groups must cover every item")
+    item_costs = [max(float(costs[i]), 0.0) if costs is not None else 1.0
+                  for i in range(item_count)]
+    # Group items; a missing label means "its own group" (pure balancing).
+    grouped: Dict[Hashable, List[int]] = {}
+    for position in range(item_count):
+        label = groups[position] if groups is not None else ("pos", position)
+        grouped.setdefault(label, []).append(position)
+    group_list = sorted(
+        grouped.values(),
+        key=lambda members: (-sum(item_costs[i] for i in members),
+                             members[0]))
+    total = sum(item_costs)
+    target_chunks = min(item_count, workers * chunks_per_worker)
+    # An all-zero-cost wave degenerates to round-robin-sized chunks.
+    target_cost = (total / target_chunks) if total > 0.0 \
+        else item_count / target_chunks
+    blocks: List[List[int]] = []
+    for members in group_list:
+        cost = sum(item_costs[i] for i in members) if total > 0.0 \
+            else float(len(members))
+        if cost <= 1.5 * target_cost or len(members) == 1:
+            blocks.append(members)
+            continue
+        # Split an oversized group into consecutive target-sized runs; the
+        # pieces still co-locate as much as a balanced partition allows.
+        piece: List[int] = []
+        piece_cost = 0.0
+        for position in members:
+            piece.append(position)
+            piece_cost += item_costs[position] if total > 0.0 else 1.0
+            if piece_cost >= target_cost:
+                blocks.append(piece)
+                piece, piece_cost = [], 0.0
+        if piece:
+            blocks.append(piece)
+    # Pack blocks into chunks up to the target cost, biggest blocks first.
+    chunks: List[Tuple[float, List[int]]] = []
+    current: List[int] = []
+    current_cost = 0.0
+    for block in blocks:
+        block_cost = sum(item_costs[i] for i in block) if total > 0.0 \
+            else float(len(block))
+        # Close the open chunk only when adding the block would overshoot
+        # the target badly; moderate overshoot is cheaper than the extra
+        # scheduling slack of many under-target chunks.
+        if current and current_cost + block_cost > 1.5 * target_cost:
+            chunks.append((current_cost, current))
+            current, current_cost = [], 0.0
+        current.extend(block)
+        current_cost += block_cost
+        if current_cost >= target_cost:
+            chunks.append((current_cost, current))
+            current, current_cost = [], 0.0
+    if current:
+        chunks.append((current_cost, current))
+    # LPT dispatch order: heavy chunks first, small tail chunks last.
+    chunks.sort(key=lambda entry: (-entry[0], entry[1][0]))
+    return [members for _, members in chunks]

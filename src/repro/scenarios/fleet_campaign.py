@@ -49,6 +49,9 @@ class FleetCampaignResult:
     cache_misses: int
     engine_reuse_rate: float
     waves: List[Dict[str, Any]] = field(default_factory=list)
+    #: Per-shard execution telemetry of pooled waves (informational —
+    #: varies with the worker layout, excluded from canonical records).
+    shard_telemetry: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def completed(self) -> bool:
@@ -87,7 +90,11 @@ def run_fleet_campaign_scenario(fleet_size: int = 50, seed: int = 0,
                                 deploy: bool = False,
                                 workers: int = 1,
                                 cache_path: Optional[str] = None,
-                                batch_kernel: bool = False
+                                batch_kernel: bool = False,
+                                shard_planner: str = "cost",
+                                steal: bool = True,
+                                start_method: Optional[str] = None,
+                                cache_store: Optional[str] = None
                                 ) -> FleetCampaignResult:
     """Run one staged fleet campaign end-to-end.
 
@@ -99,6 +106,14 @@ def run_fleet_campaign_scenario(fleet_size: int = 50, seed: int = 0,
     ``batch_kernel`` (requires ``batch_admission``) solves the admission
     waves' cold analyses with the vectorized lockstep kernel — bit-identical
     verdicts, lower prefetch wall time.
+
+    The sharded-engine knobs pass straight through to
+    :class:`~repro.fleet.campaign.Campaign`: ``shard_planner`` /``steal``
+    select the cost-model work-stealing dispatch (default) or the static
+    round-robin baseline, ``start_method`` forces a ``multiprocessing``
+    start method, and ``cache_store`` shares an append-only segment store
+    between the parent and all workers — all four move wall time only,
+    never verdicts.
     """
     spec = FleetSpec(size=fleet_size, seed=seed, heterogeneity=heterogeneity,
                      num_variants=num_variants, extra_components=extra_components,
@@ -129,7 +144,9 @@ def run_fleet_campaign_scenario(fleet_size: int = 50, seed: int = 0,
                         analysis_cache=cache, batch_admission=batch_admission,
                         failure_injection_rate=failure_injection_rate,
                         feedback_seed=seed, workers=workers,
-                        cache_path=cache_path, batch_kernel=batch_kernel)
+                        cache_path=cache_path, batch_kernel=batch_kernel,
+                        shard_planner=shard_planner, steal=steal,
+                        start_method=start_method, cache_store=cache_store)
     outcome: CampaignResult = campaign.run()
     return FleetCampaignResult(
         fleet_size=outcome.fleet_size,
@@ -148,4 +165,5 @@ def run_fleet_campaign_scenario(fleet_size: int = 50, seed: int = 0,
         cache_hits=outcome.cache_hits,
         cache_misses=outcome.cache_misses,
         engine_reuse_rate=outcome.engine_reuse_rate,
-        waves=[record.to_dict() for record in outcome.waves])
+        waves=[record.to_dict() for record in outcome.waves],
+        shard_telemetry=[dict(row) for row in outcome.shard_telemetry])

@@ -6,7 +6,9 @@ import json
 
 import pytest
 
-from repro.experiments.bench_history import bench_history_rows, load_bench_records
+from repro.experiments.bench_history import (bench_history_rows,
+                                             compare_bench_records,
+                                             load_bench_records, record_mode)
 from repro.experiments.cli import main
 
 
@@ -15,7 +17,8 @@ def _write_record(directory, name, payload, quick=False, **extra):
                 "python": "3.x", "platform": "test", "quick_mode": quick,
                 "payload": payload}
     document.update(extra)
-    path = directory / f"BENCH_{name}.json"
+    suffix = ".quick.json" if quick else ".json"
+    path = directory / f"BENCH_{name}{suffix}"
     path.write_text(json.dumps(document), encoding="utf-8")
     return path
 
@@ -103,3 +106,120 @@ class TestCli:
     def test_bench_history_empty_directory(self, tmp_path, capsys):
         assert main(["bench-history", "--dir", str(tmp_path)]) == 0
         assert "no BENCH_*.json records" in capsys.readouterr().out
+
+
+class TestRecordMode:
+    def test_explicit_mode_field_wins(self):
+        assert record_mode({"mode": "quick", "quick_mode": False}) == "quick"
+        assert record_mode({"mode": "full", "quick_mode": True}) == "full"
+
+    def test_legacy_records_classified_by_quick_flag(self):
+        assert record_mode({"quick_mode": True}) == "quick"
+        assert record_mode({"quick_mode": False}) == "full"
+        assert record_mode({}) == "full"
+
+
+class TestCompareBenchRecords:
+    @staticmethod
+    def _record(name, speedup, mode="full"):
+        return {"name": name, "mode": mode,
+                "payload": {"speedup": speedup}}
+
+    def test_no_regression_within_tolerance(self):
+        current = [self._record("e10", 1.5)]
+        baseline = [self._record("e10", 2.0)]
+        # 25% drop, tolerance 30% — passes.
+        assert compare_bench_records(current, baseline, tolerance=0.3) == []
+
+    def test_regression_beyond_tolerance_is_reported(self):
+        current = [self._record("e10", 1.2)]
+        baseline = [self._record("e10", 2.0)]
+        regressions = compare_bench_records(current, baseline, tolerance=0.3)
+        assert len(regressions) == 1
+        regression = regressions[0]
+        assert regression["bench"] == "e10"
+        assert regression["metric"] == "speedup"
+        assert regression["baseline"] == 2.0
+        assert regression["current"] == 1.2
+        assert regression["drop"] == pytest.approx(0.4)
+
+    def test_improvements_never_regress(self):
+        current = [self._record("e10", 5.0)]
+        baseline = [self._record("e10", 2.0)]
+        assert compare_bench_records(current, baseline) == []
+
+    def test_modes_never_cross_compare(self):
+        # A quick-mode smoke number far below the committed full-fidelity
+        # record is NOT a regression — the grids are incomparable.
+        current = [self._record("e10", 0.5, mode="quick")]
+        baseline = [self._record("e10", 8.0, mode="full")]
+        assert compare_bench_records(current, baseline) == []
+        # But a quick baseline does gate a quick current.
+        baseline_quick = [self._record("e10", 8.0, mode="quick")]
+        assert len(compare_bench_records(current, baseline_quick)) == 1
+
+    def test_unpaired_records_are_ignored(self):
+        current = [self._record("brand_new", 1.0)]
+        baseline = [self._record("retired", 9.0)]
+        assert compare_bench_records(current, baseline) == []
+
+    def test_non_numeric_and_missing_headlines_are_skipped(self):
+        current = [{"name": "e10", "mode": "full",
+                    "payload": {"speedup": "broken"}}]
+        baseline = [self._record("e10", 2.0)]
+        assert compare_bench_records(current, baseline) == []
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            compare_bench_records([], [], tolerance=1.0)
+        with pytest.raises(ValueError):
+            compare_bench_records([], [], tolerance=-0.1)
+
+
+class TestCliRegressionGate:
+    def test_gate_passes_and_reports(self, tmp_path, capsys):
+        current, baseline = tmp_path / "current", tmp_path / "baseline"
+        current.mkdir(), baseline.mkdir()
+        _write_record(current, "e10", {"speedup": 2.0})
+        _write_record(baseline, "e10", {"speedup": 2.1})
+        assert main(["bench-history", "--dir", str(current),
+                     "--baseline", str(baseline),
+                     "--fail-on-regression"]) == 0
+        assert "no headline regressions" in capsys.readouterr().out
+
+    def test_gate_fails_loud_on_regression(self, tmp_path, capsys):
+        current, baseline = tmp_path / "current", tmp_path / "baseline"
+        current.mkdir(), baseline.mkdir()
+        _write_record(current, "e10", {"speedup": 1.0})
+        _write_record(baseline, "e10", {"speedup": 2.0})
+        assert main(["bench-history", "--dir", str(current),
+                     "--baseline", str(baseline),
+                     "--fail-on-regression"]) == 1
+        captured = capsys.readouterr()
+        assert "regressed" in captured.err
+        assert "e10" in captured.out
+
+    def test_regression_without_fail_flag_reports_but_passes(self, tmp_path,
+                                                             capsys):
+        current, baseline = tmp_path / "current", tmp_path / "baseline"
+        current.mkdir(), baseline.mkdir()
+        _write_record(current, "e10", {"speedup": 1.0})
+        _write_record(baseline, "e10", {"speedup": 2.0})
+        assert main(["bench-history", "--dir", str(current),
+                     "--baseline", str(baseline)]) == 0
+        assert "headline regressions" in capsys.readouterr().out
+
+    def test_missing_baseline_directory(self, tmp_path, capsys):
+        _write_record(tmp_path, "e10", {"speedup": 1.0})
+        assert main(["bench-history", "--dir", str(tmp_path),
+                     "--baseline", str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_quick_records_use_distinct_filenames(self, tmp_path):
+        full = _write_record(tmp_path, "e10", {"speedup": 2.0})
+        quick = _write_record(tmp_path, "e10", {"speedup": 0.5}, quick=True)
+        assert full.name == "BENCH_e10.json"
+        assert quick.name == "BENCH_e10.quick.json"
+        records, skipped = load_bench_records(str(tmp_path))
+        assert skipped == []
+        assert len(records) == 2
