@@ -19,6 +19,9 @@ from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.core.arbitration import ArbitrationPolicy
 from repro.mcc.mapping import MappingStrategy
+from repro.scenarios.adversity_campaigns import (
+    run_intrusion_campaign_scenario, run_lossy_ota_campaign_scenario,
+    run_thermal_campaign_scenario)
 from repro.scenarios.distributed_e2e import run_distributed_e2e_scenario
 from repro.scenarios.fleet_campaign import run_fleet_campaign_scenario
 from repro.scenarios.infield_update import run_infield_update_scenario
@@ -243,6 +246,71 @@ def _extract_fleet_campaign(result: Any) -> Dict[str, Any]:
     }
 
 
+def _extract_intrusion_campaign(result: Any) -> Dict[str, Any]:
+    return {
+        "fleet_size": result.fleet_size,
+        "mode": result.mode,
+        "discount_suspected": result.discount_suspected,
+        "compromised": result.compromised,
+        "suspected": result.suspected,
+        "true_suspects": result.true_suspects,
+        "false_suspects": result.false_suspects,
+        "admitted": result.admitted,
+        "rejected": result.rejected,
+        "deviating": result.deviating,
+        "discounted": result.discounted,
+        "rolled_back": result.rolled_back,
+        "halted": result.halted,
+        "halted_wave": result.halted_wave,
+        "update_coverage": result.update_coverage,
+        "acceptance_rate": result.acceptance_rate,
+        "waves": [dict(wave) for wave in result.waves],
+    }
+
+
+def _extract_lossy_ota_campaign(result: Any) -> Dict[str, Any]:
+    return {
+        "fleet_size": result.fleet_size,
+        "drop_rate": result.drop_rate,
+        "max_retries": result.max_retries,
+        "delivery_attempts": result.delivery_attempts,
+        "drops": result.drops,
+        "undelivered_events": result.undelivered_events,
+        "retried": result.retried,
+        "abandoned": result.abandoned,
+        "straggler_waves": result.straggler_waves,
+        "admitted": result.admitted,
+        "rejected": result.rejected,
+        "deviating": result.deviating,
+        "halted": result.halted,
+        "halted_wave": result.halted_wave,
+        "update_coverage": result.update_coverage,
+        "acceptance_rate": result.acceptance_rate,
+        "waves": [dict(wave) for wave in result.waves],
+    }
+
+
+def _extract_thermal_campaign(result: Any) -> Dict[str, Any]:
+    return {
+        "fleet_size": result.fleet_size,
+        "peak_ambient_c": result.peak_ambient_c,
+        "throttled_waves": result.throttled_waves,
+        "min_speed_factor": result.min_speed_factor,
+        "hot_wave_rejections": result.hot_wave_rejections,
+        "cool_wave_rejections": result.cool_wave_rejections,
+        "verdicts_flipped": result.verdicts_flipped,
+        "admitted": result.admitted,
+        "rejected": result.rejected,
+        "deviating": result.deviating,
+        "halted": result.halted,
+        "halted_wave": result.halted_wave,
+        "update_coverage": result.update_coverage,
+        "acceptance_rate": result.acceptance_rate,
+        "thermal_trace": [list(row) for row in result.thermal_trace],
+        "waves": [dict(wave) for wave in result.waves],
+    }
+
+
 def _extract_distributed_e2e(result: Any) -> Dict[str, Any]:
     return {
         "total_requests": result.total_requests,
@@ -407,6 +475,100 @@ SCENARIOS.register(Scenario(
     ],
     seed_param="seed",
     extract=_extract_fleet_campaign,
+    bookkeeping=lambda result, params: {
+        "sim_time_s": None,
+        "event_count": result.admitted + result.rejected,
+    },
+))
+
+#: Staging knobs shared by the three adversity campaigns (E14-E16) — the
+#: same fleet generation and wave policy surface as E10, minus the engine
+#: knobs the adversity scenarios pin (batched admission is always on).
+def _adversity_staging_parameters(update_utilization: float,
+                                  max_failure_rate: float) -> List[Parameter]:
+    return [
+        Parameter("fleet_size", 40, "number of vehicles in the fleet", coerce=int),
+        Parameter("seed", 0, "fleet/feedback/adversity generation seed", coerce=int),
+        Parameter("heterogeneity", 0.1, "relative spread of the variant perturbations"),
+        Parameter("num_variants", 6, "distinct hardware/software builds", coerce=int),
+        Parameter("extra_components", 6,
+                  "installed apps per variant beyond the core stack", coerce=int),
+        Parameter("update_utilization", update_utilization,
+                  "processor demand of the rolled-out component"),
+        Parameter("failure_injection_rate", 0.0,
+                  "probability of a genuine post-deployment failure per vehicle"),
+        Parameter("canary_size", 2, "vehicles in the canary wave (0 disables it)",
+                  coerce=int),
+        Parameter("wave_fractions", [0.2, 0.5, 1.0],
+                  "cumulative release fractions of the post-canary fleet",
+                  coerce=lambda value: tuple(float(f) for f in value)),
+        Parameter("max_failure_rate", max_failure_rate,
+                  "halt threshold on a wave's effective failure rate"),
+        Parameter("workers", 1,
+                  "sharded-admission pool size (1 = in-process execution)",
+                  coerce=int),
+    ]
+
+
+SCENARIOS.register(Scenario(
+    name="intrusion_campaign",
+    summary="Fleet campaign under compromised-vehicle feedback, IDS-graded (E14)",
+    run_fn=run_intrusion_campaign_scenario,
+    parameters=_adversity_staging_parameters(0.18, 0.2) + [
+        Parameter("compromise_rate", 0.25,
+                  "fraction of the fleet forging its monitor reports"),
+        Parameter("mode", "over_report",
+                  "'over_report' (forge deviations to force a halt) or "
+                  "'under_report' (hide failures below the tolerance band)"),
+        Parameter("reports_per_wave", 6,
+                  "report copies a compromised over-reporter spams per wave",
+                  coerce=int),
+        Parameter("suspicion_threshold", 3,
+                  "IDS violations before a sender is suspected", coerce=int),
+        Parameter("discount_suspected", True,
+                  "exclude suspected senders' reports from the halt decision",
+                  coerce=bool),
+    ],
+    seed_param="seed",
+    extract=_extract_intrusion_campaign,
+    bookkeeping=lambda result, params: {
+        "sim_time_s": None,
+        "event_count": result.admitted + result.rejected,
+    },
+))
+
+SCENARIOS.register(Scenario(
+    name="lossy_ota_campaign",
+    summary="Fleet campaign over a lossy OTA network with retry/straggler waves (E15)",
+    run_fn=run_lossy_ota_campaign_scenario,
+    parameters=_adversity_staging_parameters(0.18, 0.3) + [
+        Parameter("drop_rate", 0.3,
+                  "per-attempt probability that a delivery is dropped"),
+        Parameter("max_retries", 3,
+                  "retries per vehicle before it is abandoned", coerce=int),
+    ],
+    seed_param="seed",
+    extract=_extract_lossy_ota_campaign,
+    bookkeeping=lambda result, params: {
+        "sim_time_s": None,
+        "event_count": result.delivery_attempts,
+    },
+))
+
+SCENARIOS.register(Scenario(
+    name="thermal_campaign",
+    summary="Fleet campaign through a heat wave: DVFS-inflated WCET admission (E16)",
+    run_fn=run_thermal_campaign_scenario,
+    parameters=_adversity_staging_parameters(0.3, 1.0) + [
+        Parameter("base_ambient_c", 35.0, "ambient temperature outside the heat wave"),
+        Parameter("peak_ambient_c", 90.0, "ambient temperature at the heat-wave peak"),
+        Parameter("peak_wave", 2, "wave index of the heat-wave peak", coerce=int),
+        Parameter("wave_dt_s", 240.0, "thermal-model seconds integrated per wave"),
+        Parameter("thermal_utilization", 0.9,
+                  "processor load driving the thermal model"),
+    ],
+    seed_param="seed",
+    extract=_extract_thermal_campaign,
     bookkeeping=lambda result, params: {
         "sim_time_s": None,
         "event_count": result.admitted + result.rejected,

@@ -177,11 +177,13 @@ def builtin_specs() -> List[ExperimentSpec]:
     """The built-in sweep suite (what ``python -m repro.experiments run``
     executes when no spec file is given).
 
-    Spans six of the seven scenarios with 25 runs total: the E5 arbitration-
+    Spans nine of the ten scenarios with 30 runs total: the E5 arbitration-
     policy comparison over three seeds, the E6 strategy comparison, the E8
     severity sweep, an E1 campaign sweep over the risky-update fraction, an
-    E10 fleet-rollout pair (clean vs failure-injected) and an E11
-    distributed-admission pair over the end-to-end deadline.
+    E10 fleet-rollout pair (clean vs failure-injected), an E11
+    distributed-admission pair over the end-to-end deadline, an E14
+    intrusion-campaign pair (IDS discount on vs off), one E15 lossy-OTA
+    rollout and one E16 heat-wave rollout.
     """
     return [
         ExperimentSpec(
@@ -220,4 +222,24 @@ def builtin_specs() -> List[ExperimentSpec]:
             grid={"num_updates": 10, "chain_deadline_s": [0.03, 0.04]},
             description="E11: cross-ECU admission, tight vs relaxed "
                         "end-to-end deadline"),
+        ExperimentSpec(
+            name="intrusion-campaigns",
+            scenario="intrusion_campaign",
+            grid={"fleet_size": 24, "num_variants": 4,
+                  "discount_suspected": [True, False]},
+            description="E14: campaign under forged deviation reports, "
+                        "IDS discount on vs off"),
+        ExperimentSpec(
+            name="lossy-ota",
+            scenario="lossy_ota_campaign",
+            grid={"fleet_size": 24, "num_variants": 4, "drop_rate": 0.3},
+            description="E15: rollout over a lossy OTA network with "
+                        "retry/straggler waves"),
+        ExperimentSpec(
+            name="thermal-campaigns",
+            scenario="thermal_campaign",
+            grid={"fleet_size": 24, "num_variants": 4,
+                  "peak_ambient_c": 90.0},
+            description="E16: rollout through a heat wave — DVFS-inflated "
+                        "WCET admission"),
     ]

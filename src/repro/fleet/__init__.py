@@ -13,9 +13,14 @@ two halves of that workload:
   the incremental CPA engine, per-vehicle monitor/deviation feedback between
   waves, and halt/rollback when a wave's failure rate crosses the policy
   threshold.
+* :mod:`repro.fleet.adversity` — hostile and degraded-world perturbations
+  of the campaign loop: lossy OTA delivery with retry/straggler waves,
+  compromised vehicles forging deviation reports (graded and discounted
+  through the IDS), and thermal throttling inflating admission WCETs.
 
-Scenario E10 (``repro.scenarios.fleet_campaign``) wires both into the
-experiment registry.
+Scenarios E10 (``repro.scenarios.fleet_campaign``) and E14–E16
+(``repro.scenarios.adversity_campaigns``) wire these into the experiment
+registry.
 """
 
 from repro.fleet.vehicle import (
@@ -27,6 +32,13 @@ from repro.fleet.vehicle import (
     generate_fleet,
     generate_variants,
     variant_contracts,
+)
+from repro.fleet.adversity import (
+    MONITOR_PEER,
+    AdversityModel,
+    IntrusionAdversity,
+    LossyDeliveryAdversity,
+    ThermalAdversity,
 )
 from repro.fleet.campaign import (
     Campaign,
@@ -47,6 +59,11 @@ from repro.fleet.shard import (
 )
 
 __all__ = [
+    "MONITOR_PEER",
+    "AdversityModel",
+    "IntrusionAdversity",
+    "LossyDeliveryAdversity",
+    "ThermalAdversity",
     "FleetSpec",
     "FleetVehicle",
     "VehicleState",

@@ -89,6 +89,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.analysis.cache import AnalysisCache
 from repro.analysis.cache_store import SegmentStore
+from repro.fleet.adversity import AdversityModel
 from repro.fleet.shard import (ShardItem, ShardTask, execute_shard,
                                initialize_worker, plan_chunks, plan_shards)
 from repro.fleet.vehicle import FleetVehicle, VehicleState
@@ -175,7 +176,18 @@ class WavePolicy:
 
 @dataclass
 class WaveRecord:
-    """Outcome of one executed wave."""
+    """Outcome of one executed wave.
+
+    Under an adversity model a wave's staged membership and its executed
+    membership can differ: ``undelivered`` vehicles were staged but never
+    received the update this wave (they carry into the next wave or are
+    ``abandoned`` once their retry budget is spent), ``retried`` counts the
+    members that were carried *into* this wave from earlier failed
+    deliveries, and ``discounted`` counts deviation reports the feedback
+    grader attributed to suspected-compromised senders — still recorded as
+    deviating, but excluded from the halt decision.  All four stay zero on
+    an unperturbed campaign.
+    """
 
     index: int
     kind: str
@@ -185,15 +197,29 @@ class WaveRecord:
     deviating: int = 0
     refined: int = 0
     rolled_back: int = 0
+    undelivered: int = 0
+    retried: int = 0
+    abandoned: int = 0
+    discounted: int = 0
 
     @property
     def size(self) -> int:
         return len(self.vehicle_ids)
 
     @property
+    def delivered(self) -> int:
+        """Members that actually received the update this wave."""
+        return self.size - self.undelivered
+
+    @property
     def failures(self) -> int:
         """Failed vehicles of the wave: rejections plus deviations."""
         return self.rejected + self.deviating
+
+    @property
+    def effective_failures(self) -> int:
+        """Failures that count towards the halt decision (discount applied)."""
+        return max(self.failures - self.discounted, 0)
 
     @property
     def failure_rate(self) -> float:
@@ -205,6 +231,8 @@ class WaveRecord:
                 "admitted": self.admitted, "rejected": self.rejected,
                 "deviating": self.deviating, "refined": self.refined,
                 "rolled_back": self.rolled_back,
+                "undelivered": self.undelivered, "retried": self.retried,
+                "abandoned": self.abandoned, "discounted": self.discounted,
                 "failure_rate": self.failure_rate}
 
 
@@ -220,6 +248,17 @@ class CampaignResult:
     deviating: int = 0
     refined: int = 0
     rolled_back: int = 0
+    #: Adversity accounting (all zero on an unperturbed campaign):
+    #: ``undelivered`` counts deferred delivery *events* (a vehicle dropped
+    #: twice before succeeding contributes two), ``retried`` counts
+    #: carried-member wave slots, ``abandoned`` counts vehicles whose retry
+    #: budget was exhausted (permanently not updated) and ``discounted``
+    #: counts deviation reports excluded from halt decisions because the
+    #: IDS suspected their sender.
+    undelivered: int = 0
+    retried: int = 0
+    abandoned: int = 0
+    discounted: int = 0
     halted: bool = False
     halted_wave: Optional[int] = None
     cache_hits: int = 0
@@ -425,6 +464,18 @@ class Campaign:
         starts and folds everything back at run end.  Mutually exclusive
         with ``cache_path`` (one durable warm-start medium per campaign);
         requires an ``analysis_cache``.
+    adversity:
+        Optional :class:`~repro.fleet.adversity.AdversityModel` perturbing
+        the wave loop: lossy update delivery (undelivered vehicles carry
+        into later waves, extra ``straggler`` waves run after the planned
+        rollout until every retry budget is spent), forged monitor feedback
+        graded by an IDS (suspected senders' deviations are recorded but
+        *discounted* from the halt decision) and perturbed admission inputs
+        (e.g. thermally inflated WCETs).  All adversity decisions execute
+        in the parent in wave order from seeded streams, so perturbed
+        campaigns keep the byte-parity guarantee across worker layouts.
+        Mutually exclusive with ``resume_from`` — a delivery-perturbed
+        staging cannot be validated against the static wave plan.
     """
 
     def __init__(self, vehicles: Sequence[FleetVehicle],
@@ -441,7 +492,8 @@ class Campaign:
                  shard_planner: str = "cost",
                  steal: bool = True,
                  start_method: Optional[str] = None,
-                 cache_store: Optional[str] = None) -> None:
+                 cache_store: Optional[str] = None,
+                 adversity: Optional[AdversityModel] = None) -> None:
         if not 0.0 <= failure_injection_rate <= 1.0:
             raise CampaignError("failure_injection_rate must be in [0, 1]")
         if batch_admission and analysis_cache is None:
@@ -483,6 +535,7 @@ class Campaign:
         self.steal = steal
         self.start_method = start_method
         self.cache_store = cache_store
+        self.adversity = adversity
         #: The checkpoint written at the most recent halt (None before).
         self.last_checkpoint: Optional[CampaignCheckpoint] = None
         #: EWMA of measured integration seconds per shard-group label,
@@ -646,17 +699,37 @@ class Campaign:
 
     def _feedback(self, vehicle: FleetVehicle, request: ChangeRequest,
                   wave_index: int, record: WaveRecord) -> None:
-        """Simulate one updated vehicle's monitor feedback and grade it."""
+        """Simulate one updated vehicle's monitor feedback and grade it.
+
+        With an adversity model the honest observation passes through
+        :meth:`~repro.fleet.adversity.AdversityModel.observe` (compromised
+        vehicles forge it), the detector may grade against two-sided bands,
+        and a raised deviation is additionally graded by the model — a
+        report attributed to a suspected-compromised sender is recorded
+        (``record.deviating``) but discounted from the halt decision
+        (``record.discounted``).
+        """
         contract = vehicle.mcc.model.contract(request.component)
         timing = contract.timing
         if timing is None:  # pragma: no cover - campaign updates carry timing
             return
         rng = SeededRNG(derive_seed(self.feedback_seed, vehicle.index))
         injected = rng.uniform() < self.failure_injection_rate
-        factor = rng.uniform(1.25, 1.75) if injected else rng.uniform(0.55, 0.95)
+        nominal_range = (0.55, 0.95)
+        two_sided = False
+        if self.adversity is not None:
+            two_sided = self.adversity.two_sided_feedback
+            if self.adversity.nominal_factor_range is not None:
+                nominal_range = self.adversity.nominal_factor_range
+        factor = rng.uniform(1.25, 1.75) if injected \
+            else rng.uniform(*nominal_range)
         observed = timing.wcet * factor
+        if self.adversity is not None:
+            observed = self.adversity.observe(vehicle, wave_index,
+                                              timing.wcet, observed)
         registry = MetricRegistry()
-        detector: DeviationDetector = vehicle.mcc.configure_deviation_detector(registry)
+        detector: DeviationDetector = vehicle.mcc.configure_deviation_detector(
+            registry, two_sided=two_sided)
         source = f"{request.component}.task"
         anomalies = detector.observe(float(wave_index), source,
                                      "execution_time", observed)
@@ -664,6 +737,10 @@ class Campaign:
             return
         vehicle.deviating = True
         record.deviating += 1
+        if self.adversity is not None and self.adversity.grade_feedback(
+                vehicle, wave_index, len(anomalies)):
+            record.discounted += 1
+            return  # a discounted (suspect) report must not refine the model
         if self.policy.refine_on_deviation:
             refinements = vehicle.mcc.incorporate_observed_wcets({source: observed})
             record.refined += len(refinements)
@@ -703,11 +780,14 @@ class Campaign:
         prefix.waves = prefix.waves[:-1]
         prefix.halted = False
         prefix.halted_wave = None
-        # Telemetry, like the cache counters, describes one process's
-        # execution; a resumed run reports its own.
-        prefix.shard_telemetry = []
+        # Telemetry rows of the *executed* waves stay with the checkpoint (a
+        # resumed run merges them with its own); only the halting wave's
+        # rows are dropped — that wave re-runs on resume and reports afresh.
+        prefix.shard_telemetry = [row for row in prefix.shard_telemetry
+                                  if row["wave"] < halted_wave]
         for attribute in ("admitted", "rejected", "deviating", "refined",
-                          "rolled_back"):
+                          "rolled_back", "undelivered", "retried",
+                          "abandoned", "discounted"):
             setattr(prefix, attribute,
                     sum(getattr(record, attribute) for record in prefix.waves))
         halting = {vehicle.vehicle_id for vehicle in wave}
@@ -755,10 +835,15 @@ class Campaign:
             vehicle.restore_state(states[vehicle.vehicle_id])
         seeded = self._copy_result(checkpoint.result)
         result.waves = seeded.waves
-        # Cache counters are deliberately not carried over: they describe
-        # one process's cache traffic and the resumed run reports its own.
+        # Executed waves' shard telemetry is carried over so a resumed
+        # campaign's telemetry covers the same waves an uninterrupted run's
+        # would; the resumed waves append their own rows.  Cache counters
+        # are deliberately not carried over: they describe one process's
+        # cache traffic and the resumed run reports its own.
+        result.shard_telemetry = seeded.shard_telemetry
         for attribute in ("admitted", "rejected", "deviating", "refined",
-                          "rolled_back"):
+                          "rolled_back", "undelivered", "retried",
+                          "abandoned", "discounted"):
             setattr(result, attribute, getattr(seeded, attribute))
         return checkpoint.next_wave
 
@@ -797,6 +882,12 @@ class Campaign:
         plan = plan_waves(self.vehicles, self.policy)
         start_wave = 0
         if resume_from is not None:
+            if self.adversity is not None:
+                raise CampaignError(
+                    "resume_from cannot be combined with an adversity "
+                    "model: delivery-perturbed staging (carried and "
+                    "straggler waves) cannot be validated against the "
+                    "static wave plan a checkpoint records")
             start_wave = self._restore_checkpoint(resume_from, plan, result)
         if self.analysis_cache is not None and self.cache_path is not None:
             # Warm-start this run from the previous run's snapshot.
@@ -851,12 +942,63 @@ class Campaign:
             finally:
                 shard_module._FORK_SEED = None
         try:
-            for wave_index, (kind, wave) in enumerate(plan):
+            #: Vehicles whose delivery failed, carried into the next wave as
+            #: ``(vehicle, failed_attempts)``; once the planned rollout is
+            #: exhausted, remaining carry runs in extra ``straggler`` waves.
+            carry: List[Tuple[FleetVehicle, int]] = []
+            wave_index = 0
+            stalled_waves = 0
+            while wave_index < len(plan) or carry:
+                if wave_index < len(plan):
+                    kind, planned = plan[wave_index]
+                else:
+                    kind, planned = "straggler", []
                 if wave_index < start_wave:
+                    wave_index += 1
                     continue
+                staged = [vehicle for vehicle, _ in carry] + list(planned)
+                attempts = {vehicle.vehicle_id: tries
+                            for vehicle, tries in carry}
                 record = WaveRecord(index=wave_index, kind=kind,
-                                    vehicle_ids=[v.vehicle_id for v in wave])
-                requests = [self.update_factory(vehicle) for vehicle in wave]
+                                    vehicle_ids=[v.vehicle_id
+                                                 for v in staged])
+                record.retried = len(carry)
+                carry = []
+                wave: List[FleetVehicle] = staged
+                if self.adversity is not None:
+                    self.adversity.begin_wave(wave_index, staged)
+                    wave = []
+                    for vehicle in staged:
+                        attempt = attempts.get(vehicle.vehicle_id, 0)
+                        if self.adversity.deliver(vehicle, wave_index,
+                                                  attempt):
+                            wave.append(vehicle)
+                        elif self.adversity.abandon(vehicle, attempt + 1):
+                            record.abandoned += 1
+                        else:
+                            carry.append((vehicle, attempt + 1))
+                    record.undelivered = record.size - len(wave)
+                    # A custom model that neither delivers nor abandons
+                    # would loop forever on straggler waves; attempts grow
+                    # strictly each round, so any sane retry budget
+                    # terminates — guard against the insane ones.
+                    if kind == "straggler" and not wave \
+                            and record.abandoned == 0:
+                        stalled_waves += 1
+                        if stalled_waves > 1000:
+                            raise CampaignError(
+                                "adversity model stalled the campaign: "
+                                "1000 consecutive straggler waves without "
+                                "a delivery or an abandonment")
+                    else:
+                        stalled_waves = 0
+                requests = []
+                for vehicle in wave:
+                    request = self.update_factory(vehicle)
+                    if self.adversity is not None:
+                        request = self.adversity.transform_request(
+                            vehicle, request, wave_index)
+                    requests.append(request)
                 keys: List[Optional[Tuple]] = [None] * len(requests)
                 rep_positions: List[int] = []
                 if self.batch_admission:
@@ -905,7 +1047,13 @@ class Campaign:
                         record.rejected += 1
                 for vehicle, request, _ in admitted:
                     self._feedback(vehicle, request, wave_index, record)
-                halt = self.policy.halts(record.failures, record.size)
+                # The halt decision judges the vehicles that actually ran
+                # the update (delivered, not staged) and ignores failures
+                # the feedback grader attributed to suspected-compromised
+                # senders; on an unperturbed campaign both terms reduce to
+                # the classic failures-over-size comparison.
+                halt = self.policy.halts(record.effective_failures,
+                                         record.delivered)
                 if halt and self.policy.rollback_on_halt:
                     self._rollback_wave([(vehicle, snapshot)
                                          for vehicle, _, snapshot in admitted],
@@ -916,14 +1064,20 @@ class Campaign:
                 result.deviating += record.deviating
                 result.refined += record.refined
                 result.rolled_back += record.rolled_back
+                result.undelivered += record.undelivered
+                result.retried += record.retried
+                result.abandoned += record.abandoned
+                result.discounted += record.discounted
                 if halt:
                     result.halted = True
                     result.halted_wave = wave_index
-                    self.last_checkpoint = self._build_checkpoint(
-                        wave_index, result, wave, pre_wave)
-                    if self.checkpoint_path is not None:
-                        self.last_checkpoint.save(self.checkpoint_path)
+                    if self.adversity is None:
+                        self.last_checkpoint = self._build_checkpoint(
+                            wave_index, result, wave, pre_wave)
+                        if self.checkpoint_path is not None:
+                            self.last_checkpoint.save(self.checkpoint_path)
                     break
+                wave_index += 1
         finally:
             if pool is not None:
                 pool.close()

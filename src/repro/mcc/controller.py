@@ -9,7 +9,7 @@ monitors to refine its models or trigger self-reconfiguration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.cache import AnalysisCache
@@ -255,10 +255,20 @@ class MultiChangeController:
                 source=f"{contract.component}.task", metric="execution_time",
                 nominal=timing.wcet, tolerance=0.1, layer="platform"))
 
-    def configure_deviation_detector(self, registry: MetricRegistry) -> DeviationDetector:
-        """Build a deviation detector loaded with the current expectations."""
+    def configure_deviation_detector(self, registry: MetricRegistry,
+                                     two_sided: bool = False) -> DeviationDetector:
+        """Build a deviation detector loaded with the current expectations.
+
+        With ``two_sided=True`` every expectation is converted to a two-sided
+        tolerance band (without mutating the stored expectations): a value
+        collapsing *below* the band is then flagged too, which closes the
+        under-reporting channel a compromised vehicle would otherwise use to
+        hide failures behind an implausibly small execution time.
+        """
         detector = DeviationDetector(registry)
         for expectation in self.expectations:
+            if two_sided and not expectation.two_sided:
+                expectation = replace(expectation, two_sided=True)
             detector.expect(expectation)
         return detector
 

@@ -34,17 +34,32 @@ class ExpectedBehaviour:
     anomaly_type: AnomalyType = AnomalyType.VALUE_OUT_OF_RANGE
     layer: str = "platform"
     higher_is_worse: bool = True
+    two_sided: bool = False
 
     def __post_init__(self) -> None:
         if self.tolerance < 0:
             raise ValueError("tolerance must be non-negative")
 
+    def margin(self) -> float:
+        """Half-width of the tolerance band.
+
+        For ``nominal == 0`` the relative margin degenerates to zero, so the
+        tolerance is interpreted as an absolute band half-width instead —
+        zero-nominal expectations (idle queues, error counters) keep a
+        meaningful band rather than alarming on any non-zero sample.
+        """
+        if self.nominal:
+            return abs(self.nominal) * self.tolerance
+        return self.tolerance
+
     def bounds(self) -> Tuple[float, float]:
-        margin = abs(self.nominal) * self.tolerance
+        margin = self.margin()
         return (self.nominal - margin, self.nominal + margin)
 
     def violated_by(self, value: float) -> bool:
         low, high = self.bounds()
+        if self.two_sided:
+            return value > high or value < low
         if self.higher_is_worse:
             return value > high
         return value < low
@@ -75,9 +90,8 @@ class DeviationDetector:
 
     def _anomaly_for(self, expectation: ExpectedBehaviour, metric: str,
                      value: float, time: float) -> Anomaly:
-        relative = (abs(value - expectation.nominal) / abs(expectation.nominal)
-                    if expectation.nominal else float("inf"))
-        severity = (AnomalySeverity.CRITICAL if relative > 2 * expectation.tolerance
+        distance = abs(value - expectation.nominal)
+        severity = (AnomalySeverity.CRITICAL if distance > 2 * expectation.margin()
                     else AnomalySeverity.WARNING)
         return Anomaly(
             anomaly_type=expectation.anomaly_type, subject=expectation.source,
@@ -131,11 +145,17 @@ class DeviationDetector:
             if series is None or len(series) < min_samples:
                 continue
             summary = series.summary()
-            if expectation.nominal == 0:
-                continue
-            drift = abs(summary.mean - expectation.nominal) / abs(expectation.nominal)
-            violated = expectation.violated_by(summary.maximum if expectation.higher_is_worse
-                                               else summary.minimum)
+            scale = abs(expectation.nominal) or expectation.margin()
+            delta = abs(summary.mean - expectation.nominal)
+            drift = delta / scale if scale else (float("inf") if delta else 0.0)
+            if expectation.two_sided:
+                extreme = max(abs(summary.maximum - expectation.nominal),
+                              abs(summary.minimum - expectation.nominal))
+                violated = extreme > expectation.margin()
+            else:
+                violated = expectation.violated_by(
+                    summary.maximum if expectation.higher_is_worse
+                    else summary.minimum)
             if drift > drift_threshold and not violated:
                 suggestions[key] = summary.mean
         return suggestions

@@ -12,6 +12,14 @@ from repro.scenarios.weather_routing import WeatherRoutingResult, run_weather_ro
 from repro.scenarios.infield_update import InFieldUpdateResult, run_infield_update_scenario
 from repro.scenarios.fleet_campaign import FleetCampaignResult, run_fleet_campaign_scenario
 from repro.scenarios.distributed_e2e import DistributedE2EResult, run_distributed_e2e_scenario
+from repro.scenarios.adversity_campaigns import (
+    IntrusionCampaignResult,
+    LossyOtaCampaignResult,
+    ThermalCampaignResult,
+    run_intrusion_campaign_scenario,
+    run_lossy_ota_campaign_scenario,
+    run_thermal_campaign_scenario,
+)
 
 __all__ = [
     "IntrusionScenarioResult",
@@ -29,4 +37,10 @@ __all__ = [
     "run_fleet_campaign_scenario",
     "DistributedE2EResult",
     "run_distributed_e2e_scenario",
+    "IntrusionCampaignResult",
+    "LossyOtaCampaignResult",
+    "ThermalCampaignResult",
+    "run_intrusion_campaign_scenario",
+    "run_lossy_ota_campaign_scenario",
+    "run_thermal_campaign_scenario",
 ]

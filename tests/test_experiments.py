@@ -27,13 +27,15 @@ from repro.sim.random import derive_seed
 
 
 class TestRegistry:
-    """The scenario registry wraps all seven scenarios uniformly."""
+    """The scenario registry wraps all ten scenarios uniformly."""
 
-    def test_all_seven_scenarios_registered(self):
+    def test_all_ten_scenarios_registered(self):
         assert SCENARIOS.names() == ["distributed_e2e_update",
                                      "fleet_update_campaign", "fog_platooning",
-                                     "infield_update", "intrusion", "thermal",
-                                     "weather_routing"]
+                                     "infield_update", "intrusion",
+                                     "intrusion_campaign",
+                                     "lossy_ota_campaign", "thermal",
+                                     "thermal_campaign", "weather_routing"]
 
     def test_unknown_scenario_raises(self):
         with pytest.raises(ScenarioError, match="unknown scenario"):

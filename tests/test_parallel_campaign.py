@@ -588,7 +588,9 @@ class TestShardTelemetry:
         assert campaign._cost_model
         assert all(cost >= 0.0 for cost in campaign._cost_model.values())
 
-    def test_checkpoint_resume_excludes_prior_telemetry(self, tmp_path):
+    def test_checkpoint_keeps_executed_waves_telemetry(self, tmp_path):
+        """The checkpoint persists the telemetry of the waves it aggregates
+        (the halting wave's rows are dropped — it re-runs on resume)."""
         policy = WavePolicy(canary_size=2, wave_fractions=(0.4, 1.0),
                             max_failure_rate=0.1)
         checkpoint_path = os.path.join(tmp_path, "c.ckpt")
@@ -597,7 +599,46 @@ class TestShardTelemetry:
             checkpoint_path=checkpoint_path)
         assert halted.halted
         checkpoint = CampaignCheckpoint.load(checkpoint_path)
-        assert checkpoint.result.shard_telemetry == []
+        persisted = {row["wave"] for row in checkpoint.result.shard_telemetry}
+        executed = {record.index for record in checkpoint.result.waves}
+        assert persisted  # pre-halt pooled waves came with telemetry
+        assert persisted <= executed
+        assert halted.halted_wave not in persisted
+
+    def test_resumed_telemetry_covers_all_pooled_waves(self, tmp_path):
+        """Regression: a resumed campaign's telemetry must cover the same
+        waves an uninterrupted run's does — pre-halt rows used to be
+        silently dropped from the checkpoint."""
+        policy = WavePolicy(canary_size=2, wave_fractions=(0.4, 1.0),
+                            max_failure_rate=0.1)
+        checkpoint_path = os.path.join(tmp_path, "c.ckpt")
+        fleet, campaign, halted = run_campaign(
+            18, seed=1, workers=3, failure_rate=0.4, policy=policy,
+            checkpoint_path=checkpoint_path)
+        assert halted.halted
+        checkpoint = CampaignCheckpoint.load(checkpoint_path)
+        for vehicle in fleet:
+            vehicle.restore_state(
+                {s.vehicle_id: s for s in checkpoint.vehicle_states}
+                [vehicle.vehicle_id])
+        remediated = Campaign(fleet, make_factory(),
+                              policy=WavePolicy(canary_size=2,
+                                                wave_fractions=(0.4, 1.0),
+                                                max_failure_rate=1.0),
+                              analysis_cache=AnalysisCache(), workers=3,
+                              failure_injection_rate=0.4, feedback_seed=1)
+        resumed = remediated.run(resume_from=checkpoint)
+        assert resumed.completed
+        # An uninterrupted run at the tolerant threshold covers the same
+        # fleet and staging; its telemetry wave coverage is the reference.
+        _, _, uninterrupted = run_campaign(
+            18, seed=1, workers=3, failure_rate=0.4,
+            policy=WavePolicy(canary_size=2, wave_fractions=(0.4, 1.0),
+                              max_failure_rate=1.0))
+        resumed_waves = {row["wave"] for row in resumed.shard_telemetry}
+        reference_waves = {row["wave"]
+                           for row in uninterrupted.shard_telemetry}
+        assert resumed_waves == reference_waves
 
 
 class TestPersistentCache:

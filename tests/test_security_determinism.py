@@ -1,0 +1,218 @@
+"""Determinism of the security primitives the adversity layer builds on.
+
+The E14 feedback grading replays monitor reports through the
+:class:`~repro.security.ids.IntrusionDetectionSystem` and the E5 scenario
+drives declarative attacks through the :class:`AttackInjector`; both must be
+pure functions of their inputs.  Seeded hypothesis harnesses pin
+
+* the **emission order** of ``AttackInjector.frames_at``/``calls_at``
+  (attack-insertion order, each attack cycling its identifier/peer list)
+  against an independently computed expectation, and
+* the IDS **rate-window alert times** and ``detection_time`` against an
+  independent sliding-window reference.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security.attacks import (AttackInjector, ComponentCompromiseAttack,
+                                    FloodingAttack, MessageInjectionAttack)
+from repro.security.ids import IdsRule, IntrusionDetectionSystem
+from repro.sim.random import SeededRNG, derive_seed
+
+
+def build_injection_attacks(seed, count):
+    """A seeded mix of frame-emitting attacks (deterministic in ``seed``)."""
+    attacks = []
+    for index in range(count):
+        rng = SeededRNG(derive_seed(seed, "attack", index))
+        start = rng.uniform(0.0, 5.0)
+        duration = rng.uniform(1.0, 10.0)
+        if rng.uniform() < 0.5:
+            ids = tuple(0x100 + rng.integer(0, 64) for _ in range(
+                1 + rng.integer(0, 3)))
+            attacks.append(MessageInjectionAttack(
+                name=f"inject{index}", compromised_component=f"comp{index}",
+                start_time=start, duration=duration, spoofed_ids=ids,
+                frames_per_cycle=1 + rng.integer(0, 5)))
+        else:
+            attacks.append(FloodingAttack(
+                name=f"flood{index}", compromised_component=f"comp{index}",
+                start_time=start, duration=duration,
+                can_id=0x010 + rng.integer(0, 8),
+                frames_per_cycle=1 + rng.integer(0, 20)))
+    return attacks
+
+
+class TestAttackInjectorOrdering:
+    """Emission order is attack-insertion order with per-attack cycling —
+    never a function of dict/set iteration or timing."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           count=st.integers(min_value=1, max_value=6),
+           probe=st.floats(min_value=0.0, max_value=16.0,
+                           allow_nan=False, allow_infinity=False))
+    def test_frames_at_matches_insertion_order_reference(self, seed, count,
+                                                         probe):
+        attacks = build_injection_attacks(seed, count)
+        injector = AttackInjector()
+        for attack in attacks:
+            injector.add(attack)
+
+        expected = []
+        for attack in attacks:  # the reference: insertion order...
+            if not attack.start_time <= probe < attack.start_time + attack.duration:
+                continue
+            if isinstance(attack, MessageInjectionAttack):
+                for position in range(attack.frames_per_cycle):
+                    # ...each attack cycling its own spoofed-id list.
+                    expected.append((attack.spoofed_ids[
+                        position % len(attack.spoofed_ids)],
+                        attack.compromised_component))
+            else:
+                expected.extend([(attack.can_id, attack.compromised_component)]
+                                * attack.frames_per_cycle)
+
+        frames = injector.frames_at(probe)
+        assert [(frame.can_id, frame.source) for frame in frames] == expected
+        assert injector.injected_frames == len(expected)
+        # The probe is side-effect-free apart from the counter: asking again
+        # yields the identical sequence.
+        assert [(frame.can_id, frame.source)
+                for frame in injector.frames_at(probe)] == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           count=st.integers(min_value=1, max_value=5),
+           probe=st.floats(min_value=0.0, max_value=16.0,
+                           allow_nan=False, allow_infinity=False))
+    def test_calls_at_cycles_target_peers_in_order(self, seed, count, probe):
+        attacks = []
+        for index in range(count):
+            rng = SeededRNG(derive_seed(seed, "lateral", index))
+            peers = tuple(f"svc{rng.integer(0, 9)}"
+                          for _ in range(1 + rng.integer(0, 3)))
+            attacks.append(ComponentCompromiseAttack(
+                name=f"move{index}", compromised_component=f"comp{index}",
+                start_time=rng.uniform(0.0, 5.0),
+                duration=rng.uniform(1.0, 10.0), target_peers=peers,
+                calls_per_cycle=1 + rng.integer(0, 5)))
+        injector = AttackInjector()
+        for attack in attacks:
+            injector.add(attack)
+
+        expected = []
+        for attack in attacks:
+            if not attack.active_at(probe):
+                continue
+            for position in range(attack.calls_per_cycle):
+                expected.append((attack.compromised_component,
+                                 attack.target_peers[
+                                     position % len(attack.target_peers)]))
+
+        assert injector.calls_at(probe) == expected
+        assert injector.injected_calls == len(expected)
+
+    def test_insertion_order_not_start_time_order(self):
+        """Two attacks active at once emit in the order they were added,
+        even when the later-added one starts earlier."""
+        late = MessageInjectionAttack(name="late", compromised_component="b",
+                                      start_time=2.0, spoofed_ids=(0x222,))
+        early = MessageInjectionAttack(name="early", compromised_component="a",
+                                       start_time=0.0, spoofed_ids=(0x111,))
+        injector = AttackInjector()
+        injector.add(late)
+        injector.add(early)
+        assert [frame.can_id for frame in injector.frames_at(3.0)] \
+            == [0x222, 0x111]
+
+
+def reference_rate_alerts(times, window_s, max_rate_hz):
+    """Independent sliding-window model of the IDS rate rule: the alert
+    times are the observations whose trailing ``window_s`` population
+    exceeds ``max_rate_hz * window_s``."""
+    window = []
+    alerts = []
+    for time in times:
+        window.append(time)
+        window = [t for t in window if not t < time - window_s]
+        if len(window) / window_s > max_rate_hz:
+            alerts.append(time)
+    return alerts
+
+
+class TestIdsRateWindowDeterminism:
+    """Alert times and detection time are a pure function of the observed
+    timestamps — pinned against the independent reference."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           count=st.integers(min_value=1, max_value=40),
+           max_rate_hz=st.sampled_from([1.0, 2.0, 5.0]),
+           threshold=st.integers(min_value=1, max_value=4))
+    def test_alert_times_match_reference(self, seed, count, max_rate_hz,
+                                         threshold):
+        rng = SeededRNG(derive_seed(seed, "ids-times"))
+        times, clock = [], 0.0
+        for _ in range(count):
+            clock += rng.uniform(0.01, 1.5)
+            times.append(clock)
+
+        ids = IntrusionDetectionSystem(suspicion_threshold=threshold)
+        ids.add_rule(IdsRule(sender="monitor-a",
+                             allowed_peers={"backend"},
+                             max_rate_hz=max_rate_hz))
+        for time in times:
+            ids.observe_service_call(time, "monitor-a", "backend")
+
+        expected = reference_rate_alerts(times, ids.rate_window_s,
+                                         max_rate_hz)
+        assert [alert.time for alert in ids.alert_history] == expected
+        assert ids.violations_of("monitor-a") == len(expected)
+        assert ids.is_suspected("monitor-a") == (len(expected) >= threshold)
+        if expected:
+            assert ids.first_alert_time("monitor-a") == expected[0]
+        if len(expected) >= threshold:
+            assert ids.detection_time("monitor-a") \
+                == expected[threshold - 1]
+        else:
+            assert ids.detection_time("monitor-a") is None
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_replaying_the_same_times_is_idempotent_across_instances(self,
+                                                                     seed):
+        rng = SeededRNG(seed)
+        times, clock = [], 0.0
+        for _ in range(25):
+            clock += rng.uniform(0.01, 0.6)
+            times.append(clock)
+
+        def run():
+            ids = IntrusionDetectionSystem(suspicion_threshold=3)
+            ids.add_rule(IdsRule(sender="s", max_rate_hz=2.0))
+            for time in times:
+                ids.observe_can_frame(time, "s", 0x10)
+            return ([(a.time, a.reason) for a in ids.alert_history],
+                    ids.detection_time("s"), ids.suspected_compromised())
+
+        assert run() == run()
+
+    def test_burst_detection_time_is_the_threshold_crossing_alert(self):
+        """The exact shape the E14 grader relies on: a burst of six reports
+        spaced ``window/(4*6)`` apart trips the 2 Hz rule on the third
+        report and crosses a threshold of 3 on the fifth."""
+        ids = IntrusionDetectionSystem(suspicion_threshold=3)
+        ids.add_rule(IdsRule(sender="forger", allowed_peers={"backend"},
+                             max_rate_hz=2.0))
+        spacing = ids.rate_window_s / 24.0
+        times = [10.0 + copy * spacing for copy in range(6)]
+        for time in times:
+            ids.observe_service_call(time, "forger", "backend")
+        assert [alert.time for alert in ids.alert_history] == times[2:]
+        assert ids.first_alert_time("forger") == times[2]
+        assert ids.detection_time("forger") == times[4]
+        assert ids.is_suspected("forger")
