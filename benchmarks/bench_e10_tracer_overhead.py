@@ -1,0 +1,133 @@
+"""E10 companion: tracer overhead on a staged fleet campaign.
+
+The observability layer promises *zero overhead when disabled* and a
+negligible cost when enabled (docs/OBSERVABILITY.md): every
+instrumentation site is a plain ``if tracer is not None`` guard, and an
+enabled tracer only appends dicts to a list until one file write at run
+end.  This benchmark pins both claims on an E10-style campaign:
+
+* enabled-tracer wall time must stay within 5% of the untraced run —
+  the arms are interleaved sample by sample (untraced, traced,
+  untraced again, ...) and each arm takes its minimum, so slow machine
+  drift on a loaded CI runner hits all arms equally instead of biasing
+  whichever arm ran last;
+* the bound is taken against the *slower* of the two untraced arms:
+  their spread is the run-to-run noise floor, and recording it shows
+  the disabled guard itself is unmeasurable against that noise;
+* traced and untraced campaigns must produce identical verdicts.
+
+The measured ratios land in ``BENCH_e10_tracer_overhead.json`` so the
+trajectory is diffable across PRs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from conftest import print_table, quick_mode, write_bench_record
+from repro.analysis.cache import AnalysisCache
+from repro.fleet.campaign import Campaign, CampaignResult
+from repro.fleet.vehicle import FleetSpec, generate_fleet
+from repro.mcc.configuration import ChangeKind, ChangeRequest
+from repro.observability import CampaignTracer
+from repro.scenarios.fleet_campaign import build_update_contract
+
+# Overhead bound for the enabled tracer, as a fraction of untraced wall
+# time.  docs/OBSERVABILITY.md quotes this number.
+MAX_ENABLED_OVERHEAD = 0.05
+
+
+def _run_campaign(fleet_size: int, num_variants: int,
+                  tracer: Optional[CampaignTracer]) -> CampaignResult:
+    """Build a fresh fleet and run one batched campaign (admission only)."""
+    spec = FleetSpec(size=fleet_size, seed=0, num_variants=num_variants)
+    cache = AnalysisCache()
+    fleet = generate_fleet(spec, analysis_cache=cache)
+    contracts: Dict[int, object] = {}
+
+    def factory(vehicle):
+        contract = contracts.get(vehicle.variant.index)
+        if contract is None:
+            contract = build_update_contract(vehicle.wcet_factor)
+            contracts[vehicle.variant.index] = contract
+        return ChangeRequest(kind=ChangeKind.ADD_COMPONENT,
+                             component=contract.component, contract=contract)
+
+    campaign = Campaign(fleet, factory, analysis_cache=cache,
+                        batch_admission=True, tracer=tracer)
+    return campaign.run()
+
+
+def _digest(result: CampaignResult) -> Tuple:
+    return (result.admitted, result.rejected, result.deviating,
+            result.rolled_back, result.halted, result.halted_wave,
+            [record.to_dict() for record in result.waves])
+
+
+def _timed(fn) -> Tuple[float, CampaignResult]:
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+@pytest.mark.benchmark(group="e10-fleet")
+def test_e10_tracer_overhead(benchmark, tmp_path):
+    """An enabled tracer costs < 5% wall time; a disabled one is noise."""
+    quick = quick_mode()
+    fleet_size = 16 if quick else 50
+    num_variants = 4 if quick else 8
+    samples = 9 if quick else 5
+    trace_path = tmp_path / "overhead_trace.jsonl"
+
+    def untraced():
+        return _run_campaign(fleet_size, num_variants, None)
+
+    def traced():
+        return _run_campaign(
+            fleet_size, num_variants,
+            CampaignTracer(path=str(trace_path), keep_events=False))
+
+    untraced()  # warm caches/imports before any timed sample
+    arm_a, arm_t, arm_b = [], [], []
+    untraced_result = traced_result = None
+    for _ in range(samples):
+        elapsed, untraced_result = _timed(untraced)
+        arm_a.append(elapsed)
+        elapsed, traced_result = _timed(traced)
+        arm_t.append(elapsed)
+        arm_b.append(_timed(untraced)[0])
+    untraced_s, traced_s = min(arm_a), min(arm_t)
+    untraced_again_s = min(arm_b)
+    benchmark(lambda: _run_campaign(fleet_size, num_variants, None))
+
+    # Read-only contract: tracing never changes the verdicts.
+    assert _digest(traced_result) == _digest(untraced_result)
+    assert trace_path.exists() and os.path.getsize(trace_path) > 0
+
+    # The spread between the two untraced arms is the noise floor; the
+    # slower arm is the fair baseline (both arms are legitimate min-of-N
+    # untraced measurements, so crediting the tracer against the faster
+    # one would charge measurement noise to the tracer).
+    baseline_s = max(untraced_s, untraced_again_s)
+    overhead = traced_s / baseline_s - 1.0 if baseline_s > 0 else 0.0
+    noise = abs(untraced_again_s / untraced_s - 1.0) if untraced_s > 0 else 0.0
+    row = {
+        "fleet_size": fleet_size,
+        "num_variants": num_variants,
+        "untraced_s": untraced_s,
+        "untraced_again_s": untraced_again_s,
+        "traced_s": traced_s,
+        "overhead_frac": overhead,
+        "noise_frac": noise,
+        "trace_bytes": os.path.getsize(trace_path),
+        "within_noise": overhead <= noise,
+    }
+    print_table(
+        "E10: tracer overhead (bound: < "
+        f"{MAX_ENABLED_OVERHEAD:.0%} enabled; disabled unmeasurable)", [row])
+    write_bench_record("e10_tracer_overhead", row)
+    assert overhead < MAX_ENABLED_OVERHEAD

@@ -126,6 +126,13 @@ class AnalysisCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Optional :class:`~repro.observability.tracer.CampaignTracer` this
+        #: cache reports lookup/merge/snapshot events into (set by the
+        #: campaign engine when tracing is on).  Pure observation — never
+        #: consulted for any decision — and deliberately not pickled:
+        #: :meth:`__getstate__` ships capacity only, so a cache arriving in
+        #: a shard worker never drags a parent-process tracer along.
+        self.tracer = None
 
     @property
     def batch_kernel(self) -> bool:
@@ -166,8 +173,12 @@ class AnalysisCache:
         if cached is not None:
             self.hits += 1
             self._store.move_to_end(key)
+            if self.tracer is not None:
+                self.tracer.emit("cache.analyse", hit=True, tasks=len(taskset))
             return dict(cached)
         self.misses += 1
+        if self.tracer is not None:
+            self.tracer.emit("cache.analyse", hit=False, tasks=len(taskset))
         results = self.engine.analyse(taskset, speed_factor=speed_factor,
                                       event_models=event_models)
         if len(self._store) >= self.max_entries:
@@ -190,6 +201,7 @@ class AnalysisCache:
         identical to per-task-set :meth:`analyse` calls in the same order.
         """
         ordered = list(tasksets)
+        hits_before, misses_before = self.hits, self.misses
         keys = [taskset_key(taskset, speed_factor, event_models)
                 for taskset in ordered]
         results: List[Optional[Dict[str, ResponseTimeResult]]] = [None] * len(ordered)
@@ -224,6 +236,10 @@ class AnalysisCache:
         for position, value in enumerate(results):
             if isinstance(value, int):
                 results[position] = dict(results[value])
+        if self.tracer is not None:
+            self.tracer.emit("cache.analyse_many", requested=len(ordered),
+                             hits=self.hits - hits_before,
+                             misses=self.misses - misses_before)
         return results  # type: ignore[return-value]
 
     def schedulable(self, taskset: TaskSet, speed_factor: float = 1.0,
@@ -285,6 +301,8 @@ class AnalysisCache:
                 self.evictions += 1
             self._store[key] = dict(results)
             inserted += 1
+        if self.tracer is not None:
+            self.tracer.emit("cache.merge", absorbed=inserted)
         return inserted
 
     def save_snapshot(self, path: str) -> int:

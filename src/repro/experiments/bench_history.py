@@ -93,6 +93,47 @@ def record_mode(document: Dict[str, Any]) -> str:
     return "quick" if document.get("quick_mode") else "full"
 
 
+def bench_trajectory(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Machine-readable headline trajectory, grouped by ``(bench, mode)``.
+
+    The table printed by ``bench-history`` is for humans; this document
+    (written by ``bench-history --json``) is for tooling — the fleet
+    dashboard's speedup-trajectory chart and any external tracker.  One
+    series per benchmark-and-fidelity pair, so quick smoke numbers never
+    blend into a full-fidelity trend; points are ordered by ``created_utc``
+    (records carry UTC ISO timestamps, which sort lexicographically).
+    Records without a numeric headline metric contribute no point but are
+    still listed under ``"unplotted"`` so a trajectory consumer can tell
+    "no data" from "dropped data".
+    """
+    series: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    unplotted: List[str] = []
+    for document in records:
+        name, mode = str(document["name"]), record_mode(document)
+        payload = document["payload"]
+        headline = next(
+            (key for key in HEADLINE_KEYS
+             if isinstance(payload.get(key), (int, float))
+             and not isinstance(payload.get(key), bool)), None)
+        if headline is None:
+            unplotted.append(f"{name}[{mode}]")
+            continue
+        entry = series.setdefault((name, mode),
+                                  {"bench": name, "mode": mode, "points": []})
+        entry["points"].append({
+            "created_utc": str(document.get("created_utc", "")),
+            "metric": headline,
+            "value": float(payload[headline]),
+        })
+    for entry in series.values():
+        entry["points"].sort(key=lambda point: point["created_utc"])
+    return {
+        "schema": 1,
+        "series": [series[key] for key in sorted(series)],
+        "unplotted": sorted(unplotted),
+    }
+
+
 def compare_bench_records(current: List[Dict[str, Any]],
                           baseline: List[Dict[str, Any]],
                           tolerance: float = 0.3) -> List[Dict[str, Any]]:
@@ -136,5 +177,5 @@ def compare_bench_records(current: List[Dict[str, Any]],
     return regressions
 
 
-__all__ = ["HEADLINE_KEYS", "bench_history_rows", "compare_bench_records",
-           "load_bench_records", "record_mode"]
+__all__ = ["HEADLINE_KEYS", "bench_history_rows", "bench_trajectory",
+           "compare_bench_records", "load_bench_records", "record_mode"]

@@ -18,7 +18,12 @@ Commands
     :class:`~repro.analysis.cache.AnalysisCache`).
 ``bench-history``
     Tabulate the machine-readable ``BENCH_*.json`` records the benchmark
-    suite writes (speedups, wall times, counters) across runs.
+    suite writes (speedups, wall times, counters) across runs; ``--json``
+    additionally writes the headline trajectory as a JSON document.
+``report``
+    Render the static HTML fleet dashboard from campaign result files
+    (``run --output``), tracer JSONL files and the benchmark records —
+    self-contained, offline, zero third-party dependencies.
 """
 
 from __future__ import annotations
@@ -218,6 +223,7 @@ def _cmd_cache_bench(args: argparse.Namespace) -> int:
 
 def _cmd_bench_history(args: argparse.Namespace) -> int:
     from repro.experiments.bench_history import (bench_history_rows,
+                                                 bench_trajectory,
                                                  compare_bench_records,
                                                  load_bench_records)
 
@@ -228,6 +234,13 @@ def _cmd_bench_history(args: argparse.Namespace) -> int:
     records, skipped = load_bench_records(str(directory))
     for name in skipped:
         print(f"warning: skipping unparseable record {name}", file=sys.stderr)
+    if args.json is not None:
+        # Written even when empty: a trajectory consumer prefers an explicit
+        # zero-series document over a missing file.
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(bench_trajectory(records), handle, sort_keys=True,
+                      indent=2)
+        print(f"trajectory written to {args.json}")
     if not records:
         print(f"no BENCH_*.json records under {directory}")
         return 0
@@ -257,6 +270,46 @@ def _cmd_bench_history(args: argparse.Namespace) -> int:
         else:
             print(f"no headline regressions vs {baseline_dir} "
                   f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.bench_history import load_bench_records
+    from repro.observability.dashboard import (flatten_result_documents,
+                                               render_dashboard)
+    from repro.observability.tracer import TraceError, load_trace
+
+    run_records: List[Dict[str, Any]] = []
+    for path in args.results or []:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read results {path}: {exc}", file=sys.stderr)
+            return 2
+        run_records.extend(flatten_result_documents([document]))
+    trace: List[Dict[str, Any]] = []
+    for path in args.trace or []:
+        try:
+            trace.extend(load_trace(path))
+        except TraceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    bench_records: List[Dict[str, Any]] = []
+    bench_dir = Path(args.bench_dir)
+    if bench_dir.is_dir():
+        bench_records, skipped = load_bench_records(str(bench_dir))
+        for name in skipped:
+            print(f"warning: skipping unparseable record {name}",
+                  file=sys.stderr)
+    page = render_dashboard(run_records=run_records, trace=trace,
+                            bench_records=bench_records, title=args.title)
+    output = Path(args.output)
+    if output.parent != Path(""):
+        output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(page, encoding="utf-8")
+    print(f"dashboard written to {output} ({len(run_records)} run records, "
+          f"{len(trace)} trace events, {len(bench_records)} bench records)")
     return 0
 
 
@@ -312,6 +365,29 @@ def build_parser() -> argparse.ArgumentParser:
     history_parser.add_argument("--tolerance", type=float, default=0.3,
                                 help="relative headline drop tolerated by "
                                      "--fail-on-regression (default 0.3)")
+    history_parser.add_argument("--json", default=None, metavar="PATH",
+                                help="write the machine-readable headline "
+                                     "trajectory (grouped by benchmark and "
+                                     "fidelity mode) to this JSON file")
+
+    report_parser = commands.add_parser(
+        "report", help="render the static HTML fleet dashboard")
+    report_parser.add_argument("--results", action="append", default=None,
+                               metavar="FILE",
+                               help="campaign result file from `run --output` "
+                                    "(repeatable)")
+    report_parser.add_argument("--trace", action="append", default=None,
+                               metavar="FILE",
+                               help="tracer JSONL file from a traced "
+                                    "campaign (repeatable)")
+    report_parser.add_argument("--bench-dir", default="benchmarks/records",
+                               help="directory holding BENCH_*.json records")
+    report_parser.add_argument("--output", default="fleet_dashboard.html",
+                               help="HTML file to write "
+                                    "(default fleet_dashboard.html)")
+    report_parser.add_argument("--title",
+                               default="Fleet campaign observability",
+                               help="page title of the dashboard")
 
     return parser
 
@@ -321,5 +397,5 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run,
                 "compare": _cmd_compare, "cache-bench": _cmd_cache_bench,
-                "bench-history": _cmd_bench_history}
+                "bench-history": _cmd_bench_history, "report": _cmd_report}
     return handlers[args.command](args)

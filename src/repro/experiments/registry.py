@@ -472,6 +472,13 @@ SCENARIOS.register(Scenario(
                   "append-only segment-store directory shared by parent and "
                   "workers for mid-wave analysis publication",
                   coerce=lambda value: None if value is None else str(value)),
+        Parameter("trace_path", None,
+                  "write a structured JSONL event trace of the rollout to "
+                  "this path (read-only observation; verdicts unchanged)",
+                  coerce=lambda value: None if value is None else str(value)),
+        Parameter("trace_deterministic", False,
+                  "suppress wall-clock trace fields so equal runs write "
+                  "byte-identical traces", coerce=bool),
     ],
     seed_param="seed",
     extract=_extract_fleet_campaign,

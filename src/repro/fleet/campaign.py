@@ -97,6 +97,7 @@ from repro.mcc.configuration import ChangeRequest, IntegrationReport
 from repro.mcc.controller import MccSnapshot
 from repro.monitoring.deviation import DeviationDetector
 from repro.monitoring.metrics import MetricRegistry
+from repro.observability.tracer import CampaignTracer
 from repro.sim.random import SeededRNG, derive_seed
 
 #: Builds the per-vehicle change request of the campaign's update.
@@ -476,6 +477,16 @@ class Campaign:
         campaigns keep the byte-parity guarantee across worker layouts.
         Mutually exclusive with ``resume_from`` — a delivery-perturbed
         staging cannot be validated against the static wave plan.
+    tracer:
+        Optional :class:`~repro.observability.tracer.CampaignTracer`.  When
+        set, the wave loop, the shard executor, the adversity seams and the
+        shared analysis cache report structured events into it (flushed to
+        its JSONL path at run end); see ``docs/OBSERVABILITY.md`` for the
+        event taxonomy.  Tracing is strictly read-only: traced campaigns
+        produce field-for-field identical results to untraced ones at any
+        worker count, and ``tracer=None`` (the default) leaves every
+        instrumentation site a single attribute test — the zero-overhead
+        path.
     """
 
     def __init__(self, vehicles: Sequence[FleetVehicle],
@@ -493,7 +504,8 @@ class Campaign:
                  steal: bool = True,
                  start_method: Optional[str] = None,
                  cache_store: Optional[str] = None,
-                 adversity: Optional[AdversityModel] = None) -> None:
+                 adversity: Optional[AdversityModel] = None,
+                 tracer: Optional[CampaignTracer] = None) -> None:
         if not 0.0 <= failure_injection_rate <= 1.0:
             raise CampaignError("failure_injection_rate must be in [0, 1]")
         if batch_admission and analysis_cache is None:
@@ -536,6 +548,11 @@ class Campaign:
         self.start_method = start_method
         self.cache_store = cache_store
         self.adversity = adversity
+        self.tracer = tracer
+        if tracer is not None and analysis_cache is not None:
+            # The shared cache reports its lookup/merge events into the
+            # same trace (observation only; never pickled into workers).
+            analysis_cache.tracer = tracer
         #: The checkpoint written at the most recent halt (None before).
         self.last_checkpoint: Optional[CampaignCheckpoint] = None
         #: EWMA of measured integration seconds per shard-group label,
@@ -665,8 +682,14 @@ class Campaign:
                                             request=requests[rep_positions[item]])
                                   for item in shard],
                            cache_path=self.cache_path,
-                           store_path=self.cache_store)
+                           store_path=self.cache_store,
+                           trace=self.tracer is not None)
                  for shard_index, shard in enumerate(shards)]
+        if self.tracer is not None:
+            self.tracer.emit("shard.plan", wave=wave_index,
+                             planner=self.shard_planner, steal=self.steal,
+                             shards=len(tasks),
+                             representatives=len(rep_positions))
         if self.steal:
             # Completion-driven dispatch: the pool's shared task queue is
             # the steal target — an idle worker takes the next chunk
@@ -685,7 +708,9 @@ class Campaign:
                 precedents[keys[position]] = (verdict.report, verdict.mapping,
                                               verdict.priorities)
                 self._record_cost(labels[verdict.position], verdict.elapsed_s)
-            result.shard_telemetry.append({
+            # Field set pinned by SHARD_TELEMETRY_SCHEMA (see
+            # repro.fleet.shard) — extend both together.
+            telemetry_row = {
                 "wave": wave_index,
                 "shard": shard_result.shard_index,
                 "items": len(shard_result.verdicts),
@@ -695,7 +720,13 @@ class Campaign:
                 "cache_misses": shard_result.cache_misses,
                 "published_entries": shard_result.published_entries,
                 "absorbed_entries": shard_result.absorbed_entries,
-            })
+            }
+            result.shard_telemetry.append(telemetry_row)
+            if self.tracer is not None:
+                self.tracer.ingest(shard_result.events, wave=wave_index)
+                self.tracer.emit("shard.execute",
+                                 **{key: value for key, value
+                                    in telemetry_row.items()})
 
     def _feedback(self, vehicle: FleetVehicle, request: ChangeRequest,
                   wave_index: int, record: WaveRecord) -> None:
@@ -733,6 +764,10 @@ class Campaign:
         source = f"{request.component}.task"
         anomalies = detector.observe(float(wave_index), source,
                                      "execution_time", observed)
+        if self.tracer is not None:
+            self.tracer.emit("feedback.observe", wave=wave_index,
+                             vehicle=vehicle.vehicle_id, observed=observed,
+                             deviating=bool(anomalies))
         if not anomalies:
             return
         vehicle.deviating = True
@@ -740,6 +775,9 @@ class Campaign:
         if self.adversity is not None and self.adversity.grade_feedback(
                 vehicle, wave_index, len(anomalies)):
             record.discounted += 1
+            if self.tracer is not None:
+                self.tracer.emit("feedback.discount", wave=wave_index,
+                                 vehicle=vehicle.vehicle_id)
             return  # a discounted (suspect) report must not refine the model
         if self.policy.refine_on_deviation:
             refinements = vehicle.mcc.incorporate_observed_wcets({source: observed})
@@ -752,6 +790,9 @@ class Campaign:
             vehicle.updated = False
             vehicle.rolled_back = True
             record.rolled_back += 1
+            if self.tracer is not None:
+                self.tracer.emit("vehicle.rollback", wave=record.index,
+                                 vehicle=vehicle.vehicle_id)
 
     # -- checkpoint/resume -------------------------------------------------
 
@@ -855,7 +896,10 @@ class Campaign:
         assert self._parent_store is not None and self.analysis_cache is not None
         entries = self._parent_store.read_new()
         self._store_keys.update(key for key, _ in entries)
-        return self.analysis_cache.merge_entries(entries)
+        absorbed = self.analysis_cache.merge_entries(entries)
+        if self.tracer is not None:
+            self.tracer.emit("store.absorb", entries=absorbed)
+        return absorbed
 
     def _publish_store(self) -> int:
         """Append the parent cache's not-yet-durable entries to the store."""
@@ -864,6 +908,8 @@ class Campaign:
         if fresh:
             self._parent_store.append(fresh)
             self._store_keys.update(key for key, _ in fresh)
+        if self.tracer is not None:
+            self.tracer.emit("store.publish", entries=len(fresh))
         return len(fresh)
 
     # -- execution ---------------------------------------------------------
@@ -881,6 +927,14 @@ class Campaign:
                                 batched=self.batch_admission)
         plan = plan_waves(self.vehicles, self.policy)
         start_wave = 0
+        if self.tracer is not None:
+            self.tracer.emit("campaign.begin", fleet_size=len(self.vehicles),
+                             waves_planned=len(plan), workers=self.workers,
+                             batched=self.batch_admission,
+                             planner=self.shard_planner, steal=self.steal,
+                             adversity=type(self.adversity).__name__
+                             if self.adversity is not None else None,
+                             resumed=resume_from is not None)
         if resume_from is not None:
             if self.adversity is not None:
                 raise CampaignError(
@@ -891,7 +945,10 @@ class Campaign:
             start_wave = self._restore_checkpoint(resume_from, plan, result)
         if self.analysis_cache is not None and self.cache_path is not None:
             # Warm-start this run from the previous run's snapshot.
-            self.analysis_cache.load_snapshot(self.cache_path, missing_ok=True)
+            loaded = self.analysis_cache.load_snapshot(self.cache_path,
+                                                       missing_ok=True)
+            if self.tracer is not None:
+                self.tracer.emit("cache.snapshot_load", entries=loaded)
             if self.workers > 1:
                 # Refresh the snapshot so spawn-method workers (which cannot
                 # inherit the parent cache at fork) warm-start from the
@@ -964,8 +1021,15 @@ class Campaign:
                                                  for v in staged])
                 record.retried = len(carry)
                 carry = []
+                if self.tracer is not None:
+                    self.tracer.emit("wave.begin", wave=wave_index, kind=kind,
+                                     staged=len(staged),
+                                     retried=record.retried)
                 wave: List[FleetVehicle] = staged
                 if self.adversity is not None:
+                    if self.tracer is not None:
+                        self.tracer.emit("adversity.begin_wave",
+                                         wave=wave_index, staged=len(staged))
                     self.adversity.begin_wave(wave_index, staged)
                     wave = []
                     for vehicle in staged:
@@ -973,10 +1037,19 @@ class Campaign:
                         if self.adversity.deliver(vehicle, wave_index,
                                                   attempt):
                             wave.append(vehicle)
+                            delivery = "delivered"
                         elif self.adversity.abandon(vehicle, attempt + 1):
                             record.abandoned += 1
+                            delivery = "abandoned"
                         else:
                             carry.append((vehicle, attempt + 1))
+                            delivery = "deferred"
+                        if self.tracer is not None:
+                            self.tracer.emit("adversity.deliver",
+                                             wave=wave_index,
+                                             vehicle=vehicle.vehicle_id,
+                                             attempt=attempt,
+                                             outcome=delivery)
                     record.undelivered = record.size - len(wave)
                     # A custom model that neither delivers nor abandons
                     # would loop forever on straggler waves; attempts grow
@@ -1026,6 +1099,7 @@ class Campaign:
                 for vehicle, request, key in zip(wave, requests, keys):
                     snapshot = vehicle.mcc.snapshot()
                     pre_wave[vehicle.vehicle_id] = snapshot
+                    replayed = False
                     if self.batch_admission:
                         precedent = precedents.get(key)
                         if precedent is None:
@@ -1036,9 +1110,15 @@ class Campaign:
                                                dict(vehicle.mcc.model.mapping),
                                                dict(vehicle.mcc.model.priorities))
                         else:
+                            replayed = True
                             report = vehicle.mcc.replay_change(request, *precedent)
                     else:
                         report = vehicle.mcc.request_change(request)
+                    if self.tracer is not None:
+                        self.tracer.emit("vehicle.admit", wave=wave_index,
+                                         vehicle=vehicle.vehicle_id,
+                                         accepted=report.accepted,
+                                         replayed=replayed)
                     if report.accepted:
                         vehicle.updated = True
                         record.admitted += 1
@@ -1058,6 +1138,9 @@ class Campaign:
                     self._rollback_wave([(vehicle, snapshot)
                                          for vehicle, _, snapshot in admitted],
                                         record)
+                if self.tracer is not None:
+                    self.tracer.emit("wave.end", wave=wave_index, halt=halt,
+                                     **record.to_dict())
                 result.waves.append(record)
                 result.admitted += record.admitted
                 result.rejected += record.rejected
@@ -1071,11 +1154,19 @@ class Campaign:
                 if halt:
                     result.halted = True
                     result.halted_wave = wave_index
+                    if self.tracer is not None:
+                        self.tracer.emit("campaign.halt", wave=wave_index,
+                                         effective_failures=record.effective_failures,
+                                         delivered=record.delivered)
                     if self.adversity is None:
                         self.last_checkpoint = self._build_checkpoint(
                             wave_index, result, wave, pre_wave)
                         if self.checkpoint_path is not None:
                             self.last_checkpoint.save(self.checkpoint_path)
+                            if self.tracer is not None:
+                                self.tracer.emit("checkpoint.save",
+                                                 wave=wave_index,
+                                                 path=self.checkpoint_path)
                     break
                 wave_index += 1
         finally:
@@ -1086,6 +1177,9 @@ class Campaign:
             # Persist everything this run derived (shard fan-ins included)
             # so re-runs — and a resume after a halt — warm-start from it.
             self.analysis_cache.save_snapshot(self.cache_path)
+            if self.tracer is not None:
+                self.tracer.emit("cache.snapshot_save", path=self.cache_path,
+                                 entries=len(self.analysis_cache))
         if self.analysis_cache is not None and self._parent_store is not None:
             # Workers made their own derivations durable mid-wave; absorb
             # any last publications, then append what only the parent
@@ -1096,4 +1190,11 @@ class Campaign:
             result.cache_hits = self.analysis_cache.hits - hits_before
             result.cache_misses = self.analysis_cache.misses - misses_before
             result.engine_reuse_rate = self.analysis_cache.engine.reuse_rate
+        if self.tracer is not None:
+            self.tracer.emit("campaign.end", admitted=result.admitted,
+                             rejected=result.rejected,
+                             deviating=result.deviating,
+                             halted=result.halted,
+                             waves=len(result.waves))
+            self.tracer.flush()
         return result

@@ -58,6 +58,26 @@ from repro.mcc.configuration import ChangeRequest, IntegrationReport
 #: One persisted cache entry: ``(taskset_key, per-task results)``.
 CacheEntry = Tuple[Tuple, Dict[str, ResponseTimeResult]]
 
+#: The pinned schema of one ``CampaignResult.shard_telemetry`` row — field
+#: name -> value type, in row order.  The campaign engine emits rows with
+#: exactly these fields, the metrics bridge and the fleet dashboard consume
+#: them by name, and ``tests/test_observability.py`` validates real pooled
+#: rows against this mapping — so schema drift fails a test instead of
+#: silently rendering an empty dashboard panel.  Extend it deliberately:
+#: add the field here, in :meth:`repro.fleet.campaign.Campaign._admit_shards`
+#: and in the docs table (``docs/ARCHITECTURE.md``) in one change.
+SHARD_TELEMETRY_SCHEMA: Dict[str, type] = {
+    "wave": int,              # wave index the shard executed in
+    "shard": int,             # shard index within the wave's partition
+    "items": int,             # representative integrations in the shard
+    "worker_pid": int,        # OS pid of the executing worker process
+    "elapsed_s": float,       # shard wall time (absorb + integrate + publish)
+    "cache_hits": int,        # worker-cache hit delta over the shard
+    "cache_misses": int,      # worker-cache miss delta over the shard
+    "published_entries": int,  # entries appended to the segment store
+    "absorbed_entries": int,  # sibling entries absorbed before running
+}
+
 
 @dataclass
 class ShardItem:
@@ -84,6 +104,11 @@ class ShardTask:
     cache_path: Optional[str] = None
     #: Segment-store directory for mid-wave entry publication (optional).
     store_path: Optional[str] = None
+    #: Collect per-item trace events into ``ShardResult.events``.  Workers
+    #: never write trace files themselves — the campaign parent ingests the
+    #: returned events into its tracer post-join, keeping the JSONL file
+    #: single-writer.
+    trace: bool = False
 
 
 @dataclass
@@ -125,6 +150,9 @@ class ShardResult:
     published_entries: int = 0
     #: Entries absorbed from siblings via the segment store before running.
     absorbed_entries: int = 0
+    #: Per-item trace events collected when ``ShardTask.trace`` was set
+    #: (empty otherwise); the parent ingests them into its tracer.
+    events: List[Dict[str, object]] = field(default_factory=list)
 
 
 #: Worker-process-local cache, installed by :func:`initialize_worker` when
@@ -216,6 +244,7 @@ def execute_shard(task: ShardTask) -> ShardResult:
     hits_before, misses_before = cache.hits, cache.misses
     preloaded = set(cache.keys())
     verdicts: List[ShardVerdict] = []
+    events: List[Dict[str, object]] = []
     for item in task.items:
         item_started = time.perf_counter()
         item.vehicle.mcc.attach_analysis_cache(cache)
@@ -226,6 +255,14 @@ def execute_shard(task: ShardTask) -> ShardResult:
             mapping=dict(model.mapping) if report.accepted else {},
             priorities=dict(model.priorities) if report.accepted else {},
             elapsed_s=time.perf_counter() - item_started))
+        if task.trace:
+            events.append({"event": "shard.item",
+                           "shard": task.shard_index,
+                           "position": item.position,
+                           "vehicle": item.vehicle.vehicle_id,
+                           "accepted": report.accepted,
+                           "elapsed_s": verdicts[-1].elapsed_s,
+                           "worker_pid": os.getpid()})
     new_entries = cache.export_entries(exclude=preloaded)
     published = 0
     if store is not None:
@@ -240,7 +277,8 @@ def execute_shard(task: ShardTask) -> ShardResult:
                        cache_hits=cache.hits - hits_before,
                        cache_misses=cache.misses - misses_before,
                        published_entries=published,
-                       absorbed_entries=absorbed)
+                       absorbed_entries=absorbed,
+                       events=events)
 
 
 def plan_shards(item_count: int, workers: int) -> List[List[int]]:

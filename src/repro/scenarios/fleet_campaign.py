@@ -94,7 +94,9 @@ def run_fleet_campaign_scenario(fleet_size: int = 50, seed: int = 0,
                                 shard_planner: str = "cost",
                                 steal: bool = True,
                                 start_method: Optional[str] = None,
-                                cache_store: Optional[str] = None
+                                cache_store: Optional[str] = None,
+                                trace_path: Optional[str] = None,
+                                trace_deterministic: bool = False
                                 ) -> FleetCampaignResult:
     """Run one staged fleet campaign end-to-end.
 
@@ -114,6 +116,12 @@ def run_fleet_campaign_scenario(fleet_size: int = 50, seed: int = 0,
     start method, and ``cache_store`` shares an append-only segment store
     between the parent and all workers — all four move wall time only,
     never verdicts.
+
+    ``trace_path`` attaches a :class:`~repro.observability.CampaignTracer`
+    writing a structured JSONL event trace of the whole rollout
+    (``trace_deterministic`` suppresses its wall-clock fields).  The tracer
+    is strictly read-only: traced and untraced runs return field-for-field
+    identical results.
     """
     spec = FleetSpec(size=fleet_size, seed=seed, heterogeneity=heterogeneity,
                      num_variants=num_variants, extra_components=extra_components,
@@ -140,13 +148,19 @@ def run_fleet_campaign_scenario(fleet_size: int = 50, seed: int = 0,
                         max_failure_rate=max_failure_rate,
                         rollback_on_halt=rollback_on_halt,
                         refine_on_deviation=refine_on_deviation)
+    tracer = None
+    if trace_path is not None:
+        from repro.observability.tracer import CampaignTracer
+        tracer = CampaignTracer(path=str(trace_path),
+                                deterministic=trace_deterministic)
     campaign = Campaign(vehicles, update_factory, policy=policy,
                         analysis_cache=cache, batch_admission=batch_admission,
                         failure_injection_rate=failure_injection_rate,
                         feedback_seed=seed, workers=workers,
                         cache_path=cache_path, batch_kernel=batch_kernel,
                         shard_planner=shard_planner, steal=steal,
-                        start_method=start_method, cache_store=cache_store)
+                        start_method=start_method, cache_store=cache_store,
+                        tracer=tracer)
     outcome: CampaignResult = campaign.run()
     return FleetCampaignResult(
         fleet_size=outcome.fleet_size,

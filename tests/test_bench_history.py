@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.experiments.bench_history import (bench_history_rows,
+                                             bench_trajectory,
                                              compare_bench_records,
                                              load_bench_records, record_mode)
 from repro.experiments.cli import main
@@ -117,6 +118,81 @@ class TestRecordMode:
         assert record_mode({"quick_mode": True}) == "quick"
         assert record_mode({"quick_mode": False}) == "full"
         assert record_mode({}) == "full"
+
+
+class TestBenchTrajectory:
+    @staticmethod
+    def _record(name, speedup, mode="full", created="2026-08-08T12:00:00Z",
+                metric="speedup"):
+        return {"name": name, "mode": mode, "created_utc": created,
+                "payload": {metric: speedup}}
+
+    def test_mixed_modes_yield_separate_series(self):
+        records = [
+            self._record("e10", 2.0, mode="full"),
+            self._record("e10", 0.5, mode="quick"),
+            self._record("e12", 6.0, mode="full"),
+        ]
+        trajectory = bench_trajectory(records)
+        assert trajectory["schema"] == 1
+        keys = [(entry["bench"], entry["mode"])
+                for entry in trajectory["series"]]
+        assert keys == [("e10", "full"), ("e10", "quick"), ("e12", "full")]
+        e10_full = trajectory["series"][0]
+        assert e10_full["points"] == [{"created_utc": "2026-08-08T12:00:00Z",
+                                       "metric": "speedup", "value": 2.0}]
+
+    def test_points_ordered_by_created_utc(self):
+        records = [
+            self._record("e10", 3.0, created="2026-08-08T12:00:00Z"),
+            self._record("e10", 2.0, created="2026-08-01T12:00:00Z"),
+            self._record("e10", 2.5, created="2026-08-04T12:00:00Z"),
+        ]
+        series = bench_trajectory(records)["series"]
+        assert len(series) == 1
+        assert [point["value"] for point in series[0]["points"]] == [2.0, 2.5, 3.0]
+
+    def test_headline_key_priority_and_unplotted(self):
+        records = [
+            self._record("e9", 6.0, metric="speedup_vs_pr1"),
+            self._record("e13", 1.4, metric="admission_speedup"),
+            {"name": "e12_pure", "mode": "full",
+             "payload": {"pure_python_s": 0.02}},
+        ]
+        trajectory = bench_trajectory(records)
+        metrics = {entry["bench"]: entry["points"][0]["metric"]
+                   for entry in trajectory["series"]}
+        assert metrics == {"e9": "speedup_vs_pr1", "e13": "admission_speedup"}
+        assert trajectory["unplotted"] == ["e12_pure[full]"]
+
+    def test_boolean_payload_values_are_not_headlines(self):
+        trajectory = bench_trajectory([
+            {"name": "e10", "mode": "full", "payload": {"speedup": True}}])
+        assert trajectory["series"] == []
+        assert trajectory["unplotted"] == ["e10[full]"]
+
+    def test_cli_json_flag_writes_trajectory(self, records_dir, tmp_path,
+                                             capsys):
+        out_path = tmp_path / "out" / "trajectory.json"
+        out_path.parent.mkdir()
+        assert main(["bench-history", "--dir", str(records_dir),
+                     "--json", str(out_path)]) == 0
+        document = json.loads(out_path.read_text(encoding="utf-8"))
+        assert document["schema"] == 1
+        assert {(entry["bench"], entry["mode"])
+                for entry in document["series"]} == {
+                    ("e12_batch_kernel", "full"),
+                    ("e9_incremental_speedup", "quick")}
+        assert document["unplotted"] == ["e12_pure_path[full]"]
+        assert "trajectory written to" in capsys.readouterr().out
+
+    def test_cli_json_flag_on_empty_directory_writes_empty_document(
+            self, tmp_path, capsys):
+        out_path = tmp_path / "trajectory.json"
+        assert main(["bench-history", "--dir", str(tmp_path),
+                     "--json", str(out_path)]) == 0
+        document = json.loads(out_path.read_text(encoding="utf-8"))
+        assert document == {"schema": 1, "series": [], "unplotted": []}
 
 
 class TestCompareBenchRecords:
