@@ -31,6 +31,13 @@ from typing import Any, Dict, List, Tuple
 #: Payload keys promoted to their own table column when present.
 HEADLINE_KEYS = ("speedup", "speedup_vs_pr1", "admission_speedup")
 
+#: Absolute-throughput payload keys (e.g. the E17 service's sustained
+#: admissions/sec).  They join the :func:`bench_trajectory` series so the
+#: dashboard can chart them, but they never join the regression gate:
+#: unlike the headline *ratios*, absolute throughput is machine-dependent,
+#: and gating it would fail every PR that runs on a slower CI runner.
+THROUGHPUT_KEYS = ("admissions_per_s",)
+
 
 def load_bench_records(directory: str) -> Tuple[List[Dict[str, Any]], List[str]]:
     """Load every ``BENCH_*.json`` under ``directory``.
@@ -102,9 +109,11 @@ def bench_trajectory(records: List[Dict[str, Any]]) -> Dict[str, Any]:
     series per benchmark-and-fidelity pair, so quick smoke numbers never
     blend into a full-fidelity trend; points are ordered by ``created_utc``
     (records carry UTC ISO timestamps, which sort lexicographically).
-    Records without a numeric headline metric contribute no point but are
-    still listed under ``"unplotted"`` so a trajectory consumer can tell
-    "no data" from "dropped data".
+    Both metric tiers plot — the :data:`HEADLINE_KEYS` speedup ratios and
+    the :data:`THROUGHPUT_KEYS` absolute rates (the latter charted but
+    never regression-gated).  Records without a numeric metric from either
+    tier contribute no point but are still listed under ``"unplotted"`` so
+    a trajectory consumer can tell "no data" from "dropped data".
     """
     series: Dict[Tuple[str, str], Dict[str, Any]] = {}
     unplotted: List[str] = []
@@ -112,7 +121,7 @@ def bench_trajectory(records: List[Dict[str, Any]]) -> Dict[str, Any]:
         name, mode = str(document["name"]), record_mode(document)
         payload = document["payload"]
         headline = next(
-            (key for key in HEADLINE_KEYS
+            (key for key in HEADLINE_KEYS + THROUGHPUT_KEYS
              if isinstance(payload.get(key), (int, float))
              and not isinstance(payload.get(key), bool)), None)
         if headline is None:
@@ -177,5 +186,6 @@ def compare_bench_records(current: List[Dict[str, Any]],
     return regressions
 
 
-__all__ = ["HEADLINE_KEYS", "bench_history_rows", "bench_trajectory",
-           "compare_bench_records", "load_bench_records", "record_mode"]
+__all__ = ["HEADLINE_KEYS", "THROUGHPUT_KEYS", "bench_history_rows",
+           "bench_trajectory", "compare_bench_records", "load_bench_records",
+           "record_mode"]

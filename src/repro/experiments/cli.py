@@ -24,6 +24,14 @@ Commands
     Render the static HTML fleet dashboard from campaign result files
     (``run --output``), tracer JSONL files and the benchmark records —
     self-contained, offline, zero third-party dependencies.
+``serve``
+    Drive the multi-tenant fleet admission service
+    (:class:`~repro.service.admission.AdmissionService`) through a
+    synthetic workload: N tenants submit M campaigns each, wave progress
+    streams to the console, and a throughput summary (admissions/sec)
+    closes the run.  The service is in-process — the typed
+    request/response schemas of :mod:`repro.service.schemas` *are* the
+    API; see ``docs/SERVICE.md``.
 """
 
 from __future__ import annotations
@@ -313,6 +321,53 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import tempfile
+
+    from repro.service import AdmissionService, SubmitCampaign
+
+    async def drive(store_dir: Optional[str]) -> Dict[str, Any]:
+        started = time.perf_counter()
+        async with AdmissionService(store_dir=store_dir,
+                                    slots=args.slots) as service:
+            receipts = []
+            for tenant_index in range(args.tenants):
+                tenant = f"tenant-{tenant_index}"
+                for campaign_index in range(args.campaigns):
+                    receipts.append(await service.submit(SubmitCampaign(
+                        tenant=tenant, fleet_size=args.fleet_size,
+                        seed=campaign_index,
+                        num_variants=args.variants)))
+            statuses = [await service.wait(receipt.job_id)
+                        for receipt in receipts]
+        wall = time.perf_counter() - started
+        admitted = sum(status.admitted for status in statuses)
+        waves = sum(status.waves_executed for status in statuses)
+        for status in statuses:
+            print(f"  {status.job_id:<14} {status.state:<10} "
+                  f"waves={status.waves_executed:<3} "
+                  f"admitted={status.admitted:<4} "
+                  f"coverage={status.update_coverage:.0%}")
+        return {"jobs": len(statuses), "waves": waves, "admitted": admitted,
+                "wall_s": wall,
+                "admissions_per_s": admitted / wall if wall > 0 else 0.0}
+
+    print(f"admission service: {args.tenants} tenant(s) x {args.campaigns} "
+          f"campaign(s), fleets of {args.fleet_size}, {args.slots} slot(s)")
+    if args.store is not None:
+        summary = asyncio.run(drive(args.store))
+    elif args.no_store:
+        summary = asyncio.run(drive(None))
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro_store_") as store_dir:
+            summary = asyncio.run(drive(store_dir))
+    print(f"\n{summary['jobs']} campaigns, {summary['waves']} waves, "
+          f"{summary['admitted']} admissions in {summary['wall_s']:.2f} s "
+          f"-> {summary['admissions_per_s']:.1f} admissions/s")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -389,6 +444,25 @@ def build_parser() -> argparse.ArgumentParser:
                                default="Fleet campaign observability",
                                help="page title of the dashboard")
 
+    serve_parser = commands.add_parser(
+        "serve", help="run the multi-tenant admission service on a "
+                      "synthetic workload")
+    serve_parser.add_argument("--tenants", type=int, default=2,
+                              help="number of concurrent tenants")
+    serve_parser.add_argument("--campaigns", type=int, default=2,
+                              help="campaigns submitted per tenant")
+    serve_parser.add_argument("--fleet-size", type=int, default=16,
+                              help="vehicles per submitted fleet")
+    serve_parser.add_argument("--variants", type=int, default=4,
+                              help="platform variants per fleet")
+    serve_parser.add_argument("--slots", type=int, default=2,
+                              help="scheduler slots (jobs advanced per round)")
+    serve_parser.add_argument("--store", default=None, metavar="DIR",
+                              help="shared analysis-cache store directory "
+                                   "(default: a temporary one)")
+    serve_parser.add_argument("--no-store", action="store_true",
+                              help="run tenants without a shared cache store")
+
     return parser
 
 
@@ -397,5 +471,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run,
                 "compare": _cmd_compare, "cache-bench": _cmd_cache_bench,
-                "bench-history": _cmd_bench_history, "report": _cmd_report}
+                "bench-history": _cmd_bench_history, "report": _cmd_report,
+                "serve": _cmd_serve}
     return handlers[args.command](args)

@@ -8,11 +8,15 @@ two halves of that workload:
 * :mod:`repro.fleet.vehicle` — deterministic generation of a heterogeneous
   fleet (variant-clustered platforms, scaled WCETs, differing CAN topologies
   and baseline component sets), each vehicle with its own MCC.
-* :mod:`repro.fleet.campaign` — the staged rollout engine: canary and
+* :mod:`repro.fleet.campaign` — the staged rollout description: canary and
   percentage waves, batched admission through a shared analysis cache and
   the incremental CPA engine, per-vehicle monitor/deviation feedback between
   waves, and halt/rollback when a wave's failure rate crosses the policy
   threshold.
+* :mod:`repro.fleet.engine` — the re-entrant wave stepper executing a
+  campaign one wave at a time (``Campaign.run()`` is a thin loop over it;
+  the admission service interleaves many engines), with wave-boundary
+  checkpointing.
 * :mod:`repro.fleet.adversity` — hostile and degraded-world perturbations
   of the campaign loop: lossy OTA delivery with retry/straggler waves,
   compromised vehicles forging deviation reports (graded and discounted
@@ -49,6 +53,10 @@ from repro.fleet.campaign import (
     WaveRecord,
     plan_waves,
 )
+from repro.fleet.engine import (
+    CampaignEngine,
+    CampaignState,
+)
 from repro.fleet.shard import (
     ShardItem,
     ShardResult,
@@ -74,8 +82,10 @@ __all__ = [
     "variant_contracts",
     "Campaign",
     "CampaignCheckpoint",
+    "CampaignEngine",
     "CampaignError",
     "CampaignResult",
+    "CampaignState",
     "WavePolicy",
     "WaveRecord",
     "plan_waves",

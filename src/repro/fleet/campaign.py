@@ -76,29 +76,29 @@ in-memory :attr:`Campaign.last_checkpoint`) captures a halted campaign —
 aggregate result plus per-vehicle MCC snapshots at the halting wave's start
 — so a remediated campaign can :meth:`Campaign.run` with ``resume_from=``
 and continue where it stopped.
+
+Execution itself lives in :mod:`repro.fleet.engine`: this module holds the
+campaign *description* (fleet, policy, knobs, result/checkpoint types and
+the wave planner), while :class:`~repro.fleet.engine.CampaignEngine` is the
+re-entrant wave stepper that :meth:`Campaign.run` drives to completion —
+and that the fleet admission service (:mod:`repro.service`) drives one wave
+at a time.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.analysis.cache import AnalysisCache
 from repro.analysis.cache_store import SegmentStore
 from repro.fleet.adversity import AdversityModel
-from repro.fleet.shard import (ShardItem, ShardTask, execute_shard,
-                               initialize_worker, plan_chunks, plan_shards)
 from repro.fleet.vehicle import FleetVehicle, VehicleState
-from repro.mcc.configuration import ChangeRequest, IntegrationReport
-from repro.mcc.controller import MccSnapshot
-from repro.monitoring.deviation import DeviationDetector
-from repro.monitoring.metrics import MetricRegistry
+from repro.mcc.configuration import ChangeRequest
 from repro.observability.tracer import CampaignTracer
-from repro.sim.random import SeededRNG, derive_seed
 
 #: Builds the per-vehicle change request of the campaign's update.
 UpdateFactory = Callable[[FleetVehicle], ChangeRequest]
@@ -300,22 +300,65 @@ class CampaignResult:
         return self.admitted / attempted if attempted else 0.0
 
 
+#: Builtins a checkpoint pickle may reference by name.  Most builtin
+#: containers (dict, list, tuple, str, numbers) are encoded as dedicated
+#: opcodes and never go through ``find_class``; these are the few that do
+#: and are harmless to construct.
+_SAFE_BUILTINS = frozenset({"bytearray", "complex", "frozenset", "range",
+                            "set", "slice"})
+
+
+class _CheckpointUnpickler(pickle.Unpickler):
+    """Allowlist unpickler behind :meth:`CampaignCheckpoint.load`.
+
+    ``pickle.load`` on an untrusted file is arbitrary code execution — a
+    crafted ``__reduce__`` payload runs *during* load, long before any
+    ``isinstance`` check can reject it.  A checkpoint written by
+    :meth:`CampaignCheckpoint.save` only ever references this package's own
+    classes (campaign/vehicle/MCC/contract types — verified against real
+    checkpoints) plus a handful of safe builtins, so everything else is
+    refused at the ``find_class`` seam — the only place a pickle can name a
+    callable.
+    """
+
+    def find_class(self, module: str, name: str):
+        if module == "repro" or module.startswith("repro."):
+            return super().find_class(module, name)
+        if module == "builtins" and name in _SAFE_BUILTINS:
+            return super().find_class(module, name)
+        raise pickle.UnpicklingError(
+            f"checkpoint pickle references forbidden global {module}.{name}")
+
+
 @dataclass
 class CampaignCheckpoint:
-    """A halted campaign, frozen at the start of its halting wave.
+    """A campaign frozen at a wave boundary, ready to resume.
 
-    ``result`` aggregates the waves executed *before* the halting wave;
-    ``vehicle_states`` captures every fleet vehicle's portable MCC snapshot
-    and rollout flags at that point (halting-wave members at their pre-wave
-    state regardless of the rollback policy).  The checkpoint pickles
-    cleanly — :meth:`save`/:meth:`load` move it across processes and runs —
-    and :meth:`Campaign.run` with ``resume_from=`` re-executes the halting
-    wave (remediated or not) and everything after it.
+    Two producers write these: a policy **halt** freezes the campaign at
+    the start of its halting wave (``result`` aggregates the waves executed
+    *before* it; halting-wave members are stored at their pre-wave state
+    regardless of the rollback policy, so the remediated wave re-runs from
+    scratch), and :meth:`CampaignEngine.checkpoint
+    <repro.fleet.engine.CampaignEngine.checkpoint>` serializes **any** wave
+    boundary of a stepped campaign (all executed waves committed, nothing
+    in flight — no rewind needed).  Either way the checkpoint is the
+    serialized :class:`~repro.fleet.engine.CampaignState`: ``next_wave`` is
+    the wave cursor, ``result`` the running aggregate, ``vehicle_states``
+    every fleet vehicle's portable MCC snapshot and rollout flags, and
+    ``cost_model`` the EWMA cost seeds (wall-time-only; the retry carry is
+    structurally empty wherever checkpoints are legal — they require
+    ``adversity=None``).  The checkpoint pickles cleanly —
+    :meth:`save`/:meth:`load` move it across processes and runs — and
+    :meth:`Campaign.run` with ``resume_from=`` continues where it stopped.
     """
 
     next_wave: int
     result: CampaignResult
     vehicle_states: List[VehicleState]
+    #: EWMA integration-cost seeds by value-based shard-group label
+    #: (absent in checkpoints pickled before the field existed; resume
+    #: treats those as a cold model).
+    cost_model: Dict[Hashable, float] = field(default_factory=dict)
 
     def save(self, path: str) -> None:
         """Pickle this checkpoint to ``path`` (atomic replace).
@@ -339,9 +382,20 @@ class CampaignCheckpoint:
 
     @staticmethod
     def load(path: str) -> "CampaignCheckpoint":
-        """Load a checkpoint previously written by :meth:`save`."""
+        """Load a checkpoint previously written by :meth:`save`.
+
+        Unpickling goes through the restricted :class:`_CheckpointUnpickler`
+        — a corrupt, foreign or malicious pickle raises
+        :class:`CampaignError` instead of executing whatever its reduce
+        payloads name.
+        """
         with open(path, "rb") as stream:
-            checkpoint = pickle.load(stream)
+            try:
+                checkpoint = _CheckpointUnpickler(stream).load()
+            except Exception as error:
+                raise CampaignError(
+                    f"{path!r} is not a loadable campaign checkpoint: "
+                    f"{error}") from error
         if not isinstance(checkpoint, CampaignCheckpoint):
             raise CampaignError(f"{path!r} is not a campaign checkpoint")
         return checkpoint
@@ -563,354 +617,8 @@ class Campaign:
         #: durable there (so run-end publication ships only the delta).
         self._parent_store: Optional[SegmentStore] = None
         self._store_keys: set = set()
-
-    # -- wave internals ----------------------------------------------------
-
-    def _prefetch_wave(self,
-                       representatives: Sequence[Tuple[FleetVehicle,
-                                                       ChangeRequest]]) -> None:
-        """Warm the shared cache with the representatives' candidate analyses.
-
-        Only the vehicles that will actually run a full integration are
-        previewed (one per equivalence group); the batch goes through
-        ``analyse_many`` so representatives of *different* variants
-        warm-start off each other in the incremental engine.  The prefetch is
-        only a warm-up — a skipped preview costs cache misses, never a
-        different verdict.
-        """
-        assert self.analysis_cache is not None
-        tasksets = []
-        for vehicle, request in representatives:
-            preview = vehicle.mcc.process.preview_tasksets(vehicle.mcc.model, request)
-            if preview is None:
-                continue  # rejected before the acceptance phase; nothing to warm
-            tasksets.extend(taskset for _, taskset in sorted(preview.items()))
-        if tasksets:
-            self.analysis_cache.analyse_many(tasksets)
-
-    @staticmethod
-    def _equivalence_key(vehicle: FleetVehicle, request: ChangeRequest) -> Tuple:
-        """Identity of one admission problem, exact within this process.
-
-        Two vehicles with the same platform shape (same variant), the same
-        adopted contract *objects*, the same mapping/priority state and the
-        same request contract object pose the identical integration problem.
-        Diverged vehicles (refined WCETs build fresh contract objects,
-        rollbacks restore the previous model) fall out of the group
-        automatically because their object identities differ.
-
-        Identity-based keys are only sound while the referenced objects stay
-        alive — a recycled ``id`` could alias a stale key — so the campaign
-        pins every object that enters a stored precedent key for the run's
-        lifetime (see :meth:`run`).  For the same reason keys never cross a
-        process boundary: shard workers receive wave positions, not keys.
-        """
-        model = vehicle.mcc.model
-        return (vehicle.variant.index,
-                tuple(sorted((contract.component, id(contract))
-                             for contract in model.contracts())),
-                tuple(sorted(model.mapping.items())),
-                tuple(sorted(model.priorities.items())),
-                request.kind, request.component, id(request.contract))
-
-    @staticmethod
-    def _group_label(vehicle: FleetVehicle, request: ChangeRequest) -> Tuple:
-        """Coarse congruence label of one representative integration.
-
-        Representatives of the same fleet variant receiving the same logical
-        request share platform shape, contract structure and therefore
-        congruence signature — their analyses dedupe against each other, so
-        the chunk planner co-locates them in one shard and the cost model
-        aggregates their measured integration times under one key.  Unlike
-        :meth:`_equivalence_key` this label is value-based (no object
-        identities), so it is stable across waves and runs.
-        """
-        return (vehicle.variant.index, request.kind, request.component)
-
-    def _estimate_costs(self, labels: Sequence[Tuple]) -> List[float]:
-        """Per-representative cost estimates from the prior-wave EWMA model.
-
-        Labels never measured yet (wave 1, or a variant first reaching a
-        later wave) are priced at the mean of the known costs — neutral
-        weight — or 1.0 on a completely cold model (uniform partition).
-        """
-        known = self._cost_model
-        fallback = (sum(known.values()) / len(known)) if known else 1.0
-        return [known.get(label, fallback) for label in labels]
-
-    def _record_cost(self, label: Tuple, elapsed_s: float) -> None:
-        """Fold one measured integration time into the EWMA cost model."""
-        previous = self._cost_model.get(label)
-        self._cost_model[label] = elapsed_s if previous is None \
-            else 0.5 * previous + 0.5 * elapsed_s
-
-    def _admit_shards(self, wave: Sequence[FleetVehicle],
-                      requests: Sequence[ChangeRequest],
-                      keys: Sequence[Tuple], rep_positions: Sequence[int],
-                      precedents: Dict[Tuple, Tuple[IntegrationReport,
-                                                    Dict[str, str],
-                                                    Dict[str, int]]],
-                      pinned: List[object], pool,
-                      wave_index: int, result: CampaignResult) -> None:
-        """Run the wave's new representative integrations on the pool.
-
-        The representatives were deduped pre-fork (one wave position per new
-        equivalence key); their verdicts land in ``precedents`` post-join so
-        the parent's adoption loop replays every group member — including
-        the representative itself — without re-analysing anything.
-
-        Layout and dispatch follow the campaign's ``shard_planner`` and
-        ``steal`` knobs: cost-model chunks pulled completion-driven off the
-        pool's shared queue by default, static round-robin shards behind a
-        ``Pool.map`` barrier otherwise.  Fan-in order is nondeterministic
-        under stealing, but each verdict updates exactly one equivalence
-        key, so ``precedents`` — and every wave verdict derived from it —
-        is independent of arrival order; only the telemetry rows and the
-        cost model see the completion order.
-        """
-        labels = [self._group_label(wave[position], requests[position])
-                  for position in rep_positions]
-        if self.shard_planner == "cost":
-            shards = plan_chunks(len(rep_positions), self.workers,
-                                 costs=self._estimate_costs(labels),
-                                 groups=labels)
-        else:
-            shards = plan_shards(len(rep_positions), self.workers)
-        tasks = [ShardTask(shard_index=shard_index,
-                           items=[ShardItem(position=item,
-                                            vehicle=wave[rep_positions[item]],
-                                            request=requests[rep_positions[item]])
-                                  for item in shard],
-                           cache_path=self.cache_path,
-                           store_path=self.cache_store,
-                           trace=self.tracer is not None)
-                 for shard_index, shard in enumerate(shards)]
-        if self.tracer is not None:
-            self.tracer.emit("shard.plan", wave=wave_index,
-                             planner=self.shard_planner, steal=self.steal,
-                             shards=len(tasks),
-                             representatives=len(rep_positions))
-        if self.steal:
-            # Completion-driven dispatch: the pool's shared task queue is
-            # the steal target — an idle worker takes the next chunk
-            # immediately, and results fan in as they finish.
-            completed = pool.imap_unordered(execute_shard, tasks, chunksize=1)
-        else:
-            completed = pool.map(execute_shard, tasks)
-        for shard_result in completed:
-            if self.analysis_cache is not None:
-                self.analysis_cache.merge_entries(shard_result.cache_entries)
-            for verdict in shard_result.verdicts:
-                position = rep_positions[verdict.position]
-                vehicle, request = wave[position], requests[position]
-                pinned.append(request.contract)
-                pinned.extend(vehicle.mcc.model.contracts())
-                precedents[keys[position]] = (verdict.report, verdict.mapping,
-                                              verdict.priorities)
-                self._record_cost(labels[verdict.position], verdict.elapsed_s)
-            # Field set pinned by SHARD_TELEMETRY_SCHEMA (see
-            # repro.fleet.shard) — extend both together.
-            telemetry_row = {
-                "wave": wave_index,
-                "shard": shard_result.shard_index,
-                "items": len(shard_result.verdicts),
-                "worker_pid": shard_result.worker_pid,
-                "elapsed_s": shard_result.elapsed_s,
-                "cache_hits": shard_result.cache_hits,
-                "cache_misses": shard_result.cache_misses,
-                "published_entries": shard_result.published_entries,
-                "absorbed_entries": shard_result.absorbed_entries,
-            }
-            result.shard_telemetry.append(telemetry_row)
-            if self.tracer is not None:
-                self.tracer.ingest(shard_result.events, wave=wave_index)
-                self.tracer.emit("shard.execute",
-                                 **{key: value for key, value
-                                    in telemetry_row.items()})
-
-    def _feedback(self, vehicle: FleetVehicle, request: ChangeRequest,
-                  wave_index: int, record: WaveRecord) -> None:
-        """Simulate one updated vehicle's monitor feedback and grade it.
-
-        With an adversity model the honest observation passes through
-        :meth:`~repro.fleet.adversity.AdversityModel.observe` (compromised
-        vehicles forge it), the detector may grade against two-sided bands,
-        and a raised deviation is additionally graded by the model — a
-        report attributed to a suspected-compromised sender is recorded
-        (``record.deviating``) but discounted from the halt decision
-        (``record.discounted``).
-        """
-        contract = vehicle.mcc.model.contract(request.component)
-        timing = contract.timing
-        if timing is None:  # pragma: no cover - campaign updates carry timing
-            return
-        rng = SeededRNG(derive_seed(self.feedback_seed, vehicle.index))
-        injected = rng.uniform() < self.failure_injection_rate
-        nominal_range = (0.55, 0.95)
-        two_sided = False
-        if self.adversity is not None:
-            two_sided = self.adversity.two_sided_feedback
-            if self.adversity.nominal_factor_range is not None:
-                nominal_range = self.adversity.nominal_factor_range
-        factor = rng.uniform(1.25, 1.75) if injected \
-            else rng.uniform(*nominal_range)
-        observed = timing.wcet * factor
-        if self.adversity is not None:
-            observed = self.adversity.observe(vehicle, wave_index,
-                                              timing.wcet, observed)
-        registry = MetricRegistry()
-        detector: DeviationDetector = vehicle.mcc.configure_deviation_detector(
-            registry, two_sided=two_sided)
-        source = f"{request.component}.task"
-        anomalies = detector.observe(float(wave_index), source,
-                                     "execution_time", observed)
-        if self.tracer is not None:
-            self.tracer.emit("feedback.observe", wave=wave_index,
-                             vehicle=vehicle.vehicle_id, observed=observed,
-                             deviating=bool(anomalies))
-        if not anomalies:
-            return
-        vehicle.deviating = True
-        record.deviating += 1
-        if self.adversity is not None and self.adversity.grade_feedback(
-                vehicle, wave_index, len(anomalies)):
-            record.discounted += 1
-            if self.tracer is not None:
-                self.tracer.emit("feedback.discount", wave=wave_index,
-                                 vehicle=vehicle.vehicle_id)
-            return  # a discounted (suspect) report must not refine the model
-        if self.policy.refine_on_deviation:
-            refinements = vehicle.mcc.incorporate_observed_wcets({source: observed})
-            record.refined += len(refinements)
-
-    def _rollback_wave(self, admitted: List[Tuple[FleetVehicle, MccSnapshot]],
-                       record: WaveRecord) -> None:
-        for vehicle, snapshot in admitted:
-            vehicle.mcc.rollback(snapshot)
-            vehicle.updated = False
-            vehicle.rolled_back = True
-            record.rolled_back += 1
-            if self.tracer is not None:
-                self.tracer.emit("vehicle.rollback", wave=record.index,
-                                 vehicle=vehicle.vehicle_id)
-
-    # -- checkpoint/resume -------------------------------------------------
-
-    @staticmethod
-    def _copy_result(source: CampaignResult) -> CampaignResult:
-        """An independent copy of a result (fresh wave records/lists)."""
-        return replace(source,
-                       waves=[replace(record,
-                                      vehicle_ids=list(record.vehicle_ids))
-                              for record in source.waves],
-                       shard_telemetry=[dict(row)
-                                        for row in source.shard_telemetry])
-
-    def _build_checkpoint(self, halted_wave: int, result: CampaignResult,
-                          wave: Sequence[FleetVehicle],
-                          pre_wave: Dict[str, MccSnapshot]
-                          ) -> CampaignCheckpoint:
-        """Freeze the campaign at the start of its halting wave.
-
-        The checkpointed result excludes the halting wave's record (the
-        wave re-runs on resume); halting-wave members are stored at their
-        pre-wave snapshot with clean flags even when ``rollback_on_halt`` is
-        off, so a resume always re-admits the remediated wave from scratch.
-        """
-        prefix = self._copy_result(result)
-        prefix.waves = prefix.waves[:-1]
-        prefix.halted = False
-        prefix.halted_wave = None
-        # Telemetry rows of the *executed* waves stay with the checkpoint (a
-        # resumed run merges them with its own); only the halting wave's
-        # rows are dropped — that wave re-runs on resume and reports afresh.
-        prefix.shard_telemetry = [row for row in prefix.shard_telemetry
-                                  if row["wave"] < halted_wave]
-        for attribute in ("admitted", "rejected", "deviating", "refined",
-                          "rolled_back", "undelivered", "retried",
-                          "abandoned", "discounted"):
-            setattr(prefix, attribute,
-                    sum(getattr(record, attribute) for record in prefix.waves))
-        halting = {vehicle.vehicle_id for vehicle in wave}
-        states = []
-        for vehicle in self.vehicles:
-            if vehicle.vehicle_id in halting:
-                states.append(VehicleState(vehicle_id=vehicle.vehicle_id,
-                                           snapshot=pre_wave[vehicle.vehicle_id],
-                                           updated=False, deviating=False,
-                                           rolled_back=False))
-            else:
-                states.append(vehicle.capture_state())
-        return CampaignCheckpoint(next_wave=halted_wave, result=prefix,
-                                  vehicle_states=states)
-
-    def _restore_checkpoint(self, checkpoint: CampaignCheckpoint,
-                            plan: Sequence[Tuple[str, List[FleetVehicle]]],
-                            result: CampaignResult) -> int:
-        """Rewind the fleet and seed ``result`` from ``checkpoint``.
-
-        Validates that the resumed campaign stages the same fleet the same
-        way (the executed waves' vehicle ids must match the plan — policy
-        remediation may change thresholds, not the staging of already
-        executed waves).  Returns the wave index to continue from.
-        """
-        checkpointed = {state.vehicle_id for state in checkpoint.vehicle_states}
-        current = {vehicle.vehicle_id for vehicle in self.vehicles}
-        if checkpointed != current:
-            raise CampaignError(
-                f"checkpoint covers a {len(checkpointed)}-vehicle fleet, the "
-                f"resumed campaign stages {len(current)} vehicles; resume "
-                "needs the exact fleet the campaign halted on")
-        if checkpoint.next_wave > len(plan):
-            raise CampaignError(
-                f"checkpoint expects wave {checkpoint.next_wave} but the "
-                f"resumed campaign plans only {len(plan)} waves")
-        for index, record in enumerate(checkpoint.result.waves):
-            planned = [vehicle.vehicle_id for vehicle in plan[index][1]]
-            if planned != list(record.vehicle_ids):
-                raise CampaignError(
-                    f"resumed staging diverges at wave {index}: checkpoint "
-                    f"executed {record.vehicle_ids}, plan stages {planned}")
-        states = {state.vehicle_id: state for state in checkpoint.vehicle_states}
-        for vehicle in self.vehicles:
-            vehicle.restore_state(states[vehicle.vehicle_id])
-        seeded = self._copy_result(checkpoint.result)
-        result.waves = seeded.waves
-        # Executed waves' shard telemetry is carried over so a resumed
-        # campaign's telemetry covers the same waves an uninterrupted run's
-        # would; the resumed waves append their own rows.  Cache counters
-        # are deliberately not carried over: they describe one process's
-        # cache traffic and the resumed run reports its own.
-        result.shard_telemetry = seeded.shard_telemetry
-        for attribute in ("admitted", "rejected", "deviating", "refined",
-                          "rolled_back", "undelivered", "retried",
-                          "abandoned", "discounted"):
-            setattr(result, attribute, getattr(seeded, attribute))
-        return checkpoint.next_wave
-
-    # -- segment-store plumbing --------------------------------------------
-
-    def _absorb_store(self) -> int:
-        """Merge everything newly durable in ``cache_store`` into the
-        parent cache; returns the number of new entries absorbed."""
-        assert self._parent_store is not None and self.analysis_cache is not None
-        entries = self._parent_store.read_new()
-        self._store_keys.update(key for key, _ in entries)
-        absorbed = self.analysis_cache.merge_entries(entries)
-        if self.tracer is not None:
-            self.tracer.emit("store.absorb", entries=absorbed)
-        return absorbed
-
-    def _publish_store(self) -> int:
-        """Append the parent cache's not-yet-durable entries to the store."""
-        assert self._parent_store is not None and self.analysis_cache is not None
-        fresh = self.analysis_cache.export_entries(exclude=self._store_keys)
-        if fresh:
-            self._parent_store.append(fresh)
-            self._store_keys.update(key for key, _ in fresh)
-        if self.tracer is not None:
-            self.tracer.emit("store.publish", entries=len(fresh))
-        return len(fresh)
+        #: One-shot latch of :meth:`run` (see its docstring).
+        self._ran = False
 
     # -- execution ---------------------------------------------------------
 
@@ -922,279 +630,33 @@ class Campaign:
         (halting-wave members to their pre-wave state) and execution
         continues at the checkpointed wave; the returned result aggregates
         the checkpointed waves plus everything executed now.
+
+        ``run()`` is **one-shot**: a finished (or failed) run leaves
+        per-run state behind — :attr:`last_checkpoint`, EWMA cost seeds,
+        adopted vehicle models, cache-counter baselines — so re-entering
+        the same instance would silently compute something other than a
+        fresh campaign.  A second call raises :class:`CampaignError`;
+        construct a new ``Campaign`` (passing ``resume_from=`` to continue
+        a checkpointed rollout) instead.  Wave-by-wave execution with
+        explicit boundaries is available through
+        :class:`~repro.fleet.engine.CampaignEngine` directly.
         """
-        result = CampaignResult(fleet_size=len(self.vehicles),
-                                batched=self.batch_admission)
-        plan = plan_waves(self.vehicles, self.policy)
-        start_wave = 0
-        if self.tracer is not None:
-            self.tracer.emit("campaign.begin", fleet_size=len(self.vehicles),
-                             waves_planned=len(plan), workers=self.workers,
-                             batched=self.batch_admission,
-                             planner=self.shard_planner, steal=self.steal,
-                             adversity=type(self.adversity).__name__
-                             if self.adversity is not None else None,
-                             resumed=resume_from is not None)
-        if resume_from is not None:
-            if self.adversity is not None:
-                raise CampaignError(
-                    "resume_from cannot be combined with an adversity "
-                    "model: delivery-perturbed staging (carried and "
-                    "straggler waves) cannot be validated against the "
-                    "static wave plan a checkpoint records")
-            start_wave = self._restore_checkpoint(resume_from, plan, result)
-        if self.analysis_cache is not None and self.cache_path is not None:
-            # Warm-start this run from the previous run's snapshot.
-            loaded = self.analysis_cache.load_snapshot(self.cache_path,
-                                                       missing_ok=True)
-            if self.tracer is not None:
-                self.tracer.emit("cache.snapshot_load", entries=loaded)
-            if self.workers > 1:
-                # Refresh the snapshot so spawn-method workers (which cannot
-                # inherit the parent cache at fork) warm-start from the
-                # provisioning analyses; fork-method workers ignore the file.
-                self.analysis_cache.save_snapshot(self.cache_path)
-        if self.analysis_cache is not None and self.cache_store is not None:
-            # Warm-start from the shared store, then make this run's
-            # pre-pool entries (fleet provisioning analyses) durable so
-            # even spawn-started workers begin warm.
-            if self._parent_store is None:
-                self._parent_store = SegmentStore(self.cache_store)
-            self._absorb_store()
-            self._publish_store()
-        # Counter baseline: the shared cache typically served fleet
-        # provisioning too; the result reports this run's traffic only (a
-        # resumed run reports the resumed waves', not the halted run's).
-        hits_before = self.analysis_cache.hits if self.analysis_cache else 0
-        misses_before = self.analysis_cache.misses if self.analysis_cache else 0
-        #: request-equivalence key -> (report, mapping, priorities) of the
-        #: vehicle that ran the full integration; kept across waves so later
-        #: waves of unchanged same-variant vehicles replay wave 1's verdicts.
-        precedents: Dict[Tuple, Tuple[IntegrationReport, Dict[str, str],
-                                      Dict[str, int]]] = {}
-        #: Objects whose id() is baked into a stored precedent key.  Holding
-        #: them prevents garbage collection from recycling an id into a new
-        #: contract mid-campaign, which could falsely match a stale key.
-        pinned: List[object] = []
-        pool = None
-        if self.workers > 1 and not multiprocessing.current_process().daemon:
-            # Workers inherit the parent's warm cache copy-on-write at fork
-            # (or load the snapshot once, under spawn) and keep it for the
-            # whole campaign — see initialize_worker.  Inside a *daemonic*
-            # worker (e.g. an experiment runner's pool) children are not
-            # allowed; shard execution then stays in-process, which changes
-            # wall time only — verdicts are worker-layout-independent.
-            import repro.fleet.shard as shard_module
-            context = multiprocessing.get_context(self.start_method)
-            worker_max_entries = self.analysis_cache.max_entries \
-                if self.analysis_cache is not None else 16384
-            worker_batch_kernel = self.analysis_cache.batch_kernel \
-                if self.analysis_cache is not None else False
-            shard_module._FORK_SEED = self.analysis_cache
-            try:
-                pool = context.Pool(
-                    processes=self.workers, initializer=initialize_worker,
-                    initargs=(self.cache_path, worker_max_entries,
-                              worker_batch_kernel, self.cache_store))
-            finally:
-                shard_module._FORK_SEED = None
+        if self._ran:
+            raise CampaignError(
+                "this Campaign instance already ran; run() is one-shot "
+                "because a run mutates per-run state (last_checkpoint, "
+                "cost-model seeds, vehicle models) — construct a fresh "
+                "Campaign, with resume_from= to continue a checkpoint")
+        self._ran = True
+        from repro.fleet.engine import CampaignEngine
+        engine = CampaignEngine(self, resume_from=resume_from)
         try:
-            #: Vehicles whose delivery failed, carried into the next wave as
-            #: ``(vehicle, failed_attempts)``; once the planned rollout is
-            #: exhausted, remaining carry runs in extra ``straggler`` waves.
-            carry: List[Tuple[FleetVehicle, int]] = []
-            wave_index = 0
-            stalled_waves = 0
-            while wave_index < len(plan) or carry:
-                if wave_index < len(plan):
-                    kind, planned = plan[wave_index]
-                else:
-                    kind, planned = "straggler", []
-                if wave_index < start_wave:
-                    wave_index += 1
-                    continue
-                staged = [vehicle for vehicle, _ in carry] + list(planned)
-                attempts = {vehicle.vehicle_id: tries
-                            for vehicle, tries in carry}
-                record = WaveRecord(index=wave_index, kind=kind,
-                                    vehicle_ids=[v.vehicle_id
-                                                 for v in staged])
-                record.retried = len(carry)
-                carry = []
-                if self.tracer is not None:
-                    self.tracer.emit("wave.begin", wave=wave_index, kind=kind,
-                                     staged=len(staged),
-                                     retried=record.retried)
-                wave: List[FleetVehicle] = staged
-                if self.adversity is not None:
-                    if self.tracer is not None:
-                        self.tracer.emit("adversity.begin_wave",
-                                         wave=wave_index, staged=len(staged))
-                    self.adversity.begin_wave(wave_index, staged)
-                    wave = []
-                    for vehicle in staged:
-                        attempt = attempts.get(vehicle.vehicle_id, 0)
-                        if self.adversity.deliver(vehicle, wave_index,
-                                                  attempt):
-                            wave.append(vehicle)
-                            delivery = "delivered"
-                        elif self.adversity.abandon(vehicle, attempt + 1):
-                            record.abandoned += 1
-                            delivery = "abandoned"
-                        else:
-                            carry.append((vehicle, attempt + 1))
-                            delivery = "deferred"
-                        if self.tracer is not None:
-                            self.tracer.emit("adversity.deliver",
-                                             wave=wave_index,
-                                             vehicle=vehicle.vehicle_id,
-                                             attempt=attempt,
-                                             outcome=delivery)
-                    record.undelivered = record.size - len(wave)
-                    # A custom model that neither delivers nor abandons
-                    # would loop forever on straggler waves; attempts grow
-                    # strictly each round, so any sane retry budget
-                    # terminates — guard against the insane ones.
-                    if kind == "straggler" and not wave \
-                            and record.abandoned == 0:
-                        stalled_waves += 1
-                        if stalled_waves > 1000:
-                            raise CampaignError(
-                                "adversity model stalled the campaign: "
-                                "1000 consecutive straggler waves without "
-                                "a delivery or an abandonment")
-                    else:
-                        stalled_waves = 0
-                requests = []
-                for vehicle in wave:
-                    request = self.update_factory(vehicle)
-                    if self.adversity is not None:
-                        request = self.adversity.transform_request(
-                            vehicle, request, wave_index)
-                    requests.append(request)
-                keys: List[Optional[Tuple]] = [None] * len(requests)
-                rep_positions: List[int] = []
-                if self.batch_admission:
-                    # Keys are stable for the whole wave: a vehicle's model
-                    # only changes when its own request is admitted, and
-                    # adoption happens strictly after the dedupe pass.
-                    seen_new = set()
-                    for position, (vehicle, request) in enumerate(zip(wave,
-                                                                      requests)):
-                        key = self._equivalence_key(vehicle, request)
-                        keys[position] = key
-                        if key not in precedents and key not in seen_new:
-                            seen_new.add(key)
-                            rep_positions.append(position)
-                    if pool is not None:
-                        self._admit_shards(wave, requests, keys, rep_positions,
-                                           precedents, pinned, pool,
-                                           wave_index, result)
-                    else:
-                        self._prefetch_wave([(wave[p], requests[p])
-                                             for p in rep_positions])
-                admitted: List[Tuple[FleetVehicle, ChangeRequest,
-                                     MccSnapshot]] = []
-                pre_wave: Dict[str, MccSnapshot] = {}
-                for vehicle, request, key in zip(wave, requests, keys):
-                    snapshot = vehicle.mcc.snapshot()
-                    pre_wave[vehicle.vehicle_id] = snapshot
-                    replayed = False
-                    if self.batch_admission:
-                        precedent = precedents.get(key)
-                        if precedent is None:
-                            pinned.append(request.contract)
-                            pinned.extend(vehicle.mcc.model.contracts())
-                            report = vehicle.mcc.request_change(request)
-                            precedents[key] = (report,
-                                               dict(vehicle.mcc.model.mapping),
-                                               dict(vehicle.mcc.model.priorities))
-                        else:
-                            replayed = True
-                            report = vehicle.mcc.replay_change(request, *precedent)
-                    else:
-                        report = vehicle.mcc.request_change(request)
-                    if self.tracer is not None:
-                        self.tracer.emit("vehicle.admit", wave=wave_index,
-                                         vehicle=vehicle.vehicle_id,
-                                         accepted=report.accepted,
-                                         replayed=replayed)
-                    if report.accepted:
-                        vehicle.updated = True
-                        record.admitted += 1
-                        admitted.append((vehicle, request, snapshot))
-                    else:
-                        record.rejected += 1
-                for vehicle, request, _ in admitted:
-                    self._feedback(vehicle, request, wave_index, record)
-                # The halt decision judges the vehicles that actually ran
-                # the update (delivered, not staged) and ignores failures
-                # the feedback grader attributed to suspected-compromised
-                # senders; on an unperturbed campaign both terms reduce to
-                # the classic failures-over-size comparison.
-                halt = self.policy.halts(record.effective_failures,
-                                         record.delivered)
-                if halt and self.policy.rollback_on_halt:
-                    self._rollback_wave([(vehicle, snapshot)
-                                         for vehicle, _, snapshot in admitted],
-                                        record)
-                if self.tracer is not None:
-                    self.tracer.emit("wave.end", wave=wave_index, halt=halt,
-                                     **record.to_dict())
-                result.waves.append(record)
-                result.admitted += record.admitted
-                result.rejected += record.rejected
-                result.deviating += record.deviating
-                result.refined += record.refined
-                result.rolled_back += record.rolled_back
-                result.undelivered += record.undelivered
-                result.retried += record.retried
-                result.abandoned += record.abandoned
-                result.discounted += record.discounted
-                if halt:
-                    result.halted = True
-                    result.halted_wave = wave_index
-                    if self.tracer is not None:
-                        self.tracer.emit("campaign.halt", wave=wave_index,
-                                         effective_failures=record.effective_failures,
-                                         delivered=record.delivered)
-                    if self.adversity is None:
-                        self.last_checkpoint = self._build_checkpoint(
-                            wave_index, result, wave, pre_wave)
-                        if self.checkpoint_path is not None:
-                            self.last_checkpoint.save(self.checkpoint_path)
-                            if self.tracer is not None:
-                                self.tracer.emit("checkpoint.save",
-                                                 wave=wave_index,
-                                                 path=self.checkpoint_path)
-                    break
-                wave_index += 1
-        finally:
-            if pool is not None:
-                pool.close()
-                pool.join()
-        if self.analysis_cache is not None and self.cache_path is not None:
-            # Persist everything this run derived (shard fan-ins included)
-            # so re-runs — and a resume after a halt — warm-start from it.
-            self.analysis_cache.save_snapshot(self.cache_path)
-            if self.tracer is not None:
-                self.tracer.emit("cache.snapshot_save", path=self.cache_path,
-                                 entries=len(self.analysis_cache))
-        if self.analysis_cache is not None and self._parent_store is not None:
-            # Workers made their own derivations durable mid-wave; absorb
-            # any last publications, then append what only the parent
-            # derived (prefetch path, in-process fallback waves).
-            self._absorb_store()
-            self._publish_store()
-        if self.analysis_cache is not None:
-            result.cache_hits = self.analysis_cache.hits - hits_before
-            result.cache_misses = self.analysis_cache.misses - misses_before
-            result.engine_reuse_rate = self.analysis_cache.engine.reuse_rate
-        if self.tracer is not None:
-            self.tracer.emit("campaign.end", admitted=result.admitted,
-                             rejected=result.rejected,
-                             deviating=result.deviating,
-                             halted=result.halted,
-                             waves=len(result.waves))
-            self.tracer.flush()
-        return result
+            while not engine.done:
+                engine.step()
+        except BaseException:
+            # The error path must never leak the worker pool; caches and
+            # the trace stay unflushed, exactly as before the engine split.
+            engine.close()
+            raise
+        return engine.finalize()
+

@@ -1,0 +1,870 @@
+"""Re-entrant wave-stepping engine behind :class:`~repro.fleet.campaign.Campaign`.
+
+:class:`~repro.fleet.campaign.Campaign` describes *what* to roll out — the
+fleet, the update factory, the staging/halting policy and the execution
+knobs; this module owns *how*, one wave at a time.  :class:`CampaignEngine`
+is an explicit state machine over :class:`CampaignState`: construct it, call
+:meth:`~CampaignEngine.step` once per wave (each call executes exactly one
+wave and returns its :class:`~repro.fleet.campaign.WaveRecord`), and call
+:meth:`~CampaignEngine.finalize` when :attr:`~CampaignEngine.done` to close
+the shard pool, persist the caches and obtain the aggregate
+:class:`~repro.fleet.campaign.CampaignResult`.
+:meth:`Campaign.run() <repro.fleet.campaign.Campaign.run>` is nothing but
+that loop — stepped and run-to-completion execution are byte-identical by
+construction, and the differential tests pin it.
+
+The split buys two things the monolithic ``run()`` could not offer:
+
+* **Interruptibility.**  Between any two :meth:`~CampaignEngine.step` calls
+  the campaign sits at a *wave boundary*: every executed wave is fully
+  committed (admission, feedback, halt decision, rollback), no wave is in
+  flight.  :meth:`~CampaignEngine.checkpoint` serializes that boundary as a
+  :class:`~repro.fleet.campaign.CampaignCheckpoint` — the same artifact a
+  policy halt writes — so a campaign can be parked and resumed at *any*
+  boundary, not only where the halt policy tripped.
+* **Interleavability.**  A driver can hold many engines and advance them
+  step by step in any order — the fleet admission service
+  (:mod:`repro.service`) runs one wave of one tenant's campaign per
+  scheduling slot, streaming each returned wave record to the submitter.
+
+State taxonomy
+--------------
+
+:class:`CampaignState` carries exactly the between-wave execution state: the
+wave cursor, the straggler/retry carry, the stall guard, the running
+:class:`~repro.fleet.campaign.CampaignResult` and the EWMA cost model.  The
+per-vehicle rollout state lives where it always did — on the
+:class:`~repro.fleet.vehicle.FleetVehicle` objects (MCC model, ``updated``/
+``deviating``/``rolled_back`` flags) — and is captured into checkpoints as
+portable :class:`~repro.fleet.vehicle.VehicleState` snapshots.  The
+simulated feedback RNG needs no stream state at all: every draw is derived
+fresh from ``(feedback_seed, vehicle.index)``, so it is position- not
+history-dependent.  Two engine-local caches are deliberately *not* part of
+the state: the ``precedents`` verdict table and its ``pinned`` object list
+key on object identity (:meth:`CampaignEngine._equivalence_key`), which
+cannot cross a process boundary — a resumed engine rebuilds them, trading
+replays for re-analyses but never changing a verdict.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field, replace
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.analysis.cache_store import SegmentStore
+from repro.fleet.campaign import (Campaign, CampaignCheckpoint, CampaignError,
+                                  CampaignResult, WaveRecord, plan_waves)
+from repro.fleet.shard import (ShardItem, ShardTask, execute_shard,
+                               initialize_worker, plan_chunks, plan_shards)
+from repro.fleet.vehicle import FleetVehicle, VehicleState
+from repro.mcc.configuration import ChangeRequest, IntegrationReport
+from repro.mcc.controller import MccSnapshot
+from repro.monitoring.deviation import DeviationDetector
+from repro.monitoring.metrics import MetricRegistry
+from repro.sim.random import SeededRNG, derive_seed
+
+__all__ = ["CampaignState", "CampaignEngine"]
+
+
+def _copy_result(source: CampaignResult) -> CampaignResult:
+    """An independent copy of a result (fresh wave records/lists)."""
+    return replace(source,
+                   waves=[replace(record,
+                                  vehicle_ids=list(record.vehicle_ids))
+                          for record in source.waves],
+                   shard_telemetry=[dict(row)
+                                    for row in source.shard_telemetry])
+
+
+@dataclass
+class CampaignState:
+    """Between-wave execution state of one campaign.
+
+    Everything the wave loop mutates lives here, so an engine holding a
+    ``CampaignState`` at a wave boundary is fully described by it (plus the
+    fleet vehicles' own rollout state):
+
+    ``wave_index``
+        Cursor into the static wave plan; past the plan's end the campaign
+        is running adversity ``straggler`` waves (or is done).
+    ``start_wave``
+        First wave this engine executes (> 0 on a resumed campaign; the
+        checkpointed waves are seeded into ``result``, not re-run).
+    ``carry``
+        Vehicles whose update delivery failed, carried into the next wave
+        as ``(vehicle, failed_attempts)`` pairs.  Structurally empty
+        without an adversity model — which is exactly why wave-boundary
+        checkpoints (which exclude adversity) need not serialize it.
+    ``stalled_waves``
+        Consecutive straggler waves without a delivery or an abandonment;
+        the stall guard halts a pathological adversity model at 1000.
+    ``result``
+        The running aggregate; :meth:`CampaignEngine.finalize` stamps the
+        cache counters onto it and returns it.
+    ``cost_model``
+        EWMA of measured integration seconds per shard-group label.  The
+        *same dict object* as :attr:`Campaign._cost_model`, so the model
+        persists on the campaign across engine lifetimes (and checkpoints
+        carry a value snapshot of it); wall-time-only by construction.
+    ``hits_before`` / ``misses_before``
+        Shared-cache counter baselines taken at engine construction, so
+        ``result`` reports this run's cache traffic only.
+    """
+
+    wave_index: int = 0
+    start_wave: int = 0
+    carry: List[Tuple[FleetVehicle, int]] = field(default_factory=list)
+    stalled_waves: int = 0
+    result: CampaignResult = field(
+        default_factory=lambda: CampaignResult(fleet_size=0, batched=False))
+    cost_model: Dict[Hashable, float] = field(default_factory=dict)
+    hits_before: int = 0
+    misses_before: int = 0
+
+
+class CampaignEngine:
+    """Executes one campaign wave-by-wave; the stepper behind ``run()``.
+
+    Construction performs the campaign prologue exactly as the monolithic
+    ``run()`` did — begin trace, checkpoint restore, cache warm-start,
+    counter baselines, shard-pool fork — so a constructed engine is
+    positioned at the first wave boundary.  Then:
+
+    * :meth:`step` executes exactly one wave (staging, adversity delivery,
+      dedupe, pooled or in-process admission, feedback, halt decision,
+      rollback) and returns its :class:`WaveRecord`;
+    * :attr:`done` reports whether a next wave exists (the plan is
+      exhausted with no carry, or the campaign halted);
+    * :meth:`finalize` runs the epilogue (pool join, snapshot/store
+      persistence, cache counters, end trace) and returns the result;
+    * :meth:`checkpoint` serializes the current wave boundary;
+    * :meth:`close` tears the shard pool down without finalizing — the
+      error/abandon path.
+
+    One engine executes one campaign run; it is not reusable after
+    :meth:`finalize`.  The engine holds live references into its
+    :class:`Campaign` (vehicles, caches, cost model), so at most one engine
+    should drive a campaign at a time — :meth:`Campaign.run` enforces this
+    with its one-shot guard.
+    """
+
+    def __init__(self, campaign: Campaign,
+                 resume_from: Optional[CampaignCheckpoint] = None) -> None:
+        self.campaign = campaign
+        result = CampaignResult(fleet_size=len(campaign.vehicles),
+                                batched=campaign.batch_admission)
+        self.plan = plan_waves(campaign.vehicles, campaign.policy)
+        start_wave = 0
+        if campaign.tracer is not None:
+            campaign.tracer.emit(
+                "campaign.begin", fleet_size=len(campaign.vehicles),
+                waves_planned=len(self.plan), workers=campaign.workers,
+                batched=campaign.batch_admission,
+                planner=campaign.shard_planner, steal=campaign.steal,
+                adversity=type(campaign.adversity).__name__
+                if campaign.adversity is not None else None,
+                resumed=resume_from is not None)
+        if resume_from is not None:
+            if campaign.adversity is not None:
+                raise CampaignError(
+                    "resume_from cannot be combined with an adversity "
+                    "model: delivery-perturbed staging (carried and "
+                    "straggler waves) cannot be validated against the "
+                    "static wave plan a checkpoint records")
+            start_wave = self._restore_checkpoint(resume_from, self.plan,
+                                                  result)
+        if campaign.analysis_cache is not None and campaign.cache_path is not None:
+            # Warm-start this run from the previous run's snapshot.
+            loaded = campaign.analysis_cache.load_snapshot(campaign.cache_path,
+                                                           missing_ok=True)
+            if campaign.tracer is not None:
+                campaign.tracer.emit("cache.snapshot_load", entries=loaded)
+            if campaign.workers > 1:
+                # Refresh the snapshot so spawn-method workers (which cannot
+                # inherit the parent cache at fork) warm-start from the
+                # provisioning analyses; fork-method workers ignore the file.
+                campaign.analysis_cache.save_snapshot(campaign.cache_path)
+        if campaign.analysis_cache is not None and campaign.cache_store is not None:
+            # Warm-start from the shared store, then make this run's
+            # pre-pool entries (fleet provisioning analyses) durable so
+            # even spawn-started workers begin warm.
+            if campaign._parent_store is None:
+                campaign._parent_store = SegmentStore(campaign.cache_store)
+            self._absorb_store()
+            self._publish_store()
+        #: request-equivalence key -> (report, mapping, priorities) of the
+        #: vehicle that ran the full integration; kept across waves so later
+        #: waves of unchanged same-variant vehicles replay wave 1's verdicts.
+        self.precedents: Dict[Tuple, Tuple[IntegrationReport, Dict[str, str],
+                                           Dict[str, int]]] = {}
+        #: Objects whose id() is baked into a stored precedent key.  Holding
+        #: them prevents garbage collection from recycling an id into a new
+        #: contract mid-campaign, which could falsely match a stale key.
+        self.pinned: List[object] = []
+        self.pool = None
+        self._finalized = False
+        if campaign.workers > 1 and not multiprocessing.current_process().daemon:
+            # Workers inherit the parent's warm cache copy-on-write at fork
+            # (or load the snapshot once, under spawn) and keep it for the
+            # whole campaign — see initialize_worker.  Inside a *daemonic*
+            # worker (e.g. an experiment runner's pool) children are not
+            # allowed; shard execution then stays in-process, which changes
+            # wall time only — verdicts are worker-layout-independent.
+            import repro.fleet.shard as shard_module
+            context = multiprocessing.get_context(campaign.start_method)
+            worker_max_entries = campaign.analysis_cache.max_entries \
+                if campaign.analysis_cache is not None else 16384
+            worker_batch_kernel = campaign.analysis_cache.batch_kernel \
+                if campaign.analysis_cache is not None else False
+            shard_module._FORK_SEED = campaign.analysis_cache
+            try:
+                self.pool = context.Pool(
+                    processes=campaign.workers, initializer=initialize_worker,
+                    initargs=(campaign.cache_path, worker_max_entries,
+                              worker_batch_kernel, campaign.cache_store))
+            finally:
+                shard_module._FORK_SEED = None
+        # Counter baseline: the shared cache typically served fleet
+        # provisioning too; the result reports this run's traffic only (a
+        # resumed run reports the resumed waves', not the halted run's).
+        self.state = CampaignState(
+            wave_index=start_wave, start_wave=start_wave, carry=[],
+            stalled_waves=0, result=result, cost_model=campaign._cost_model,
+            hits_before=campaign.analysis_cache.hits
+            if campaign.analysis_cache else 0,
+            misses_before=campaign.analysis_cache.misses
+            if campaign.analysis_cache else 0)
+
+    # -- stepping ----------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Whether a next wave exists: halted, or plan and carry exhausted."""
+        state = self.state
+        return state.result.halted or (state.wave_index >= len(self.plan)
+                                       and not state.carry)
+
+    def step(self) -> WaveRecord:
+        """Execute exactly one wave and return its record.
+
+        The wave runs to commit — staging (planned members plus delivery
+        carry), adversity delivery, request construction, equivalence
+        dedupe, pooled or in-process admission, per-vehicle adoption,
+        monitor feedback, the halt decision and any rollback — so after
+        ``step()`` returns the campaign sits at the next wave boundary.  On
+        a halt the record is still returned (it is part of the result) and
+        :attr:`done` turns true.  Stepping a finished engine raises
+        :class:`CampaignError`.
+        """
+        if self._finalized:
+            raise CampaignError("campaign engine already finalized")
+        if self.done:
+            raise CampaignError("campaign has no next wave to step")
+        campaign = self.campaign
+        state = self.state
+        result = state.result
+        wave_index = state.wave_index
+        if wave_index < len(self.plan):
+            kind, planned = self.plan[wave_index]
+        else:
+            kind, planned = "straggler", []
+        staged = [vehicle for vehicle, _ in state.carry] + list(planned)
+        attempts = {vehicle.vehicle_id: tries
+                    for vehicle, tries in state.carry}
+        record = WaveRecord(index=wave_index, kind=kind,
+                            vehicle_ids=[v.vehicle_id for v in staged])
+        record.retried = len(state.carry)
+        state.carry = []
+        if campaign.tracer is not None:
+            campaign.tracer.emit("wave.begin", wave=wave_index, kind=kind,
+                                 staged=len(staged), retried=record.retried)
+        wave: List[FleetVehicle] = staged
+        if campaign.adversity is not None:
+            if campaign.tracer is not None:
+                campaign.tracer.emit("adversity.begin_wave",
+                                     wave=wave_index, staged=len(staged))
+            campaign.adversity.begin_wave(wave_index, staged)
+            wave = []
+            for vehicle in staged:
+                attempt = attempts.get(vehicle.vehicle_id, 0)
+                if campaign.adversity.deliver(vehicle, wave_index, attempt):
+                    wave.append(vehicle)
+                    delivery = "delivered"
+                elif campaign.adversity.abandon(vehicle, attempt + 1):
+                    record.abandoned += 1
+                    delivery = "abandoned"
+                else:
+                    state.carry.append((vehicle, attempt + 1))
+                    delivery = "deferred"
+                if campaign.tracer is not None:
+                    campaign.tracer.emit("adversity.deliver",
+                                         wave=wave_index,
+                                         vehicle=vehicle.vehicle_id,
+                                         attempt=attempt,
+                                         outcome=delivery)
+            record.undelivered = record.size - len(wave)
+            # A custom model that neither delivers nor abandons would loop
+            # forever on straggler waves; attempts grow strictly each
+            # round, so any sane retry budget terminates — guard against
+            # the insane ones.
+            if kind == "straggler" and not wave and record.abandoned == 0:
+                state.stalled_waves += 1
+                if state.stalled_waves > 1000:
+                    raise CampaignError(
+                        "adversity model stalled the campaign: "
+                        "1000 consecutive straggler waves without "
+                        "a delivery or an abandonment")
+            else:
+                state.stalled_waves = 0
+        requests = []
+        for vehicle in wave:
+            request = campaign.update_factory(vehicle)
+            if campaign.adversity is not None:
+                request = campaign.adversity.transform_request(
+                    vehicle, request, wave_index)
+            requests.append(request)
+        keys: List[Optional[Tuple]] = [None] * len(requests)
+        rep_positions: List[int] = []
+        if campaign.batch_admission:
+            # Keys are stable for the whole wave: a vehicle's model only
+            # changes when its own request is admitted, and adoption
+            # happens strictly after the dedupe pass.
+            seen_new = set()
+            for position, (vehicle, request) in enumerate(zip(wave,
+                                                              requests)):
+                key = self._equivalence_key(vehicle, request)
+                keys[position] = key
+                if key not in self.precedents and key not in seen_new:
+                    seen_new.add(key)
+                    rep_positions.append(position)
+            if self.pool is not None:
+                self._admit_shards(wave, requests, keys, rep_positions,
+                                   wave_index, result)
+            else:
+                self._prefetch_wave([(wave[p], requests[p])
+                                     for p in rep_positions])
+        admitted: List[Tuple[FleetVehicle, ChangeRequest, MccSnapshot]] = []
+        pre_wave: Dict[str, MccSnapshot] = {}
+        for vehicle, request, key in zip(wave, requests, keys):
+            snapshot = vehicle.mcc.snapshot()
+            pre_wave[vehicle.vehicle_id] = snapshot
+            replayed = False
+            if campaign.batch_admission:
+                precedent = self.precedents.get(key)
+                if precedent is None:
+                    self.pinned.append(request.contract)
+                    self.pinned.extend(vehicle.mcc.model.contracts())
+                    report = vehicle.mcc.request_change(request)
+                    self.precedents[key] = (report,
+                                            dict(vehicle.mcc.model.mapping),
+                                            dict(vehicle.mcc.model.priorities))
+                else:
+                    replayed = True
+                    report = vehicle.mcc.replay_change(request, *precedent)
+            else:
+                report = vehicle.mcc.request_change(request)
+            if campaign.tracer is not None:
+                campaign.tracer.emit("vehicle.admit", wave=wave_index,
+                                     vehicle=vehicle.vehicle_id,
+                                     accepted=report.accepted,
+                                     replayed=replayed)
+            if report.accepted:
+                vehicle.updated = True
+                record.admitted += 1
+                admitted.append((vehicle, request, snapshot))
+            else:
+                record.rejected += 1
+        for vehicle, request, _ in admitted:
+            self._feedback(vehicle, request, wave_index, record)
+        # The halt decision judges the vehicles that actually ran the
+        # update (delivered, not staged) and ignores failures the feedback
+        # grader attributed to suspected-compromised senders; on an
+        # unperturbed campaign both terms reduce to the classic
+        # failures-over-size comparison.
+        halt = campaign.policy.halts(record.effective_failures,
+                                     record.delivered)
+        if halt and campaign.policy.rollback_on_halt:
+            self._rollback_wave([(vehicle, snapshot)
+                                 for vehicle, _, snapshot in admitted],
+                                record)
+        if campaign.tracer is not None:
+            campaign.tracer.emit("wave.end", wave=wave_index, halt=halt,
+                                 **record.to_dict())
+        result.waves.append(record)
+        result.admitted += record.admitted
+        result.rejected += record.rejected
+        result.deviating += record.deviating
+        result.refined += record.refined
+        result.rolled_back += record.rolled_back
+        result.undelivered += record.undelivered
+        result.retried += record.retried
+        result.abandoned += record.abandoned
+        result.discounted += record.discounted
+        if halt:
+            result.halted = True
+            result.halted_wave = wave_index
+            if campaign.tracer is not None:
+                campaign.tracer.emit(
+                    "campaign.halt", wave=wave_index,
+                    effective_failures=record.effective_failures,
+                    delivered=record.delivered)
+            if campaign.adversity is None:
+                campaign.last_checkpoint = self._build_checkpoint(
+                    wave_index, result, wave, pre_wave)
+                if campaign.checkpoint_path is not None:
+                    campaign.last_checkpoint.save(campaign.checkpoint_path)
+                    if campaign.tracer is not None:
+                        campaign.tracer.emit("checkpoint.save",
+                                             wave=wave_index,
+                                             path=campaign.checkpoint_path)
+        else:
+            state.wave_index += 1
+        return record
+
+    def finalize(self) -> CampaignResult:
+        """Run the campaign epilogue and return the aggregate result.
+
+        Joins the shard pool, persists the ``cache_path`` snapshot and the
+        ``cache_store`` delta, stamps the cache counters onto the result
+        and closes the trace.  One-shot: a second call raises.  Callable
+        at any wave boundary — :meth:`Campaign.run` calls it when
+        :attr:`done`, the admission service also calls it when abandoning
+        a parked campaign.
+        """
+        if self._finalized:
+            raise CampaignError("campaign engine already finalized")
+        campaign = self.campaign
+        result = self.state.result
+        self.close()
+        if campaign.analysis_cache is not None and campaign.cache_path is not None:
+            # Persist everything this run derived (shard fan-ins included)
+            # so re-runs — and a resume after a halt — warm-start from it.
+            campaign.analysis_cache.save_snapshot(campaign.cache_path)
+            if campaign.tracer is not None:
+                campaign.tracer.emit("cache.snapshot_save",
+                                     path=campaign.cache_path,
+                                     entries=len(campaign.analysis_cache))
+        if campaign.analysis_cache is not None and campaign._parent_store is not None:
+            # Workers made their own derivations durable mid-wave; absorb
+            # any last publications, then append what only the parent
+            # derived (prefetch path, in-process fallback waves).
+            self._absorb_store()
+            self._publish_store()
+        if campaign.analysis_cache is not None:
+            result.cache_hits = campaign.analysis_cache.hits \
+                - self.state.hits_before
+            result.cache_misses = campaign.analysis_cache.misses \
+                - self.state.misses_before
+            result.engine_reuse_rate = campaign.analysis_cache.engine.reuse_rate
+        if campaign.tracer is not None:
+            campaign.tracer.emit("campaign.end", admitted=result.admitted,
+                                 rejected=result.rejected,
+                                 deviating=result.deviating,
+                                 halted=result.halted,
+                                 waves=len(result.waves))
+            campaign.tracer.flush()
+        self._finalized = True
+        return result
+
+    def close(self) -> None:
+        """Tear the shard pool down (idempotent; no cache persistence).
+
+        The error/abandon path: a raising :meth:`step` leaves caches and
+        trace unflushed — exactly as an exception inside the monolithic
+        ``run()`` loop did — but the worker pool must never leak.
+        """
+        if self.pool is not None:
+            self.pool.close()
+            self.pool.join()
+            self.pool = None
+
+    def checkpoint(self, path: Optional[str] = None) -> CampaignCheckpoint:
+        """Serialize the current wave boundary as a resumable checkpoint.
+
+        Unlike the halt-written checkpoint (which rewinds the halting
+        wave's members so that wave re-runs on resume), a boundary
+        checkpoint needs no rewind: every executed wave is committed, the
+        next wave has not started, so the vehicles' live state *is* the
+        checkpoint state and ``next_wave`` is simply the cursor.  Requires
+        ``adversity=None`` (a perturbed staging cannot be validated against
+        the static plan — same restriction resume itself has) and a
+        non-halted campaign (a policy halt already built
+        :attr:`Campaign.last_checkpoint`, which rewinds properly).
+        """
+        campaign = self.campaign
+        if campaign.adversity is not None:
+            raise CampaignError(
+                "wave-boundary checkpoints require adversity=None: carried "
+                "and straggler staging cannot be validated on resume")
+        if self.state.result.halted:
+            raise CampaignError(
+                "campaign halted — resume from Campaign.last_checkpoint, "
+                "which rewinds the halting wave's members")
+        prefix = _copy_result(self.state.result)
+        checkpoint = CampaignCheckpoint(
+            next_wave=self.state.wave_index, result=prefix,
+            vehicle_states=[vehicle.capture_state()
+                            for vehicle in campaign.vehicles],
+            cost_model=dict(self.state.cost_model))
+        if path is not None:
+            checkpoint.save(path)
+            if campaign.tracer is not None:
+                campaign.tracer.emit("checkpoint.save",
+                                     wave=self.state.wave_index, path=path)
+        return checkpoint
+
+    # -- wave internals ----------------------------------------------------
+
+    def _prefetch_wave(self,
+                       representatives: Sequence[Tuple[FleetVehicle,
+                                                       ChangeRequest]]) -> None:
+        """Warm the shared cache with the representatives' candidate analyses.
+
+        Only the vehicles that will actually run a full integration are
+        previewed (one per equivalence group); the batch goes through
+        ``analyse_many`` so representatives of *different* variants
+        warm-start off each other in the incremental engine.  The prefetch is
+        only a warm-up — a skipped preview costs cache misses, never a
+        different verdict.
+        """
+        cache = self.campaign.analysis_cache
+        assert cache is not None
+        tasksets = []
+        for vehicle, request in representatives:
+            preview = vehicle.mcc.process.preview_tasksets(vehicle.mcc.model,
+                                                           request)
+            if preview is None:
+                continue  # rejected before the acceptance phase; nothing to warm
+            tasksets.extend(taskset for _, taskset in sorted(preview.items()))
+        if tasksets:
+            cache.analyse_many(tasksets)
+
+    @staticmethod
+    def _equivalence_key(vehicle: FleetVehicle, request: ChangeRequest) -> Tuple:
+        """Identity of one admission problem, exact within this process.
+
+        Two vehicles with the same platform shape (same variant), the same
+        adopted contract *objects*, the same mapping/priority state and the
+        same request contract object pose the identical integration problem.
+        Diverged vehicles (refined WCETs build fresh contract objects,
+        rollbacks restore the previous model) fall out of the group
+        automatically because their object identities differ.
+
+        Identity-based keys are only sound while the referenced objects stay
+        alive — a recycled ``id`` could alias a stale key — so the engine
+        pins every object that enters a stored precedent key for its
+        lifetime (see :attr:`pinned`).  For the same reason keys never cross
+        a process boundary: shard workers receive wave positions, not keys.
+        """
+        model = vehicle.mcc.model
+        return (vehicle.variant.index,
+                tuple(sorted((contract.component, id(contract))
+                             for contract in model.contracts())),
+                tuple(sorted(model.mapping.items())),
+                tuple(sorted(model.priorities.items())),
+                request.kind, request.component, id(request.contract))
+
+    @staticmethod
+    def _group_label(vehicle: FleetVehicle, request: ChangeRequest) -> Tuple:
+        """Coarse congruence label of one representative integration.
+
+        Representatives of the same fleet variant receiving the same logical
+        request share platform shape, contract structure and therefore
+        congruence signature — their analyses dedupe against each other, so
+        the chunk planner co-locates them in one shard and the cost model
+        aggregates their measured integration times under one key.  Unlike
+        :meth:`_equivalence_key` this label is value-based (no object
+        identities), so it is stable across waves, runs and checkpoints.
+        """
+        return (vehicle.variant.index, request.kind, request.component)
+
+    def _estimate_costs(self, labels: Sequence[Tuple]) -> List[float]:
+        """Per-representative cost estimates from the prior-wave EWMA model.
+
+        Labels never measured yet (wave 1, or a variant first reaching a
+        later wave) are priced at the mean of the known costs — neutral
+        weight — or 1.0 on a completely cold model (uniform partition).
+        """
+        known = self.state.cost_model
+        fallback = (sum(known.values()) / len(known)) if known else 1.0
+        return [known.get(label, fallback) for label in labels]
+
+    def _record_cost(self, label: Tuple, elapsed_s: float) -> None:
+        """Fold one measured integration time into the EWMA cost model."""
+        previous = self.state.cost_model.get(label)
+        self.state.cost_model[label] = elapsed_s if previous is None \
+            else 0.5 * previous + 0.5 * elapsed_s
+
+    def _admit_shards(self, wave: Sequence[FleetVehicle],
+                      requests: Sequence[ChangeRequest],
+                      keys: Sequence[Tuple], rep_positions: Sequence[int],
+                      wave_index: int, result: CampaignResult) -> None:
+        """Run the wave's new representative integrations on the pool.
+
+        The representatives were deduped pre-fork (one wave position per new
+        equivalence key); their verdicts land in :attr:`precedents`
+        post-join so the parent's adoption loop replays every group member —
+        including the representative itself — without re-analysing anything.
+
+        Layout and dispatch follow the campaign's ``shard_planner`` and
+        ``steal`` knobs: cost-model chunks pulled completion-driven off the
+        pool's shared queue by default, static round-robin shards behind a
+        ``Pool.map`` barrier otherwise.  Fan-in order is nondeterministic
+        under stealing, but each verdict updates exactly one equivalence
+        key, so ``precedents`` — and every wave verdict derived from it —
+        is independent of arrival order; only the telemetry rows and the
+        cost model see the completion order.
+        """
+        campaign = self.campaign
+        labels = [self._group_label(wave[position], requests[position])
+                  for position in rep_positions]
+        if campaign.shard_planner == "cost":
+            shards = plan_chunks(len(rep_positions), campaign.workers,
+                                 costs=self._estimate_costs(labels),
+                                 groups=labels)
+        else:
+            shards = plan_shards(len(rep_positions), campaign.workers)
+        tasks = [ShardTask(shard_index=shard_index,
+                           items=[ShardItem(position=item,
+                                            vehicle=wave[rep_positions[item]],
+                                            request=requests[rep_positions[item]])
+                                  for item in shard],
+                           cache_path=campaign.cache_path,
+                           store_path=campaign.cache_store,
+                           trace=campaign.tracer is not None)
+                 for shard_index, shard in enumerate(shards)]
+        if campaign.tracer is not None:
+            campaign.tracer.emit("shard.plan", wave=wave_index,
+                                 planner=campaign.shard_planner,
+                                 steal=campaign.steal, shards=len(tasks),
+                                 representatives=len(rep_positions))
+        if campaign.steal:
+            # Completion-driven dispatch: the pool's shared task queue is
+            # the steal target — an idle worker takes the next chunk
+            # immediately, and results fan in as they finish.
+            completed = self.pool.imap_unordered(execute_shard, tasks,
+                                                 chunksize=1)
+        else:
+            completed = self.pool.map(execute_shard, tasks)
+        for shard_result in completed:
+            if campaign.analysis_cache is not None:
+                campaign.analysis_cache.merge_entries(shard_result.cache_entries)
+            for verdict in shard_result.verdicts:
+                position = rep_positions[verdict.position]
+                vehicle, request = wave[position], requests[position]
+                self.pinned.append(request.contract)
+                self.pinned.extend(vehicle.mcc.model.contracts())
+                self.precedents[keys[position]] = (verdict.report,
+                                                   verdict.mapping,
+                                                   verdict.priorities)
+                self._record_cost(labels[verdict.position], verdict.elapsed_s)
+            # Field set pinned by SHARD_TELEMETRY_SCHEMA (see
+            # repro.fleet.shard) — extend both together.
+            telemetry_row = {
+                "wave": wave_index,
+                "shard": shard_result.shard_index,
+                "items": len(shard_result.verdicts),
+                "worker_pid": shard_result.worker_pid,
+                "elapsed_s": shard_result.elapsed_s,
+                "cache_hits": shard_result.cache_hits,
+                "cache_misses": shard_result.cache_misses,
+                "published_entries": shard_result.published_entries,
+                "absorbed_entries": shard_result.absorbed_entries,
+            }
+            result.shard_telemetry.append(telemetry_row)
+            if campaign.tracer is not None:
+                campaign.tracer.ingest(shard_result.events, wave=wave_index)
+                campaign.tracer.emit("shard.execute",
+                                     **{key: value for key, value
+                                        in telemetry_row.items()})
+
+    def _feedback(self, vehicle: FleetVehicle, request: ChangeRequest,
+                  wave_index: int, record: WaveRecord) -> None:
+        """Simulate one updated vehicle's monitor feedback and grade it.
+
+        With an adversity model the honest observation passes through
+        :meth:`~repro.fleet.adversity.AdversityModel.observe` (compromised
+        vehicles forge it), the detector may grade against two-sided bands,
+        and a raised deviation is additionally graded by the model — a
+        report attributed to a suspected-compromised sender is recorded
+        (``record.deviating``) but discounted from the halt decision
+        (``record.discounted``).
+        """
+        campaign = self.campaign
+        contract = vehicle.mcc.model.contract(request.component)
+        timing = contract.timing
+        if timing is None:  # pragma: no cover - campaign updates carry timing
+            return
+        rng = SeededRNG(derive_seed(campaign.feedback_seed, vehicle.index))
+        injected = rng.uniform() < campaign.failure_injection_rate
+        nominal_range = (0.55, 0.95)
+        two_sided = False
+        if campaign.adversity is not None:
+            two_sided = campaign.adversity.two_sided_feedback
+            if campaign.adversity.nominal_factor_range is not None:
+                nominal_range = campaign.adversity.nominal_factor_range
+        factor = rng.uniform(1.25, 1.75) if injected \
+            else rng.uniform(*nominal_range)
+        observed = timing.wcet * factor
+        if campaign.adversity is not None:
+            observed = campaign.adversity.observe(vehicle, wave_index,
+                                                  timing.wcet, observed)
+        registry = MetricRegistry()
+        detector: DeviationDetector = vehicle.mcc.configure_deviation_detector(
+            registry, two_sided=two_sided)
+        source = f"{request.component}.task"
+        anomalies = detector.observe(float(wave_index), source,
+                                     "execution_time", observed)
+        if campaign.tracer is not None:
+            campaign.tracer.emit("feedback.observe", wave=wave_index,
+                                 vehicle=vehicle.vehicle_id, observed=observed,
+                                 deviating=bool(anomalies))
+        if not anomalies:
+            return
+        vehicle.deviating = True
+        record.deviating += 1
+        if campaign.adversity is not None and campaign.adversity.grade_feedback(
+                vehicle, wave_index, len(anomalies)):
+            record.discounted += 1
+            if campaign.tracer is not None:
+                campaign.tracer.emit("feedback.discount", wave=wave_index,
+                                     vehicle=vehicle.vehicle_id)
+            return  # a discounted (suspect) report must not refine the model
+        if campaign.policy.refine_on_deviation:
+            refinements = vehicle.mcc.incorporate_observed_wcets(
+                {source: observed})
+            record.refined += len(refinements)
+
+    def _rollback_wave(self, admitted: List[Tuple[FleetVehicle, MccSnapshot]],
+                       record: WaveRecord) -> None:
+        for vehicle, snapshot in admitted:
+            vehicle.mcc.rollback(snapshot)
+            vehicle.updated = False
+            vehicle.rolled_back = True
+            record.rolled_back += 1
+            if self.campaign.tracer is not None:
+                self.campaign.tracer.emit("vehicle.rollback",
+                                          wave=record.index,
+                                          vehicle=vehicle.vehicle_id)
+
+    # -- checkpoint/resume -------------------------------------------------
+
+    def _build_checkpoint(self, halted_wave: int, result: CampaignResult,
+                          wave: Sequence[FleetVehicle],
+                          pre_wave: Dict[str, MccSnapshot]
+                          ) -> CampaignCheckpoint:
+        """Freeze the campaign at the start of its halting wave.
+
+        The checkpointed result excludes the halting wave's record (the
+        wave re-runs on resume); halting-wave members are stored at their
+        pre-wave snapshot with clean flags even when ``rollback_on_halt`` is
+        off, so a resume always re-admits the remediated wave from scratch.
+        """
+        prefix = _copy_result(result)
+        prefix.waves = prefix.waves[:-1]
+        prefix.halted = False
+        prefix.halted_wave = None
+        # Telemetry rows of the *executed* waves stay with the checkpoint (a
+        # resumed run merges them with its own); only the halting wave's
+        # rows are dropped — that wave re-runs on resume and reports afresh.
+        prefix.shard_telemetry = [row for row in prefix.shard_telemetry
+                                  if row["wave"] < halted_wave]
+        for attribute in ("admitted", "rejected", "deviating", "refined",
+                          "rolled_back", "undelivered", "retried",
+                          "abandoned", "discounted"):
+            setattr(prefix, attribute,
+                    sum(getattr(record, attribute) for record in prefix.waves))
+        halting = {vehicle.vehicle_id for vehicle in wave}
+        states = []
+        for vehicle in self.campaign.vehicles:
+            if vehicle.vehicle_id in halting:
+                states.append(VehicleState(vehicle_id=vehicle.vehicle_id,
+                                           snapshot=pre_wave[vehicle.vehicle_id],
+                                           updated=False, deviating=False,
+                                           rolled_back=False))
+            else:
+                states.append(vehicle.capture_state())
+        return CampaignCheckpoint(next_wave=halted_wave, result=prefix,
+                                  vehicle_states=states,
+                                  cost_model=dict(self.state.cost_model))
+
+    def _restore_checkpoint(self, checkpoint: CampaignCheckpoint,
+                            plan: Sequence[Tuple[str, List[FleetVehicle]]],
+                            result: CampaignResult) -> int:
+        """Rewind the fleet and seed ``result`` from ``checkpoint``.
+
+        Validates that the resumed campaign stages the same fleet the same
+        way (the executed waves' vehicle ids must match the plan — policy
+        remediation may change thresholds, not the staging of already
+        executed waves).  Returns the wave index to continue from.
+        """
+        campaign = self.campaign
+        checkpointed = {state.vehicle_id for state in checkpoint.vehicle_states}
+        current = {vehicle.vehicle_id for vehicle in campaign.vehicles}
+        if checkpointed != current:
+            raise CampaignError(
+                f"checkpoint covers a {len(checkpointed)}-vehicle fleet, the "
+                f"resumed campaign stages {len(current)} vehicles; resume "
+                "needs the exact fleet the campaign halted on")
+        if checkpoint.next_wave > len(plan):
+            raise CampaignError(
+                f"checkpoint expects wave {checkpoint.next_wave} but the "
+                f"resumed campaign plans only {len(plan)} waves")
+        for index, record in enumerate(checkpoint.result.waves):
+            planned = [vehicle.vehicle_id for vehicle in plan[index][1]]
+            if planned != list(record.vehicle_ids):
+                raise CampaignError(
+                    f"resumed staging diverges at wave {index}: checkpoint "
+                    f"executed {record.vehicle_ids}, plan stages {planned}")
+        states = {state.vehicle_id: state for state in checkpoint.vehicle_states}
+        for vehicle in campaign.vehicles:
+            vehicle.restore_state(states[vehicle.vehicle_id])
+        seeded = _copy_result(checkpoint.result)
+        result.waves = seeded.waves
+        # Executed waves' shard telemetry is carried over so a resumed
+        # campaign's telemetry covers the same waves an uninterrupted run's
+        # would; the resumed waves append their own rows.  Cache counters
+        # are deliberately not carried over: they describe one process's
+        # cache traffic and the resumed run reports its own.
+        result.shard_telemetry = seeded.shard_telemetry
+        for attribute in ("admitted", "rejected", "deviating", "refined",
+                          "rolled_back", "undelivered", "retried",
+                          "abandoned", "discounted"):
+            setattr(result, attribute, getattr(seeded, attribute))
+        # The EWMA cost model is wall-time-only state; warm-starting it
+        # from the checkpoint lets a resumed campaign plan its first chunks
+        # on measured costs instead of uniform guesses.  ``getattr`` keeps
+        # checkpoints pickled before the field existed loadable.
+        campaign._cost_model.update(getattr(checkpoint, "cost_model", None)
+                                    or {})
+        return checkpoint.next_wave
+
+    # -- segment-store plumbing --------------------------------------------
+
+    def _absorb_store(self) -> int:
+        """Merge everything newly durable in ``cache_store`` into the
+        parent cache; returns the number of new entries absorbed."""
+        campaign = self.campaign
+        assert campaign._parent_store is not None \
+            and campaign.analysis_cache is not None
+        entries = campaign._parent_store.read_new()
+        campaign._store_keys.update(key for key, _ in entries)
+        absorbed = campaign.analysis_cache.merge_entries(entries)
+        if campaign.tracer is not None:
+            campaign.tracer.emit("store.absorb", entries=absorbed)
+        return absorbed
+
+    def _publish_store(self) -> int:
+        """Append the parent cache's not-yet-durable entries to the store."""
+        campaign = self.campaign
+        assert campaign._parent_store is not None \
+            and campaign.analysis_cache is not None
+        fresh = campaign.analysis_cache.export_entries(
+            exclude=campaign._store_keys)
+        if fresh:
+            campaign._parent_store.append(fresh)
+            campaign._store_keys.update(key for key, _ in fresh)
+        if campaign.tracer is not None:
+            campaign.tracer.emit("store.publish", entries=len(fresh))
+        return len(fresh)

@@ -2,7 +2,7 @@
 
 One wave of a sharded campaign ships only its *representatives* — the first
 vehicle of every new request-equivalence group (see
-:meth:`repro.fleet.campaign.Campaign._equivalence_key`) — to a
+:meth:`repro.fleet.engine.CampaignEngine._equivalence_key`) — to a
 ``multiprocessing`` pool.  A :class:`ShardTask` bundles a slice of those
 representatives; the worker (:func:`execute_shard`, module-level so the pool
 can pickle it) runs each one's full MCC integration and returns a
@@ -64,7 +64,7 @@ CacheEntry = Tuple[Tuple, Dict[str, ResponseTimeResult]]
 #: them by name, and ``tests/test_observability.py`` validates real pooled
 #: rows against this mapping — so schema drift fails a test instead of
 #: silently rendering an empty dashboard panel.  Extend it deliberately:
-#: add the field here, in :meth:`repro.fleet.campaign.Campaign._admit_shards`
+#: add the field here, in :meth:`repro.fleet.engine.CampaignEngine._admit_shards`
 #: and in the docs table (``docs/ARCHITECTURE.md``) in one change.
 SHARD_TELEMETRY_SCHEMA: Dict[str, type] = {
     "wave": int,              # wave index the shard executed in

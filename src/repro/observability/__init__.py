@@ -28,6 +28,7 @@ from repro.observability.tracer import (WALL_CLOCK_FIELDS, CampaignTracer,
                                         TraceError, load_trace)
 from repro.observability.metrics_bridge import (cache_efficiency,
                                                 campaign_metric_registry,
+                                                service_metric_registry,
                                                 shard_imbalance,
                                                 wave_latencies)
 from repro.observability.dashboard import (flatten_result_documents,
@@ -42,6 +43,7 @@ __all__ = [
     "flatten_result_documents",
     "load_trace",
     "render_dashboard",
+    "service_metric_registry",
     "shard_imbalance",
     "wave_latencies",
 ]

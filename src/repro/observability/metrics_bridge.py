@@ -30,6 +30,14 @@ SHARD_SOURCE = "campaign.shards"
 CACHE_SOURCE = "campaign.cache"
 ADMISSION_SOURCE = "campaign.admission"
 
+#: Registry source fed by :func:`service_metric_registry` — the admission
+#: service's global step axis (per-job series use ``service.job/<id>``).
+SERVICE_SOURCE = "service.steps"
+
+#: Per-wave counters folded from the service's streamed progress records.
+SERVICE_METRICS = ("size", "admitted", "rejected", "deviating",
+                   "rolled_back", "failure_rate")
+
 #: Per-wave counters folded from wave records into :data:`WAVE_SOURCE`.
 WAVE_METRICS = ("size", "admitted", "rejected", "deviating", "refined",
                 "rolled_back", "undelivered", "retried", "abandoned",
@@ -162,14 +170,62 @@ def campaign_metric_registry(
     return registry
 
 
+def service_metric_registry(
+        progress: Iterable[Any],
+        registry: Optional[MetricRegistry] = None) -> MetricRegistry:
+    """Fold an admission service's streamed wave progress into a registry.
+
+    ``progress`` is a sequence of
+    :class:`~repro.service.schemas.WaveProgress` records (or equivalent
+    dicts) in the order the service executed them.  The campaign-level
+    folder (:func:`campaign_metric_registry`) anchors its time axis on the
+    *wave index* of one campaign; a service interleaves many campaigns one
+    engine step at a time, so this folder re-anchors on the **step
+    ordinal** — the global scheduling order across all tenants — under
+    :data:`SERVICE_SOURCE`.  Each job additionally gets its own
+    ``service.job/<job_id>`` series on its campaign-local wave-index axis,
+    so per-tenant rollout health stays readable next to the fleet-wide
+    interleaving.
+
+    Like the rest of this module the function is duck-typed — it never
+    imports the service package.
+    """
+    registry = registry if registry is not None else MetricRegistry()
+
+    def field_of(record: Any, name: str) -> Any:
+        if isinstance(record, dict):
+            return record.get(name)
+        return getattr(record, name, None)
+
+    for step, record in enumerate(progress):
+        for metric in SERVICE_METRICS:
+            value = field_of(record, metric)
+            if isinstance(value, (int, float)):
+                registry.sample(float(step), SERVICE_SOURCE, metric,
+                                float(value))
+        job_id = field_of(record, "job_id")
+        index = field_of(record, "index")
+        if job_id is None or not isinstance(index, (int, float)):
+            continue
+        source = f"service.job/{job_id}"
+        for metric in SERVICE_METRICS:
+            value = field_of(record, metric)
+            if isinstance(value, (int, float)):
+                registry.sample(float(index), source, metric, float(value))
+    return registry
+
+
 __all__ = [
     "ADMISSION_SOURCE",
     "CACHE_SOURCE",
+    "SERVICE_METRICS",
+    "SERVICE_SOURCE",
     "SHARD_SOURCE",
     "WAVE_METRICS",
     "WAVE_SOURCE",
     "cache_efficiency",
     "campaign_metric_registry",
+    "service_metric_registry",
     "shard_imbalance",
     "wave_latencies",
 ]

@@ -1,0 +1,42 @@
+"""Multi-tenant fleet admission service over the re-entrant campaign engine.
+
+The paper's in-field integration workflow is interactive — vehicles submit
+change requests, the Multi-Change Controller admits or rejects them, the
+fleet evolves — and this package gives the repo that long-running shape:
+:class:`~repro.service.admission.AdmissionService` accepts typed campaign
+submissions from many tenants, drives each campaign's
+:class:`~repro.fleet.engine.CampaignEngine` one wave per scheduling claim,
+streams per-wave progress to subscribers, and exposes halt/resume/rollback
+as API calls over the campaign checkpoint machinery.  Tenants optionally
+share one append-only analysis-cache store — identical per-tenant results,
+warmer caches (see ``docs/SERVICE.md`` and the E17 benchmark).
+
+``python -m repro.experiments serve`` runs a synthetic multi-tenant
+workload against the service from the command line.
+"""
+
+from repro.service.admission import AdmissionService
+from repro.service.schemas import (
+    CampaignStatus,
+    HaltRequest,
+    JobState,
+    ResumeRequest,
+    RollbackRequest,
+    ServiceError,
+    SubmitCampaign,
+    SubmitReceipt,
+    WaveProgress,
+)
+
+__all__ = [
+    "AdmissionService",
+    "CampaignStatus",
+    "HaltRequest",
+    "JobState",
+    "ResumeRequest",
+    "RollbackRequest",
+    "ServiceError",
+    "SubmitCampaign",
+    "SubmitReceipt",
+    "WaveProgress",
+]

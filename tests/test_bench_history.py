@@ -171,6 +171,28 @@ class TestBenchTrajectory:
         assert trajectory["series"] == []
         assert trajectory["unplotted"] == ["e10[full]"]
 
+    def test_throughput_keys_plot_as_their_own_series(self):
+        # The E17 admission-service record carries admissions_per_s: an
+        # absolute rate that must chart in the trajectory without being
+        # mistaken for a speedup ratio.
+        records = [
+            self._record("e17_admission_service", 120.5,
+                         metric="admissions_per_s"),
+            self._record("e12", 6.0),
+        ]
+        trajectory = bench_trajectory(records)
+        metrics = {entry["bench"]: entry["points"][0]["metric"]
+                   for entry in trajectory["series"]}
+        assert metrics == {"e17_admission_service": "admissions_per_s",
+                           "e12": "speedup"}
+        assert trajectory["unplotted"] == []
+
+    def test_headline_keys_take_priority_over_throughput(self):
+        trajectory = bench_trajectory([
+            {"name": "e17", "mode": "full",
+             "payload": {"speedup": 2.0, "admissions_per_s": 99.0}}])
+        assert trajectory["series"][0]["points"][0]["metric"] == "speedup"
+
     def test_cli_json_flag_writes_trajectory(self, records_dir, tmp_path,
                                              capsys):
         out_path = tmp_path / "out" / "trajectory.json"
@@ -250,6 +272,15 @@ class TestCompareBenchRecords:
             compare_bench_records([], [], tolerance=1.0)
         with pytest.raises(ValueError):
             compare_bench_records([], [], tolerance=-0.1)
+
+    def test_throughput_keys_never_gate(self):
+        # Absolute admissions/sec is machine-dependent: a slower CI runner
+        # must not fail the gate on it, however large the drop.
+        current = [{"name": "e17_admission_service", "mode": "full",
+                    "payload": {"admissions_per_s": 10.0}}]
+        baseline = [{"name": "e17_admission_service", "mode": "full",
+                     "payload": {"admissions_per_s": 500.0}}]
+        assert compare_bench_records(current, baseline) == []
 
 
 class TestCliRegressionGate:

@@ -19,7 +19,7 @@ SUBPACKAGES = ["repro"] + [
     f"repro.{name}" for name in
     ["analysis", "can", "contracts", "core", "experiments", "fleet", "mcc",
      "monitoring", "platform", "platooning", "routing", "scenarios", "security",
-     "sim", "skills", "vehicle", "virtualization"]
+     "service", "sim", "skills", "vehicle", "virtualization"]
 ]
 
 
